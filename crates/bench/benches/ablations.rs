@@ -1,0 +1,199 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **search strategy** — the simplex vs. random vs. systematic sampling,
+//!   measured as time to reach within 5% of the known optimum (the paper's
+//!   motivation for an "intelligent" search);
+//! * **restart-cost accounting** — off-line tuning with and without
+//!   charging warm-up/restart overheads (§III: "our experiments take all
+//!   costs of parameter changes into consideration");
+//! * **prior-run seeding** — cold-started simplex vs. a simplex seeded from
+//!   a related problem's history (the SC'04 technique used for the
+//!   O(10^100) PETSc space).
+
+use ah_bench::{bowl, bowl_space};
+use ah_core::offline::{OfflineTuner, RunMeasurement, ShortRunApp};
+use ah_core::prelude::*;
+use ah_core::session::SessionOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Evaluations a strategy needs to get within 5% of the bowl optimum
+/// (capped at `cap`).
+fn evals_to_within(strategy: Box<dyn SearchStrategy>, cap: usize, seed: u64) -> usize {
+    let mut session = TuningSession::new(
+        bowl_space(),
+        strategy,
+        SessionOptions {
+            max_evaluations: cap,
+            seed,
+            ..Default::default()
+        },
+    );
+    let result = session.run(bowl);
+    result
+        .history
+        .iterations_to_within(1.05)
+        .unwrap_or(cap)
+}
+
+fn ablate_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_search_to_5pct");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("nelder_mead", |b| {
+        b.iter(|| black_box(evals_to_within(Box::new(NelderMead::default()), 2000, 3)))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| black_box(evals_to_within(Box::new(RandomSearch::new()), 2000, 3)))
+    });
+    group.bench_function("grid_2000", |b| {
+        b.iter(|| black_box(evals_to_within(Box::new(GridSearch::new(2000)), 2000, 3)))
+    });
+    group.finish();
+    // Print the ablation facts once so bench logs carry the comparison.
+    let nm = evals_to_within(Box::new(NelderMead::default()), 2000, 3);
+    let rs = evals_to_within(Box::new(RandomSearch::new()), 2000, 3);
+    let gs = evals_to_within(Box::new(GridSearch::new(2000)), 2000, 3);
+    println!("[ablation] evals to within 5%: nelder-mead={nm} random={rs} grid={gs}");
+}
+
+/// A toy short-run app with configurable restart overheads.
+struct OverheadApp {
+    overhead: f64,
+}
+
+impl ShortRunApp for OverheadApp {
+    fn space(&self) -> SearchSpace {
+        bowl_space()
+    }
+    fn default_config(&self) -> Configuration {
+        self.space().center()
+    }
+    fn run_short(&mut self, config: &Configuration) -> RunMeasurement {
+        RunMeasurement {
+            exec_time: bowl(config) * 1e-3 + 0.5,
+            warmup_time: self.overhead,
+            restart_cost: self.overhead,
+        }
+    }
+}
+
+fn ablate_restart_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_restart_accounting");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (label, charge) in [("charged", true), ("ignored", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut app = OverheadApp { overhead: 2.0 };
+                let mut tuner = OfflineTuner::new(SessionOptions {
+                    max_evaluations: 60,
+                    seed: 4,
+                    ..Default::default()
+                });
+                tuner.charge_overheads = charge;
+                let out = tuner.tune(&mut app, Box::new(NelderMead::default()));
+                black_box(out.tuning_time)
+            })
+        });
+    }
+    group.finish();
+    // Report the accounting difference once.
+    let run = |charge| {
+        let mut app = OverheadApp { overhead: 2.0 };
+        let mut tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 60,
+            seed: 4,
+            ..Default::default()
+        });
+        tuner.charge_overheads = charge;
+        tuner.tune(&mut app, Box::new(NelderMead::default())).tuning_time
+    };
+    println!(
+        "[ablation] tuning time with restart costs charged: {:.1}s vs ignored: {:.1}s",
+        run(true),
+        run(false)
+    );
+}
+
+fn ablate_prior_seeding(c: &mut Criterion) {
+    // Bank a prior history once.
+    let mut first = TuningSession::new(
+        bowl_space(),
+        Box::new(NelderMead::default()),
+        SessionOptions {
+            max_evaluations: 150,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let r1 = first.run(bowl);
+    let mut db = PriorRunDb::new();
+    db.record_history("bowl", &r1.history);
+
+    let mut group = c.benchmark_group("ablate_prior_seeding_25_evals");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("cold_start", |b| {
+        b.iter(|| {
+            black_box(ah_bench::run_session(
+                Box::new(NelderMead::default()),
+                25,
+                6,
+            ))
+        })
+    });
+    group.bench_function("prior_seeded", |b| {
+        b.iter(|| {
+            let nm = NelderMead::new(NelderMeadOptions {
+                start: db.seed_for("bowl", &bowl_space()),
+                ..Default::default()
+            });
+            black_box(ah_bench::run_session(Box::new(nm), 25, 6))
+        })
+    });
+    group.finish();
+    let cold = ah_bench::run_session(Box::new(NelderMead::default()), 25, 6);
+    let seeded = {
+        let nm = NelderMead::new(NelderMeadOptions {
+            start: db.seed_for("bowl", &bowl_space()),
+            ..Default::default()
+        });
+        ah_bench::run_session(Box::new(nm), 25, 6)
+    };
+    println!("[ablation] best after 25 evals: cold={cold:.1} prior-seeded={seeded:.1}");
+}
+
+fn ablate_parallel_rounds(c: &mut Criterion) {
+    // PRO spends more total evaluations but groups them into independent
+    // rounds; on a P-processor deployment its wall-clock per round is one
+    // evaluation. Compare simulated wall-clock: serial NM pays every
+    // evaluation, PRO pays rounds.
+    use ah_core::strategy::pro::{tune_parallel, ProOptions};
+    let mut group = c.benchmark_group("ablate_parallel_rounds");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("pro_parallel_driver", |b| {
+        b.iter(|| {
+            let r = tune_parallel(&bowl_space(), bowl, ProOptions::default(), 40, 8);
+            black_box(r.best_cost)
+        })
+    });
+    group.bench_function("nelder_mead_serial", |b| {
+        b.iter(|| black_box(ah_bench::run_session(Box::new(NelderMead::default()), 160, 8)))
+    });
+    group.finish();
+    let r = tune_parallel(&bowl_space(), bowl, ProOptions::default(), 40, 8);
+    let rounds = 40.0;
+    println!(
+        "[ablation] PRO: best {:.1} in {} evaluations but only {rounds} parallel rounds          (wall-clock on a wide machine ~= rounds, not evaluations)",
+        r.best_cost,
+        r.history.runs(),
+    );
+}
+
+criterion_group!(
+    benches,
+    ablate_search,
+    ablate_restart_cost,
+    ablate_prior_seeding,
+    ablate_parallel_rounds
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! One Criterion benchmark per paper table/figure: times the full
+//! regeneration pipeline (application model + machine simulation + Harmony
+//! search + report rendering) on the quick workload.
+//!
+//! The *shape* validation lives in the repro binary and the integration
+//! tests; these benches track the cost of regenerating each artefact.
+
+use ah_repro::all_experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn paper_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    for e in all_experiments() {
+        group.bench_function(e.id(), |b| {
+            b.iter(|| {
+                let report = e.run(true);
+                assert!(!report.narrative.is_empty());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paper_experiments);
+criterion_main!(benches);

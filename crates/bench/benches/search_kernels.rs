@@ -1,0 +1,100 @@
+//! Kernels of the tuning system: strategy throughput, space projection,
+//! GS2 locality scans, and POP decomposition.
+
+use ah_bench::{bowl_space, run_session};
+use ah_core::prelude::*;
+use ah_gs2::decomp::{locality, Decomposition, DimSizes};
+use ah_gs2::layout::{Dim, Layout};
+use ah_pop::{BlockDecomposition, OceanGrid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_120_evals");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group.bench_function("nelder_mead", |b| {
+        b.iter(|| run_session(Box::new(NelderMead::default()), 120, 1))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| run_session(Box::new(RandomSearch::new()), 120, 1))
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| run_session(Box::new(GridSearch::new(120)), 120, 1))
+    });
+    group.finish();
+}
+
+fn projection(c: &mut Criterion) {
+    let space = bowl_space();
+    c.bench_function("space_project", |b| {
+        let coords = [12.7, -45.1];
+        b.iter(|| black_box(space.project(black_box(&coords))))
+    });
+    // Constraint-repaired projection (monotone chain of 8 boundaries).
+    let mut builder = SearchSpace::builder();
+    for i in 0..8 {
+        builder = builder.int(format!("b{i}"), 0, 10_000, 1);
+    }
+    let chained = builder
+        .constraint(ah_core::constraint::MonotoneChain::new(
+            (0..8).map(|i| format!("b{i}")).collect::<Vec<_>>(),
+        ))
+        .build()
+        .expect("valid space");
+    c.bench_function("space_project_chain8", |b| {
+        let coords = [900.0, 100.0, 5000.0, 4.0, 9999.0, 42.0, 7.0, 2500.0];
+        b.iter(|| black_box(chained.project(black_box(&coords))))
+    });
+}
+
+fn gs2_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gs2_locality");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (label, sizes) in [
+        (
+            "small",
+            DimSizes {
+                x: 16,
+                y: 8,
+                l: 16,
+                e: 8,
+                s: 2,
+            },
+        ),
+        (
+            "paper",
+            DimSizes {
+                x: 32,
+                y: 16,
+                l: 32,
+                e: 16,
+                s: 2,
+            },
+        ),
+    ] {
+        let layout: Layout = "lxyes".parse().expect("layout");
+        let d = Decomposition::new(layout, sizes, 128);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &d, |b, d| {
+            b.iter(|| black_box(locality(d, &[Dim::X, Dim::Y])))
+        });
+    }
+    group.finish();
+}
+
+fn pop_decomposition(c: &mut Criterion) {
+    let grid = OceanGrid::synthetic(720, 480);
+    let mut group = c.benchmark_group("pop_decomposition");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (bx, by) in [(36, 30), (180, 100)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{bx}x{by}")),
+            &(bx, by),
+            |b, &(bx, by)| b.iter(|| black_box(BlockDecomposition::new(&grid, bx, by, 480))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, strategies, projection, gs2_locality, pop_decomposition);
+criterion_main!(benches);

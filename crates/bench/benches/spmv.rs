@@ -1,0 +1,65 @@
+//! Sparse kernels: serial vs. threaded SpMV and full CG solves.
+//!
+//! Honest reading of the numbers: `par_spmv` spawns scoped threads per
+//! call, and on a single-core machine (CI boxes often are — check `nproc`)
+//! every thread count > 1 is pure overhead, so serial wins at every size
+//! there. On multi-core hardware the spawn cost still dominates at 90k
+//! unknowns (~0.5 ms serial); the 1M case is where parallel SpMV pays off.
+//! The threaded kernels are verified bit-identical to serial in the unit
+//! tests either way.
+
+use ah_sparse::gen::{laplacian_2d, random_rhs};
+use ah_sparse::{cg_solve, CsrMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn spmv(c: &mut Criterion) {
+    for (label, nx, ny) in [("spmv_90k", 300usize, 300usize), ("spmv_1m", 1000, 1000)] {
+        let a: CsrMatrix = laplacian_2d(nx, ny);
+        let x = random_rhs(a.rows(), 1);
+        let mut y = vec![0.0; a.rows()];
+        let mut group = c.benchmark_group(label);
+        group
+            .throughput(Throughput::Elements(a.nnz() as u64))
+            .sample_size(30)
+            .measurement_time(Duration::from_secs(5));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        a.par_spmv(black_box(&x), &mut y, t);
+                        black_box(y[0])
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn cg(c: &mut Criterion) {
+    let a = laplacian_2d(64, 64);
+    let rhs = random_rhs(a.rows(), 2);
+    let mut group = c.benchmark_group("cg_4k");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let out = cg_solve(&a, &rhs, 1e-8, 2000, t);
+                    assert!(out.converged);
+                    black_box(out.iterations)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, spmv, cg);
+criterion_main!(benches);

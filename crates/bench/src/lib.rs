@@ -1,0 +1,57 @@
+//! # ah-bench — Criterion benchmark harness
+//!
+//! Bench targets:
+//!
+//! * `paper_experiments` — one benchmark per paper table/figure, timing the
+//!   full regeneration pipeline (quick workloads);
+//! * `search_kernels` — the tuning kernels: simplex stepping, projection,
+//!   GS2 locality scans, POP decomposition;
+//! * `spmv` — serial vs. threaded sparse matrix–vector products and CG;
+//! * `ablations` — design-choice ablations called out in DESIGN.md
+//!   (search strategy, restart-cost accounting, prior-run seeding).
+
+#![warn(missing_docs)]
+
+use ah_core::prelude::*;
+use ah_core::session::SessionOptions;
+
+/// A standard 2-D integer bowl used by several benches.
+pub fn bowl_space() -> SearchSpace {
+    SearchSpace::builder()
+        .int("x", -100, 100, 1)
+        .int("y", -100, 100, 1)
+        .build()
+        .expect("valid bench space")
+}
+
+/// The bowl objective.
+pub fn bowl(cfg: &Configuration) -> f64 {
+    let x = cfg.int("x").expect("x") as f64;
+    let y = cfg.int("y").expect("y") as f64;
+    (x - 37.0).powi(2) + 1.7 * (y + 21.0).powi(2)
+}
+
+/// Run one tuning session of `evals` evaluations and return the best cost.
+pub fn run_session(strategy: Box<dyn SearchStrategy>, evals: usize, seed: u64) -> f64 {
+    let mut session = TuningSession::new(
+        bowl_space(),
+        strategy,
+        SessionOptions {
+            max_evaluations: evals,
+            seed,
+            ..Default::default()
+        },
+    );
+    session.run(bowl).best_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_helpers_work() {
+        let best = run_session(Box::new(NelderMead::default()), 120, 1);
+        assert!(best <= 10.0, "best={best}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # ah-clustersim — a deterministic parallel-machine simulator
+//!
+//! The HPDC'06 Active Harmony case study ran on machines we do not have: the
+//! NERSC SP-3 "Seaborg" (16-way SMP nodes), the "Hockney" cluster, a Myrinet
+//! Linux cluster with dual-Xeon nodes, and a heterogeneous Pentium 4 /
+//! Pentium II cluster. This crate provides the substitute substrate: an
+//! analytic machine model with
+//!
+//! * SMP topologies — `A` nodes × `B` processors per node, with per-node
+//!   memory-bandwidth contention between active processors;
+//! * heterogeneous per-node processor speeds;
+//! * a hierarchical network — intra-node messages are cheap, inter-node
+//!   messages pay latency + size/bandwidth over the interconnect;
+//! * collective-operation costs (allreduce, alltoall, barrier) with
+//!   tree/ring models;
+//! * a BSP-style superstep executor with per-processor clocks.
+//!
+//! The tuning phenomena the paper studies are cost-structure phenomena (data
+//! locality ↔ message volume, load balance ↔ per-processor compute,
+//! topology ↔ intra/inter-node traffic), and the model exposes exactly those
+//! terms, so the search landscapes Harmony explores have the same shape as
+//! on the real machines.
+
+#![warn(missing_docs)]
+
+pub mod machines;
+pub mod network;
+pub mod noise;
+pub mod sim;
+pub mod topology;
+
+pub use machines::{hetero_p4_p2, hockney, myrinet_linux, sp3_seaborg};
+pub use network::NetworkModel;
+pub use noise::NoiseModel;
+pub use sim::{execute, Collective, Message, Program, SimResult, Superstep};
+pub use topology::{Machine, NodeSpec, ProcId};

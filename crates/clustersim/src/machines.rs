@@ -1,0 +1,133 @@
+//! Named machine presets standing in for the paper's testbeds.
+//!
+//! Speeds are normalised work units (Gflop/s-equivalent); they are chosen to
+//! reflect the relative characteristics the paper relies on (SMP width,
+//! slow vs. fast interconnect, heterogeneous node generations), not absolute
+//! hardware truth.
+
+use crate::network::NetworkModel;
+use crate::topology::{Machine, NodeSpec};
+
+/// NERSC "Seaborg"-like IBM SP-3: 16-way SMP nodes, colony-switch-class
+/// interconnect. `nodes × procs_per_node` is the tunable topology of the POP
+/// and GS2 experiments (e.g. `sp3_seaborg(8, 16)` for 128 processors).
+pub fn sp3_seaborg(nodes: usize, procs_per_node: usize) -> Machine {
+    assert!(procs_per_node <= 16, "SP-3 nodes are 16-way SMPs");
+    let network = NetworkModel::new(
+        (8e-7, 3.0e9),   // shared-memory within a node
+        (18e-6, 600e6), // switch fabric between nodes
+    );
+    let mut m = Machine::uniform(
+        format!("seaborg {nodes}x{procs_per_node}"),
+        nodes,
+        procs_per_node,
+        1.0,
+        network,
+    );
+    for n in &mut m.nodes {
+        *n = n.with_contention(0.03); // wide SMPs share memory bandwidth
+    }
+    m
+}
+
+/// "Hockney"-like NERSC cluster used for the POP parameter study
+/// (8 nodes × 4 processors in the paper).
+pub fn hockney(nodes: usize, procs_per_node: usize) -> Machine {
+    let network = NetworkModel::new((1e-6, 2.5e9), (25e-6, 150e6));
+    Machine::uniform(
+        format!("hockney {nodes}x{procs_per_node}"),
+        nodes,
+        procs_per_node,
+        1.1,
+        network,
+    )
+}
+
+/// Myrinet Linux cluster: 64 nodes × dual Xeon 2.66 GHz, Myrinet network
+/// (lower latency than the SP-3 switch; per-link bandwidth modest relative
+/// to the fast Xeons, so communication-heavy layouts hurt badly here).
+pub fn myrinet_linux(nodes: usize, procs_per_node: usize) -> Machine {
+    assert!(procs_per_node <= 2, "the Linux cluster has dual-CPU nodes");
+    let network = NetworkModel::new((6e-7, 3.2e9), (12e-6, 160e6));
+    let mut m = Machine::uniform(
+        format!("linux {nodes}x{procs_per_node}"),
+        nodes,
+        procs_per_node,
+        1.6,
+        network,
+    );
+    for n in &mut m.nodes {
+        *n = n.with_contention(0.05); // hyper-threaded duals contend more
+    }
+    m
+}
+
+/// Heterogeneous 4-node cluster from the PETSc SNES experiment (Figure 3b):
+/// two Pentium 4-class nodes (fast) and two Pentium II-class nodes (slow).
+/// `fast_fraction` is the P4/PII speed ratio (the paper's generations differ
+/// by roughly 4–6×).
+pub fn hetero_p4_p2() -> Machine {
+    let network = NetworkModel::new((1e-6, 2e9), (40e-6, 100e6));
+    Machine::heterogeneous(
+        "hetero p4/p2 4x1",
+        vec![
+            NodeSpec::new(1, 0.25), // PII
+            NodeSpec::new(1, 0.25), // PII
+            NodeSpec::new(1, 1.2),  // P4
+            NodeSpec::new(1, 1.2),  // P4
+        ],
+        network,
+    )
+}
+
+/// Homogeneous variant of the Figure 3 testbed: four identical P4 nodes.
+pub fn homo_p4() -> Machine {
+    let network = NetworkModel::new((1e-6, 2e9), (40e-6, 100e6));
+    Machine::uniform("homo p4 4x1", 4, 1, 1.2, network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seaborg_topologies_have_right_sizes() {
+        assert_eq!(sp3_seaborg(8, 16).total_procs(), 128);
+        assert_eq!(sp3_seaborg(30, 16).total_procs(), 480);
+        assert_eq!(sp3_seaborg(240, 2).total_procs(), 480);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-way")]
+    fn seaborg_rejects_too_wide_nodes() {
+        sp3_seaborg(4, 17);
+    }
+
+    #[test]
+    fn linux_cluster_is_dual_cpu() {
+        let m = myrinet_linux(64, 2);
+        assert_eq!(m.total_procs(), 128);
+        assert_eq!(m.node_count(), 64);
+    }
+
+    #[test]
+    fn myrinet_has_lower_latency_but_fast_nodes() {
+        let linux = myrinet_linux(64, 2);
+        let sp3 = sp3_seaborg(8, 16);
+        assert!(linux.network.inter.latency < sp3.network.inter.latency);
+        // Per-processor compute speed relative to link bandwidth is higher
+        // on the Linux cluster: misaligned layouts pay proportionally more.
+        let linux_ratio = linux.nodes[0].speed / linux.network.inter.bandwidth;
+        let sp3_ratio = sp3.nodes[0].speed / sp3.network.inter.bandwidth;
+        assert!(linux_ratio > sp3_ratio);
+    }
+
+    #[test]
+    fn hetero_cluster_has_two_speed_classes() {
+        let m = hetero_p4_p2();
+        assert_eq!(m.total_procs(), 4);
+        assert!(m.speed_of(2) > 4.0 * m.speed_of(0));
+        let homo = homo_p4();
+        assert_eq!(homo.speed_of(0), homo.speed_of(3));
+    }
+}

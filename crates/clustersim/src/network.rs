@@ -1,0 +1,172 @@
+//! Hierarchical interconnect cost model.
+//!
+//! Point-to-point messages follow the classic latency/bandwidth (Hockney)
+//! model, with separate parameters for intra-node (shared-memory) and
+//! inter-node traffic. Collectives use standard tree/ring estimates.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth parameters of one level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Per-message latency in seconds.
+    pub latency: f64,
+    /// Bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl LinkModel {
+    /// Time to move `bytes` over this link.
+    pub fn time(&self, bytes: f64) -> f64 {
+        self.latency + bytes.max(0.0) / self.bandwidth
+    }
+}
+
+/// Two-level network: cheap intra-node transfers, slower inter-node links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Shared-memory transfers within one SMP node.
+    pub intra: LinkModel,
+    /// Interconnect transfers between nodes.
+    pub inter: LinkModel,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        // Generic early-2000s cluster: 1 µs / 2 GB/s in-node,
+        // 20 µs / 200 MB/s across nodes.
+        NetworkModel {
+            intra: LinkModel {
+                latency: 1e-6,
+                bandwidth: 2e9,
+            },
+            inter: LinkModel {
+                latency: 20e-6,
+                bandwidth: 200e6,
+            },
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Build from explicit `(latency, bandwidth)` pairs.
+    pub fn new(intra: (f64, f64), inter: (f64, f64)) -> Self {
+        NetworkModel {
+            intra: LinkModel {
+                latency: intra.0,
+                bandwidth: intra.1,
+            },
+            inter: LinkModel {
+                latency: inter.0,
+                bandwidth: inter.1,
+            },
+        }
+    }
+
+    /// Time for one point-to-point message.
+    pub fn msg_time(&self, bytes: f64, same_node: bool) -> f64 {
+        if same_node {
+            self.intra.time(bytes)
+        } else {
+            self.inter.time(bytes)
+        }
+    }
+
+    /// Binomial-tree allreduce of `bytes` per processor across `procs`
+    /// processors spread over `nodes` nodes: `log2(P)` rounds, of which the
+    /// first `log2(P/N)` stay inside nodes.
+    pub fn allreduce_time(&self, bytes: f64, procs: usize, nodes: usize) -> f64 {
+        if procs <= 1 {
+            return 0.0;
+        }
+        let rounds = (procs as f64).log2().ceil();
+        let intra_rounds = if nodes >= 1 {
+            ((procs as f64 / nodes as f64).max(1.0)).log2().ceil()
+        } else {
+            0.0
+        };
+        let inter_rounds = (rounds - intra_rounds).max(0.0);
+        // Reduce + broadcast ≈ 2 passes.
+        2.0 * (intra_rounds * self.intra.time(bytes) + inter_rounds * self.inter.time(bytes))
+    }
+
+    /// Barrier = zero-byte allreduce.
+    pub fn barrier_time(&self, procs: usize, nodes: usize) -> f64 {
+        self.allreduce_time(0.0, procs, nodes)
+    }
+
+    /// Pairwise-exchange alltoall where every processor sends
+    /// `bytes_per_pair` to every other processor: `P−1` rounds, each paying
+    /// the intra- or inter-node cost depending on how many peers share the
+    /// sender's node (`procs/nodes − 1` of the `P−1` peers, on average).
+    pub fn alltoall_time(
+        &self,
+        bytes_per_pair: f64,
+        procs: usize,
+        nodes: usize,
+    ) -> f64 {
+        if procs <= 1 {
+            return 0.0;
+        }
+        let ppn = (procs as f64 / nodes.max(1) as f64).max(1.0);
+        let intra_peers = (ppn - 1.0).max(0.0);
+        let inter_peers = (procs as f64 - ppn).max(0.0);
+        intra_peers * self.intra.time(bytes_per_pair) + inter_peers * self.inter.time(bytes_per_pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_time_is_affine_in_bytes() {
+        let l = LinkModel {
+            latency: 1e-5,
+            bandwidth: 1e8,
+        };
+        assert_eq!(l.time(0.0), 1e-5);
+        assert!((l.time(1e8) - (1e-5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intra_node_is_cheaper() {
+        let n = NetworkModel::default();
+        assert!(n.msg_time(1e6, true) < n.msg_time(1e6, false));
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let n = NetworkModel::default();
+        let t16 = n.allreduce_time(8.0, 16, 4);
+        let t256 = n.allreduce_time(8.0, 256, 64);
+        assert!(t256 > t16);
+        assert!(t256 < t16 * 4.0, "should be ~2x for 16x more procs");
+        assert_eq!(n.allreduce_time(8.0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_prefers_fewer_nodes() {
+        // Same processor count packed onto fewer nodes ⇒ more intra rounds
+        // ⇒ faster collective.
+        let n = NetworkModel::default();
+        let packed = n.allreduce_time(8.0, 64, 4);
+        let spread = n.allreduce_time(8.0, 64, 64);
+        assert!(packed < spread);
+    }
+
+    #[test]
+    fn alltoall_scales_with_procs() {
+        let n = NetworkModel::default();
+        let small = n.alltoall_time(1e4, 16, 4);
+        let large = n.alltoall_time(1e4, 128, 32);
+        assert!(large > small * 4.0);
+        assert_eq!(n.alltoall_time(1e4, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn barrier_is_zero_byte_allreduce() {
+        let n = NetworkModel::default();
+        assert_eq!(n.barrier_time(32, 8), n.allreduce_time(0.0, 32, 8));
+    }
+}

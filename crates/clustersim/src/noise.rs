@@ -1,0 +1,77 @@
+//! Measurement noise.
+//!
+//! Real benchmark runs are noisy; the paper's off-line tuning has to cope
+//! with run-to-run variance. [`NoiseModel`] applies seeded multiplicative
+//! noise to simulated timings so experiments can be run either
+//! deterministically (`sigma = 0`) or with realistic jitter, reproducibly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic multiplicative noise source.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    sigma: f64,
+    rng: StdRng,
+}
+
+impl NoiseModel {
+    /// `sigma` is the relative amplitude: each sample is scaled by a factor
+    /// drawn uniformly from `[1−sigma, 1+sigma]`.
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&sigma), "sigma must be in [0, 1)");
+        NoiseModel {
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Noise-free model.
+    pub fn none() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// Apply noise to a timing sample.
+    pub fn apply(&mut self, time: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return time;
+        }
+        let f = 1.0 + self.rng.gen_range(-self.sigma..=self.sigma);
+        time * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut n = NoiseModel::none();
+        assert_eq!(n.apply(42.0), 42.0);
+    }
+
+    #[test]
+    fn noise_stays_within_bounds() {
+        let mut n = NoiseModel::new(0.1, 7);
+        for _ in 0..1000 {
+            let v = n.apply(100.0);
+            assert!((90.0..=110.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = NoiseModel::new(0.2, 99);
+        let mut b = NoiseModel::new(0.2, 99);
+        for _ in 0..100 {
+            assert_eq!(a.apply(1.0), b.apply(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn sigma_one_is_rejected() {
+        NoiseModel::new(1.0, 0);
+    }
+}

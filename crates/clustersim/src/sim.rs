@@ -1,0 +1,318 @@
+//! BSP-style superstep executor with per-processor clocks.
+//!
+//! A [`Program`] is a sequence of [`Superstep`]s. Within a superstep every
+//! processor performs its local compute, then point-to-point messages and an
+//! optional collective complete the step; the step ends at a synchronisation
+//! point (as in the Bulk Synchronous Parallel model). Execution time of a
+//! step is the maximum over processors of `compute + comm`, plus the
+//! collective; total time is the sum over steps. The executor also reports
+//! compute/communication breakdowns and a load-imbalance metric — the
+//! quantities Active Harmony's objective functions are made of.
+
+use crate::topology::{Machine, ProcId};
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point message within a superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sending processor.
+    pub src: ProcId,
+    /// Receiving processor.
+    pub dst: ProcId,
+    /// Payload size in bytes.
+    pub bytes: f64,
+}
+
+/// A collective operation closing a superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Collective {
+    /// Allreduce of `bytes` per processor.
+    AllReduce {
+        /// Contribution size per processor in bytes.
+        bytes: f64,
+    },
+    /// Alltoall with `bytes_per_pair` between every processor pair.
+    AllToAll {
+        /// Bytes exchanged per ordered processor pair.
+        bytes_per_pair: f64,
+    },
+    /// Pure synchronisation.
+    Barrier,
+}
+
+/// One bulk-synchronous step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Superstep {
+    /// Gflop of local work per processor (index = processor id).
+    pub compute: Vec<f64>,
+    /// Point-to-point messages.
+    pub messages: Vec<Message>,
+    /// Optional closing collective.
+    pub collective: Option<Collective>,
+}
+
+impl Superstep {
+    /// A step with only compute.
+    pub fn compute_only(compute: Vec<f64>) -> Self {
+        Superstep {
+            compute,
+            messages: Vec::new(),
+            collective: None,
+        }
+    }
+}
+
+/// A whole program: an ordered list of supersteps.
+pub type Program = Vec<Superstep>;
+
+/// Execution-time breakdown returned by [`execute`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total wall-clock seconds.
+    pub total_time: f64,
+    /// Seconds the critical path spent computing.
+    pub compute_time: f64,
+    /// Seconds the critical path spent in messages + collectives.
+    pub comm_time: f64,
+    /// Busy compute seconds per processor (for load-balance analysis).
+    pub busy: Vec<f64>,
+}
+
+impl SimResult {
+    /// Average processor utilisation: mean busy compute time over the
+    /// makespan (communication and waiting count as idle).
+    pub fn utilization(&self) -> f64 {
+        if self.busy.is_empty() || self.total_time <= 0.0 {
+            return 0.0;
+        }
+        let mean = self.busy.iter().sum::<f64>() / self.busy.len() as f64;
+        (mean / self.total_time).clamp(0.0, 1.0)
+    }
+
+    /// A one-line-per-processor utilisation chart (`#` = busy fraction),
+    /// useful for eyeballing load balance in examples and logs.
+    pub fn utilization_chart(&self, width: usize) -> String {
+        let mut out = String::new();
+        for (p, &b) in self.busy.iter().enumerate() {
+            let frac = if self.total_time > 0.0 {
+                (b / self.total_time).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let n = (frac * width as f64).round() as usize;
+            out.push_str(&format!("p{p:<3} |{}{}| {:.0}%\n",
+                "#".repeat(n),
+                " ".repeat(width - n),
+                frac * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Load imbalance: `max(busy)/mean(busy)`; `1.0` is perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        if self.busy.is_empty() {
+            return 1.0;
+        }
+        let max = self.busy.iter().cloned().fold(0.0, f64::max);
+        let mean = self.busy.iter().sum::<f64>() / self.busy.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Execute a program on a machine and return the time breakdown.
+///
+/// Every processor with nonzero work in a step is counted as active on its
+/// node for the memory-contention model. Message time is charged to both
+/// endpoints; a processor's step time is `compute + its message time`, the
+/// step's span is the max over processors, and the collective (if any)
+/// extends the step.
+pub fn execute(machine: &Machine, program: &[Superstep]) -> SimResult {
+    let p = machine.total_procs();
+    let mut busy = vec![0.0; p];
+    let mut total = 0.0;
+    let mut total_compute = 0.0;
+    let mut total_comm = 0.0;
+
+    // Scratch reused across steps to avoid per-step allocation.
+    let mut active_per_node = vec![0usize; machine.node_count()];
+    let mut comm = vec![0.0; p];
+
+    for step in program {
+        assert!(
+            step.compute.len() <= p,
+            "superstep lists work for {} procs but machine has {p}",
+            step.compute.len()
+        );
+        active_per_node.iter_mut().for_each(|a| *a = 0);
+        for (proc, &w) in step.compute.iter().enumerate() {
+            if w > 0.0 {
+                active_per_node[machine.node_of(proc)] += 1;
+            }
+        }
+        comm.iter_mut().for_each(|c| *c = 0.0);
+        for m in &step.messages {
+            let t = machine
+                .network
+                .msg_time(m.bytes, machine.same_node(m.src, m.dst));
+            comm[m.src] += t;
+            comm[m.dst] += t;
+        }
+        let mut step_compute_span = 0.0f64;
+        let mut step_span = 0.0f64;
+        for proc in 0..p {
+            let w = step.compute.get(proc).copied().unwrap_or(0.0);
+            let ct = if w > 0.0 {
+                machine.compute_time(proc, w, active_per_node[machine.node_of(proc)])
+            } else {
+                0.0
+            };
+            busy[proc] += ct;
+            step_compute_span = step_compute_span.max(ct);
+            step_span = step_span.max(ct + comm[proc]);
+        }
+        let coll = match step.collective {
+            Some(Collective::AllReduce { bytes }) => machine
+                .network
+                .allreduce_time(bytes, p, machine.node_count()),
+            Some(Collective::AllToAll { bytes_per_pair }) => machine
+                .network
+                .alltoall_time(bytes_per_pair, p, machine.node_count()),
+            Some(Collective::Barrier) => {
+                machine.network.barrier_time(p, machine.node_count())
+            }
+            None => 0.0,
+        };
+        total += step_span + coll;
+        total_compute += step_compute_span;
+        total_comm += (step_span - step_compute_span) + coll;
+    }
+
+    SimResult {
+        total_time: total,
+        compute_time: total_compute,
+        comm_time: total_comm,
+        busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkModel;
+
+    fn machine() -> Machine {
+        Machine::uniform("m", 2, 2, 1.0, NetworkModel::default())
+    }
+
+    #[test]
+    fn pure_compute_is_max_over_procs() {
+        let m = machine();
+        let prog = vec![Superstep::compute_only(vec![1.0, 2.0, 3.0, 4.0])];
+        let r = execute(&m, &prog);
+        // Both procs of node 1 active ⇒ contention; proc 3 does 4 Gflop.
+        let expected = m.compute_time(3, 4.0, 2);
+        assert!((r.total_time - expected).abs() < 1e-12);
+        assert!(r.comm_time.abs() < 1e-12);
+    }
+
+    #[test]
+    fn messages_extend_the_span() {
+        let m = machine();
+        let base = vec![Superstep::compute_only(vec![1.0; 4])];
+        let with_msg = vec![Superstep {
+            compute: vec![1.0; 4],
+            messages: vec![Message {
+                src: 0,
+                dst: 3,
+                bytes: 1e6,
+            }],
+            collective: None,
+        }];
+        let r0 = execute(&m, &base);
+        let r1 = execute(&m, &with_msg);
+        assert!(r1.total_time > r0.total_time);
+        assert!(r1.comm_time > 0.0);
+    }
+
+    #[test]
+    fn intra_node_message_is_cheaper_than_inter() {
+        let m = machine();
+        let prog = |dst| {
+            vec![Superstep {
+                compute: vec![0.0; 4],
+                messages: vec![Message {
+                    src: 0,
+                    dst,
+                    bytes: 1e6,
+                }],
+                collective: None,
+            }]
+        };
+        assert!(execute(&m, &prog(1)).total_time < execute(&m, &prog(2)).total_time);
+    }
+
+    #[test]
+    fn collectives_accumulate() {
+        let m = machine();
+        let prog = vec![
+            Superstep {
+                compute: vec![0.0; 4],
+                messages: vec![],
+                collective: Some(Collective::AllReduce { bytes: 8.0 }),
+            };
+            10
+        ];
+        let r = execute(&m, &prog);
+        let one = m.network.allreduce_time(8.0, 4, 2);
+        assert!((r.total_time - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_metric_detects_skew() {
+        let m = machine();
+        let balanced = execute(&m, &[Superstep::compute_only(vec![1.0; 4])]);
+        let skewed = execute(&m, &[Superstep::compute_only(vec![4.0, 0.0, 0.0, 0.0])]);
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-9);
+        assert!(skewed.imbalance() > 3.0);
+    }
+
+    #[test]
+    fn utilization_reflects_balance() {
+        let m = machine();
+        let balanced = execute(&m, &[Superstep::compute_only(vec![1.0; 4])]);
+        assert!(balanced.utilization() > 0.95);
+        let skewed = execute(&m, &[Superstep::compute_only(vec![4.0, 0.0, 0.0, 0.0])]);
+        assert!(skewed.utilization() < 0.3);
+        let chart = skewed.utilization_chart(10);
+        assert_eq!(chart.lines().count(), 4);
+        assert!(chart.contains("p0"));
+    }
+
+    #[test]
+    fn idle_procs_do_not_pay_contention() {
+        let m = machine();
+        // Only proc 0 active on node 0 ⇒ full speed.
+        let r = execute(&m, &[Superstep::compute_only(vec![2.0, 0.0, 0.0, 0.0])]);
+        assert!((r.total_time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shorter_compute_vector_means_idle_tail() {
+        let m = machine();
+        let r = execute(&m, &[Superstep::compute_only(vec![1.0])]);
+        assert!((r.total_time - 1.0).abs() < 1e-12);
+        assert_eq!(r.busy.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "superstep lists work")]
+    fn oversized_compute_vector_panics() {
+        let m = machine();
+        execute(&m, &[Superstep::compute_only(vec![1.0; 5])]);
+    }
+}

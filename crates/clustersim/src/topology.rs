@@ -1,0 +1,214 @@
+//! Machine topologies: nodes, processors, and their speeds.
+
+use crate::network::NetworkModel;
+use serde::{Deserialize, Serialize};
+
+/// Global processor index (rank), `0 ≤ p < machine.total_procs()`.
+pub type ProcId = usize;
+
+/// One SMP node of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Number of processors on the node.
+    pub procs: usize,
+    /// Processor speed in normalised Gflop/s (work units per second).
+    pub speed: f64,
+    /// Fractional slowdown added per additional *active* processor on the
+    /// node, modelling shared memory-bandwidth contention. `0.02` means a
+    /// fully busy 16-way node runs each processor at `1/(1+0.02·15) ≈ 77%`.
+    pub contention: f64,
+}
+
+impl NodeSpec {
+    /// A node with `procs` processors at `speed` Gflop/s and mild default
+    /// contention.
+    pub fn new(procs: usize, speed: f64) -> Self {
+        NodeSpec {
+            procs,
+            speed,
+            contention: 0.02,
+        }
+    }
+
+    /// Override the contention coefficient.
+    pub fn with_contention(mut self, contention: f64) -> Self {
+        self.contention = contention;
+        self
+    }
+
+    /// Effective per-processor speed when `active` processors on the node
+    /// compute simultaneously.
+    pub fn effective_speed(&self, active: usize) -> f64 {
+        debug_assert!(active >= 1);
+        self.speed / (1.0 + self.contention * (active.saturating_sub(1)) as f64)
+    }
+}
+
+/// A complete simulated parallel machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// Display name (e.g. `"seaborg 8x16"`).
+    pub name: String,
+    /// The node list.
+    pub nodes: Vec<NodeSpec>,
+    /// Interconnect cost model.
+    pub network: NetworkModel,
+}
+
+impl Machine {
+    /// A homogeneous machine: `nodes` identical nodes with `procs_per_node`
+    /// processors at `speed` Gflop/s each.
+    pub fn uniform(
+        name: impl Into<String>,
+        nodes: usize,
+        procs_per_node: usize,
+        speed: f64,
+        network: NetworkModel,
+    ) -> Self {
+        Machine {
+            name: name.into(),
+            nodes: vec![NodeSpec::new(procs_per_node, speed); nodes],
+            network,
+        }
+    }
+
+    /// A heterogeneous machine from explicit node specs.
+    pub fn heterogeneous(
+        name: impl Into<String>,
+        nodes: Vec<NodeSpec>,
+        network: NetworkModel,
+    ) -> Self {
+        Machine {
+            name: name.into(),
+            nodes,
+            network,
+        }
+    }
+
+    /// Total processor count.
+    pub fn total_procs(&self) -> usize {
+        self.nodes.iter().map(|n| n.procs).sum()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Map a global processor id to `(node index, slot on node)`.
+    /// Ranks are laid out node-major (ranks 0..B on node 0, etc.), matching
+    /// the usual block MPI rank placement on SMP clusters.
+    pub fn locate(&self, proc: ProcId) -> (usize, usize) {
+        let mut p = proc;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if p < n.procs {
+                return (i, p);
+            }
+            p -= n.procs;
+        }
+        panic!("processor id {proc} out of range (machine has {})", self.total_procs());
+    }
+
+    /// Node index of a processor.
+    pub fn node_of(&self, proc: ProcId) -> usize {
+        self.locate(proc).0
+    }
+
+    /// True if two processors share a node.
+    pub fn same_node(&self, a: ProcId, b: ProcId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Nominal (contention-free) speed of a processor.
+    pub fn speed_of(&self, proc: ProcId) -> f64 {
+        self.nodes[self.node_of(proc)].speed
+    }
+
+    /// Effective speed of a processor when all processors of its node are
+    /// active — the steady-state assumption used by the analytic app models.
+    pub fn loaded_speed_of(&self, proc: ProcId) -> f64 {
+        let n = &self.nodes[self.node_of(proc)];
+        n.effective_speed(n.procs)
+    }
+
+    /// Time for processor `p` to execute `work` Gflop with `active`
+    /// processors busy on its node.
+    pub fn compute_time(&self, proc: ProcId, work_gflop: f64, active_on_node: usize) -> f64 {
+        let n = &self.nodes[self.node_of(proc)];
+        work_gflop / n.effective_speed(active_on_node.clamp(1, n.procs))
+    }
+
+    /// Aggregate nominal compute capacity in Gflop/s.
+    pub fn total_capacity(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.speed * n.procs as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkModel;
+
+    fn machine() -> Machine {
+        Machine::uniform("m", 4, 4, 1.0, NetworkModel::default())
+    }
+
+    #[test]
+    fn locate_is_node_major() {
+        let m = machine();
+        assert_eq!(m.locate(0), (0, 0));
+        assert_eq!(m.locate(3), (0, 3));
+        assert_eq!(m.locate(4), (1, 0));
+        assert_eq!(m.locate(15), (3, 3));
+        assert_eq!(m.total_procs(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_out_of_range() {
+        machine().locate(16);
+    }
+
+    #[test]
+    fn same_node_detection() {
+        let m = machine();
+        assert!(m.same_node(0, 3));
+        assert!(!m.same_node(3, 4));
+    }
+
+    #[test]
+    fn contention_slows_busy_nodes() {
+        let n = NodeSpec::new(16, 1.0).with_contention(0.02);
+        assert_eq!(n.effective_speed(1), 1.0);
+        assert!(n.effective_speed(16) < 1.0);
+        assert!(n.effective_speed(16) > 0.7);
+        // Monotone in the number of active processors.
+        for a in 1..16 {
+            assert!(n.effective_speed(a) > n.effective_speed(a + 1));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_speeds_differ() {
+        let m = Machine::heterogeneous(
+            "hetero",
+            vec![NodeSpec::new(1, 2.0), NodeSpec::new(1, 0.5)],
+            NetworkModel::default(),
+        );
+        assert_eq!(m.speed_of(0), 2.0);
+        assert_eq!(m.speed_of(1), 0.5);
+        assert_eq!(m.total_capacity(), 2.5);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_speed() {
+        let m = machine();
+        let t1 = m.compute_time(0, 10.0, 1);
+        let t4 = m.compute_time(0, 10.0, 4);
+        assert_eq!(t1, 10.0);
+        assert!(t4 > t1);
+    }
+}

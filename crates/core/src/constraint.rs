@@ -1,0 +1,284 @@
+//! Dependent-variable constraints.
+//!
+//! The paper (§II footnote 2) notes that dependent tunable variables are
+//! handled with the techniques of the authors' SC'04 work ("Using Information
+//! from Prior Runs to Improve Automated Tuning Systems"): instead of letting
+//! the simplex wander into infeasible corners, dependent values are *repaired*
+//! in the continuous embedding so the search effectively moves in a feasible
+//! subspace. The canonical example in this paper is the PETSc matrix
+//! decomposition, where partition boundaries must form a non-decreasing chain.
+
+use crate::error::Result;
+use crate::space::{Configuration, SearchSpace};
+use std::fmt::Debug;
+
+/// A repairable relation between parameters of a [`SearchSpace`].
+pub trait Constraint: Send + Sync + Debug {
+    /// Mutate a continuous point so that it satisfies the constraint.
+    /// Called before lattice projection; must be idempotent.
+    fn repair(&self, space: &SearchSpace, coords: &mut [f64]);
+
+    /// Whether a projected configuration satisfies the constraint.
+    fn is_satisfied(&self, space: &SearchSpace, cfg: &Configuration) -> bool;
+
+    /// Validate that the constraint's parameter references exist in the
+    /// space. Called once at space construction.
+    fn check_space(&self, space: &SearchSpace) -> Result<()>;
+}
+
+fn indices(space: &SearchSpace, names: &[String]) -> Result<Vec<usize>> {
+    names
+        .iter()
+        .map(|n| {
+            space
+                .index_of(n)
+                .ok_or_else(|| crate::error::HarmonyError::UnknownParam(n.clone()))
+        })
+        .collect()
+}
+
+/// Requires the named parameters to form a non-decreasing chain
+/// `p1 ≤ p2 ≤ … ≤ pk` (e.g. partition boundaries in a matrix decomposition).
+///
+/// Repair sorts the involved coordinates in place, which is the closest
+/// feasible chain under permutation distance and keeps the simplex volume
+/// intact.
+#[derive(Debug, Clone)]
+pub struct MonotoneChain {
+    names: Vec<String>,
+}
+
+impl MonotoneChain {
+    /// Build a chain constraint over parameters in the given order.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        MonotoneChain {
+            names: names.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl Constraint for MonotoneChain {
+    fn repair(&self, space: &SearchSpace, coords: &mut [f64]) {
+        let idx = match indices(space, &self.names) {
+            Ok(i) => i,
+            Err(_) => return,
+        };
+        let mut vals: Vec<f64> = idx.iter().map(|&i| coords[i]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        for (&i, v) in idx.iter().zip(vals) {
+            coords[i] = v;
+        }
+    }
+
+    fn is_satisfied(&self, _space: &SearchSpace, cfg: &Configuration) -> bool {
+        let mut prev = f64::NEG_INFINITY;
+        for n in &self.names {
+            let v = match cfg.get(n) {
+                Some(v) => v.as_int().map(|i| i as f64).or(v.as_real()),
+                None => return false,
+            };
+            match v {
+                Some(v) if v >= prev => prev = v,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn check_space(&self, space: &SearchSpace) -> Result<()> {
+        indices(space, &self.names).map(|_| ())
+    }
+}
+
+/// Requires the sum of the named integer parameters to stay within
+/// `[min_sum, max_sum]`; used for distributions that must add up to a total
+/// (e.g. "rows per processor" summing to the matrix size).
+///
+/// Repair rescales all involved coordinates proportionally towards the
+/// nearest bound.
+#[derive(Debug, Clone)]
+pub struct SumBound {
+    names: Vec<String>,
+    min_sum: f64,
+    max_sum: f64,
+}
+
+impl SumBound {
+    /// Build a sum constraint over the named parameters.
+    pub fn new<I, S>(names: I, min_sum: f64, max_sum: f64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SumBound {
+            names: names.into_iter().map(Into::into).collect(),
+            min_sum,
+            max_sum,
+        }
+    }
+
+    /// Exact-sum convenience: `min_sum == max_sum == total`.
+    pub fn exact<I, S>(names: I, total: f64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::new(names, total, total)
+    }
+}
+
+impl Constraint for SumBound {
+    fn repair(&self, space: &SearchSpace, coords: &mut [f64]) {
+        let idx = match indices(space, &self.names) {
+            Ok(i) => i,
+            Err(_) => return,
+        };
+        let sum: f64 = idx.iter().map(|&i| coords[i].max(0.0)).sum();
+        let target = if sum < self.min_sum {
+            self.min_sum
+        } else if sum > self.max_sum {
+            self.max_sum
+        } else {
+            return;
+        };
+        if sum <= f64::EPSILON {
+            // Degenerate all-zero point: distribute the target evenly.
+            let share = target / idx.len() as f64;
+            for &i in &idx {
+                coords[i] = share;
+            }
+            return;
+        }
+        let scale = target / sum;
+        for &i in &idx {
+            coords[i] = coords[i].max(0.0) * scale;
+        }
+    }
+
+    fn is_satisfied(&self, _space: &SearchSpace, cfg: &Configuration) -> bool {
+        let mut sum = 0.0;
+        for n in &self.names {
+            match cfg.get(n).and_then(|v| v.as_int()) {
+                Some(v) => sum += v as f64,
+                None => match cfg.get(n).and_then(|v| v.as_real()) {
+                    Some(v) => sum += v,
+                    None => return false,
+                },
+            }
+        }
+        // Lattice rounding after repair can perturb the sum by up to half a
+        // step per participant; accept that slack.
+        let slack = self.names.len() as f64;
+        sum >= self.min_sum - slack && sum <= self.max_sum + slack
+    }
+
+    fn check_space(&self, space: &SearchSpace) -> Result<()> {
+        indices(space, &self.names).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+
+    fn chain_space() -> SearchSpace {
+        SearchSpace::builder()
+            .int("a", 0, 100, 1)
+            .int("b", 0, 100, 1)
+            .int("c", 0, 100, 1)
+            .constraint(MonotoneChain::new(["a", "b", "c"]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn monotone_repair_sorts() {
+        let s = chain_space();
+        let mut coords = vec![30.0, 10.0, 20.0];
+        s.repair(&mut coords);
+        assert_eq!(coords, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn monotone_repair_is_idempotent() {
+        let s = chain_space();
+        let mut coords = vec![55.5, 3.0, 41.0];
+        s.repair(&mut coords);
+        let once = coords.clone();
+        s.repair(&mut coords);
+        assert_eq!(coords, once);
+    }
+
+    #[test]
+    fn monotone_is_satisfied_checks_order() {
+        let s = chain_space();
+        let good = s.project(&[5.0, 5.0, 9.0]);
+        assert!(s.is_valid(&good));
+        // Construct an invalid configuration by hand.
+        let bad = s
+            .configuration(vec![
+                crate::value::ParamValue::Int(9),
+                crate::value::ParamValue::Int(5),
+                crate::value::ParamValue::Int(7),
+            ])
+            .unwrap();
+        assert!(!s.is_valid(&bad));
+    }
+
+    #[test]
+    fn unknown_name_fails_at_build() {
+        let err = SearchSpace::builder()
+            .int("a", 0, 1, 1)
+            .constraint(MonotoneChain::new(["a", "zz"]))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sum_bound_scales_down() {
+        let s = SearchSpace::builder()
+            .int("r1", 0, 100, 1)
+            .int("r2", 0, 100, 1)
+            .constraint(SumBound::exact(["r1", "r2"], 100.0))
+            .build()
+            .unwrap();
+        let cfg = s.project(&[80.0, 80.0]);
+        let sum = cfg.int("r1").unwrap() + cfg.int("r2").unwrap();
+        assert!((sum - 100).abs() <= 2, "sum={sum}");
+        assert!(s.is_valid(&cfg));
+    }
+
+    #[test]
+    fn sum_bound_scales_up_and_handles_zero() {
+        let s = SearchSpace::builder()
+            .int("r1", 0, 100, 1)
+            .int("r2", 0, 100, 1)
+            .constraint(SumBound::exact(["r1", "r2"], 60.0))
+            .build()
+            .unwrap();
+        let cfg = s.project(&[10.0, 20.0]);
+        let sum = cfg.int("r1").unwrap() + cfg.int("r2").unwrap();
+        assert!((sum - 60).abs() <= 2, "sum={sum}");
+        let zero = s.project(&[0.0, 0.0]);
+        let sum0 = zero.int("r1").unwrap() + zero.int("r2").unwrap();
+        assert!((sum0 - 60).abs() <= 2, "sum0={sum0}");
+    }
+
+    #[test]
+    fn sum_bound_leaves_feasible_points_alone() {
+        let s = SearchSpace::builder()
+            .int("r1", 0, 100, 1)
+            .int("r2", 0, 100, 1)
+            .constraint(SumBound::new(["r1", "r2"], 0.0, 150.0))
+            .build()
+            .unwrap();
+        let cfg = s.project(&[40.0, 50.0]);
+        assert_eq!(cfg.int("r1"), Some(40));
+        assert_eq!(cfg.int("r2"), Some(50));
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the Active Harmony tuning system.
+
+use std::fmt;
+
+/// Errors produced by search-space construction, sessions, and the tuning
+/// server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarmonyError {
+    /// A parameter was declared with an empty or inverted domain.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: String,
+        /// Human-readable description of what is wrong.
+        reason: String,
+    },
+    /// Two parameters in the same space share a name.
+    DuplicateParam(String),
+    /// A configuration referenced a parameter that the space does not define.
+    UnknownParam(String),
+    /// A value did not match the declared type/domain of its parameter.
+    TypeMismatch {
+        /// Name of the parameter.
+        name: String,
+        /// What was expected (e.g. `"int in [1, 8]"`).
+        expected: String,
+    },
+    /// The search space has no parameters.
+    EmptySpace,
+    /// A client or session id was not known to the server.
+    UnknownClient(u64),
+    /// The server or a client channel was closed unexpectedly.
+    Disconnected,
+    /// A protocol message arrived in a state where it is not legal
+    /// (e.g. `Fetch` before the space was sealed).
+    Protocol(String),
+    /// A session was asked to continue after it already finished.
+    SessionFinished,
+}
+
+impl fmt::Display for HarmonyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarmonyError::InvalidParam { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            HarmonyError::DuplicateParam(name) => {
+                write!(f, "duplicate parameter name `{name}`")
+            }
+            HarmonyError::UnknownParam(name) => write!(f, "unknown parameter `{name}`"),
+            HarmonyError::TypeMismatch { name, expected } => {
+                write!(f, "type mismatch for `{name}`: expected {expected}")
+            }
+            HarmonyError::EmptySpace => write!(f, "search space has no parameters"),
+            HarmonyError::UnknownClient(id) => write!(f, "unknown client id {id}"),
+            HarmonyError::Disconnected => write!(f, "harmony server/client channel disconnected"),
+            HarmonyError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            HarmonyError::SessionFinished => write!(f, "tuning session already finished"),
+        }
+    }
+}
+
+impl std::error::Error for HarmonyError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HarmonyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = HarmonyError::InvalidParam {
+            name: "bx".into(),
+            reason: "min > max".into(),
+        };
+        assert!(e.to_string().contains("bx"));
+        assert!(e.to_string().contains("min > max"));
+        assert!(HarmonyError::EmptySpace.to_string().contains("no parameters"));
+        assert!(HarmonyError::UnknownClient(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HarmonyError::Disconnected);
+    }
+}

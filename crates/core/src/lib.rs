@@ -1,0 +1,86 @@
+//! # Active Harmony (Rust reproduction)
+//!
+//! An automated performance-tuning system reproducing the design described in
+//! I-Hsin Chung and Jeffrey K. Hollingsworth, *"A Case Study Using Automatic
+//! Performance Tuning for Large-Scale Scientific Programs"* (HPDC 2006).
+//!
+//! The kernel is a [Nelder–Mead simplex](strategy::NelderMead) search adapted
+//! to discrete parameter spaces: tunable parameters (integers, categorical
+//! choices, decomposition boundaries, data layouts) are embedded as dimensions
+//! of a continuous search space and every candidate point is projected to the
+//! nearest valid lattice point before it is evaluated.
+//!
+//! Two tuning modes are provided, matching the paper:
+//!
+//! * **Off-line, iterative tuning** ([`offline`]): each tuning iteration is
+//!   one *representative short run* of the application; the application is
+//!   reconfigured and restarted between iterations, and restart/warm-up costs
+//!   are charged to the tuning budget.
+//! * **On-line tuning** ([`server`], [`online`]): a long-running application
+//!   connects to the Harmony server, registers its tunable variables, and
+//!   fetches fresh parameter values / reports observed performance from
+//!   inside its run loop without restarting.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ah_core::prelude::*;
+//!
+//! // Tune two integer parameters to minimise a synthetic cost function.
+//! let space = SearchSpace::builder()
+//!     .int("x", 0, 100, 1)
+//!     .int("y", 0, 100, 1)
+//!     .build()
+//!     .unwrap();
+//! let mut session = TuningSession::new(
+//!     space,
+//!     Box::new(NelderMead::default()),
+//!     SessionOptions { max_evaluations: 200, seed: 42, ..Default::default() },
+//! );
+//! let result = session.run(|cfg| {
+//!     let x = cfg.int("x").unwrap() as f64;
+//!     let y = cfg.int("y").unwrap() as f64;
+//!     (x - 30.0).powi(2) + (y - 70.0).powi(2)
+//! });
+//! assert!(result.best_cost < 25.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod error;
+pub mod history;
+pub mod objective;
+pub mod offline;
+pub mod online;
+pub mod param;
+pub mod priors;
+pub mod report;
+pub mod server;
+pub mod session;
+pub mod space;
+pub mod strategy;
+pub mod value;
+
+/// Convenience re-exports of the types needed for typical tuning workflows.
+pub mod prelude {
+    pub use crate::constraint::{Constraint, MonotoneChain, SumBound};
+    pub use crate::error::HarmonyError;
+    pub use crate::history::{Evaluation, History};
+    pub use crate::objective::{Objective, PenalizedObjective, TradeoffObjective};
+    pub use crate::offline::{OfflineTuner, RunMeasurement, ShortRunApp};
+    pub use crate::param::Param;
+    pub use crate::priors::PriorRunDb;
+    pub use crate::report::TuningReport;
+    pub use crate::session::{SessionOptions, TuningResult, TuningSession};
+    pub use crate::space::{Configuration, SearchSpace};
+    pub use crate::online::OnlineTuner;
+    pub use crate::server::protocol::StrategyKind;
+    pub use crate::server::{HarmonyClient, HarmonyServer};
+    pub use crate::strategy::{
+        Exhaustive, GreedyFrom, GreedyOneParam, GreedyOptions, GridSearch, NelderMead,
+        NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy,
+        StartPoint,
+    };
+    pub use crate::value::ParamValue;
+}

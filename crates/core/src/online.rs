@@ -1,0 +1,175 @@
+//! In-process on-line tuning.
+//!
+//! For a long-running application in the same process as the tuner there is
+//! no need for the message-passing [server](crate::server); [`OnlineTuner`]
+//! wraps a [`TuningSession`] behind the same fetch/report discipline the
+//! paper's API exposes: the application calls [`OnlineTuner::fetch`] at the
+//! points where a parameter change is safe, runs an interval, and
+//! [`OnlineTuner::report`]s the observed performance. Once the session
+//! stops, `fetch` keeps returning the best configuration found so the
+//! application simply continues running tuned.
+
+use crate::session::{SessionOptions, Trial, TuningSession};
+use crate::space::{Configuration, SearchSpace};
+use crate::strategy::SearchStrategy;
+
+/// Fetch/report wrapper around a tuning session for on-line use.
+pub struct OnlineTuner {
+    session: TuningSession,
+    outstanding: Option<Trial>,
+    settled: Option<Configuration>,
+}
+
+impl OnlineTuner {
+    /// Create an on-line tuner.
+    pub fn new(space: SearchSpace, strategy: Box<dyn SearchStrategy>, opts: SessionOptions) -> Self {
+        OnlineTuner {
+            session: TuningSession::new(space, strategy, opts),
+            outstanding: None,
+            settled: None,
+        }
+    }
+
+    /// Pre-load a known measurement (typically the default configuration).
+    pub fn preload(&mut self, config: &Configuration, cost: f64) {
+        self.session.preload(config, cost);
+    }
+
+    /// The configuration to use for the next interval. Identical between
+    /// reports; after the session stops it is the best found.
+    pub fn fetch(&mut self) -> Configuration {
+        if let Some(cfg) = &self.settled {
+            return cfg.clone();
+        }
+        if let Some(t) = &self.outstanding {
+            return t.config.clone();
+        }
+        match self.session.suggest() {
+            Some(trial) => {
+                let cfg = trial.config.clone();
+                self.outstanding = Some(trial);
+                cfg
+            }
+            None => {
+                let best = self
+                    .session
+                    .best()
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_else(|| self.session.space().center());
+                self.settled = Some(best.clone());
+                best
+            }
+        }
+    }
+
+    /// Report the performance observed for the last fetched configuration.
+    /// Reports arriving after the session settled are ignored (the
+    /// application may keep reporting unconditionally).
+    pub fn report(&mut self, cost: f64) {
+        if let Some(trial) = self.outstanding.take() {
+            let _ = self.session.report(trial, cost);
+        }
+    }
+
+    /// True once tuning has stopped and the configuration is frozen.
+    pub fn settled(&self) -> bool {
+        self.settled.is_some()
+    }
+
+    /// Best `(configuration, cost)` so far.
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        self.session.best()
+    }
+
+    /// The underlying session (history, stop reason, …).
+    pub fn session(&self) -> &TuningSession {
+        &self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::NelderMead;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .int("readahead", 1, 256, 1)
+            .build()
+            .unwrap()
+    }
+
+    /// Simulated application whose per-interval time depends on a tunable
+    /// read-ahead buffer (the paper's §II example of an online tunable).
+    fn interval_time(readahead: i64) -> f64 {
+        let r = readahead as f64;
+        2.0 + (r - 96.0).powi(2) / 512.0
+    }
+
+    #[test]
+    fn online_loop_converges_then_settles() {
+        let mut tuner = OnlineTuner::new(
+            space(),
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 60,
+                seed: 31,
+                ..Default::default()
+            },
+        );
+        let mut intervals = 0;
+        while !tuner.settled() {
+            let cfg = tuner.fetch();
+            let t = interval_time(cfg.int("readahead").unwrap());
+            tuner.report(t);
+            intervals += 1;
+            assert!(intervals < 10_000, "online loop failed to settle");
+        }
+        let (best, cost) = tuner.best().unwrap();
+        assert!(cost <= 2.6, "cost={cost} best={best}");
+        // After settling, fetch is stable and reports are ignored.
+        let frozen = tuner.fetch();
+        tuner.report(9999.0);
+        assert_eq!(tuner.fetch(), frozen);
+    }
+
+    #[test]
+    fn fetch_is_stable_between_reports() {
+        let mut tuner = OnlineTuner::new(
+            space(),
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 10,
+                seed: 32,
+                ..Default::default()
+            },
+        );
+        let a = tuner.fetch();
+        let b = tuner.fetch();
+        assert_eq!(a, b);
+        tuner.report(1.0);
+        // New trial may differ now.
+        let _ = tuner.fetch();
+    }
+
+    #[test]
+    fn preload_biases_best() {
+        let sp = space();
+        let good = sp.project(&[96.0]);
+        let mut tuner = OnlineTuner::new(
+            sp,
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 5,
+                seed: 33,
+                ..Default::default()
+            },
+        );
+        tuner.preload(&good, 0.001);
+        while !tuner.settled() {
+            let cfg = tuner.fetch();
+            tuner.report(interval_time(cfg.int("readahead").unwrap()));
+        }
+        assert_eq!(tuner.best().unwrap().1, 0.001);
+    }
+}

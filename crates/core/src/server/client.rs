@@ -1,0 +1,175 @@
+//! Client-side API of the Harmony server.
+//!
+//! This is the Rust analogue of the ~10 lines of instrumentation the paper
+//! adds to an application: connect, declare tunable variables, then
+//! fetch/report inside the run loop.
+
+use super::protocol::{Envelope, Reply, Request, StrategyKind};
+use crate::error::{HarmonyError, Result};
+use crate::param::Param;
+use crate::session::SessionOptions;
+use crate::space::Configuration;
+use crossbeam::channel::{bounded, Sender};
+
+/// The result of a [`HarmonyClient::fetch`].
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// Configuration to run next (or the final best when `finished`).
+    pub config: Configuration,
+    /// 1-based evaluation index.
+    pub iteration: usize,
+    /// True once tuning has stopped.
+    pub finished: bool,
+}
+
+/// A connection from one application to the Harmony server.
+///
+/// Cloneable and sendable: an application may fetch from one thread and
+/// report from another, though requests are processed one at a time.
+#[derive(Debug, Clone)]
+pub struct HarmonyClient {
+    id: u64,
+    app: String,
+    req_tx: Sender<Envelope>,
+}
+
+impl HarmonyClient {
+    pub(crate) fn register(req_tx: Sender<Envelope>, app: String) -> Result<Self> {
+        let reply = Self::call_raw(&req_tx, 0, Request::Register { app: app.clone() })?;
+        match reply {
+            Reply::Registered { client_id } => Ok(HarmonyClient {
+                id: client_id,
+                app,
+                req_tx,
+            }),
+            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            _ => Err(HarmonyError::Protocol("unexpected reply".into())),
+        }
+    }
+
+    fn call_raw(req_tx: &Sender<Envelope>, client: u64, req: Request) -> Result<Reply> {
+        let (tx, rx) = bounded(1);
+        req_tx
+            .send(Envelope {
+                client,
+                req,
+                reply: tx,
+            })
+            .map_err(|_| HarmonyError::Disconnected)?;
+        rx.recv().map_err(|_| HarmonyError::Disconnected)
+    }
+
+    fn call(&self, req: Request) -> Result<Reply> {
+        match Self::call_raw(&self.req_tx, self.id, req)? {
+            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            ok => Ok(ok),
+        }
+    }
+
+    /// This client's id on the server.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The application label given at connect time.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// Declare a tunable parameter (before [`seal`](Self::seal)).
+    pub fn add_param(&self, param: Param) -> Result<()> {
+        self.call(Request::AddParam { param }).map(|_| ())
+    }
+
+    /// Declare a monotone-chain dependency between parameters.
+    pub fn add_monotone_chain<I, S>(&self, names: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.call(Request::AddMonotoneChain {
+            names: names.into_iter().map(Into::into).collect(),
+        })
+        .map(|_| ())
+    }
+
+    /// Finish declaration and start tuning with the given strategy.
+    pub fn seal(&self, options: SessionOptions, strategy: StrategyKind) -> Result<()> {
+        self.call(Request::Seal { options, strategy }).map(|_| ())
+    }
+
+    /// Get the next configuration to run. Returns the same configuration
+    /// until [`report`](Self::report) answers it.
+    pub fn fetch(&self) -> Result<Fetched> {
+        match self.call(Request::Fetch)? {
+            Reply::Config {
+                config,
+                iteration,
+                finished,
+            } => Ok(Fetched {
+                config,
+                iteration,
+                finished,
+            }),
+            _ => Err(HarmonyError::Protocol("unexpected reply to Fetch".into())),
+        }
+    }
+
+    /// Report a measured cost whose measurement wall time equals the cost.
+    pub fn report(&self, cost: f64) -> Result<()> {
+        self.report_timed(cost, cost)
+    }
+
+    /// Report a measured cost and the wall time spent measuring it.
+    pub fn report_timed(&self, cost: f64, wall_time: f64) -> Result<()> {
+        self.call(Request::Report { cost, wall_time }).map(|_| ())
+    }
+
+    /// The best `(configuration, cost)` found so far, if any.
+    pub fn best(&self) -> Result<Option<(Configuration, f64)>> {
+        match self.call(Request::QueryBest)? {
+            Reply::Best { best } => Ok(best),
+            _ => Err(HarmonyError::Protocol(
+                "unexpected reply to QueryBest".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::HarmonyServer;
+
+    #[test]
+    fn client_exposes_id_and_app() {
+        let server = HarmonyServer::start();
+        let c = server.connect("petsc").unwrap();
+        assert_eq!(c.app(), "petsc");
+        assert!(c.id() > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_fail_cleanly() {
+        let server = HarmonyServer::start();
+        let c = server.connect("app").unwrap();
+        server.shutdown();
+        assert!(matches!(
+            c.add_param(Param::int("x", 0, 1, 1)),
+            Err(HarmonyError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn best_before_any_evaluation_is_none() {
+        let server = HarmonyServer::start();
+        let c = server.connect("app").unwrap();
+        assert_eq!(c.best().unwrap(), None);
+        c.add_param(Param::int("x", 0, 4, 1)).unwrap();
+        c.seal(SessionOptions::default(), StrategyKind::NelderMead)
+            .unwrap();
+        assert_eq!(c.best().unwrap(), None);
+        server.shutdown();
+    }
+}

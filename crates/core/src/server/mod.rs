@@ -1,0 +1,438 @@
+//! The Harmony tuning server (paper Figure 1).
+//!
+//! The server hosts the *adaptation controller*: it manages the tunable
+//! parameters registered by one or more client applications and steers their
+//! values with a search strategy. Applications talk to the server through
+//! the small message [`protocol`]; in this in-process implementation the
+//! transport is a crossbeam channel, and every message type is
+//! serde-serializable so the same protocol could run over a socket.
+//!
+//! Multiple clients may tune concurrently and independently — the paper's
+//! Active Harmony "tries to coordinate the use of resources by multiple
+//! libraries and applications"; each client gets its own session keyed by a
+//! client id.
+
+pub mod client;
+pub mod protocol;
+pub mod tcp;
+
+pub use client::HarmonyClient;
+pub use tcp::{TcpHarmonyClient, TcpHarmonyServer};
+
+use crate::error::{HarmonyError, Result};
+use crate::session::{Trial, TuningSession};
+use crate::space::SearchSpaceBuilder;
+use crate::strategy::{GridSearch, NelderMead, ParallelRankOrder, RandomSearch};
+use crossbeam::channel::{unbounded, Sender};
+use protocol::{Envelope, Reply, Request, StrategyKind};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// Per-client state inside the server.
+enum ClientState {
+    /// Still declaring parameters.
+    Building {
+        app: String,
+        builder: Option<SearchSpaceBuilder>,
+    },
+    /// Space sealed; tuning in progress.
+    Tuning {
+        /// Application label, kept for diagnostics.
+        #[allow(dead_code)]
+        app: String,
+        session: Box<TuningSession>,
+        outstanding: Option<Trial>,
+    },
+}
+
+/// Handle to a running Harmony server thread.
+pub struct HarmonyServer {
+    req_tx: Sender<Envelope>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HarmonyServer {
+    /// Start the server on its own thread.
+    pub fn start() -> Self {
+        let (req_tx, req_rx) = unbounded::<Envelope>();
+        let handle = std::thread::Builder::new()
+            .name("harmony-server".into())
+            .spawn(move || {
+                let mut next_id: u64 = 1;
+                let mut clients: HashMap<u64, ClientState> = HashMap::new();
+                for Envelope { client, req, reply } in req_rx.iter() {
+                    if matches!(req, Request::Shutdown) {
+                        let _ = reply.send(Reply::Ok);
+                        break;
+                    }
+                    let out = Self::handle(&mut next_id, &mut clients, client, req);
+                    let _ = reply.send(out);
+                }
+            })
+            .expect("spawn harmony server thread");
+        HarmonyServer {
+            req_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// The raw request channel (used by [`HarmonyClient`]).
+    pub(crate) fn sender(&self) -> Sender<Envelope> {
+        self.req_tx.clone()
+    }
+
+    /// Connect a new client application.
+    pub fn connect(&self, app: impl Into<String>) -> Result<HarmonyClient> {
+        HarmonyClient::register(self.sender(), app.into())
+    }
+
+    /// Stop the server thread. Subsequent client calls fail with
+    /// [`HarmonyError::Disconnected`].
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self
+            .req_tx
+            .send(Envelope {
+                client: 0,
+                req: Request::Shutdown,
+                reply: tx,
+            })
+            .is_ok()
+        {
+            let _ = rx.recv();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn build_strategy(kind: &StrategyKind) -> Box<dyn crate::strategy::SearchStrategy> {
+        match kind {
+            StrategyKind::NelderMead => Box::new(NelderMead::default()),
+            StrategyKind::Random => Box::new(RandomSearch::new()),
+            StrategyKind::Grid { target } => Box::new(GridSearch::new(*target)),
+            StrategyKind::Pro => Box::new(ParallelRankOrder::default()),
+        }
+    }
+
+    fn handle(
+        next_id: &mut u64,
+        clients: &mut HashMap<u64, ClientState>,
+        client: u64,
+        req: Request,
+    ) -> Reply {
+        match req {
+            Request::Register { app } => {
+                let id = *next_id;
+                *next_id += 1;
+                clients.insert(
+                    id,
+                    ClientState::Building {
+                        app,
+                        builder: Some(SearchSpaceBuilder::default()),
+                    },
+                );
+                Reply::Registered { client_id: id }
+            }
+            Request::Shutdown => Reply::Ok, // handled by the loop
+            other => {
+                let Some(state) = clients.get_mut(&client) else {
+                    return Reply::Error {
+                        message: HarmonyError::UnknownClient(client).to_string(),
+                    };
+                };
+                Self::handle_for_client(state, other)
+            }
+        }
+    }
+
+    fn handle_for_client(state: &mut ClientState, req: Request) -> Reply {
+        match (state, req) {
+            (ClientState::Building { builder, .. }, Request::AddParam { param }) => {
+                if let Err(e) = param.validate() {
+                    return Reply::Error {
+                        message: e.to_string(),
+                    };
+                }
+                let b = builder.take().expect("builder present while building");
+                *builder = Some(b.param(param));
+                Reply::Ok
+            }
+            (ClientState::Building { builder, .. }, Request::AddMonotoneChain { names }) => {
+                let b = builder.take().expect("builder present while building");
+                *builder = Some(b.constraint(crate::constraint::MonotoneChain::new(names)));
+                Reply::Ok
+            }
+            (state_ref @ ClientState::Building { .. }, Request::Seal { options, strategy }) => {
+                let ClientState::Building { app, builder } = state_ref else {
+                    unreachable!("matched Building above");
+                };
+                let b = builder.take().expect("builder present while building");
+                match b.build() {
+                    Ok(space) => {
+                        let session =
+                            TuningSession::new(space, Self::build_strategy(&strategy), options);
+                        *state_ref = ClientState::Tuning {
+                            app: std::mem::take(app),
+                            session: Box::new(session),
+                            outstanding: None,
+                        };
+                        Reply::Ok
+                    }
+                    Err(e) => Reply::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            (
+                ClientState::Tuning {
+                    session,
+                    outstanding,
+                    ..
+                },
+                Request::Fetch,
+            ) => {
+                if let Some(trial) = outstanding {
+                    // Re-fetch without report: hand out the same trial.
+                    return Reply::Config {
+                        config: trial.config.clone(),
+                        iteration: trial.iteration,
+                        finished: false,
+                    };
+                }
+                match session.suggest() {
+                    Some(trial) => {
+                        let reply = Reply::Config {
+                            config: trial.config.clone(),
+                            iteration: trial.iteration,
+                            finished: false,
+                        };
+                        *outstanding = Some(trial);
+                        reply
+                    }
+                    None => match session.best() {
+                        Some((cfg, _)) => Reply::Config {
+                            config: cfg.clone(),
+                            iteration: session.history().len(),
+                            finished: true,
+                        },
+                        None => Reply::Error {
+                            message: "session finished with no evaluations".into(),
+                        },
+                    },
+                }
+            }
+            (
+                ClientState::Tuning {
+                    session,
+                    outstanding,
+                    ..
+                },
+                Request::Report { cost, wall_time },
+            ) => match outstanding.take() {
+                Some(trial) => match session.report_timed(trial, cost, wall_time) {
+                    Ok(()) => Reply::Ok,
+                    Err(e) => Reply::Error {
+                        message: e.to_string(),
+                    },
+                },
+                None => Reply::Error {
+                    message: "report without an outstanding fetch".into(),
+                },
+            },
+            (ClientState::Tuning { session, .. }, Request::QueryBest) => {
+                let best = session.best().map(|(c, v)| (c.clone(), v));
+                Reply::Best { best }
+            }
+            (ClientState::Building { .. }, Request::Fetch | Request::Report { .. }) => {
+                Reply::Error {
+                    message: HarmonyError::Protocol("space not sealed yet".into()).to_string(),
+                }
+            }
+            (ClientState::Building { .. }, Request::QueryBest) => Reply::Best { best: None },
+            (ClientState::Tuning { .. }, _) => Reply::Error {
+                message: HarmonyError::Protocol("space already sealed".into()).to_string(),
+            },
+            (ClientState::Building { .. }, Request::Register { .. })
+            | (ClientState::Building { .. }, Request::Shutdown) => Reply::Error {
+                message: HarmonyError::Protocol("unexpected message".into()).to_string(),
+            },
+        }
+    }
+}
+
+impl Drop for HarmonyServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.do_shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use crate::session::SessionOptions;
+
+    #[test]
+    fn single_client_tunes_a_bowl() {
+        let server = HarmonyServer::start();
+        let client = server.connect("bowl").unwrap();
+        client.add_param(Param::int("x", 0, 60, 1)).unwrap();
+        client.add_param(Param::int("y", 0, 60, 1)).unwrap();
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: 120,
+                    seed: 21,
+                    ..Default::default()
+                },
+                StrategyKind::NelderMead,
+            )
+            .unwrap();
+        loop {
+            let fetch = client.fetch().unwrap();
+            if fetch.finished {
+                break;
+            }
+            let x = fetch.config.int("x").unwrap() as f64;
+            let y = fetch.config.int("y").unwrap() as f64;
+            client
+                .report((x - 42.0).powi(2) + (y - 13.0).powi(2))
+                .unwrap();
+        }
+        let (best, cost) = client.best().unwrap().unwrap();
+        assert!(cost <= 8.0, "cost={cost} best={best}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_clients_tune_independently() {
+        let server = HarmonyServer::start();
+        let c1 = server.connect("app1").unwrap();
+        let c2 = server.connect("app2").unwrap();
+        for c in [&c1, &c2] {
+            c.add_param(Param::int("n", 0, 100, 1)).unwrap();
+            c.seal(
+                SessionOptions {
+                    max_evaluations: 60,
+                    seed: 22,
+                    ..Default::default()
+                },
+                StrategyKind::NelderMead,
+            )
+            .unwrap();
+        }
+        // Interleave the two clients' loops.
+        let mut done1 = false;
+        let mut done2 = false;
+        while !(done1 && done2) {
+            if !done1 {
+                let f = c1.fetch().unwrap();
+                if f.finished {
+                    done1 = true;
+                } else {
+                    let n = f.config.int("n").unwrap() as f64;
+                    c1.report((n - 10.0).abs()).unwrap();
+                }
+            }
+            if !done2 {
+                let f = c2.fetch().unwrap();
+                if f.finished {
+                    done2 = true;
+                } else {
+                    let n = f.config.int("n").unwrap() as f64;
+                    c2.report((n - 90.0).abs()).unwrap();
+                }
+            }
+        }
+        let (b1, v1) = c1.best().unwrap().unwrap();
+        let (b2, v2) = c2.best().unwrap().unwrap();
+        assert!(v1 <= 2.0, "client1 best {b1} cost {v1}");
+        assert!(v2 <= 2.0, "client2 best {b2} cost {v2}");
+        assert!((b1.int("n").unwrap() - 10).abs() <= 2);
+        assert!((b2.int("n").unwrap() - 90).abs() <= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_violations_are_reported() {
+        let server = HarmonyServer::start();
+        let client = server.connect("app").unwrap();
+        // Fetch before seal.
+        assert!(client.fetch().is_err());
+        client.add_param(Param::int("n", 0, 10, 1)).unwrap();
+        client
+            .seal(SessionOptions::default(), StrategyKind::Random)
+            .unwrap();
+        // Report without fetch.
+        assert!(client.report(1.0).is_err());
+        // Adding params after seal fails.
+        assert!(client.add_param(Param::int("m", 0, 1, 1)).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn refetch_returns_same_trial_until_reported() {
+        let server = HarmonyServer::start();
+        let client = server.connect("app").unwrap();
+        client.add_param(Param::int("n", 0, 100, 1)).unwrap();
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: 10,
+                    seed: 1,
+                    ..Default::default()
+                },
+                StrategyKind::NelderMead,
+            )
+            .unwrap();
+        let a = client.fetch().unwrap();
+        let b = client.fetch().unwrap();
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.iteration, b.iteration);
+        client.report(1.0).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn clients_work_from_other_threads() {
+        let server = HarmonyServer::start();
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let client = server.connect(format!("app{t}")).unwrap();
+            joins.push(std::thread::spawn(move || {
+                client.add_param(Param::int("n", 0, 50, 1)).unwrap();
+                client
+                    .seal(
+                        SessionOptions {
+                            max_evaluations: 30,
+                            seed: t,
+                            ..Default::default()
+                        },
+                        StrategyKind::NelderMead,
+                    )
+                    .unwrap();
+                loop {
+                    let f = client.fetch().unwrap();
+                    if f.finished {
+                        break;
+                    }
+                    let n = f.config.int("n").unwrap() as f64;
+                    client.report((n - t as f64 * 10.0).abs()).unwrap();
+                }
+                let (_, cost) = client.best().unwrap().unwrap();
+                assert!(cost <= 3.0);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,176 @@
+//! Wire protocol between Harmony clients and the server.
+//!
+//! Every message is serde-serializable, so the protocol can cross a process
+//! boundary; the in-process transport used here carries `(client id, request,
+//! reply channel)` envelopes over a crossbeam channel.
+
+use crate::param::Param;
+use crate::session::SessionOptions;
+use crate::space::Configuration;
+use crossbeam::channel::Sender;
+use serde::{Deserialize, Serialize};
+
+/// Which tuning algorithm the server should run for a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Discrete Nelder–Mead simplex (the default adaptation controller).
+    NelderMead,
+    /// Uniform random sampling baseline.
+    Random,
+    /// Systematic sampling with a sample budget.
+    Grid {
+        /// Approximate number of evenly spaced samples.
+        target: usize,
+    },
+    /// Parallel Rank Ordering (batch simplex; candidates of one round are
+    /// independent and may be measured concurrently).
+    Pro,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Introduce a new client application.
+    Register {
+        /// Application label (for logs and prior-run keys).
+        app: String,
+    },
+    /// Declare one tunable parameter (pre-seal only).
+    AddParam {
+        /// The parameter declaration.
+        param: Param,
+    },
+    /// Declare a monotone-chain dependency between parameters (pre-seal).
+    AddMonotoneChain {
+        /// Parameter names in chain order.
+        names: Vec<String>,
+    },
+    /// Finish declaration and start tuning.
+    Seal {
+        /// Session stopping criteria.
+        options: SessionOptions,
+        /// Tuning algorithm to use.
+        strategy: StrategyKind,
+    },
+    /// Ask for the next configuration to run.
+    Fetch,
+    /// Report the measured cost of the last fetched configuration.
+    Report {
+        /// Measured objective (e.g. execution time in seconds).
+        cost: f64,
+        /// Wall-clock spent obtaining the measurement.
+        wall_time: f64,
+    },
+    /// Ask for the best configuration so far.
+    QueryBest,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Reply {
+    /// Registration succeeded; use this id in future envelopes.
+    Registered {
+        /// The allocated client id.
+        client_id: u64,
+    },
+    /// Request succeeded with nothing to return.
+    Ok,
+    /// A configuration to run (or, when `finished`, the final best).
+    Config {
+        /// The configuration.
+        config: Configuration,
+        /// 1-based evaluation index.
+        iteration: usize,
+        /// True once the session has stopped — `config` is then the best
+        /// found and no further `Report` is expected.
+        finished: bool,
+    },
+    /// Best configuration so far, if any evaluation happened.
+    Best {
+        /// `(configuration, cost)` of the best evaluation.
+        best: Option<(Configuration, f64)>,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// One request in flight, with its reply channel (not serialized — the
+/// envelope is the in-process framing around the serializable payload).
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sender's client id (0 before registration).
+    pub client: u64,
+    /// The request payload.
+    pub req: Request,
+    /// Where to deliver the reply.
+    pub reply: Sender<Reply>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let msgs = vec![
+            Request::Register { app: "gs2".into() },
+            Request::AddParam {
+                param: Param::int("negrid", 4, 32, 2),
+            },
+            Request::AddMonotoneChain {
+                names: vec!["b1".into(), "b2".into()],
+            },
+            Request::Seal {
+                options: SessionOptions::default(),
+                strategy: StrategyKind::Grid { target: 100 },
+            },
+            Request::Fetch,
+            Request::Report {
+                cost: 55.06,
+                wall_time: 60.0,
+            },
+            Request::QueryBest,
+            Request::Shutdown,
+        ];
+        for m in msgs {
+            let s = serde_json::to_string(&m).unwrap();
+            let back: Request = serde_json::from_str(&s).unwrap();
+            // Compare via re-serialization (Request has no PartialEq because
+            // SessionOptions carries floats we still want exact here).
+            assert_eq!(s, serde_json::to_string(&back).unwrap());
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip_through_json() {
+        let space = crate::space::SearchSpace::builder()
+            .int("x", 0, 5, 1)
+            .build()
+            .unwrap();
+        let msgs = vec![
+            Reply::Registered { client_id: 3 },
+            Reply::Ok,
+            Reply::Config {
+                config: space.center(),
+                iteration: 2,
+                finished: false,
+            },
+            Reply::Best {
+                best: Some((space.center(), 1.5)),
+            },
+            Reply::Error {
+                message: "nope".into(),
+            },
+        ];
+        for m in msgs {
+            let s = serde_json::to_string(&m).unwrap();
+            let back: Reply = serde_json::from_str(&s).unwrap();
+            assert_eq!(s, serde_json::to_string(&back).unwrap());
+        }
+    }
+}

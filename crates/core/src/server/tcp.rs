@@ -1,0 +1,354 @@
+//! TCP transport for the Harmony server.
+//!
+//! The real Active Harmony ran as a network daemon that applications on the
+//! compute nodes connected to. This module puts the same serde
+//! [`protocol`](super::protocol) on a socket: one JSON message per line,
+//! one tuning client per connection. The in-process
+//! [`HarmonyServer`](super::HarmonyServer) remains the adaptation
+//! controller; connections are bridged onto its message bus.
+
+use super::protocol::{Reply, Request, StrategyKind};
+use super::HarmonyServer;
+use crate::error::{HarmonyError, Result};
+use crate::param::Param;
+use crate::session::SessionOptions;
+use crate::space::Configuration;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A Harmony server listening on a TCP socket.
+pub struct TcpHarmonyServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    inner: Option<HarmonyServer>,
+}
+
+impl TcpHarmonyServer {
+    /// Bind and start serving. Use `"127.0.0.1:0"` to pick a free port.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = HarmonyServer::start();
+        let bus = inner.sender();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name("harmony-tcp-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_accept.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let bus = bus.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("harmony-tcp-conn".into())
+                        .spawn(move || serve_connection(stream, bus));
+                }
+            })?;
+        Ok(TcpHarmonyServer {
+            addr: local,
+            stop,
+            accept_handle: Some(accept_handle),
+            inner: Some(inner),
+        })
+    }
+
+    /// The bound address (with the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and shut the adaptation controller down.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(inner) = self.inner.take() {
+            inner.shutdown();
+        }
+    }
+}
+
+impl Drop for TcpHarmonyServer {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.do_shutdown();
+        }
+    }
+}
+
+/// Per-connection loop: read JSON lines, bridge onto the in-process bus,
+/// write JSON replies. The connection *is* the client: its id is allocated
+/// by the first `Register` and reused for every later request.
+fn serve_connection(stream: TcpStream, bus: crossbeam::channel::Sender<super::protocol::Envelope>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    let mut client_id: u64 = 0;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<Request>(&line) {
+            Ok(Request::Shutdown) => {
+                // Connection-level goodbye; never forwarded (a remote client
+                // must not be able to kill the shared server).
+                let _ = send_reply(&mut writer, &Reply::Ok);
+                break;
+            }
+            Ok(req) => {
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                if bus
+                    .send(super::protocol::Envelope {
+                        client: client_id,
+                        req,
+                        reply: tx,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                match rx.recv() {
+                    Ok(reply) => reply,
+                    Err(_) => break,
+                }
+            }
+            Err(e) => Reply::Error {
+                message: format!("malformed request: {e}"),
+            },
+        };
+        if let Reply::Registered { client_id: id } = reply {
+            client_id = id;
+        }
+        if send_reply(&mut writer, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+fn send_reply(writer: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    let mut blob = serde_json::to_string(reply).expect("replies serialize");
+    blob.push('\n');
+    writer.write_all(blob.as_bytes())
+}
+
+/// A Harmony client talking to a [`TcpHarmonyServer`] over a socket.
+pub struct TcpHarmonyClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpHarmonyClient {
+    /// Connect and register the application.
+    pub fn connect(addr: SocketAddr, app: &str) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(|_| HarmonyError::Disconnected)?;
+        let writer = stream.try_clone().map_err(|_| HarmonyError::Disconnected)?;
+        let mut client = TcpHarmonyClient {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        match client.call(Request::Register {
+            app: app.to_string(),
+        })? {
+            Reply::Registered { .. } => Ok(client),
+            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            _ => Err(HarmonyError::Protocol("unexpected reply".into())),
+        }
+    }
+
+    fn call(&mut self, req: Request) -> Result<Reply> {
+        let mut blob = serde_json::to_string(&req).expect("requests serialize");
+        blob.push('\n');
+        self.writer
+            .write_all(blob.as_bytes())
+            .map_err(|_| HarmonyError::Disconnected)?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|_| HarmonyError::Disconnected)?;
+        if n == 0 {
+            return Err(HarmonyError::Disconnected);
+        }
+        serde_json::from_str(&line).map_err(|e| HarmonyError::Protocol(format!("bad reply: {e}")))
+    }
+
+    fn call_ok(&mut self, req: Request) -> Result<()> {
+        match self.call(req)? {
+            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Declare a tunable parameter.
+    pub fn add_param(&mut self, param: Param) -> Result<()> {
+        self.call_ok(Request::AddParam { param })
+    }
+
+    /// Declare a monotone-chain dependency.
+    pub fn add_monotone_chain<I, S>(&mut self, names: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.call_ok(Request::AddMonotoneChain {
+            names: names.into_iter().map(Into::into).collect(),
+        })
+    }
+
+    /// Finish declaration and start tuning.
+    pub fn seal(&mut self, options: SessionOptions, strategy: StrategyKind) -> Result<()> {
+        self.call_ok(Request::Seal { options, strategy })
+    }
+
+    /// Fetch the next configuration (same semantics as the in-process
+    /// client: repeats until reported; `finished` carries the final best).
+    pub fn fetch(&mut self) -> Result<(Configuration, bool)> {
+        match self.call(Request::Fetch)? {
+            Reply::Config {
+                config, finished, ..
+            } => Ok((config, finished)),
+            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            _ => Err(HarmonyError::Protocol("unexpected reply to Fetch".into())),
+        }
+    }
+
+    /// Report the measured cost of the last fetched configuration.
+    pub fn report(&mut self, cost: f64) -> Result<()> {
+        self.call_ok(Request::Report {
+            cost,
+            wall_time: cost,
+        })
+    }
+
+    /// Best `(configuration, cost)` so far.
+    pub fn best(&mut self) -> Result<Option<(Configuration, f64)>> {
+        match self.call(Request::QueryBest)? {
+            Reply::Best { best } => Ok(best),
+            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            _ => Err(HarmonyError::Protocol("unexpected reply".into())),
+        }
+    }
+
+    /// Say goodbye (closes this connection only).
+    pub fn close(mut self) {
+        let _ = self.call(Request::Shutdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_client_tunes_end_to_end() {
+        let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+        let mut client = TcpHarmonyClient::connect(server.local_addr(), "tcp-app").unwrap();
+        client.add_param(Param::int("x", 0, 80, 1)).unwrap();
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: 80,
+                    seed: 5,
+                    ..Default::default()
+                },
+                StrategyKind::NelderMead,
+            )
+            .unwrap();
+        loop {
+            let (cfg, finished) = client.fetch().unwrap();
+            if finished {
+                break;
+            }
+            let x = cfg.int("x").unwrap() as f64;
+            client.report((x - 33.0).powi(2)).unwrap();
+        }
+        let (best, cost) = client.best().unwrap().unwrap();
+        assert!(cost <= 4.0, "best {best} cost {cost}");
+        assert!((best.int("x").unwrap() - 33).abs() <= 2);
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_tcp_clients_tune_concurrently() {
+        let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let handles: Vec<_> = [(10i64, 1u64), (64, 2)]
+            .into_iter()
+            .map(|(target, seed)| {
+                std::thread::spawn(move || {
+                    let mut c = TcpHarmonyClient::connect(addr, "app").unwrap();
+                    c.add_param(Param::int("x", 0, 100, 1)).unwrap();
+                    c.seal(
+                        SessionOptions {
+                            max_evaluations: 60,
+                            seed,
+                            ..Default::default()
+                        },
+                        StrategyKind::NelderMead,
+                    )
+                    .unwrap();
+                    loop {
+                        let (cfg, finished) = c.fetch().unwrap();
+                        if finished {
+                            break;
+                        }
+                        let x = cfg.int("x").unwrap();
+                        c.report(((x - target) as f64).abs()).unwrap();
+                    }
+                    let (cfg, _) = c.best().unwrap().unwrap();
+                    cfg.int("x").unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!((results[0] - 10).abs() <= 2, "{results:?}");
+        assert!((results[1] - 64).abs() <= 2, "{results:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_error_replies() {
+        let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"this is not json\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let reply: Reply = serde_json::from_str(&line).unwrap();
+        assert!(matches!(reply, Reply::Error { .. }), "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_does_not_kill_the_server() {
+        let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let c1 = TcpHarmonyClient::connect(addr, "a").unwrap();
+        c1.close();
+        // A new client can still connect and work.
+        let mut c2 = TcpHarmonyClient::connect(addr, "b").unwrap();
+        c2.add_param(Param::int("x", 0, 4, 1)).unwrap();
+        c2.seal(SessionOptions::default(), StrategyKind::Random)
+            .unwrap();
+        let (cfg, _) = c2.fetch().unwrap();
+        assert!(cfg.int("x").is_some());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,596 @@
+//! Tuning sessions: the adaptation-controller loop around a search strategy.
+//!
+//! A [`TuningSession`] owns a [`SearchSpace`], a [`SearchStrategy`], an
+//! evaluation cache and a [`History`]. It exposes both a pull-style
+//! ([`TuningSession::suggest`] / [`TuningSession::report`]) interface — used
+//! by the Harmony server and the on-line API — and a closed-loop
+//! [`TuningSession::run`] driver for off-line tuning.
+//!
+//! Repeated visits to an already-measured lattice point are served from the
+//! cache: in off-line tuning one evaluation is one application run, so cache
+//! hits are free iterations.
+
+use crate::error::{HarmonyError, Result};
+use crate::history::{Evaluation, History};
+use crate::space::{Configuration, SearchSpace};
+use crate::strategy::SearchStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Why a session stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The budget of fresh evaluations was spent.
+    MaxEvaluations,
+    /// No improvement for `no_improve_limit` fresh evaluations.
+    NoImprovement,
+    /// The strategy had nothing further to propose (finite strategies).
+    StrategyExhausted,
+    /// The strategy kept re-proposing cached points — it has converged.
+    Converged,
+    /// A configuration reached the user's target cost.
+    TargetReached,
+}
+
+/// Session stopping criteria and seeding.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SessionOptions {
+    /// Maximum number of *fresh* evaluations (application runs).
+    pub max_evaluations: usize,
+    /// Stop after this many consecutive fresh evaluations without
+    /// improvement (0 disables the criterion).
+    pub no_improve_limit: usize,
+    /// Declare convergence after this many consecutive cache replays.
+    pub max_cached_replays: usize,
+    /// RNG seed: every stochastic choice in a session is derived from it.
+    pub seed: u64,
+    /// Optional early-exit target cost.
+    pub target_cost: Option<f64>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            max_evaluations: 100,
+            no_improve_limit: 0,
+            max_cached_replays: 64,
+            seed: 0,
+            target_cost: None,
+        }
+    }
+}
+
+/// A configuration the session wants measured.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The projected, valid configuration to run.
+    pub config: Configuration,
+    /// 1-based index of this evaluation in the history.
+    pub iteration: usize,
+    coords: Vec<f64>,
+}
+
+/// Final outcome of a completed session.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// Best configuration found.
+    pub best_config: Configuration,
+    /// Its measured cost.
+    pub best_cost: f64,
+    /// Number of fresh evaluations (application runs) performed.
+    pub evaluations: usize,
+    /// Why the session stopped.
+    pub stop_reason: StopReason,
+    /// Full evaluation history.
+    pub history: History,
+    /// Name of the strategy that produced the result.
+    pub strategy: &'static str,
+}
+
+impl TuningResult {
+    /// Improvement of the best cost relative to a baseline cost, as a
+    /// fraction in `[0, 1)` (paper reports `(default − tuned) / default`).
+    pub fn improvement_over(&self, baseline_cost: f64) -> f64 {
+        if baseline_cost <= 0.0 {
+            return 0.0;
+        }
+        (baseline_cost - self.best_cost) / baseline_cost
+    }
+
+    /// Speedup factor `baseline / tuned` (the paper's "5.1× faster").
+    pub fn speedup_over(&self, baseline_cost: f64) -> f64 {
+        if self.best_cost <= 0.0 {
+            return f64::INFINITY;
+        }
+        baseline_cost / self.best_cost
+    }
+}
+
+/// The adaptation-controller loop around one application's search space.
+pub struct TuningSession {
+    space: SearchSpace,
+    strategy: Box<dyn SearchStrategy>,
+    opts: SessionOptions,
+    rng: StdRng,
+    cache: HashMap<Vec<i64>, f64>,
+    history: History,
+    best: Option<(Configuration, f64)>,
+    fresh_evals: usize,
+    since_improvement: usize,
+    consecutive_cached: usize,
+    cumulative_time: f64,
+    stopped: Option<StopReason>,
+    initialized: bool,
+    outstanding: bool,
+}
+
+impl TuningSession {
+    /// Create a session; the strategy is initialised lazily on the first
+    /// [`suggest`](Self::suggest).
+    pub fn new(space: SearchSpace, strategy: Box<dyn SearchStrategy>, opts: SessionOptions) -> Self {
+        let rng = StdRng::seed_from_u64(opts.seed);
+        TuningSession {
+            space,
+            strategy,
+            opts,
+            rng,
+            cache: HashMap::new(),
+            history: History::new(),
+            best: None,
+            fresh_evals: 0,
+            since_improvement: 0,
+            consecutive_cached: 0,
+            cumulative_time: 0.0,
+            stopped: None,
+            initialized: false,
+            outstanding: false,
+        }
+    }
+
+    /// The space being searched.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The evaluation history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Best `(configuration, cost)` so far.
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        self.best.as_ref().map(|(c, v)| (c, *v))
+    }
+
+    /// Why the session stopped, if it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// Pre-load a known measurement (e.g. the default configuration's cost
+    /// from a previous production run) without consuming budget.
+    pub fn preload(&mut self, config: &Configuration, cost: f64) {
+        self.cache.insert(config.cache_key(), cost);
+        self.update_best(config, cost);
+    }
+
+    fn update_best(&mut self, config: &Configuration, cost: f64) -> bool {
+        match &self.best {
+            Some((_, b)) if *b <= cost => false,
+            _ => {
+                self.best = Some((config.clone(), cost));
+                true
+            }
+        }
+    }
+
+    /// Ask for the next configuration to measure. Returns `None` once the
+    /// session has stopped. Cache replays are resolved internally and never
+    /// surface as trials.
+    pub fn suggest(&mut self) -> Option<Trial> {
+        if self.stopped.is_some() {
+            return None;
+        }
+        assert!(
+            !self.outstanding,
+            "suggest() called with a trial still outstanding; report() it first"
+        );
+        if !self.initialized {
+            self.strategy.init(&self.space, &mut self.rng);
+            self.initialized = true;
+        }
+        loop {
+            if self.fresh_evals >= self.opts.max_evaluations {
+                self.stopped = Some(StopReason::MaxEvaluations);
+                return None;
+            }
+            let Some(coords) = self.strategy.propose(&self.space, &mut self.rng) else {
+                self.stopped = Some(StopReason::StrategyExhausted);
+                return None;
+            };
+            let config = self.space.project(&coords);
+            let key = config.cache_key();
+            if let Some(&cost) = self.cache.get(&key) {
+                // Replay: answer the strategy immediately; costs nothing.
+                self.consecutive_cached += 1;
+                self.history.push(Evaluation {
+                    iteration: self.history.len() + 1,
+                    config,
+                    cost,
+                    cached: true,
+                    cumulative_time: self.cumulative_time,
+                });
+                self.strategy
+                    .feedback(&coords, cost, &self.space, &mut self.rng);
+                if self.consecutive_cached >= self.opts.max_cached_replays {
+                    self.stopped = Some(StopReason::Converged);
+                    return None;
+                }
+                continue;
+            }
+            self.consecutive_cached = 0;
+            self.outstanding = true;
+            return Some(Trial {
+                config,
+                iteration: self.history.len() + 1,
+                coords,
+            });
+        }
+    }
+
+    /// Report the measured cost of a trial, with the wall-clock time the
+    /// measurement itself consumed (run + restart + warm-up in off-line
+    /// mode); the time is charged to the session's cumulative tuning time.
+    pub fn report_timed(&mut self, trial: Trial, cost: f64, wall_time: f64) -> Result<()> {
+        if self.stopped.is_some() {
+            return Err(HarmonyError::SessionFinished);
+        }
+        if !self.outstanding {
+            return Err(HarmonyError::Protocol(
+                "report() without an outstanding trial".into(),
+            ));
+        }
+        self.outstanding = false;
+        // A failed measurement (NaN) must never become the best; treat it
+        // as infinitely slow so the search simply moves away.
+        let cost = if cost.is_nan() { f64::INFINITY } else { cost };
+        self.cumulative_time += wall_time;
+        self.cache.insert(trial.config.cache_key(), cost);
+        self.fresh_evals += 1;
+        self.history.push(Evaluation {
+            iteration: trial.iteration,
+            config: trial.config.clone(),
+            cost,
+            cached: false,
+            cumulative_time: self.cumulative_time,
+        });
+        let improved = self.update_best(&trial.config, cost);
+        if improved {
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
+        }
+        self.strategy
+            .feedback(&trial.coords, cost, &self.space, &mut self.rng);
+        if let Some(target) = self.opts.target_cost {
+            if cost <= target {
+                self.stopped = Some(StopReason::TargetReached);
+                return Ok(());
+            }
+        }
+        if self.opts.no_improve_limit > 0 && self.since_improvement >= self.opts.no_improve_limit {
+            self.stopped = Some(StopReason::NoImprovement);
+        } else if self.strategy.converged() {
+            self.stopped = Some(StopReason::Converged);
+        }
+        Ok(())
+    }
+
+    /// Report a cost whose measurement time equals the cost itself (the
+    /// common case when the objective *is* execution time).
+    pub fn report(&mut self, trial: Trial, cost: f64) -> Result<()> {
+        self.report_timed(trial, cost, cost)
+    }
+
+    /// Drive the session to completion against a synchronous objective.
+    pub fn run<F>(&mut self, mut objective: F) -> TuningResult
+    where
+        F: FnMut(&Configuration) -> f64,
+    {
+        while let Some(trial) = self.suggest() {
+            let cost = objective(&trial.config);
+            self.report(trial, cost)
+                .expect("session accepts report for its own trial");
+        }
+        self.result()
+    }
+
+    /// Drive the session against any [`Objective`](crate::objective::Objective)
+    /// implementation (composite time/fidelity objectives, penalised
+    /// objectives, …).
+    pub fn run_objective(&mut self, objective: &mut dyn crate::objective::Objective) -> TuningResult {
+        while let Some(trial) = self.suggest() {
+            let cost = objective.evaluate(&trial.config);
+            self.report(trial, cost)
+                .expect("session accepts report for its own trial");
+        }
+        self.result()
+    }
+
+    /// Snapshot the final result. Panics if nothing was ever evaluated.
+    pub fn result(&self) -> TuningResult {
+        let (best_config, best_cost) = self
+            .best
+            .clone()
+            .expect("result() requires at least one evaluation");
+        TuningResult {
+            best_config,
+            best_cost,
+            evaluations: self.fresh_evals,
+            stop_reason: self.stopped.unwrap_or(StopReason::MaxEvaluations),
+            history: self.history.clone(),
+            strategy: self.strategy.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{GridSearch, NelderMead, RandomSearch};
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .int("x", 0, 40, 1)
+            .int("y", 0, 40, 1)
+            .build()
+            .unwrap()
+    }
+
+    fn bowl(cfg: &Configuration) -> f64 {
+        let x = cfg.int("x").unwrap() as f64;
+        let y = cfg.int("y").unwrap() as f64;
+        (x - 31.0).powi(2) + (y - 9.0).powi(2) + 5.0
+    }
+
+    #[test]
+    fn run_finds_minimum_with_simplex() {
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 150,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let r = s.run(bowl);
+        assert!(r.best_cost <= 10.0, "best={}", r.best_cost);
+        assert!(r.evaluations <= 150);
+        assert_eq!(r.strategy, "nelder-mead");
+    }
+
+    #[test]
+    fn cache_prevents_duplicate_runs() {
+        let mut calls = std::collections::HashMap::new();
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 200,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        s.run(|cfg| {
+            *calls.entry(cfg.cache_key()).or_insert(0) += 1;
+            bowl(cfg)
+        });
+        assert!(
+            calls.values().all(|&c| c == 1),
+            "objective re-ran a cached configuration"
+        );
+    }
+
+    #[test]
+    fn max_evaluations_is_respected() {
+        let mut count = 0;
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 25,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let r = s.run(|cfg| {
+            count += 1;
+            bowl(cfg)
+        });
+        assert_eq!(count, 25);
+        assert_eq!(r.evaluations, 25);
+        assert_eq!(r.stop_reason, StopReason::MaxEvaluations);
+    }
+
+    #[test]
+    fn no_improvement_stops_early() {
+        // Constant objective: first eval sets the best, then no improvement.
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 1000,
+                no_improve_limit: 10,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        let r = s.run(|_| 1.0);
+        assert_eq!(r.stop_reason, StopReason::NoImprovement);
+        assert!(r.evaluations <= 12);
+    }
+
+    #[test]
+    fn target_cost_stops_immediately() {
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 1000,
+                target_cost: Some(1e9),
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let r = s.run(bowl);
+        assert_eq!(r.stop_reason, StopReason::TargetReached);
+        assert_eq!(r.evaluations, 1);
+    }
+
+    #[test]
+    fn grid_strategy_exhausts() {
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(GridSearch::new(16)),
+            SessionOptions {
+                max_evaluations: 1000,
+                seed: 6,
+                ..Default::default()
+            },
+        );
+        let r = s.run(bowl);
+        // The grid reports convergence after its final point, so the session
+        // may stop as Converged (after the last report) or StrategyExhausted
+        // (when asked for one more point); both mean the plan completed.
+        assert!(
+            matches!(
+                r.stop_reason,
+                StopReason::Converged | StopReason::StrategyExhausted
+            ),
+            "{:?}",
+            r.stop_reason
+        );
+        assert_eq!(r.evaluations, 16);
+    }
+
+    #[test]
+    fn preload_counts_as_best_without_budget() {
+        let sp = space();
+        let default_cfg = sp.project(&[0.0, 0.0]);
+        let mut s = TuningSession::new(
+            sp,
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 5,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        s.preload(&default_cfg, 0.0); // unbeatable
+        let r = s.run(bowl);
+        assert_eq!(r.best_cost, 0.0);
+        assert_eq!(r.evaluations, 5);
+    }
+
+    #[test]
+    fn report_without_trial_is_an_error() {
+        let sp = space();
+        let mut s = TuningSession::new(
+            sp.clone(),
+            Box::new(RandomSearch::new()),
+            SessionOptions::default(),
+        );
+        let trial = Trial {
+            config: sp.center(),
+            iteration: 1,
+            coords: vec![20.0, 20.0],
+        };
+        assert!(matches!(
+            s.report(trial, 1.0),
+            Err(HarmonyError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn improvement_and_speedup_math() {
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 3,
+                seed: 8,
+                ..Default::default()
+            },
+        );
+        let r = s.run(|_| 50.0);
+        assert!((r.improvement_over(100.0) - 0.5).abs() < 1e-12);
+        assert!((r.speedup_over(100.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_objective_drives_composite_objectives() {
+        let mut obj = crate::objective::TradeoffObjective::new(
+            |cfg: &Configuration| bowl(cfg),
+            |cfg: &Configuration| (cfg.int("x").unwrap() as f64 - 31.0).abs() / 40.0,
+            0.5,
+        );
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 120,
+                seed: 10,
+                ..Default::default()
+            },
+        );
+        let r = s.run_objective(&mut obj);
+        assert!(r.best_cost <= 12.0, "best={}", r.best_cost);
+    }
+
+    #[test]
+    fn nan_measurements_never_become_best() {
+        // Failure injection: every third "measurement" fails and reports
+        // NaN. The session must survive and report a real best.
+        let mut n = 0;
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 60,
+                seed: 99,
+                ..Default::default()
+            },
+        );
+        let r = s.run(|cfg| {
+            n += 1;
+            if n % 3 == 0 {
+                f64::NAN
+            } else {
+                bowl(cfg)
+            }
+        });
+        assert!(r.best_cost.is_finite(), "best={}", r.best_cost);
+        assert!(r.best_cost >= 5.0); // the bowl's floor
+    }
+
+    #[test]
+    fn cumulative_time_accumulates_overheads() {
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 3,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        for _ in 0..3 {
+            let t = s.suggest().unwrap();
+            s.report_timed(t, 10.0, 15.0).unwrap(); // 5s restart overhead
+        }
+        let h = s.history();
+        assert_eq!(h.evaluations().last().unwrap().cumulative_time, 45.0);
+    }
+}

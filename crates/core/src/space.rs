@@ -1,0 +1,489 @@
+//! Search spaces and configurations.
+//!
+//! A [`SearchSpace`] is an ordered set of [`Param`] declarations plus optional
+//! [`Constraint`]s between dependent parameters (paper §II footnote 2, using
+//! the dependent-variable techniques of the authors' SC'04 work).
+//! A [`Configuration`] is one valid point of the space — the thing handed to
+//! the application.
+
+use crate::constraint::Constraint;
+use crate::error::{HarmonyError, Result};
+use crate::param::Param;
+use crate::value::ParamValue;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One valid point of a [`SearchSpace`]: a named, typed value per parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    names: Vec<String>,
+    values: Vec<ParamValue>,
+}
+
+impl Configuration {
+    /// Build a configuration from parallel name/value vectors.
+    pub fn new(names: Vec<String>, values: Vec<ParamValue>) -> Self {
+        debug_assert_eq!(names.len(), values.len());
+        Configuration { names, values }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the configuration has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of parameter `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.values[i])
+    }
+
+    /// Integer value of parameter `name` (None if absent or not an int).
+    pub fn int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(ParamValue::as_int)
+    }
+
+    /// Real value of parameter `name`.
+    pub fn real(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(ParamValue::as_real)
+    }
+
+    /// Enum label of parameter `name`.
+    pub fn choice(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(ParamValue::as_enum)
+    }
+
+    /// Values in declaration order.
+    pub fn values(&self) -> &[ParamValue] {
+        &self.values
+    }
+
+    /// Names in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Iterate `(name, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter())
+    }
+
+    /// A canonical hashable key identifying this lattice point, used for the
+    /// evaluation cache (repeat visits of a projected point are free — no
+    /// application re-run is needed).
+    pub fn cache_key(&self) -> Vec<i64> {
+        self.values.iter().map(ParamValue::cache_key).collect()
+    }
+
+    /// Replace the value of `name`. Errors if the parameter is absent.
+    pub fn set(&mut self, name: &str, value: ParamValue) -> Result<()> {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => {
+                self.values[i] = value;
+                Ok(())
+            }
+            None => Err(HarmonyError::UnknownParam(name.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An ordered collection of tunable parameters plus dependent-variable
+/// constraints; the domain the tuning algorithms search over.
+#[derive(Clone)]
+pub struct SearchSpace {
+    params: Vec<Param>,
+    constraints: Vec<Arc<dyn Constraint>>,
+}
+
+impl fmt::Debug for SearchSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SearchSpace")
+            .field("params", &self.params)
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}
+
+impl SearchSpace {
+    /// Start building a space.
+    pub fn builder() -> SearchSpaceBuilder {
+        SearchSpaceBuilder::default()
+    }
+
+    /// Construct a space from pre-built parameters.
+    pub fn new(params: Vec<Param>) -> Result<Self> {
+        SearchSpaceBuilder {
+            params,
+            constraints: Vec::new(),
+        }
+        .build()
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Parameter declarations in order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// The attached constraints.
+    pub fn constraints(&self) -> &[Arc<dyn Constraint>] {
+        &self.constraints
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name() == name)
+    }
+
+    /// Total number of lattice points, or `None` if any dimension is
+    /// continuous. Saturates at `u64::MAX`.
+    pub fn cardinality(&self) -> Option<u64> {
+        let mut total: u64 = 1;
+        for p in &self.params {
+            total = total.saturating_mul(p.cardinality()?);
+        }
+        Some(total)
+    }
+
+    /// log10 of the cardinality (used to report search-space sizes like the
+    /// paper's "O(10^100) points" without overflowing).
+    pub fn log10_cardinality(&self) -> Option<f64> {
+        let mut total = 0.0;
+        for p in &self.params {
+            total += (p.cardinality()? as f64).log10();
+        }
+        Some(total)
+    }
+
+    /// Project an arbitrary real point onto the nearest valid configuration:
+    /// first repair dependent-variable constraints in the continuous
+    /// embedding, then snap every coordinate to its lattice.
+    pub fn project(&self, coords: &[f64]) -> Configuration {
+        debug_assert_eq!(coords.len(), self.dims());
+        let mut repaired = coords.to_vec();
+        self.repair(&mut repaired);
+        let values = self
+            .params
+            .iter()
+            .zip(repaired.iter())
+            .map(|(p, &c)| p.project(c))
+            .collect();
+        Configuration {
+            names: self.params.iter().map(|p| p.name().to_string()).collect(),
+            values,
+        }
+    }
+
+    /// Apply every constraint's repair step to a continuous point, in order.
+    pub fn repair(&self, coords: &mut [f64]) {
+        for c in &self.constraints {
+            c.repair(self, coords);
+        }
+        // Keep coordinates inside the box after constraint repair.
+        for (p, c) in self.params.iter().zip(coords.iter_mut()) {
+            *c = c.clamp(p.embed_min(), p.embed_max());
+        }
+    }
+
+    /// True if a configuration satisfies all constraints (box bounds are
+    /// guaranteed by construction).
+    pub fn is_valid(&self, cfg: &Configuration) -> bool {
+        self.constraints.iter().all(|c| c.is_satisfied(self, cfg))
+    }
+
+    /// Embed a configuration back into continuous coordinates.
+    pub fn embed(&self, cfg: &Configuration) -> Result<Vec<f64>> {
+        if cfg.len() != self.dims() {
+            return Err(HarmonyError::Protocol(format!(
+                "configuration has {} values, space has {} dims",
+                cfg.len(),
+                self.dims()
+            )));
+        }
+        self.params
+            .iter()
+            .zip(cfg.values())
+            .map(|(p, v)| p.embed(v))
+            .collect()
+    }
+
+    /// A uniformly random continuous point inside the box (pre-repair).
+    pub fn sample_coords<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|p| {
+                let (lo, hi) = (p.embed_min(), p.embed_max());
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            })
+            .collect()
+    }
+
+    /// A random valid configuration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
+        let coords = self.sample_coords(rng);
+        self.project(&coords)
+    }
+
+    /// The centre of the box, projected (a reasonable default start).
+    pub fn center(&self) -> Configuration {
+        let coords: Vec<f64> = self
+            .params
+            .iter()
+            .map(|p| 0.5 * (p.embed_min() + p.embed_max()))
+            .collect();
+        self.project(&coords)
+    }
+
+    /// Build the configuration given by explicit values, validating types.
+    pub fn configuration(&self, values: Vec<ParamValue>) -> Result<Configuration> {
+        if values.len() != self.dims() {
+            return Err(HarmonyError::Protocol(format!(
+                "expected {} values, got {}",
+                self.dims(),
+                values.len()
+            )));
+        }
+        for (p, v) in self.params.iter().zip(values.iter()) {
+            p.embed(v)?; // type/domain check
+        }
+        Ok(Configuration {
+            names: self.params.iter().map(|p| p.name().to_string()).collect(),
+            values,
+        })
+    }
+
+    /// Build a configuration from `(name, string)` pairs, e.g. parsed from a
+    /// namelist-style file; missing parameters default to the space centre.
+    pub fn configuration_from_strs<'a, I>(&self, pairs: I) -> Result<Configuration>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut cfg = self.center();
+        for (name, raw) in pairs {
+            let idx = self
+                .index_of(name)
+                .ok_or_else(|| HarmonyError::UnknownParam(name.to_string()))?;
+            let value = self.params[idx].value_from_str(raw)?;
+            cfg.values[idx] = value;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Incremental builder for [`SearchSpace`].
+#[derive(Default)]
+pub struct SearchSpaceBuilder {
+    params: Vec<Param>,
+    constraints: Vec<Arc<dyn Constraint>>,
+}
+
+impl SearchSpaceBuilder {
+    /// Add an integer parameter.
+    pub fn int(mut self, name: impl Into<String>, min: i64, max: i64, step: i64) -> Self {
+        self.params.push(Param::int(name, min, max, step));
+        self
+    }
+
+    /// Add a real parameter.
+    pub fn real(mut self, name: impl Into<String>, min: f64, max: f64) -> Self {
+        self.params.push(Param::real(name, min, max));
+        self
+    }
+
+    /// Add a categorical parameter.
+    pub fn enumeration<I, S>(mut self, name: impl Into<String>, choices: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.params.push(Param::enumeration(name, choices));
+        self
+    }
+
+    /// Add a pre-built parameter.
+    pub fn param(mut self, p: Param) -> Self {
+        self.params.push(p);
+        self
+    }
+
+    /// Attach a dependent-variable constraint.
+    pub fn constraint(mut self, c: impl Constraint + 'static) -> Self {
+        self.constraints.push(Arc::new(c));
+        self
+    }
+
+    /// Finalise, validating every parameter and name uniqueness.
+    pub fn build(self) -> Result<SearchSpace> {
+        if self.params.is_empty() {
+            return Err(HarmonyError::EmptySpace);
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            p.validate()?;
+            if self.params[..i].iter().any(|q| q.name() == p.name()) {
+                return Err(HarmonyError::DuplicateParam(p.name().to_string()));
+            }
+        }
+        let space = SearchSpace {
+            params: self.params,
+            constraints: self.constraints,
+        };
+        for c in &space.constraints {
+            c.check_space(&space)?;
+        }
+        Ok(space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::MonotoneChain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space2d() -> SearchSpace {
+        SearchSpace::builder()
+            .int("x", 0, 10, 1)
+            .enumeration("mode", ["a", "b", "c"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_empty() {
+        assert_eq!(
+            SearchSpace::builder().build().unwrap_err(),
+            HarmonyError::EmptySpace
+        );
+        let err = SearchSpace::builder()
+            .int("x", 0, 1, 1)
+            .int("x", 0, 2, 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, HarmonyError::DuplicateParam("x".into()));
+    }
+
+    #[test]
+    fn projection_produces_valid_configuration() {
+        let s = space2d();
+        let cfg = s.project(&[3.7, 1.2]);
+        assert_eq!(cfg.int("x"), Some(4));
+        assert_eq!(cfg.choice("mode"), Some("b"));
+    }
+
+    #[test]
+    fn cardinality_multiplies_dimensions() {
+        assert_eq!(space2d().cardinality(), Some(33));
+        let log = space2d().log10_cardinality().unwrap();
+        assert!((log - 33f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stays_in_domain() {
+        let s = space2d();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let cfg = s.sample(&mut rng);
+            let x = cfg.int("x").unwrap();
+            assert!((0..=10).contains(&x));
+            assert!(cfg.get("mode").unwrap().as_enum_index().unwrap() < 3);
+        }
+    }
+
+    #[test]
+    fn embed_project_roundtrip() {
+        let s = space2d();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let cfg = s.sample(&mut rng);
+            let coords = s.embed(&cfg).unwrap();
+            assert_eq!(s.project(&coords), cfg);
+        }
+    }
+
+    #[test]
+    fn monotone_chain_constraint_is_repaired() {
+        let s = SearchSpace::builder()
+            .int("b1", 0, 100, 1)
+            .int("b2", 0, 100, 1)
+            .int("b3", 0, 100, 1)
+            .constraint(MonotoneChain::new(["b1", "b2", "b3"]))
+            .build()
+            .unwrap();
+        let cfg = s.project(&[80.0, 20.0, 50.0]);
+        let (b1, b2, b3) = (
+            cfg.int("b1").unwrap(),
+            cfg.int("b2").unwrap(),
+            cfg.int("b3").unwrap(),
+        );
+        assert!(b1 <= b2 && b2 <= b3, "{b1} {b2} {b3}");
+        assert!(s.is_valid(&cfg));
+    }
+
+    #[test]
+    fn configuration_from_strs_overrides_named() {
+        let s = space2d();
+        let cfg = s
+            .configuration_from_strs([("mode", "c"), ("x", "9")])
+            .unwrap();
+        assert_eq!(cfg.int("x"), Some(9));
+        assert_eq!(cfg.choice("mode"), Some("c"));
+        assert!(s.configuration_from_strs([("bogus", "1")]).is_err());
+    }
+
+    #[test]
+    fn configuration_set_and_display() {
+        let s = space2d();
+        let mut cfg = s.center();
+        cfg.set("x", ParamValue::Int(2)).unwrap();
+        assert!(cfg.set("nope", ParamValue::Int(1)).is_err());
+        let shown = cfg.to_string();
+        assert!(shown.contains("x=2"));
+    }
+
+    #[test]
+    fn cache_key_distinguishes_configs() {
+        let s = space2d();
+        assert_ne!(
+            s.project(&[1.0, 0.0]).cache_key(),
+            s.project(&[1.0, 1.0]).cache_key()
+        );
+        assert_eq!(
+            s.project(&[1.2, 0.1]).cache_key(),
+            s.project(&[0.8, 0.4]).cache_key()
+        );
+    }
+}

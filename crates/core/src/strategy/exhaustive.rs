@@ -1,0 +1,152 @@
+//! Exhaustive enumeration of every lattice point.
+//!
+//! Only feasible for tiny spaces (the paper notes exhaustive exploration "can
+//! take months of CPU time" for real applications) but invaluable as ground
+//! truth in tests and small experiments such as Figure 2(b).
+
+use super::SearchStrategy;
+use crate::space::SearchSpace;
+use rand::rngs::StdRng;
+
+/// Enumerates all lattice points of a fully discrete space, in mixed-radix
+/// order. Proposes nothing for spaces with continuous dimensions or more
+/// points than `limit`.
+#[derive(Debug)]
+pub struct Exhaustive {
+    limit: u64,
+    counter: Vec<u64>,
+    radix: Vec<u64>,
+    done: bool,
+    started: bool,
+}
+
+impl Default for Exhaustive {
+    fn default() -> Self {
+        Self::new(1_000_000)
+    }
+}
+
+impl Exhaustive {
+    /// Enumerate at most `limit` points (safety valve).
+    pub fn new(limit: u64) -> Self {
+        Exhaustive {
+            limit,
+            counter: Vec::new(),
+            radix: Vec::new(),
+            done: false,
+            started: false,
+        }
+    }
+
+    fn plan(&mut self, space: &SearchSpace) {
+        self.started = true;
+        match space.cardinality() {
+            Some(n) if n <= self.limit => {
+                self.radix = space
+                    .params()
+                    .iter()
+                    .map(|p| p.cardinality().expect("checked discrete"))
+                    .collect();
+                self.counter = vec![0; space.dims()];
+                self.done = false;
+            }
+            _ => {
+                self.done = true;
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        for d in (0..self.counter.len()).rev() {
+            self.counter[d] += 1;
+            if self.counter[d] < self.radix[d] {
+                return;
+            }
+            self.counter[d] = 0;
+        }
+        self.done = true;
+    }
+}
+
+impl SearchStrategy for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn init(&mut self, space: &SearchSpace, _rng: &mut StdRng) {
+        self.plan(space);
+    }
+
+    fn propose(&mut self, space: &SearchSpace, _rng: &mut StdRng) -> Option<Vec<f64>> {
+        if !self.started {
+            self.plan(space);
+        }
+        if self.done {
+            return None;
+        }
+        let p: Vec<f64> = self
+            .counter
+            .iter()
+            .zip(space.params())
+            .map(|(&i, param)| match param {
+                crate::param::Param::Int { min, step, .. } => (min + i as i64 * step) as f64,
+                crate::param::Param::Enum { .. } => i as f64,
+                crate::param::Param::Real { .. } => unreachable!("plan rejects continuous dims"),
+            })
+            .collect();
+        self.advance();
+        Some(p)
+    }
+
+    fn feedback(&mut self, _coords: &[f64], _cost: f64, _space: &SearchSpace, _rng: &mut StdRng) {}
+
+    fn converged(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn visits_every_point_exactly_once() {
+        let s = SearchSpace::builder()
+            .int("a", 2, 6, 2) // 2, 4, 6
+            .enumeration("m", ["p", "q"])
+            .build()
+            .unwrap();
+        let mut e = Exhaustive::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        e.init(&s, &mut rng);
+        let mut seen = HashSet::new();
+        while let Some(p) = e.propose(&s, &mut rng) {
+            assert!(seen.insert(s.project(&p).cache_key()));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn refuses_oversized_spaces() {
+        let s = SearchSpace::builder()
+            .int("a", 0, 1_000_000, 1)
+            .int("b", 0, 1_000_000, 1)
+            .build()
+            .unwrap();
+        let mut e = Exhaustive::new(1000);
+        let mut rng = StdRng::seed_from_u64(0);
+        e.init(&s, &mut rng);
+        assert!(e.propose(&s, &mut rng).is_none());
+    }
+
+    #[test]
+    fn refuses_continuous_spaces() {
+        let s = SearchSpace::builder().real("r", 0.0, 1.0).build().unwrap();
+        let mut e = Exhaustive::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        e.init(&s, &mut rng);
+        assert!(e.propose(&s, &mut rng).is_none());
+    }
+}

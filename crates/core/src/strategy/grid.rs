@@ -1,0 +1,220 @@
+//! Systematic sampling over the whole search space (paper §VI, Figure 6).
+//!
+//! "We also explore the whole search space using systematic sampling (i.e.,
+//! using configurations that are evenly distributed in the whole search
+//! space)." [`GridSearch`] picks `lᵢ` evenly spaced levels per dimension so
+//! that `∏ lᵢ` approaches a target sample budget, and enumerates the
+//! Cartesian product.
+
+use super::SearchStrategy;
+use crate::param::Param;
+use crate::space::SearchSpace;
+use rand::rngs::StdRng;
+
+/// Evenly distributed systematic sampling with a sample budget.
+#[derive(Debug)]
+pub struct GridSearch {
+    target: usize,
+    levels: Vec<Vec<f64>>,
+    /// Mixed-radix counter over the levels.
+    counter: Vec<usize>,
+    done: bool,
+    started: bool,
+}
+
+impl GridSearch {
+    /// Sample approximately `target` evenly distributed configurations.
+    pub fn new(target: usize) -> Self {
+        GridSearch {
+            target: target.max(1),
+            levels: Vec::new(),
+            counter: Vec::new(),
+            done: false,
+            started: false,
+        }
+    }
+
+    /// The exact number of grid points that will be proposed (available
+    /// after `init`).
+    pub fn planned_samples(&self) -> usize {
+        if self.levels.is_empty() {
+            0
+        } else {
+            self.levels.iter().map(Vec::len).product()
+        }
+    }
+
+    fn levels_for(param: &Param, per_dim: usize) -> Vec<f64> {
+        let lo = param.embed_min();
+        let hi = param.embed_max();
+        let card = param.cardinality();
+        // Never plan more levels than the dimension has lattice points.
+        let n = match card {
+            Some(c) => per_dim.min(c as usize),
+            None => per_dim,
+        }
+        .max(1);
+        if n == 1 {
+            return vec![0.5 * (lo + hi)];
+        }
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    fn plan(&mut self, space: &SearchSpace) {
+        let k = space.dims();
+        // Start with floor(target^(1/k)) levels per dimension and grow
+        // greedily while under budget.
+        let mut per_dim = (self.target as f64).powf(1.0 / k as f64).floor() as usize;
+        per_dim = per_dim.max(1);
+        self.levels = space
+            .params()
+            .iter()
+            .map(|p| Self::levels_for(p, per_dim))
+            .collect();
+        // Greedy growth: add a level to the dimension with the fewest levels
+        // while the total stays within the budget.
+        loop {
+            let total: usize = self.levels.iter().map(Vec::len).product();
+            let mut best: Option<(usize, usize)> = None; // (levels, dim)
+            for (d, p) in space.params().iter().enumerate() {
+                let cur = self.levels[d].len();
+                let cap = p.cardinality().map(|c| c as usize).unwrap_or(usize::MAX);
+                if cur >= cap {
+                    continue;
+                }
+                let grown = total / cur * (cur + 1);
+                if grown <= self.target && best.map(|(l, _)| cur < l).unwrap_or(true) {
+                    best = Some((cur, d));
+                }
+            }
+            match best {
+                Some((_, d)) => {
+                    let n = self.levels[d].len() + 1;
+                    self.levels[d] = Self::levels_for(&space.params()[d], n);
+                }
+                None => break,
+            }
+        }
+        self.counter = vec![0; k];
+        self.done = false;
+        self.started = true;
+    }
+
+    fn advance(&mut self) {
+        for d in (0..self.counter.len()).rev() {
+            self.counter[d] += 1;
+            if self.counter[d] < self.levels[d].len() {
+                return;
+            }
+            self.counter[d] = 0;
+        }
+        self.done = true;
+    }
+}
+
+impl SearchStrategy for GridSearch {
+    fn name(&self) -> &'static str {
+        "systematic-sampling"
+    }
+
+    fn init(&mut self, space: &SearchSpace, _rng: &mut StdRng) {
+        self.plan(space);
+    }
+
+    fn propose(&mut self, space: &SearchSpace, _rng: &mut StdRng) -> Option<Vec<f64>> {
+        if !self.started {
+            self.plan(space);
+        }
+        if self.done {
+            return None;
+        }
+        let mut p: Vec<f64> = self
+            .counter
+            .iter()
+            .zip(&self.levels)
+            .map(|(&i, lv)| lv[i])
+            .collect();
+        space.repair(&mut p);
+        self.advance();
+        Some(p)
+    }
+
+    fn feedback(&mut self, _coords: &[f64], _cost: f64, _space: &SearchSpace, _rng: &mut StdRng) {}
+
+    fn converged(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .int("a", 0, 9, 1)
+            .int("b", 0, 9, 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn planned_samples_close_to_target() {
+        let s = space();
+        let mut g = GridSearch::new(36);
+        let mut rng = StdRng::seed_from_u64(0);
+        g.init(&s, &mut rng);
+        let n = g.planned_samples();
+        assert!((25..=36).contains(&n), "planned={n}");
+    }
+
+    #[test]
+    fn enumerates_without_duplicates_and_terminates() {
+        let s = space();
+        let mut g = GridSearch::new(25);
+        let mut rng = StdRng::seed_from_u64(0);
+        g.init(&s, &mut rng);
+        let mut seen = HashSet::new();
+        let mut count = 0;
+        while let Some(p) = g.propose(&s, &mut rng) {
+            let cfg = s.project(&p);
+            seen.insert(cfg.cache_key());
+            count += 1;
+            assert!(count <= 25, "grid overshot its budget");
+        }
+        assert_eq!(count, g.planned_samples());
+        assert_eq!(seen.len(), count, "grid points projected onto duplicates");
+        assert!(g.converged());
+    }
+
+    #[test]
+    fn respects_small_cardinality_dimensions() {
+        let s = SearchSpace::builder()
+            .enumeration("mode", ["x", "y"]) // only 2 points
+            .int("n", 0, 99, 1)
+            .build()
+            .unwrap();
+        let mut g = GridSearch::new(1000);
+        let mut rng = StdRng::seed_from_u64(0);
+        g.init(&s, &mut rng);
+        // 2 levels max on the enum; remaining budget goes to `n`.
+        assert!(g.planned_samples() <= 1000);
+        assert!(g.planned_samples() >= 2 * 100); // n fully expands to 100 levels
+    }
+
+    #[test]
+    fn single_point_budget_yields_center() {
+        let s = space();
+        let mut g = GridSearch::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        g.init(&s, &mut rng);
+        let p = g.propose(&s, &mut rng).unwrap();
+        let cfg = s.project(&p);
+        assert_eq!(cfg.int("a"), Some(5));
+        assert!(g.propose(&s, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Search strategies (the adaptation controller's tuning algorithms).
+//!
+//! The kernel of Active Harmony's adaptation controller is the Nelder–Mead
+//! simplex method adapted to discrete spaces ([`NelderMead`]); the other
+//! strategies are the baselines the paper compares against or uses to map
+//! the search space ([`RandomSearch`], systematic sampling [`GridSearch`],
+//! and [`Exhaustive`] enumeration).
+//!
+//! All strategies implement an *ask–tell* interface over continuous
+//! coordinates: [`SearchStrategy::propose`] yields a candidate point in the
+//! continuous embedding, the session projects it to the nearest valid
+//! configuration and measures it, then [`SearchStrategy::feedback`] reports
+//! the measured cost (of the projected point — the paper's "resulting values
+//! from the nearest integer point" approximation).
+
+mod exhaustive;
+mod greedy;
+mod grid;
+mod nelder_mead;
+pub mod pro;
+mod random;
+
+pub use exhaustive::Exhaustive;
+pub use greedy::{GreedyFrom, GreedyOneParam, GreedyOptions};
+pub use grid::GridSearch;
+pub use nelder_mead::{NelderMead, NelderMeadOptions, StartPoint};
+pub use pro::{ParallelRankOrder, ProOptions};
+pub use random::RandomSearch;
+
+use crate::space::SearchSpace;
+use rand::rngs::StdRng;
+
+/// Ask–tell interface implemented by every tuning algorithm.
+pub trait SearchStrategy: Send {
+    /// Short identifier for reports (e.g. `"nelder-mead"`).
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first proposal.
+    fn init(&mut self, space: &SearchSpace, rng: &mut StdRng);
+
+    /// Next candidate point in the continuous embedding, or `None` when the
+    /// strategy has exhausted its plan (finite strategies only).
+    fn propose(&mut self, space: &SearchSpace, rng: &mut StdRng) -> Option<Vec<f64>>;
+
+    /// Report the measured cost of the most recent proposal.
+    ///
+    /// `coords` are the continuous coordinates that were proposed (not the
+    /// projected lattice point): the simplex keeps moving in continuous
+    /// space while costs come from the nearest valid configuration.
+    fn feedback(&mut self, coords: &[f64], cost: f64, space: &SearchSpace, rng: &mut StdRng);
+
+    /// Whether the strategy considers itself converged (optional).
+    fn converged(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use crate::space::SearchSpace;
+    use rand::SeedableRng;
+
+    /// Drive a strategy against a closed-form objective; returns best cost.
+    pub fn drive<F>(
+        strategy: &mut dyn SearchStrategy,
+        space: &SearchSpace,
+        max_evals: usize,
+        mut f: F,
+    ) -> f64
+    where
+        F: FnMut(&crate::space::Configuration) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(12345);
+        strategy.init(space, &mut rng);
+        let mut best = f64::INFINITY;
+        for _ in 0..max_evals {
+            let Some(coords) = strategy.propose(space, &mut rng) else {
+                break;
+            };
+            let cfg = space.project(&coords);
+            let cost = f(&cfg);
+            best = best.min(cost);
+            strategy.feedback(&coords, cost, space, &mut rng);
+        }
+        best
+    }
+}

@@ -1,0 +1,86 @@
+//! Uniform random sampling baseline.
+
+use super::SearchStrategy;
+use crate::space::SearchSpace;
+use rand::rngs::StdRng;
+
+/// Proposes independent uniform random points. The simplest baseline the
+/// intelligent simplex search must beat (paper §VII: "Active Harmony searches
+/// for a good configuration intelligently to reduce the tuning time").
+#[derive(Debug, Default)]
+pub struct RandomSearch {
+    proposals: usize,
+}
+
+impl RandomSearch {
+    /// Create a random-search baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many points have been proposed.
+    pub fn proposals(&self) -> usize {
+        self.proposals
+    }
+}
+
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn init(&mut self, _space: &SearchSpace, _rng: &mut StdRng) {
+        self.proposals = 0;
+    }
+
+    fn propose(&mut self, space: &SearchSpace, rng: &mut StdRng) -> Option<Vec<f64>> {
+        self.proposals += 1;
+        let mut p = space.sample_coords(rng);
+        space.repair(&mut p);
+        Some(p)
+    }
+
+    fn feedback(&mut self, _coords: &[f64], _cost: f64, _space: &SearchSpace, _rng: &mut StdRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_util::drive;
+
+    #[test]
+    fn random_search_eventually_finds_good_points() {
+        let space = SearchSpace::builder()
+            .int("x", 0, 20, 1)
+            .int("y", 0, 20, 1)
+            .build()
+            .unwrap();
+        let mut rs = RandomSearch::new();
+        let best = drive(&mut rs, &space, 400, |cfg| {
+            let x = cfg.int("x").unwrap() as f64;
+            let y = cfg.int("y").unwrap() as f64;
+            (x - 5.0).abs() + (y - 15.0).abs()
+        });
+        assert!(best <= 2.0, "best={best}");
+        assert_eq!(rs.proposals(), 400);
+    }
+
+    #[test]
+    fn proposals_respect_constraints() {
+        use crate::constraint::MonotoneChain;
+        let space = SearchSpace::builder()
+            .int("a", 0, 100, 1)
+            .int("b", 0, 100, 1)
+            .constraint(MonotoneChain::new(["a", "b"]))
+            .build()
+            .unwrap();
+        let mut rs = RandomSearch::new();
+        let mut rng = rand::SeedableRng::seed_from_u64(9);
+        rs.init(&space, &mut rng);
+        for _ in 0..200 {
+            let p = rs.propose(&space, &mut rng).unwrap();
+            let cfg = space.project(&p);
+            assert!(cfg.int("a").unwrap() <= cfg.int("b").unwrap());
+        }
+    }
+}

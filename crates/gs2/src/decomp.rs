@@ -1,0 +1,239 @@
+//! Decomposition of the 5-D index space and exact redistribution volumes.
+//!
+//! The flattened index space (ordered by the [`Layout`]) is cut into `P`
+//! contiguous chunks of `⌈N/P⌉` elements. A phase that needs a set of
+//! dimensions `D` local (e.g. `{x, y}` for the field solve) requires every
+//! *pencil* — the sub-array spanned by `D` at fixed other coordinates — to
+//! reside on a single processor. [`locality`] walks the whole index space
+//! and counts exactly how many elements already live on their pencil's home
+//! processor; the remainder is the redistribution volume.
+
+use crate::layout::{Dim, Layout};
+
+/// Sizes of the five dimensions in canonical `x y l e s` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimSizes {
+    /// x size.
+    pub x: usize,
+    /// y size.
+    pub y: usize,
+    /// l size.
+    pub l: usize,
+    /// e size (`negrid`).
+    pub e: usize,
+    /// s size (species).
+    pub s: usize,
+}
+
+impl DimSizes {
+    /// Size of one dimension.
+    pub fn of(&self, d: Dim) -> usize {
+        match d {
+            Dim::X => self.x,
+            Dim::Y => self.y,
+            Dim::L => self.l,
+            Dim::E => self.e,
+            Dim::S => self.s,
+        }
+    }
+
+    /// Total number of elements.
+    pub fn total(&self) -> usize {
+        self.x * self.y * self.l * self.e * self.s
+    }
+}
+
+/// A concrete decomposition: layout + sizes + processor count.
+#[derive(Debug, Clone, Copy)]
+pub struct Decomposition {
+    /// The data layout.
+    pub layout: Layout,
+    /// The dimension sizes.
+    pub sizes: DimSizes,
+    /// Processor count.
+    pub procs: usize,
+}
+
+impl Decomposition {
+    /// Create a decomposition. `procs ≥ 1`.
+    pub fn new(layout: Layout, sizes: DimSizes, procs: usize) -> Self {
+        assert!(procs >= 1);
+        Decomposition {
+            layout,
+            sizes,
+            procs,
+        }
+    }
+
+    /// Elements per chunk (the last processor's chunk may be smaller; extra
+    /// processors beyond `N` elements idle).
+    pub fn chunk(&self) -> usize {
+        self.sizes.total().div_ceil(self.procs)
+    }
+
+    /// Owner of a flattened element index.
+    pub fn owner(&self, flat: usize) -> usize {
+        flat / self.chunk()
+    }
+
+    /// Number of processors that actually own elements.
+    pub fn active_procs(&self) -> usize {
+        self.sizes.total().div_ceil(self.chunk()).min(self.procs)
+    }
+
+    /// Load balance: the largest per-processor load (the chunk) relative to
+    /// the ideal `N / procs` share; `1.0` means perfectly even, and ragged
+    /// or idle-processor decompositions score higher.
+    pub fn balance_penalty(&self) -> f64 {
+        let n = self.sizes.total() as f64;
+        let chunk = self.chunk() as f64;
+        chunk * self.procs as f64 / n
+    }
+}
+
+/// Fraction of elements already resident on their pencil-home processor for
+/// a phase needing dimensions `needed` local. `1.0` = no redistribution.
+///
+/// Exact: walks all `N` elements of the index space.
+pub fn locality(d: &Decomposition, needed: &[Dim]) -> f64 {
+    let order = d.layout.dims();
+    let sizes: [usize; 5] = std::array::from_fn(|i| d.sizes.of(order[i]));
+    let mask: [bool; 5] = std::array::from_fn(|i| needed.contains(&order[i]));
+    let n = d.sizes.total();
+    if n == 0 {
+        return 1.0;
+    }
+    // Strides of each layout position in the flattened index.
+    let mut strides = [0usize; 5];
+    let mut acc = 1usize;
+    for i in 0..5 {
+        strides[i] = acc;
+        acc *= sizes[i];
+    }
+    let mut local = 0usize;
+    let mut coords = [0usize; 5];
+    for flat in 0..n {
+        // Home of this element's pencil: same coords with needed dims zeroed.
+        let mut home_flat = flat;
+        for i in 0..5 {
+            if mask[i] {
+                home_flat -= coords[i] * strides[i];
+            }
+        }
+        if d.owner(flat) == d.owner(home_flat) {
+            local += 1;
+        }
+        // Increment mixed-radix coordinates.
+        for i in 0..5 {
+            coords[i] += 1;
+            if coords[i] < sizes[i] {
+                break;
+            }
+            coords[i] = 0;
+        }
+    }
+    local as f64 / n as f64
+}
+
+/// Elements that must move for the phase (the alltoall volume).
+pub fn redistribution_volume(d: &Decomposition, needed: &[Dim]) -> usize {
+    let n = d.sizes.total();
+    ((1.0 - locality(d, needed)) * n as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> DimSizes {
+        DimSizes {
+            x: 8,
+            y: 4,
+            l: 8,
+            e: 4,
+            s: 2,
+        }
+    }
+
+    fn layout(s: &str) -> Layout {
+        s.parse().expect("test layout parses")
+    }
+
+    #[test]
+    fn chunking_covers_everything() {
+        let d = Decomposition::new(layout("lxyes"), sizes(), 16);
+        assert_eq!(d.sizes.total(), 2048);
+        assert_eq!(d.chunk(), 128);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(2047), 15);
+        assert_eq!(d.active_procs(), 16);
+    }
+
+    #[test]
+    fn leading_dims_with_dividing_chunk_are_fully_local() {
+        // Layout yx...: x*y = 32 elements per pencil; chunk 128 is a
+        // multiple, so every x-y pencil is wholly on one processor.
+        let d = Decomposition::new(layout("yxles"), sizes(), 16);
+        assert_eq!(locality(&d, &[Dim::X, Dim::Y]), 1.0);
+        assert_eq!(redistribution_volume(&d, &[Dim::X, Dim::Y]), 0);
+    }
+
+    #[test]
+    fn trailing_dims_are_mostly_remote() {
+        // In lxyes the x-y pencil is strided across l; most of each pencil
+        // lives away from its home processor.
+        let d = Decomposition::new(layout("lxyes"), sizes(), 16);
+        let loc = locality(&d, &[Dim::X, Dim::Y]);
+        assert!(loc <= 0.6, "locality {loc}");
+        assert!(loc >= 0.1, "locality {loc}");
+    }
+
+    #[test]
+    fn default_layout_favours_collisions_over_field_solve() {
+        // lxyes keeps l fastest: pitch-angle (Lorentz collision) pencils are
+        // perfectly local, x-y planes are not; yxles is the reverse.
+        let dl = Decomposition::new(layout("lxyes"), sizes(), 16);
+        let dy = Decomposition::new(layout("yxles"), sizes(), 16);
+        let coll = [Dim::L];
+        let xy = [Dim::X, Dim::Y];
+        assert_eq!(locality(&dl, &coll), 1.0);
+        assert!(locality(&dl, &xy) < 1.0);
+        assert_eq!(locality(&dy, &xy), 1.0);
+        assert!(locality(&dy, &coll) < 1.0);
+        assert!(locality(&dl, &coll) > locality(&dl, &xy));
+        assert!(locality(&dy, &xy) > locality(&dy, &coll));
+    }
+
+    #[test]
+    fn locality_degrades_when_procs_do_not_divide() {
+        // 16 procs divide 2048 evenly; 12 procs cut pencils raggedly.
+        let aligned = Decomposition::new(layout("yxles"), sizes(), 16);
+        let ragged = Decomposition::new(layout("yxles"), sizes(), 12);
+        let xy = [Dim::X, Dim::Y];
+        assert!(locality(&ragged, &xy) < locality(&aligned, &xy));
+    }
+
+    #[test]
+    fn needing_nothing_is_always_local() {
+        let d = Decomposition::new(layout("lxyes"), sizes(), 16);
+        assert_eq!(locality(&d, &[]), 1.0);
+    }
+
+    #[test]
+    fn needing_everything_is_local_only_on_one_proc() {
+        let all = Dim::ALL;
+        let one = Decomposition::new(layout("lxyes"), sizes(), 1);
+        assert_eq!(locality(&one, &all), 1.0);
+        let many = Decomposition::new(layout("lxyes"), sizes(), 16);
+        // Everything must gather to processor 0's chunk.
+        assert!(locality(&many, &all) <= 1.0 / 16.0 + 1e-9);
+    }
+
+    #[test]
+    fn balance_penalty_grows_with_ragged_chunks() {
+        let even = Decomposition::new(layout("lxyes"), sizes(), 16);
+        assert!((even.balance_penalty() - 1.0).abs() < 1e-12);
+        let ragged = Decomposition::new(layout("lxyes"), sizes(), 17);
+        assert!(ragged.balance_penalty() > 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! GS2 data layouts: orderings of the five distributed dimensions.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the five distributed dimensions of the GS2 index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Spectral/spatial x.
+    X,
+    /// Spectral/spatial y.
+    Y,
+    /// Pitch angle λ.
+    L,
+    /// Energy.
+    E,
+    /// Particle species.
+    S,
+}
+
+impl Dim {
+    /// All dimensions, in canonical `x y l e s` order.
+    pub const ALL: [Dim; 5] = [Dim::X, Dim::Y, Dim::L, Dim::E, Dim::S];
+
+    /// The layout letter.
+    pub fn letter(self) -> char {
+        match self {
+            Dim::X => 'x',
+            Dim::Y => 'y',
+            Dim::L => 'l',
+            Dim::E => 'e',
+            Dim::S => 's',
+        }
+    }
+
+    /// Parse a layout letter.
+    pub fn from_letter(c: char) -> Option<Dim> {
+        match c {
+            'x' => Some(Dim::X),
+            'y' => Some(Dim::Y),
+            'l' => Some(Dim::L),
+            'e' => Some(Dim::E),
+            's' => Some(Dim::S),
+            _ => None,
+        }
+    }
+}
+
+/// A data layout: a permutation of the five dimensions. The first dimension
+/// varies fastest in the flattened index space (it is the innermost,
+/// contiguous one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Layout {
+    dims: [Dim; 5],
+}
+
+impl Layout {
+    /// GS2's shipped default layout.
+    pub const DEFAULT: &'static str = "lxyes";
+
+    /// Build from an ordered dimension array.
+    pub fn new(dims: [Dim; 5]) -> Self {
+        debug_assert!(
+            Dim::ALL.iter().all(|d| dims.contains(d)),
+            "layout must be a permutation"
+        );
+        Layout { dims }
+    }
+
+    /// The dimension order, fastest first.
+    pub fn dims(&self) -> &[Dim; 5] {
+        &self.dims
+    }
+
+    /// Position of a dimension in the layout (0 = fastest varying).
+    pub fn position(&self, d: Dim) -> usize {
+        self.dims
+            .iter()
+            .position(|&x| x == d)
+            .expect("layout contains every dimension")
+    }
+
+    /// All 120 layouts, in lexicographic order of their strings.
+    pub fn all() -> Vec<Layout> {
+        let mut out = Vec::with_capacity(120);
+        let mut dims = Dim::ALL;
+        permute(&mut dims, 0, &mut out);
+        out.sort_by_key(|l| l.to_string());
+        out
+    }
+
+    /// The handful of layouts Figure 5 compares.
+    pub fn paper_candidates() -> Vec<Layout> {
+        ["lxyes", "yxles", "yxels", "xyles", "lyxes", "exyls"]
+            .iter()
+            .map(|s| s.parse().expect("candidate layouts parse"))
+            .collect()
+    }
+}
+
+fn permute(dims: &mut [Dim; 5], k: usize, out: &mut Vec<Layout>) {
+    if k == 5 {
+        out.push(Layout::new(*dims));
+        return;
+    }
+    for i in k..5 {
+        dims.swap(k, i);
+        permute(dims, k + 1, out);
+        dims.swap(k, i);
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.dims {
+            write!(f, "{}", d.letter())?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a layout string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayoutError(pub String);
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid layout `{}`: need a permutation of xyles", self.0)
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+impl FromStr for Layout {
+    type Err = ParseLayoutError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseLayoutError(s.to_string());
+        if s.len() != 5 {
+            return Err(err());
+        }
+        let mut dims = [Dim::X; 5];
+        for (i, c) in s.chars().enumerate() {
+            dims[i] = Dim::from_letter(c).ok_or_else(err)?;
+        }
+        for d in Dim::ALL {
+            if !dims.contains(&d) {
+                return Err(err());
+            }
+        }
+        Ok(Layout::new(dims))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["lxyes", "yxles", "yxels", "sxyel"] {
+            let l: Layout = s.parse().unwrap();
+            assert_eq!(l.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn bad_strings_are_rejected() {
+        assert!("lxye".parse::<Layout>().is_err()); // too short
+        assert!("lxyez".parse::<Layout>().is_err()); // bad letter
+        assert!("llxye".parse::<Layout>().is_err()); // repeat
+    }
+
+    #[test]
+    fn positions_match_string_order() {
+        let l: Layout = "yxles".parse().unwrap();
+        assert_eq!(l.position(Dim::Y), 0);
+        assert_eq!(l.position(Dim::X), 1);
+        assert_eq!(l.position(Dim::S), 4);
+    }
+
+    #[test]
+    fn all_layouts_are_120_unique_permutations() {
+        let all = Layout::all();
+        assert_eq!(all.len(), 120);
+        let set: std::collections::HashSet<String> =
+            all.iter().map(|l| l.to_string()).collect();
+        assert_eq!(set.len(), 120);
+        assert!(set.contains("lxyes"));
+        assert!(set.contains("yxles"));
+    }
+
+    #[test]
+    fn paper_candidates_include_default_and_winners() {
+        let c = Layout::paper_candidates();
+        let strs: Vec<String> = c.iter().map(|l| l.to_string()).collect();
+        assert!(strs.contains(&"lxyes".to_string()));
+        assert!(strs.contains(&"yxles".to_string()));
+        assert!(strs.contains(&"yxels".to_string()));
+    }
+}

@@ -1,0 +1,453 @@
+//! Active Harmony adapters for the GS2 experiments.
+//!
+//! * [`Gs2LayoutApp`] — data-layout tuning (§VI first part, Figure 5): one
+//!   categorical parameter over all 120 layout permutations;
+//! * [`Gs2ResolutionApp`] — `(negrid, ntheta, nodes)` tuning at a fixed
+//!   layout (Tables III and IV), the three parameters "identified by the
+//!   application developer who is the expert with domain knowledge".
+
+use crate::layout::Layout;
+use crate::model::{Gs2Config, Gs2Model};
+use ah_clustersim::NoiseModel;
+use ah_core::offline::{RunMeasurement, ShortRunApp};
+use ah_core::space::{Configuration, SearchSpace};
+
+/// Data-layout tuning application.
+pub struct Gs2LayoutApp {
+    model: Gs2Model,
+    base: Gs2Config,
+    steps: usize,
+    layouts: Vec<Layout>,
+    noise: NoiseModel,
+    runs: usize,
+}
+
+impl Gs2LayoutApp {
+    /// Tune the layout of `base` over representative runs of `steps` steps.
+    pub fn new(model: Gs2Model, base: Gs2Config, steps: usize) -> Self {
+        Gs2LayoutApp {
+            model,
+            base,
+            steps,
+            layouts: Layout::all(),
+            noise: NoiseModel::none(),
+            runs: 0,
+        }
+    }
+
+    /// Restrict the layout menu (e.g. to the Figure 5 candidates).
+    pub fn with_layouts(mut self, layouts: Vec<Layout>) -> Self {
+        assert!(!layouts.is_empty());
+        self.layouts = layouts;
+        self
+    }
+
+    /// Add measurement noise.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise = NoiseModel::new(sigma, seed);
+        self
+    }
+
+    /// Short runs performed so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Run time of a specific layout under the base configuration.
+    pub fn time_of(&self, layout: Layout) -> f64 {
+        let cfg = Gs2Config {
+            layout,
+            ..self.base
+        };
+        self.model.run_time(&cfg, self.steps)
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Gs2Model {
+        &self.model
+    }
+}
+
+impl ShortRunApp for Gs2LayoutApp {
+    fn space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .enumeration("layout", self.layouts.iter().map(|l| l.to_string()))
+            .build()
+            .expect("layout space is valid")
+    }
+
+    fn default_config(&self) -> Configuration {
+        let space = self.space();
+        let default = self.base.layout.to_string();
+        space
+            .configuration_from_strs([("layout", default.as_str())])
+            .unwrap_or_else(|_| space.center())
+    }
+
+    fn run_short(&mut self, config: &Configuration) -> RunMeasurement {
+        self.runs += 1;
+        let layout: Layout = config
+            .choice("layout")
+            .expect("layout param present")
+            .parse()
+            .expect("layout labels are valid");
+        RunMeasurement::pure(self.noise.apply(self.time_of(layout)))
+    }
+}
+
+/// `(negrid, ntheta, nodes)` tuning application.
+pub struct Gs2ResolutionApp {
+    model: Gs2Model,
+    base: Gs2Config,
+    steps: usize,
+    noise: NoiseModel,
+    /// Inclusive `negrid` range (paper: resolutions the developer accepts).
+    pub negrid_range: (i64, i64),
+    /// Inclusive `ntheta` range and its lattice stride.
+    pub ntheta_range: (i64, i64, i64),
+    /// Inclusive `nodes` range.
+    pub nodes_range: (i64, i64),
+    runs: usize,
+}
+
+impl Gs2ResolutionApp {
+    /// Tune `(negrid, ntheta, nodes)` at `base.layout`, with `steps`-step
+    /// representative runs.
+    pub fn new(model: Gs2Model, base: Gs2Config, steps: usize) -> Self {
+        let max_nodes = model.max_nodes as i64;
+        Gs2ResolutionApp {
+            model,
+            base,
+            steps,
+            noise: NoiseModel::none(),
+            // Ranges the application developer accepts as producing valid
+            // simulation resolutions (paper: "all the parameter value
+            // ranges used for tuning ... will generate acceptable
+            // simulation resolutions"; the systematic-sampling best used
+            // negrid 8 and ntheta 16).
+            negrid_range: (8, 32),
+            ntheta_range: (16, 50, 2),
+            nodes_range: (1, max_nodes),
+            runs: 0,
+        }
+    }
+
+    /// Add measurement noise.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise = NoiseModel::new(sigma, seed);
+        self
+    }
+
+    /// Short runs performed so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Decode a configuration.
+    pub fn config_of(&self, cfg: &Configuration) -> Gs2Config {
+        Gs2Config {
+            negrid: cfg.int("negrid").expect("negrid present") as usize,
+            ntheta: cfg.int("ntheta").expect("ntheta present") as usize,
+            nodes: cfg.int("nodes").expect("nodes present") as usize,
+            ..self.base
+        }
+    }
+
+    /// Run time of an explicit `(negrid, ntheta, nodes)` triple.
+    pub fn time_of(&self, negrid: usize, ntheta: usize, nodes: usize) -> f64 {
+        let cfg = Gs2Config {
+            negrid,
+            ntheta,
+            nodes,
+            ..self.base
+        };
+        self.model.run_time(&cfg, self.steps)
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Gs2Model {
+        &self.model
+    }
+}
+
+impl ShortRunApp for Gs2ResolutionApp {
+    fn space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .int("negrid", self.negrid_range.0, self.negrid_range.1, 1)
+            .int(
+                "ntheta",
+                self.ntheta_range.0,
+                self.ntheta_range.1,
+                self.ntheta_range.2,
+            )
+            .int("nodes", self.nodes_range.0, self.nodes_range.1, 1)
+            .build()
+            .expect("resolution space is valid")
+    }
+
+    fn default_config(&self) -> Configuration {
+        self.space().project(&[
+            self.base.negrid as f64,
+            self.base.ntheta as f64,
+            self.base.nodes as f64,
+        ])
+    }
+
+    fn run_short(&mut self, config: &Configuration) -> RunMeasurement {
+        self.runs += 1;
+        let cfg = self.config_of(config);
+        RunMeasurement::pure(self.noise.apply(self.model.run_time(&cfg, self.steps)))
+    }
+}
+
+/// Combined layout + resolution tuning application (§VI conclusion: "Taken
+/// together these two techniques reduced the runtime of GS2 by a factor of
+/// 5.1"). One categorical layout dimension plus the three resolution
+/// integers, searched jointly.
+pub struct Gs2CombinedApp {
+    model: Gs2Model,
+    base: Gs2Config,
+    steps: usize,
+    layouts: Vec<Layout>,
+    noise: NoiseModel,
+    /// Inclusive `negrid` range.
+    pub negrid_range: (i64, i64),
+    /// Inclusive `ntheta` range and stride.
+    pub ntheta_range: (i64, i64, i64),
+    /// Inclusive `nodes` range.
+    pub nodes_range: (i64, i64),
+    runs: usize,
+}
+
+impl Gs2CombinedApp {
+    /// Tune layout and `(negrid, ntheta, nodes)` together.
+    pub fn new(model: Gs2Model, base: Gs2Config, steps: usize) -> Self {
+        let max_nodes = model.max_nodes as i64;
+        Gs2CombinedApp {
+            model,
+            base,
+            steps,
+            layouts: Layout::all(),
+            noise: NoiseModel::none(),
+            negrid_range: (8, 32),
+            ntheta_range: (16, 50, 2),
+            nodes_range: (1, max_nodes),
+            runs: 0,
+        }
+    }
+
+    /// Restrict the layout menu.
+    pub fn with_layouts(mut self, layouts: Vec<Layout>) -> Self {
+        assert!(!layouts.is_empty());
+        self.layouts = layouts;
+        self
+    }
+
+    /// Add measurement noise.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise = NoiseModel::new(sigma, seed);
+        self
+    }
+
+    /// Short runs performed so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Decode a configuration of this app's space.
+    pub fn config_of(&self, cfg: &Configuration) -> Gs2Config {
+        Gs2Config {
+            layout: cfg
+                .choice("layout")
+                .expect("layout present")
+                .parse()
+                .expect("layout labels valid"),
+            negrid: cfg.int("negrid").expect("negrid present") as usize,
+            ntheta: cfg.int("ntheta").expect("ntheta present") as usize,
+            nodes: cfg.int("nodes").expect("nodes present") as usize,
+            ..self.base
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Gs2Model {
+        &self.model
+    }
+}
+
+impl ShortRunApp for Gs2CombinedApp {
+    fn space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .enumeration("layout", self.layouts.iter().map(|l| l.to_string()))
+            .int("negrid", self.negrid_range.0, self.negrid_range.1, 1)
+            .int(
+                "ntheta",
+                self.ntheta_range.0,
+                self.ntheta_range.1,
+                self.ntheta_range.2,
+            )
+            .int("nodes", self.nodes_range.0, self.nodes_range.1, 1)
+            .build()
+            .expect("combined space is valid")
+    }
+
+    fn default_config(&self) -> Configuration {
+        let space = self.space();
+        let layout = self.base.layout.to_string();
+        let mut cfg = space
+            .configuration_from_strs([("layout", layout.as_str())])
+            .unwrap_or_else(|_| space.center());
+        cfg.set("negrid", ah_core::value::ParamValue::Int(self.base.negrid as i64))
+            .expect("negrid present");
+        cfg.set("ntheta", ah_core::value::ParamValue::Int(self.base.ntheta as i64))
+            .expect("ntheta present");
+        cfg.set("nodes", ah_core::value::ParamValue::Int(self.base.nodes as i64))
+            .expect("nodes present");
+        cfg
+    }
+
+    fn run_short(&mut self, config: &Configuration) -> RunMeasurement {
+        self.runs += 1;
+        let cfg = self.config_of(config);
+        RunMeasurement::pure(self.noise.apply(self.model.run_time(&cfg, self.steps)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_core::offline::OfflineTuner;
+    use ah_core::session::SessionOptions;
+    use ah_core::strategy::{NelderMead, NelderMeadOptions, StartPoint};
+
+    fn model() -> Gs2Model {
+        let mut m = Gs2Model::on_seaborg(16, 16);
+        // Shrink the problem so exact locality scans stay fast in tests.
+        m.nx = 16;
+        m.ny = 8;
+        m.nl = 16;
+        m
+    }
+
+    fn base() -> Gs2Config {
+        Gs2Config {
+            nodes: 8,
+            ..Gs2Config::paper_default()
+        }
+    }
+
+    #[test]
+    fn layout_tuning_finds_a_fast_layout() {
+        let mut app = Gs2LayoutApp::new(model(), base(), 10);
+        let default_time = app.time_of(base().layout);
+        let tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 60,
+            seed: 61,
+            ..Default::default()
+        });
+        let out = tuner.tune(&mut app, Box::new(NelderMead::default()));
+        assert!(
+            out.result.best_cost < default_time * 0.7,
+            "tuned {} vs default {default_time}",
+            out.result.best_cost
+        );
+    }
+
+    #[test]
+    fn restricted_menu_tunes_over_paper_candidates() {
+        let mut app = Gs2LayoutApp::new(model(), base(), 10)
+            .with_layouts(Layout::paper_candidates());
+        let space = app.space();
+        assert_eq!(space.cardinality(), Some(6));
+        let tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 12,
+            seed: 62,
+            ..Default::default()
+        });
+        let out = tuner.tune(&mut app, Box::new(NelderMead::default()));
+        let best_layout = out.result.best_config.choice("layout").unwrap();
+        assert_ne!(best_layout, "lxyes", "tuning should leave the default");
+    }
+
+    #[test]
+    fn resolution_tuning_improves_benchmark_run() {
+        let mut app = Gs2ResolutionApp::new(model(), base(), 10);
+        let tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 40,
+            seed: 63,
+            ..Default::default()
+        });
+        let strategy = NelderMead::new(NelderMeadOptions {
+            start: StartPoint::Coords(vec![16.0, 26.0, 8.0]),
+            ..Default::default()
+        });
+        let out = tuner.tune(&mut app, Box::new(strategy));
+        assert!(
+            out.improvement_pct() > 10.0,
+            "improvement {}%",
+            out.improvement_pct()
+        );
+    }
+
+    #[test]
+    fn resolution_space_matches_declared_ranges() {
+        let app = Gs2ResolutionApp::new(model(), base(), 1);
+        let space = app.space();
+        let cfg = space.project(&[100.0, 100.0, 100.0]);
+        assert_eq!(cfg.int("negrid"), Some(32));
+        assert_eq!(cfg.int("ntheta"), Some(50));
+        assert_eq!(cfg.int("nodes"), Some(16));
+        let cfg = app.default_config();
+        assert_eq!(app.config_of(&cfg).negrid, 16);
+    }
+
+    #[test]
+    fn combined_tuning_beats_either_technique_alone() {
+        let m = model();
+        let base = base();
+        // Layout-only gain.
+        let mut layout_app = Gs2LayoutApp::new(m.clone(), base, 10);
+        let layout_out = OfflineTuner::new(SessionOptions {
+            max_evaluations: 40,
+            seed: 71,
+            ..Default::default()
+        })
+        .tune(&mut layout_app, Box::new(NelderMead::default()));
+        // Combined gain.
+        let mut combined_app = Gs2CombinedApp::new(m, base, 10);
+        let combined_out = OfflineTuner::new(SessionOptions {
+            max_evaluations: 80,
+            seed: 72,
+            ..Default::default()
+        })
+        .tune(&mut combined_app, Box::new(NelderMead::default()));
+        assert!(
+            combined_out.result.best_cost <= layout_out.result.best_cost * 1.02,
+            "combined {} vs layout-only {}",
+            combined_out.result.best_cost,
+            layout_out.result.best_cost
+        );
+        assert!(combined_out.speedup() > layout_out.speedup() * 0.98);
+    }
+
+    #[test]
+    fn combined_default_config_matches_base() {
+        let app = Gs2CombinedApp::new(model(), base(), 1);
+        let cfg = app.default_config();
+        assert_eq!(cfg.choice("layout"), Some("lxyes"));
+        assert_eq!(cfg.int("negrid"), Some(16));
+        assert_eq!(cfg.int("ntheta"), Some(26));
+        assert_eq!(cfg.int("nodes"), Some(8));
+        let decoded = app.config_of(&cfg);
+        assert_eq!(decoded.negrid, 16);
+    }
+
+    #[test]
+    fn run_counter_tracks_short_runs() {
+        let mut app = Gs2LayoutApp::new(model(), base(), 1);
+        let cfg = app.default_config();
+        app.run_short(&cfg);
+        app.run_short(&cfg);
+        assert_eq!(app.runs(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ah-petsc — a PETSc-like solver facade over the simulated machine
+//!
+//! Reproduces the two PETSc case studies of the HPDC'06 Active Harmony
+//! paper:
+//!
+//! * [`sles`] — a distributed linear-equation-solver object whose execution
+//!   time on a simulated [`Machine`](ah_clustersim::Machine) is derived from
+//!   the *real* sparse-matrix structure and a tunable row decomposition
+//!   (paper Figure 2: matrix-decomposition tuning, 18% improvement on a
+//!   21,025² system over 32 processors);
+//! * [`snes`] — a Newton nonlinear solver plus the driven-cavity
+//!   computation-distribution model (paper Figure 3: grid-point distribution
+//!   across homogeneous vs. heterogeneous nodes, 11.5% on 40,000 points);
+//! * [`tunable`] — adapters exposing both as Active Harmony
+//!   [`ShortRunApp`](ah_core::offline::ShortRunApp)s with the paper's
+//!   dependent-variable boundary constraints.
+
+#![warn(missing_docs)]
+
+pub mod sles;
+pub mod snes;
+pub mod tunable;
+
+pub use sles::{SlesProblem, SlesRun};
+pub use snes::{newton_solve, DrivenCavity, NewtonOutcome, NonlinearPoisson};
+pub use tunable::{CavityDistributionApp, SlesDecompositionApp};

@@ -1,0 +1,339 @@
+//! Active Harmony adapters for the PETSc examples.
+//!
+//! The paper reports that making each PETSc example tunable took "about 10
+//! lines of modifications"; these adapters are those ten lines — they expose
+//! decomposition boundaries as Harmony integer parameters with the
+//! monotone-chain dependent-variable constraint, and implement
+//! [`ShortRunApp`] so the off-line tuner can drive representative short
+//! runs.
+
+use crate::sles::SlesProblem;
+use crate::snes::DrivenCavity;
+use ah_clustersim::NoiseModel;
+use ah_core::constraint::MonotoneChain;
+use ah_core::offline::{RunMeasurement, ShortRunApp};
+use ah_core::space::{Configuration, SearchSpace};
+use ah_sparse::RowPartition;
+
+/// Name of the `i`-th interior boundary parameter.
+fn boundary_name(i: usize) -> String {
+    format!("b{}", i + 1)
+}
+
+/// Extract a [`RowPartition`] from a configuration of boundary parameters.
+pub fn partition_from_config(cfg: &Configuration, n: usize, parts: usize) -> RowPartition {
+    let bounds: Vec<usize> = (0..parts - 1)
+        .map(|i| cfg.int(&boundary_name(i)).expect("boundary param present") as usize)
+        .collect();
+    RowPartition::from_boundaries(n, &bounds)
+}
+
+/// Build the boundary search space for splitting `n` rows into `parts`.
+pub fn boundary_space(n: usize, parts: usize) -> SearchSpace {
+    assert!(parts >= 2, "tuning needs at least two partitions");
+    let mut builder = SearchSpace::builder();
+    for i in 0..parts - 1 {
+        builder = builder.int(boundary_name(i), 1, (n - 1) as i64, 1);
+    }
+    let names: Vec<String> = (0..parts - 1).map(boundary_name).collect();
+    builder
+        .constraint(MonotoneChain::new(names))
+        .build()
+        .expect("boundary space is valid")
+}
+
+/// The SLES matrix-decomposition example as a tunable application
+/// (paper Figure 2).
+pub struct SlesDecompositionApp {
+    problem: SlesProblem,
+    parts: usize,
+    noise: NoiseModel,
+    /// Warm-up charged per representative run (seconds).
+    pub warmup_time: f64,
+    /// Restart cost charged per configuration change (seconds).
+    pub restart_cost: f64,
+    runs: usize,
+}
+
+impl SlesDecompositionApp {
+    /// Wrap a problem; `parts` must not exceed the machine's processors.
+    pub fn new(problem: SlesProblem, parts: usize) -> Self {
+        assert!(parts <= problem.machine().total_procs());
+        SlesDecompositionApp {
+            problem,
+            parts,
+            noise: NoiseModel::none(),
+            warmup_time: 0.0,
+            restart_cost: 0.0,
+            runs: 0,
+        }
+    }
+
+    /// Add measurement noise.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise = NoiseModel::new(sigma, seed);
+        self
+    }
+
+    /// Set per-run overheads (charged to tuning time, paper §III).
+    pub fn with_overheads(mut self, warmup: f64, restart: f64) -> Self {
+        self.warmup_time = warmup;
+        self.restart_cost = restart;
+        self
+    }
+
+    /// Number of short runs performed so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Direct access to the wrapped problem.
+    pub fn problem_mut(&mut self) -> &mut SlesProblem {
+        &mut self.problem
+    }
+
+    /// Simulated time of the given partition, without noise or overheads.
+    pub fn time_of(&mut self, part: &RowPartition) -> f64 {
+        self.problem.solve(part).time
+    }
+}
+
+impl ShortRunApp for SlesDecompositionApp {
+    fn space(&self) -> SearchSpace {
+        boundary_space(self.problem.unknowns(), self.parts)
+    }
+
+    fn default_config(&self) -> Configuration {
+        let n = self.problem.unknowns();
+        let even = RowPartition::even(n, self.parts);
+        let space = self.space();
+        let coords: Vec<f64> = even
+            .interior_boundaries()
+            .iter()
+            .map(|&b| b as f64)
+            .collect();
+        space.project(&coords)
+    }
+
+    fn run_short(&mut self, config: &Configuration) -> RunMeasurement {
+        self.runs += 1;
+        let part = partition_from_config(config, self.problem.unknowns(), self.parts);
+        let time = self.noise.apply(self.problem.solve(&part).time);
+        RunMeasurement {
+            exec_time: time,
+            warmup_time: self.warmup_time,
+            restart_cost: self.restart_cost,
+        }
+    }
+}
+
+/// The SNES driven-cavity computation-distribution example as a tunable
+/// application (paper Figure 3).
+pub struct CavityDistributionApp {
+    cavity: DrivenCavity,
+    noise: NoiseModel,
+    /// Warm-up charged per representative run (seconds).
+    pub warmup_time: f64,
+    /// Restart cost charged per configuration change (seconds).
+    pub restart_cost: f64,
+    runs: usize,
+}
+
+impl CavityDistributionApp {
+    /// Wrap a driven-cavity model.
+    pub fn new(cavity: DrivenCavity) -> Self {
+        CavityDistributionApp {
+            cavity,
+            noise: NoiseModel::none(),
+            warmup_time: 0.0,
+            restart_cost: 0.0,
+            runs: 0,
+        }
+    }
+
+    /// Add measurement noise.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise = NoiseModel::new(sigma, seed);
+        self
+    }
+
+    /// Set per-run overheads.
+    pub fn with_overheads(mut self, warmup: f64, restart: f64) -> Self {
+        self.warmup_time = warmup;
+        self.restart_cost = restart;
+        self
+    }
+
+    /// Number of short runs performed so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The wrapped model.
+    pub fn cavity(&self) -> &DrivenCavity {
+        &self.cavity
+    }
+}
+
+impl ShortRunApp for CavityDistributionApp {
+    fn space(&self) -> SearchSpace {
+        boundary_space(self.cavity.ny, self.cavity.machine.total_procs())
+    }
+
+    fn default_config(&self) -> Configuration {
+        let even = self.cavity.default_distribution();
+        let space = self.space();
+        let coords: Vec<f64> = even
+            .interior_boundaries()
+            .iter()
+            .map(|&b| b as f64)
+            .collect();
+        space.project(&coords)
+    }
+
+    fn run_short(&mut self, config: &Configuration) -> RunMeasurement {
+        self.runs += 1;
+        let parts = self.cavity.machine.total_procs();
+        let dist = partition_from_config(config, self.cavity.ny, parts);
+        let time = self.noise.apply(self.cavity.run_time(&dist));
+        RunMeasurement {
+            exec_time: time,
+            warmup_time: self.warmup_time,
+            restart_cost: self.restart_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_clustersim::machines::{hetero_p4_p2, homo_p4};
+    use ah_clustersim::{Machine, NetworkModel};
+    use ah_core::offline::OfflineTuner;
+    use ah_core::session::SessionOptions;
+    use ah_core::strategy::{NelderMead, NelderMeadOptions, StartPoint};
+    use ah_sparse::gen::{clustered_blocks, ones};
+
+    #[test]
+    fn boundary_space_has_chain_constraint() {
+        let space = boundary_space(100, 4);
+        assert_eq!(space.dims(), 3);
+        let cfg = space.project(&[80.0, 20.0, 50.0]);
+        let b1 = cfg.int("b1").unwrap();
+        let b2 = cfg.int("b2").unwrap();
+        let b3 = cfg.int("b3").unwrap();
+        assert!(b1 <= b2 && b2 <= b3);
+    }
+
+    #[test]
+    fn default_config_is_even_split() {
+        let a = clustered_blocks(&[20, 20, 20, 20], 0.5, 1);
+        let m = Machine::uniform("m", 4, 1, 1.0, NetworkModel::default());
+        let app = SlesDecompositionApp::new(SlesProblem::new(a, ones(80), m), 4);
+        let cfg = app.default_config();
+        assert_eq!(cfg.int("b1"), Some(20));
+        assert_eq!(cfg.int("b2"), Some(40));
+        assert_eq!(cfg.int("b3"), Some(60));
+    }
+
+    #[test]
+    fn tuning_sles_decomposition_improves_on_default() {
+        // Uneven dense blocks make the even split suboptimal.
+        let a = clustered_blocks(&[10, 50, 10, 30], 0.9, 2);
+        let m = Machine::uniform("m", 4, 1, 1.0, NetworkModel::default());
+        let mut problem = SlesProblem::new(a, ones(100), m);
+        problem.set_iterations(50);
+        let mut app = SlesDecompositionApp::new(problem, 4);
+        let tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 120,
+            seed: 41,
+            ..Default::default()
+        });
+        let default_coords: Vec<f64> = vec![25.0, 50.0, 75.0];
+        let strategy = NelderMead::new(NelderMeadOptions {
+            start: StartPoint::Coords(default_coords),
+            ..Default::default()
+        });
+        let out = tuner.tune(&mut app, Box::new(strategy));
+        assert!(
+            out.improvement_pct() > 0.0,
+            "tuned {} vs default {}",
+            out.result.best_cost,
+            out.default_cost
+        );
+    }
+
+    #[test]
+    fn tuning_cavity_on_hetero_machine_beats_default() {
+        let cavity = DrivenCavity::new(50, 50, hetero_p4_p2(), 20);
+        let mut app = CavityDistributionApp::new(cavity);
+        let tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 120,
+            seed: 42,
+            ..Default::default()
+        });
+        let out = tuner.tune(&mut app, Box::new(NelderMead::default()));
+        assert!(
+            out.improvement_pct() > 15.0,
+            "improvement {}%",
+            out.improvement_pct()
+        );
+    }
+
+    #[test]
+    fn homo_machine_gains_far_less_than_hetero() {
+        // Figure 3's point: the equal default is close to right on
+        // homogeneous nodes, badly wrong on heterogeneous ones. Tuning may
+        // still shave a little off the homogeneous time (communication-aware
+        // rebalancing of edge vs. interior strips) but the heterogeneous
+        // gain must dominate.
+        let tune = |machine: ah_clustersim::Machine, seed: u64| {
+            let cavity = DrivenCavity::new(40, 40, machine, 10);
+            let mut app = CavityDistributionApp::new(cavity);
+            let tuner = OfflineTuner::new(SessionOptions {
+                max_evaluations: 100,
+                seed,
+                ..Default::default()
+            });
+            tuner
+                .tune(&mut app, Box::new(NelderMead::default()))
+                .improvement_pct()
+        };
+        let homo_gain = tune(homo_p4(), 43);
+        let hetero_gain = tune(hetero_p4_p2(), 44);
+        assert!(
+            hetero_gain > homo_gain + 10.0,
+            "hetero {hetero_gain}% vs homo {homo_gain}%"
+        );
+        assert!(homo_gain < 25.0, "homo gain suspiciously large: {homo_gain}%");
+    }
+
+    #[test]
+    fn overheads_are_reported_per_run() {
+        let cavity = DrivenCavity::new(20, 20, homo_p4(), 5);
+        let mut app = CavityDistributionApp::new(cavity).with_overheads(2.0, 3.0);
+        let cfg = app.default_config();
+        let m = app.run_short(&cfg);
+        assert_eq!(m.warmup_time, 2.0);
+        assert_eq!(m.restart_cost, 3.0);
+        assert_eq!(app.runs(), 1);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let a = clustered_blocks(&[20, 20], 0.5, 1);
+        let m = Machine::uniform("m", 2, 1, 1.0, NetworkModel::default());
+        let make = || {
+            let mut p = SlesProblem::new(a.clone(), ones(40), m.clone());
+            p.set_iterations(10);
+            SlesDecompositionApp::new(p, 2).with_noise(0.05, 9)
+        };
+        let mut app1 = make();
+        let mut app2 = make();
+        let cfg = app1.default_config();
+        assert_eq!(
+            app1.run_short(&cfg).exec_time,
+            app2.run_short(&cfg).exec_time
+        );
+    }
+}

@@ -1,0 +1,419 @@
+//! Block decomposition of the ocean grid.
+//!
+//! POP tiles the `nx × ny` grid with `bx × by` blocks, drops blocks that
+//! contain no ocean points, and deals the surviving blocks to processors
+//! (round-robin "rake" distribution, as in POP's `distribution.F90`). The
+//! decomposition exposes the three quantities the block-size tuning trades
+//! off:
+//!
+//! * per-processor ocean work (load balance — blocks rarely divide evenly),
+//! * halo perimeter per block (communication volume, amortised by big
+//!   blocks),
+//! * wasted land points inside mixed blocks (carved out by small blocks).
+
+use crate::grid::OceanGrid;
+
+/// How surviving blocks are dealt to processors. POP ships several
+/// distribution schemes (the related-work discussion of Zoltan in §VIII is
+/// about exactly this class of choice); they trade load balance against
+/// neighbour locality:
+///
+/// * [`Distribution::RoundRobin`] — POP's "rake": deal blocks cyclically.
+///   Best balance, worst locality (spatial neighbours land on different
+///   processors).
+/// * [`Distribution::Cartesian`] — tile the block grid with a processor
+///   grid. Best locality, balance suffers when land concentrates in some
+///   tiles.
+/// * [`Distribution::SpaceFilling`] — order blocks along a Morton curve and
+///   cut into contiguous chunks: near-round-robin balance with much better
+///   locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Cyclic deal ("rake").
+    RoundRobin,
+    /// 2-D processor-grid tiling.
+    Cartesian,
+    /// Morton-order contiguous chunks.
+    SpaceFilling,
+}
+
+impl Distribution {
+    /// All distribution schemes, with their POP-style labels.
+    pub const ALL: [(Distribution, &'static str); 3] = [
+        (Distribution::RoundRobin, "rake"),
+        (Distribution::Cartesian, "cartesian"),
+        (Distribution::SpaceFilling, "spacecurve"),
+    ];
+
+    /// Parse a label.
+    pub fn from_label(s: &str) -> Option<Distribution> {
+        Self::ALL
+            .iter()
+            .find(|(_, l)| *l == s)
+            .map(|(d, _)| *d)
+    }
+
+    /// The label.
+    pub fn label(self) -> &'static str {
+        Self::ALL
+            .iter()
+            .find(|(d, _)| *d == self)
+            .map(|(_, l)| *l)
+            .expect("every variant is listed")
+    }
+}
+
+/// Interleave the low 16 bits of `x` and `y` into a Morton code.
+fn morton(x: usize, y: usize) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xffff;
+        v = (v | (v << 8)) & 0x00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1)
+}
+
+/// Factor `n` into the most square `(px, py)` with `px·py = n`.
+fn near_square_factors(n: usize) -> (usize, usize) {
+    let mut best = (1, n);
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = (d, n / d);
+        }
+        d += 1;
+    }
+    best
+}
+
+/// One surviving (non-land) block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Block column index.
+    pub bi: usize,
+    /// Block row index.
+    pub bj: usize,
+    /// Ocean points inside the block.
+    pub ocean_points: usize,
+    /// Total points inside the block (edge blocks may be smaller).
+    pub total_points: usize,
+}
+
+/// The full decomposition for a given block size and processor count.
+#[derive(Debug, Clone)]
+pub struct BlockDecomposition {
+    /// Block width.
+    pub bx: usize,
+    /// Block height.
+    pub by: usize,
+    /// Blocks per grid row.
+    pub nbx: usize,
+    /// Blocks per grid column.
+    pub nby: usize,
+    /// Surviving ocean blocks.
+    pub blocks: Vec<Block>,
+    /// Owner processor of each surviving block (parallel to `blocks`).
+    pub owner: Vec<usize>,
+    /// Processor count the blocks were dealt to.
+    pub nprocs: usize,
+}
+
+impl BlockDecomposition {
+    /// Decompose `grid` into `bx × by` blocks for `nprocs` processors using
+    /// the rake (round-robin) distribution — POP's default.
+    pub fn new(grid: &OceanGrid, bx: usize, by: usize, nprocs: usize) -> Self {
+        Self::with_distribution(grid, bx, by, nprocs, Distribution::RoundRobin)
+    }
+
+    /// Decompose with an explicit block-distribution scheme.
+    pub fn with_distribution(
+        grid: &OceanGrid,
+        bx: usize,
+        by: usize,
+        nprocs: usize,
+        dist: Distribution,
+    ) -> Self {
+        assert!(bx >= 1 && by >= 1 && nprocs >= 1);
+        let nbx = grid.nx.div_ceil(bx);
+        let nby = grid.ny.div_ceil(by);
+        let mut blocks = Vec::new();
+        for bj in 0..nby {
+            for bi in 0..nbx {
+                let i0 = bi * bx;
+                let j0 = bj * by;
+                let i1 = (i0 + bx).min(grid.nx);
+                let j1 = (j0 + by).min(grid.ny);
+                let ocean = grid.ocean_in_block(i0, j0, i1, j1);
+                if ocean > 0 {
+                    blocks.push(Block {
+                        bi,
+                        bj,
+                        ocean_points: ocean,
+                        total_points: (i1 - i0) * (j1 - j0),
+                    });
+                }
+            }
+        }
+        let owner = match dist {
+            // Rake: deal blocks round-robin in index order, which spreads
+            // spatially adjacent blocks over distinct processors.
+            Distribution::RoundRobin => (0..blocks.len()).map(|k| k % nprocs).collect(),
+            // Cartesian: tile the (nbx × nby) block grid with a near-square
+            // processor grid; each block belongs to its tile's processor.
+            Distribution::Cartesian => {
+                let (px, py) = near_square_factors(nprocs);
+                blocks
+                    .iter()
+                    .map(|b| {
+                        let tx = (b.bi * px / nbx).min(px - 1);
+                        let ty = (b.bj * py / nby).min(py - 1);
+                        ty * px + tx
+                    })
+                    .collect()
+            }
+            // Space-filling: order surviving blocks along a Morton curve and
+            // cut the sequence into `nprocs` contiguous chunks.
+            Distribution::SpaceFilling => {
+                let mut order: Vec<usize> = (0..blocks.len()).collect();
+                order.sort_by_key(|&k| morton(blocks[k].bi, blocks[k].bj));
+                let chunk = blocks.len().div_ceil(nprocs).max(1);
+                let mut owner = vec![0usize; blocks.len()];
+                for (rank, &k) in order.iter().enumerate() {
+                    owner[k] = (rank / chunk).min(nprocs - 1);
+                }
+                owner
+            }
+        };
+        BlockDecomposition {
+            bx,
+            by,
+            nbx,
+            nby,
+            blocks,
+            owner,
+            nprocs,
+        }
+    }
+
+    /// Number of surviving blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks eliminated because they were all land.
+    pub fn eliminated_blocks(&self) -> usize {
+        self.nbx * self.nby - self.blocks.len()
+    }
+
+    /// Computed points (block area including land inside mixed blocks) per
+    /// processor — POP computes whole blocks, so land inside a surviving
+    /// block is wasted work.
+    pub fn work_per_proc(&self) -> Vec<usize> {
+        let mut work = vec![0usize; self.nprocs];
+        for (b, &o) in self.blocks.iter().zip(&self.owner) {
+            work[o] += b.total_points;
+        }
+        work
+    }
+
+    /// Load imbalance `max/mean` of per-processor work (∞-safe: returns a
+    /// large value when some processor is idle).
+    pub fn load_imbalance(&self) -> f64 {
+        let work = self.work_per_proc();
+        let max = work.iter().copied().max().unwrap_or(0) as f64;
+        let sum: usize = work.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / self.nprocs as f64;
+        max / mean
+    }
+
+    /// Total halo perimeter points per processor: each owned block
+    /// exchanges a halo of width `halo` along each of its four sides with
+    /// neighbouring blocks. `(intra, inter)` split is decided by the caller;
+    /// this returns the total per-proc perimeter points.
+    pub fn halo_points_per_proc(&self, halo: usize) -> Vec<usize> {
+        let mut pts = vec![0usize; self.nprocs];
+        for (b, &o) in self.blocks.iter().zip(&self.owner) {
+            // Perimeter of the (possibly clipped) block.
+            let w = self.bx;
+            let h = self.by;
+            pts[o] += 2 * halo * (w + h);
+            let _ = b;
+        }
+        pts
+    }
+
+    /// Fraction of neighbouring-block pairs whose owners share a node,
+    /// given `procs_per_node` (node-major rank placement). This is the
+    /// topology sensitivity of the halo exchange.
+    pub fn intra_node_neighbor_fraction(&self, procs_per_node: usize) -> f64 {
+        assert!(procs_per_node >= 1);
+        // Index blocks by (bi, bj) for neighbour lookup.
+        let mut index = std::collections::HashMap::new();
+        for (k, b) in self.blocks.iter().enumerate() {
+            index.insert((b.bi, b.bj), k);
+        }
+        let mut pairs = 0usize;
+        let mut intra = 0usize;
+        for (k, b) in self.blocks.iter().enumerate() {
+            for (di, dj) in [(1i64, 0i64), (0, 1)] {
+                let ni = b.bi as i64 + di;
+                let nj = b.bj as i64 + dj;
+                if ni < 0 || nj < 0 {
+                    continue;
+                }
+                if let Some(&nk) = index.get(&(ni as usize, nj as usize)) {
+                    pairs += 1;
+                    let a = self.owner[k];
+                    let c = self.owner[nk];
+                    if a == c || a / procs_per_node == c / procs_per_node {
+                        intra += 1;
+                    }
+                }
+            }
+        }
+        if pairs == 0 {
+            1.0
+        } else {
+            intra as f64 / pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ocean_decomposition_keeps_every_block() {
+        let g = OceanGrid::all_ocean(100, 80);
+        let d = BlockDecomposition::new(&g, 25, 20, 4);
+        assert_eq!(d.block_count(), 16);
+        assert_eq!(d.eliminated_blocks(), 0);
+    }
+
+    #[test]
+    fn land_blocks_are_eliminated() {
+        let g = OceanGrid::synthetic(360, 240);
+        let small = BlockDecomposition::new(&g, 15, 15, 16);
+        let large = BlockDecomposition::new(&g, 120, 120, 16);
+        assert!(small.eliminated_blocks() > 0, "some blocks must be all-land");
+        // Smaller blocks eliminate a larger *fraction* of the grid's land.
+        let small_waste: usize = small.blocks.iter().map(|b| b.total_points - b.ocean_points).sum();
+        let large_waste: usize = large.blocks.iter().map(|b| b.total_points - b.ocean_points).sum();
+        assert!(small_waste < large_waste);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let g = OceanGrid::synthetic(200, 150);
+        let d = BlockDecomposition::new(&g, 20, 15, 8);
+        let total: usize = d.work_per_proc().iter().sum();
+        let block_total: usize = d.blocks.iter().map(|b| b.total_points).sum();
+        assert_eq!(total, block_total);
+        assert!(block_total >= g.ocean_points());
+    }
+
+    #[test]
+    fn divisible_block_count_balances_perfectly_on_all_ocean() {
+        let g = OceanGrid::all_ocean(160, 160);
+        // 64 equal blocks over 16 procs: perfect balance.
+        let d = BlockDecomposition::new(&g, 20, 20, 16);
+        assert!((d.load_imbalance() - 1.0).abs() < 1e-12);
+        // 63 surviving blocks over 16 procs cannot balance perfectly.
+        let d2 = BlockDecomposition::new(&g, 23, 23, 16);
+        assert!(d2.load_imbalance() > 1.05);
+    }
+
+    #[test]
+    fn halo_points_scale_with_perimeter() {
+        let g = OceanGrid::all_ocean(120, 120);
+        let chunky = BlockDecomposition::new(&g, 60, 60, 4);
+        let slivers = BlockDecomposition::new(&g, 120, 5, 4);
+        let chunky_halo: usize = chunky.halo_points_per_proc(2).iter().sum();
+        let sliver_halo: usize = slivers.halo_points_per_proc(2).iter().sum();
+        // Same area, but slivers have far more perimeter.
+        assert!(sliver_halo > 2 * chunky_halo);
+    }
+
+    #[test]
+    fn morton_codes_order_locally() {
+        assert!(morton(0, 0) < morton(1, 0));
+        assert!(morton(1, 1) < morton(2, 2));
+        assert_eq!(morton(3, 5), morton(3, 5));
+    }
+
+    #[test]
+    fn near_square_factorisation() {
+        assert_eq!(near_square_factors(16), (4, 4));
+        assert_eq!(near_square_factors(48), (6, 8));
+        assert_eq!(near_square_factors(7), (1, 7));
+    }
+
+    #[test]
+    fn distribution_labels_roundtrip() {
+        for (d, l) in Distribution::ALL {
+            assert_eq!(Distribution::from_label(l), Some(d));
+            assert_eq!(d.label(), l);
+        }
+        assert_eq!(Distribution::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn all_distributions_conserve_work() {
+        let g = OceanGrid::synthetic(240, 160);
+        let total = |d| {
+            BlockDecomposition::with_distribution(&g, 24, 16, 12, d)
+                .work_per_proc()
+                .iter()
+                .sum::<usize>()
+        };
+        let reference = total(Distribution::RoundRobin);
+        assert_eq!(total(Distribution::Cartesian), reference);
+        assert_eq!(total(Distribution::SpaceFilling), reference);
+    }
+
+    #[test]
+    fn cartesian_beats_rake_on_neighbor_locality() {
+        // 12x12 blocks over 16 procs: the block-grid width does not divide
+        // the processor count, so the rake scatters neighbours (a dividing
+        // width would pathologically re-align them).
+        let g = OceanGrid::all_ocean(240, 240);
+        let rake =
+            BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::RoundRobin);
+        let cart =
+            BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::Cartesian);
+        let sfc =
+            BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::SpaceFilling);
+        let f = |d: &BlockDecomposition| d.intra_node_neighbor_fraction(4);
+        assert!(f(&cart) > f(&rake), "cartesian {} rake {}", f(&cart), f(&rake));
+        assert!(f(&sfc) > f(&rake), "sfc {} rake {}", f(&sfc), f(&rake));
+    }
+
+    #[test]
+    fn rake_balances_better_than_cartesian_on_land() {
+        // Land concentrates in some cartesian tiles, so its balance is
+        // worse; the rake deals ocean blocks evenly.
+        let g = OceanGrid::synthetic(360, 240);
+        let rake =
+            BlockDecomposition::with_distribution(&g, 15, 15, 16, Distribution::RoundRobin);
+        let cart =
+            BlockDecomposition::with_distribution(&g, 15, 15, 16, Distribution::Cartesian);
+        assert!(rake.load_imbalance() <= cart.load_imbalance());
+    }
+
+    #[test]
+    fn wider_nodes_increase_intra_node_fraction() {
+        let g = OceanGrid::all_ocean(240, 240);
+        let d = BlockDecomposition::new(&g, 30, 30, 16);
+        let narrow = d.intra_node_neighbor_fraction(1);
+        let wide = d.intra_node_neighbor_fraction(8);
+        assert!(wide > narrow);
+        assert!(narrow >= 0.0 && wide <= 1.0);
+    }
+}

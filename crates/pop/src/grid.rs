@@ -1,0 +1,155 @@
+//! The ocean grid and its synthetic land mask.
+//!
+//! POP runs on a generalized orthogonal grid of `nx × ny` horizontal points;
+//! a substantial fraction is land, and decomposition blocks that are
+//! entirely land are eliminated from the computation. We cannot ship the
+//! real bathymetry, so the mask is generated deterministically from smooth
+//! continent-like blobs; what matters for block-size tuning is that land is
+//! *spatially coherent* (so small blocks can carve it out) and that the
+//! ocean fraction is realistic (~65%).
+
+/// The horizontal ocean grid with a land mask.
+#[derive(Debug, Clone)]
+pub struct OceanGrid {
+    /// Grid width.
+    pub nx: usize,
+    /// Grid height.
+    pub ny: usize,
+    mask: Vec<bool>, // true = ocean
+}
+
+/// A continent blob: a smooth super-ellipse in grid coordinates.
+#[derive(Debug, Clone, Copy)]
+struct Blob {
+    cx: f64,
+    cy: f64,
+    rx: f64,
+    ry: f64,
+}
+
+impl OceanGrid {
+    /// Build a grid with the default synthetic continents (~30–35% land).
+    pub fn synthetic(nx: usize, ny: usize) -> Self {
+        // Continent layout loosely inspired by Earth's: two large masses,
+        // two medium, a polar cap. Coordinates are fractions of the grid.
+        let blobs = [
+            Blob { cx: 0.22, cy: 0.62, rx: 0.10, ry: 0.22 }, // americas-ish
+            Blob { cx: 0.55, cy: 0.55, rx: 0.13, ry: 0.18 }, // africa/eurasia
+            Blob { cx: 0.68, cy: 0.75, rx: 0.14, ry: 0.10 }, // asia
+            Blob { cx: 0.82, cy: 0.30, rx: 0.06, ry: 0.07 }, // australia
+            Blob { cx: 0.50, cy: 0.97, rx: 0.50, ry: 0.05 }, // polar cap
+        ];
+        let mut mask = vec![true; nx * ny];
+        for j in 0..ny {
+            for i in 0..nx {
+                let x = (i as f64 + 0.5) / nx as f64;
+                let y = (j as f64 + 0.5) / ny as f64;
+                for b in &blobs {
+                    let dx = (x - b.cx) / b.rx;
+                    let dy = (y - b.cy) / b.ry;
+                    // Super-ellipse with wavy coastline.
+                    let wave = 0.15 * ((x * 37.0).sin() * (y * 29.0).cos());
+                    if dx * dx + dy * dy < 1.0 + wave {
+                        mask[j * nx + i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        OceanGrid { nx, ny, mask }
+    }
+
+    /// An all-ocean grid (useful for tests isolating halo effects).
+    pub fn all_ocean(nx: usize, ny: usize) -> Self {
+        OceanGrid {
+            nx,
+            ny,
+            mask: vec![true; nx * ny],
+        }
+    }
+
+    /// The paper's production grid: 3,600 × 2,400.
+    pub fn paper_grid() -> Self {
+        Self::synthetic(3600, 2400)
+    }
+
+    /// Is the point ocean?
+    pub fn is_ocean(&self, i: usize, j: usize) -> bool {
+        self.mask[j * self.nx + i]
+    }
+
+    /// Number of ocean points.
+    pub fn ocean_points(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+
+    /// Fraction of the grid that is ocean.
+    pub fn ocean_fraction(&self) -> f64 {
+        self.ocean_points() as f64 / (self.nx * self.ny) as f64
+    }
+
+    /// Count ocean points within a block `[i0, i1) × [j0, j1)` (clamped to
+    /// the grid).
+    pub fn ocean_in_block(&self, i0: usize, j0: usize, i1: usize, j1: usize) -> usize {
+        let i1 = i1.min(self.nx);
+        let j1 = j1.min(self.ny);
+        let mut count = 0;
+        for j in j0..j1 {
+            let row = &self.mask[j * self.nx + i0..j * self.nx + i1];
+            count += row.iter().filter(|&&m| m).count();
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_grid_has_realistic_ocean_fraction() {
+        let g = OceanGrid::synthetic(360, 240);
+        let f = g.ocean_fraction();
+        assert!((0.5..0.85).contains(&f), "ocean fraction {f}");
+    }
+
+    #[test]
+    fn land_is_spatially_coherent() {
+        // A known continent centre must be land, mid-Pacific must be ocean.
+        let g = OceanGrid::synthetic(360, 240);
+        assert!(!g.is_ocean(79, 148)); // inside the americas blob
+        assert!(g.is_ocean(3, 100)); // far west, open ocean
+    }
+
+    #[test]
+    fn block_counts_sum_to_total() {
+        let g = OceanGrid::synthetic(100, 80);
+        let mut total = 0;
+        for j in (0..80).step_by(20) {
+            for i in (0..100).step_by(25) {
+                total += g.ocean_in_block(i, j, i + 25, j + 20);
+            }
+        }
+        assert_eq!(total, g.ocean_points());
+    }
+
+    #[test]
+    fn all_ocean_grid_has_no_land() {
+        let g = OceanGrid::all_ocean(50, 50);
+        assert_eq!(g.ocean_points(), 2500);
+        assert_eq!(g.ocean_fraction(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_block_is_clamped() {
+        let g = OceanGrid::all_ocean(10, 10);
+        assert_eq!(g.ocean_in_block(5, 5, 100, 100), 25);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = OceanGrid::synthetic(120, 90);
+        let b = OceanGrid::synthetic(120, 90);
+        assert_eq!(a.ocean_points(), b.ocean_points());
+    }
+}

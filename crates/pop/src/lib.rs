@@ -1,0 +1,35 @@
+//! # ah-pop — a Parallel Ocean Program performance model
+//!
+//! Reproduces the POP case study of the HPDC'06 Active Harmony paper
+//! (§V): the 3,600 × 2,400 grid ocean simulation whose execution time is
+//! tuned by
+//!
+//! * **block size** — POP decomposes the horizontal grid into `bx × by`
+//!   blocks distributed over processors. Larger blocks amortise halo
+//!   overhead; smaller blocks eliminate more all-land blocks and balance
+//!   load across processors. Which effect wins depends on the node topology
+//!   (`A` nodes × `B` processors per node changes the intra/inter-node mix
+//!   of halo traffic), which is why the paper finds *no single block size
+//!   good for all topologies* (Figure 4);
+//! * **namelist parameters** — ~20 performance-related configuration
+//!   choices (mixing operators, equation-of-state variants, interpolation
+//!   types, I/O task counts) whose cost effects are modelled per phase
+//!   (Tables I and II; 12.1% after 12 iterations, 16.7% after 27).
+//!
+//! The ocean itself is synthetic: a deterministic land mask with
+//! continent-like blobs provides the land-block-elimination behaviour the
+//! real bathymetry gives POP.
+
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod grid;
+pub mod model;
+pub mod params;
+pub mod tunable;
+
+pub use decomp::{BlockDecomposition, Distribution};
+pub use grid::OceanGrid;
+pub use model::{PopModel, PopTiming};
+pub use params::PopParams;
+pub use tunable::{PopBlockApp, PopParamApp};

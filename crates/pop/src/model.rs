@@ -1,0 +1,302 @@
+//! The POP timestep performance model.
+//!
+//! One POP timestep is modelled as four phases:
+//!
+//! * **baroclinic** — 3-D compute over the depth levels: embarrassingly
+//!   parallel, its span is the most loaded processor, and each block pays a
+//!   halo-overhead factor `(bx+2h)(by+2h)/(bx·by)` that favours big blocks;
+//! * **barotropic** — the 2-D implicit free-surface solver: tens of inner
+//!   iterations per step, each with per-block halo messages (latency-bound,
+//!   favours few big blocks, and sensitive to how many neighbours share an
+//!   SMP node — the topology effect of Figure 4) and a global reduction;
+//! * **tracer/forcing** — 2-D/3-D auxiliary work scaling like baroclinic;
+//! * **I/O** — per-step history/restart output spread over `num_iotasks`.
+//!
+//! Namelist parameters multiply their phase (see [`crate::params`]); block
+//! size and topology enter through the decomposition and network terms.
+
+use crate::decomp::BlockDecomposition;
+use crate::grid::OceanGrid;
+use crate::params::{Phase, PopParams};
+use ah_clustersim::Machine;
+
+/// Vertical depth levels (the paper's production POP uses 40).
+pub const DEPTH_LEVELS: usize = 40;
+/// Halo width in grid points.
+pub const HALO: usize = 2;
+/// Gflop per 3-D grid point per baroclinic step.
+pub const GFLOP_PER_POINT_3D: f64 = 3.0e-7;
+/// Gflop per 2-D grid point per barotropic solver iteration.
+pub const GFLOP_PER_POINT_2D: f64 = 4.0e-8;
+/// Barotropic solver iterations per timestep.
+pub const SOLVER_ITERS: usize = 60;
+/// Tracer-phase work as a fraction of baroclinic work.
+pub const TRACER_FRACTION: f64 = 0.55;
+/// I/O bytes written per 3-D grid point per step (history + restart
+/// averaged over steps).
+pub const IO_BYTES_PER_POINT: f64 = 8.0;
+/// Aggregate filesystem bandwidth at one I/O task, bytes/second.
+pub const IO_BANDWIDTH: f64 = 2.0e9;
+
+/// Per-phase timing breakdown of one timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopTiming {
+    /// Baroclinic phase seconds.
+    pub baroclinic: f64,
+    /// Barotropic phase seconds.
+    pub barotropic: f64,
+    /// Tracer/forcing phase seconds.
+    pub tracer: f64,
+    /// I/O seconds.
+    pub io: f64,
+}
+
+impl PopTiming {
+    /// Total step time.
+    pub fn total(&self) -> f64 {
+        self.baroclinic + self.barotropic + self.tracer + self.io
+    }
+}
+
+/// The POP performance model: a grid, a machine, and a timestep evaluator.
+///
+/// # Example
+///
+/// ```
+/// use ah_clustersim::machines::sp3_seaborg;
+/// use ah_pop::{OceanGrid, PopModel, PopParams};
+///
+/// let model = PopModel::new(OceanGrid::synthetic(360, 240), sp3_seaborg(4, 8));
+/// let t = model.step_time(36, 30, &PopParams::default());
+/// assert!(t.total() > 0.0);
+/// assert!(t.baroclinic > 0.0 && t.barotropic > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopModel {
+    grid: OceanGrid,
+    machine: Machine,
+}
+
+impl PopModel {
+    /// Build a model for a grid on a machine.
+    pub fn new(grid: OceanGrid, machine: Machine) -> Self {
+        PopModel { grid, machine }
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> &OceanGrid {
+        &self.grid
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Evaluate one timestep for a block size and parameter assignment
+    /// (rake distribution).
+    pub fn step_time(&self, bx: usize, by: usize, params: &PopParams) -> PopTiming {
+        self.step_time_dist(bx, by, crate::decomp::Distribution::RoundRobin, params)
+    }
+
+    /// Evaluate one timestep with an explicit block-distribution scheme.
+    pub fn step_time_dist(
+        &self,
+        bx: usize,
+        by: usize,
+        dist: crate::decomp::Distribution,
+        params: &PopParams,
+    ) -> PopTiming {
+        let nprocs = self.machine.total_procs();
+        let decomp = BlockDecomposition::with_distribution(&self.grid, bx, by, nprocs, dist);
+        self.step_time_for(&decomp, params)
+    }
+
+    /// Evaluate one timestep for a prebuilt decomposition.
+    pub fn step_time_for(&self, decomp: &BlockDecomposition, params: &PopParams) -> PopTiming {
+        let nprocs = self.machine.total_procs();
+        let nodes = self.machine.node_count();
+        let ppn = nprocs.div_ceil(nodes).max(1);
+        let work = decomp.work_per_proc();
+        let (bx, by) = (decomp.bx, decomp.by);
+
+        // Halo-overhead factor: each block computes its extended domain.
+        let halo_factor =
+            ((bx + 2 * HALO) * (by + 2 * HALO)) as f64 / (bx * by) as f64;
+
+        // --- Baroclinic: span of the most loaded processor. ---
+        let mut baro_span = 0.0f64;
+        for (p, &w) in work.iter().enumerate() {
+            let gflop = w as f64 * DEPTH_LEVELS as f64 * GFLOP_PER_POINT_3D * halo_factor;
+            let t = gflop / self.machine.loaded_speed_of(p);
+            baro_span = baro_span.max(t);
+        }
+        let baroclinic = baro_span * params.phase_factor(Phase::Baroclinic);
+
+        // --- Barotropic: latency-bound halo exchange + reduction. ---
+        let mut blocks_per_proc = vec![0usize; nprocs];
+        for &o in &decomp.owner {
+            blocks_per_proc[o] += 1;
+        }
+        let intra_frac = decomp.intra_node_neighbor_fraction(ppn);
+        let net = &self.machine.network;
+        // Average message: one block side of halo points, 8 bytes each.
+        let side_points = (bx + by) as f64 / 2.0 * HALO as f64;
+        let msg_bytes = side_points * 8.0;
+        let msg_cost = intra_frac * net.msg_time(msg_bytes, true)
+            + (1.0 - intra_frac) * net.msg_time(msg_bytes, false);
+        let mut solver_span = 0.0f64;
+        for (p, (&w, &nb)) in work.iter().zip(&blocks_per_proc).enumerate() {
+            let gflop = w as f64 * GFLOP_PER_POINT_2D;
+            let compute = gflop / self.machine.loaded_speed_of(p);
+            let comm = nb as f64 * 4.0 * msg_cost;
+            solver_span = solver_span.max(compute + comm);
+        }
+        let reduce = net.allreduce_time(8.0, nprocs, nodes);
+        let barotropic = SOLVER_ITERS as f64
+            * (solver_span + reduce)
+            * params.phase_factor(Phase::Barotropic);
+
+        // --- Tracer/forcing. ---
+        let tracer = baro_span * TRACER_FRACTION * params.phase_factor(Phase::Tracer);
+
+        // --- I/O: volume proportional to the 3-D grid. ---
+        let io_volume =
+            (self.grid.nx * self.grid.ny * DEPTH_LEVELS) as f64 * IO_BYTES_PER_POINT;
+        let io = io_volume / IO_BANDWIDTH * params.io_factor();
+
+        PopTiming {
+            baroclinic,
+            barotropic,
+            tracer,
+            io,
+        }
+    }
+
+    /// Simulated execution time of a representative short run of `steps`
+    /// timesteps.
+    pub fn run_time(&self, bx: usize, by: usize, params: &PopParams, steps: usize) -> f64 {
+        self.step_time(bx, by, params).total() * steps as f64
+    }
+
+    /// Like [`run_time`](Self::run_time) with an explicit distribution.
+    pub fn run_time_dist(
+        &self,
+        bx: usize,
+        by: usize,
+        dist: crate::decomp::Distribution,
+        params: &PopParams,
+        steps: usize,
+    ) -> f64 {
+        self.step_time_dist(bx, by, dist, params).total() * steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_clustersim::machines::sp3_seaborg;
+
+    fn small_model(nodes: usize, ppn: usize) -> PopModel {
+        PopModel::new(OceanGrid::synthetic(360, 240), sp3_seaborg(nodes, ppn))
+    }
+
+    #[test]
+    fn step_time_is_positive_and_decomposed() {
+        let m = small_model(4, 8);
+        let t = m.step_time(36, 24, &PopParams::default());
+        assert!(t.baroclinic > 0.0);
+        assert!(t.barotropic > 0.0);
+        assert!(t.tracer > 0.0);
+        assert!(t.io > 0.0);
+        assert!((t.total() - (t.baroclinic + t.barotropic + t.tracer + t.io)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tuned_params_beat_defaults() {
+        let m = small_model(4, 8);
+        let default = m.step_time(36, 24, &PopParams::default()).total();
+        let tuned = m.step_time(36, 24, &PopParams::paper_tuned()).total();
+        let improvement = 100.0 * (default - tuned) / default;
+        assert!(
+            (5.0..35.0).contains(&improvement),
+            "parameter tuning improvement {improvement}%"
+        );
+    }
+
+    #[test]
+    fn tiny_blocks_pay_halo_and_latency() {
+        let m = small_model(4, 8);
+        let p = PopParams::default();
+        let tiny = m.step_time(6, 6, &p).total();
+        let medium = m.step_time(36, 30, &p).total();
+        assert!(tiny > medium, "tiny {tiny} medium {medium}");
+    }
+
+    #[test]
+    fn giant_blocks_pay_imbalance() {
+        let m = small_model(4, 8);
+        let p = PopParams::default();
+        // One block per 4 procs (idle procs) vs a balanced medium size.
+        let giant = m.step_time(180, 240, &p).total();
+        let medium = m.step_time(36, 30, &p).total();
+        assert!(giant > medium, "giant {giant} medium {medium}");
+    }
+
+    #[test]
+    fn best_block_size_depends_on_topology() {
+        // Sweep a small block menu on two topologies of equal processor
+        // count; the argmin must differ or at least the ranking must change.
+        let menu = [(18usize, 15usize), (36, 30), (45, 40), (60, 48), (90, 60)];
+        let p = PopParams::default();
+        let times = |nodes, ppn| {
+            let m = small_model(nodes, ppn);
+            menu.map(|(bx, by)| m.step_time(bx, by, &p).total())
+        };
+        let wide = times(2, 16); // 2 nodes × 16 procs
+        let narrow = times(16, 2); // 16 nodes × 2 procs
+        let argmin = |v: &[f64; 5]| {
+            v.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("nonempty")
+        };
+        // The narrow topology pays inter-node latency on most halo
+        // exchanges, shifting the optimum toward larger blocks.
+        let wide_best = argmin(&wide);
+        let narrow_best = argmin(&narrow);
+        assert!(
+            narrow_best >= wide_best,
+            "narrow {narrow_best} wide {wide_best}: {narrow:?} {wide:?}"
+        );
+        // And the relative cost of the smallest block must be worse on the
+        // narrow topology.
+        assert!(narrow[0] / narrow[wide_best] > wide[0] / wide[wide_best]);
+    }
+
+    #[test]
+    fn distribution_scheme_changes_the_time() {
+        use crate::decomp::Distribution;
+        let m = small_model(4, 8);
+        let p = PopParams::default();
+        let times: Vec<f64> = Distribution::ALL
+            .iter()
+            .map(|(d, _)| m.step_time_dist(36, 30, *d, &p).total())
+            .collect();
+        // The schemes must actually differ (locality and balance move).
+        assert!(
+            times.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-12),
+            "{times:?}"
+        );
+    }
+
+    #[test]
+    fn run_time_scales_with_steps() {
+        let m = small_model(2, 4);
+        let p = PopParams::default();
+        let t1 = m.run_time(36, 24, &p, 1);
+        let t10 = m.run_time(36, 24, &p, 10);
+        assert!((t10 - 10.0 * t1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! CLI driving the paper-reproduction experiments.
+//!
+//! ```text
+//! repro list                 # list experiment ids
+//! repro all [--quick]        # run every experiment
+//! repro fig4 table1 [...]    # run specific experiments
+//! options:
+//!   --quick        shrink workloads (smoke-test mode)
+//!   --json PATH    also dump machine-readable results
+//! ```
+
+use ah_repro::{all_experiments, Experiment};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selectors: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != json_path.as_deref())
+        .collect();
+
+    if selectors.iter().any(|s| s.as_str() == "list") {
+        for e in all_experiments() {
+            println!("{:20} {}", e.id(), e.title());
+        }
+        return;
+    }
+
+    let run_all = selectors.is_empty() || selectors.iter().any(|s| s.as_str() == "all");
+    let experiments: Vec<Box<dyn Experiment>> = if run_all {
+        all_experiments()
+    } else {
+        let mut picked = Vec::new();
+        for s in &selectors {
+            match ah_repro::experiment::by_id(s) {
+                Some(e) => picked.push(e),
+                None => {
+                    eprintln!("unknown experiment `{s}`; try `repro list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    println!(
+        "# Active Harmony (HPDC'06) reproduction — {} mode\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut reports = Vec::new();
+    let mut failures = 0;
+    for e in experiments {
+        eprintln!("running {} ...", e.id());
+        let start = std::time::Instant::now();
+        let report = e.run(quick);
+        let elapsed = start.elapsed();
+        println!("{}", report.render());
+        println!("(completed in {:.1}s)\n", elapsed.as_secs_f64());
+        if !report.all_ok() {
+            failures += 1;
+        }
+        reports.push(report);
+    }
+    println!(
+        "Summary: {}/{} experiments matched the paper's shape.",
+        reports.len() - failures,
+        reports.len()
+    );
+
+    if let Some(path) = json_path {
+        let blob = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(blob.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,69 @@
+//! ASCII bar charts and histograms for figure-shaped experiments.
+
+/// Render a horizontal bar chart. Values are scaled so the longest bar is
+/// `width` characters.
+pub fn bars(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let n = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:label_w$} | {} {value:.3}\n",
+            "#".repeat(n)
+        ));
+    }
+    out
+}
+
+/// Render a histogram from bucket upper bounds and counts.
+pub fn histogram(bounds: &[f64], counts: &[usize], width: usize) -> String {
+    assert_eq!(bounds.len(), counts.len());
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    for (b, &c) in bounds.iter().zip(counts) {
+        let n = if max > 0 {
+            (c * width).div_ceil(max).min(width)
+        } else {
+            0
+        };
+        out.push_str(&format!("<= {:>10} | {} {}\n", crate::table::secs(*b), "#".repeat(n), c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let chart = bars(
+            &[("short".into(), 1.0), ("long".into(), 4.0)],
+            20,
+        );
+        assert!(chart.contains(&"#".repeat(20)));
+        assert!(chart.contains(&format!("short | {} 1.000", "#".repeat(5))));
+    }
+
+    #[test]
+    fn bars_handle_zero_max() {
+        let chart = bars(&[("a".into(), 0.0)], 10);
+        assert!(chart.contains("a |  0.000"));
+    }
+
+    #[test]
+    fn histogram_renders_counts() {
+        let chart = histogram(&[10.0, 20.0], &[3, 6], 12);
+        assert!(chart.lines().count() == 2);
+        assert!(chart.contains("| ############ 6"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The experiment framework: one [`Experiment`] per paper table/figure.
+
+use serde::Serialize;
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// What is being compared (e.g. "speedup without collisions").
+    pub metric: String,
+    /// What the paper reports.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measured shape matches the paper's
+    /// (`None` = informational only).
+    pub ok: Option<bool>,
+}
+
+impl Finding {
+    /// A checked comparison.
+    pub fn check(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> Self {
+        Finding {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            ok: Some(ok),
+        }
+    }
+
+    /// An informational row.
+    pub fn info(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
+        Finding {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            ok: None,
+        }
+    }
+}
+
+/// The rendered output of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpReport {
+    /// Experiment id (e.g. `"fig4"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered tables/charts (plain text).
+    pub narrative: String,
+    /// Paper-vs-measured comparisons.
+    pub findings: Vec<Finding>,
+    /// Raw result data for EXPERIMENTS.md / further analysis.
+    pub data: serde_json::Value,
+}
+
+impl ExpReport {
+    /// True if every checked finding matched the paper's shape.
+    pub fn all_ok(&self) -> bool {
+        self.findings.iter().all(|f| f.ok != Some(false))
+    }
+
+    /// Render as markdown-ish plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!("## [{}] {}\n\n{}\n", self.id, self.title, self.narrative);
+        if !self.findings.is_empty() {
+            out.push_str("\nPaper vs. measured:\n");
+            let rows: Vec<Vec<String>> = self
+                .findings
+                .iter()
+                .map(|f| {
+                    vec![
+                        f.metric.clone(),
+                        f.paper.clone(),
+                        f.measured.clone(),
+                        match f.ok {
+                            Some(true) => "MATCH".into(),
+                            Some(false) => "MISMATCH".into(),
+                            None => "-".into(),
+                        },
+                    ]
+                })
+                .collect();
+            out.push_str(&crate::table::render(
+                &["metric", "paper", "measured", "shape"],
+                &rows,
+            ));
+        }
+        out
+    }
+}
+
+/// A reproducible paper experiment.
+pub trait Experiment {
+    /// Stable id used on the CLI and in bench names.
+    fn id(&self) -> &'static str;
+    /// Human title (paper artifact it regenerates).
+    fn title(&self) -> &'static str;
+    /// Run the experiment. `quick` shrinks workloads for smoke tests while
+    /// keeping every code path; the full run regenerates the paper shape.
+    fn run(&self, quick: bool) -> ExpReport;
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(crate::experiments::fig2b::Fig2b),
+        Box::new(crate::experiments::petsc_sles_large::PetscSlesLarge),
+        Box::new(crate::experiments::fig3::Fig3),
+        Box::new(crate::experiments::petsc_snes_large::PetscSnesLarge),
+        Box::new(crate::experiments::fig4::Fig4),
+        Box::new(crate::experiments::table1::Table1),
+        Box::new(crate::experiments::table2::Table2),
+        Box::new(crate::experiments::fig5::Fig5),
+        Box::new(crate::experiments::gs2_headline::Gs2Headline),
+        Box::new(crate::experiments::gs2_combined::Gs2Combined),
+        Box::new(crate::experiments::table3::Table3),
+        Box::new(crate::experiments::table4::Table4),
+        Box::new(crate::experiments::fig6::Fig6),
+    ]
+}
+
+/// Find an experiment by id.
+pub fn by_id(id: &str) -> Option<Box<dyn Experiment>> {
+    all_experiments().into_iter().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_complete() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 13);
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13, "duplicate experiment ids");
+        assert!(by_id("fig4").is_some());
+        assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn report_rendering_includes_findings() {
+        let r = ExpReport {
+            id: "x".into(),
+            title: "T".into(),
+            narrative: "body".into(),
+            findings: vec![
+                Finding::check("m", "1", "2", true),
+                Finding::info("n", "a", "b"),
+            ],
+            data: serde_json::json!({}),
+        };
+        let s = r.render();
+        assert!(s.contains("## [x] T"));
+        assert!(s.contains("MATCH"));
+        assert!(s.contains("| n"));
+        assert!(r.all_ok());
+    }
+
+    #[test]
+    fn all_ok_detects_mismatches() {
+        let r = ExpReport {
+            id: "x".into(),
+            title: "T".into(),
+            narrative: String::new(),
+            findings: vec![Finding::check("m", "1", "2", false)],
+            data: serde_json::json!({}),
+        };
+        assert!(!r.all_ok());
+    }
+}

@@ -1,0 +1,64 @@
+//! Helpers shared by the experiment implementations.
+
+use ah_core::offline::{OfflineTuner, ShortRunApp};
+use ah_core::session::SessionOptions;
+use ah_core::strategy::{NelderMead, NelderMeadOptions, SearchStrategy, StartPoint};
+
+/// A Nelder–Mead strategy seeded at explicit coordinates (the application's
+/// default configuration — how the paper's campaigns start).
+pub fn nm_from(coords: Vec<f64>) -> Box<dyn SearchStrategy> {
+    Box::new(NelderMead::new(NelderMeadOptions {
+        start: StartPoint::Coords(coords),
+        ..Default::default()
+    }))
+}
+
+/// A Nelder–Mead strategy whose whole initial simplex is given (the
+/// prior-runs seeding technique).
+pub fn nm_simplex(points: Vec<Vec<f64>>) -> Box<dyn SearchStrategy> {
+    Box::new(NelderMead::new(NelderMeadOptions {
+        start: StartPoint::Simplex(points),
+        ..Default::default()
+    }))
+}
+
+/// Off-line tuning campaign with explicit stopping criteria.
+pub fn tune_with<A: ShortRunApp>(
+    app: &mut A,
+    strategy: Box<dyn SearchStrategy>,
+    opts: SessionOptions,
+) -> ah_core::offline::OfflineOutcome {
+    OfflineTuner::new(opts).tune(app, strategy)
+}
+
+/// Standard off-line tuning campaign with a seeded session.
+pub fn tune<A: ShortRunApp>(
+    app: &mut A,
+    strategy: Box<dyn SearchStrategy>,
+    max_evaluations: usize,
+    seed: u64,
+) -> ah_core::offline::OfflineOutcome {
+    let tuner = OfflineTuner::new(SessionOptions {
+        max_evaluations,
+        seed,
+        ..Default::default()
+    });
+    tuner.tune(app, strategy)
+}
+
+/// `true` if `measured` lies within `[lo, hi]` — the band we accept as
+/// "same shape as the paper".
+pub fn in_band(measured: f64, lo: f64, hi: f64) -> bool {
+    (lo..=hi).contains(&measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_check() {
+        assert!(in_band(15.0, 10.0, 20.0));
+        assert!(!in_band(25.0, 10.0, 20.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! §VI conclusion: "we applied two different techniques to tuning GS2:
+//! data distribution and parameters manipulation. Taken together these two
+//! techniques reduced the runtime of GS2 by a factor of 5.1."
+//!
+//! We tune the data layout and the `(negrid, ntheta, nodes)` resolution
+//! parameters *jointly* from the shipped default (`lxyes`, 16, 26, full
+//! machine) and compare the combined speedup against each technique alone.
+
+use super::common::{in_band, tune};
+use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::table;
+use ah_core::strategy::NelderMead;
+use ah_gs2::{CollisionModel, Gs2CombinedApp, Gs2Config, Gs2LayoutApp, Gs2Model, Gs2ResolutionApp};
+
+/// The experiment.
+pub struct Gs2Combined;
+
+impl Experiment for Gs2Combined {
+    fn id(&self) -> &'static str {
+        "gs2_combined"
+    }
+
+    fn title(&self) -> &'static str {
+        "GS2 combined: layout + parameter tuning together (5.1x)"
+    }
+
+    fn run(&self, quick: bool) -> ExpReport {
+        let model = if quick {
+            let mut m = Gs2Model::on_seaborg(16, 8);
+            m.nx = 16;
+            m.ny = 8;
+            m.nl = 16;
+            m
+        } else {
+            Gs2Model::on_seaborg(16, 8)
+        };
+        let base = Gs2Config {
+            nodes: 8,
+            collision: CollisionModel::None,
+            ..Gs2Config::paper_default()
+        };
+        let steps = 10;
+
+        // Technique 1: layout only.
+        let mut layout_app = Gs2LayoutApp::new(model.clone(), base, steps);
+        let layout_out = tune(
+            &mut layout_app,
+            Box::new(NelderMead::default()),
+            if quick { 30 } else { 80 },
+            511,
+        );
+
+        // Technique 2: resolution only (at the default layout).
+        let mut res_app = Gs2ResolutionApp::new(model.clone(), base, steps);
+        res_app.nodes_range = (1, 16);
+        let res_out = tune(
+            &mut res_app,
+            Box::new(NelderMead::default()),
+            if quick { 25 } else { 40 },
+            512,
+        );
+
+        // Both together.
+        let mut combined_app = Gs2CombinedApp::new(model, base, steps);
+        combined_app.nodes_range = (1, 16);
+        let combined_out = tune(
+            &mut combined_app,
+            Box::new(NelderMead::default()),
+            if quick { 50 } else { 120 },
+            513,
+        );
+
+        let narrative = table::render(
+            &["technique", "default (s)", "tuned (s)", "speedup"],
+            &[
+                vec![
+                    "data layout only".into(),
+                    table::secs(layout_out.default_cost),
+                    table::secs(layout_out.result.best_cost),
+                    format!("{:.2}x", layout_out.speedup()),
+                ],
+                vec![
+                    "parameters only".into(),
+                    table::secs(res_out.default_cost),
+                    table::secs(res_out.result.best_cost),
+                    format!("{:.2}x", res_out.speedup()),
+                ],
+                vec![
+                    "combined".into(),
+                    table::secs(combined_out.default_cost),
+                    table::secs(combined_out.result.best_cost),
+                    format!("{:.2}x", combined_out.speedup()),
+                ],
+            ],
+        );
+
+        let combined = combined_out.speedup();
+        let layout_only = layout_out.speedup();
+        let res_only = res_out.speedup();
+        let band = if quick { (1.5, 30.0) } else { (3.5, 9.0) };
+        let findings = vec![
+            Finding::check(
+                "combined speedup",
+                "5.1x",
+                format!("{combined:.2}x"),
+                in_band(combined, band.0, band.1),
+            ),
+            Finding::check(
+                "combined beats each technique alone",
+                "two techniques compose",
+                format!(
+                    "{combined:.2}x vs layout {layout_only:.2}x, parameters {res_only:.2}x"
+                ),
+                combined >= layout_only * 0.98 && combined >= res_only * 0.98,
+            ),
+        ];
+        ExpReport {
+            id: self.id().into(),
+            title: self.title().into(),
+            narrative,
+            findings,
+            data: serde_json::json!({
+                "combined_speedup": combined,
+                "layout_speedup": layout_only,
+                "resolution_speedup": res_only,
+                "best_config": format!("{}", combined_out.result.best_config),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_paper_shape() {
+        let r = Gs2Combined.run(true);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

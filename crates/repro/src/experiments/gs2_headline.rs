@@ -1,0 +1,122 @@
+//! §VI headline: GS2 layout tuning on 128 processors (Seaborg 8×16).
+//!
+//! "By changing the data layout, the program execution time was reduced
+//! from 55.06s to 16.25s (3.4× faster) without collision mode and from
+//! 71.08s to 31.55s (2.3× faster) with collision mode" — for a typical
+//! benchmarking run of 10 time steps.
+
+use super::common::{in_band, tune};
+use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::table;
+use ah_core::strategy::NelderMead;
+use ah_gs2::{CollisionModel, Gs2Config, Gs2LayoutApp, Gs2Model};
+
+/// The experiment.
+pub struct Gs2Headline;
+
+impl Experiment for Gs2Headline {
+    fn id(&self) -> &'static str {
+        "gs2_headline"
+    }
+
+    fn title(&self) -> &'static str {
+        "GS2 headline: layout tuning, 128 processors, with/without collisions"
+    }
+
+    fn run(&self, quick: bool) -> ExpReport {
+        let model = if quick {
+            let mut m = Gs2Model::on_seaborg(16, 8);
+            m.nx = 16;
+            m.ny = 8;
+            m.nl = 16;
+            m
+        } else {
+            Gs2Model::on_seaborg(16, 8)
+        };
+        let steps = 10;
+        let evals = if quick { 30 } else { 80 };
+
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        let mut data = Vec::new();
+        for (label, collision, seed) in [
+            ("without collisions", CollisionModel::None, 128_u64),
+            ("with collisions", CollisionModel::Lorentz, 129),
+        ] {
+            let base = Gs2Config {
+                nodes: 8,
+                collision,
+                ..Gs2Config::paper_default()
+            };
+            let mut app = Gs2LayoutApp::new(model.clone(), base, steps);
+            let out = tune(&mut app, Box::new(NelderMead::default()), evals, seed);
+            let speedup = out.speedup();
+            speedups.push(speedup);
+            rows.push(vec![
+                label.to_string(),
+                table::secs(out.default_cost),
+                table::secs(out.result.best_cost),
+                out.result
+                    .best_config
+                    .choice("layout")
+                    .expect("layout present")
+                    .to_string(),
+                format!("{speedup:.2}x"),
+            ]);
+            data.push(serde_json::json!({
+                "mode": label,
+                "default_time": out.default_cost,
+                "tuned_time": out.result.best_cost,
+                "speedup": speedup,
+                "best_layout": out.result.best_config.choice("layout"),
+            }));
+        }
+
+        let narrative = table::render(
+            &["collision mode", "lxyes default (s)", "tuned (s)", "best layout", "speedup"],
+            &rows,
+        );
+
+        let (no_coll, with_coll) = (speedups[0], speedups[1]);
+        let no_band = if quick { (1.3, 20.0) } else { (2.0, 5.0) };
+        let with_band = if quick { (1.1, 20.0) } else { (1.5, 3.5) };
+        let findings = vec![
+            Finding::check(
+                "speedup without collision mode",
+                "3.4x (55.06s -> 16.25s)",
+                format!("{no_coll:.2}x"),
+                in_band(no_coll, no_band.0, no_band.1),
+            ),
+            Finding::check(
+                "speedup with collision mode",
+                "2.3x (71.08s -> 31.55s)",
+                format!("{with_coll:.2}x"),
+                in_band(with_coll, with_band.0, with_band.1),
+            ),
+            Finding::check(
+                "collision mode narrows the layout gap",
+                "2.3x < 3.4x",
+                format!("{with_coll:.2}x < {no_coll:.2}x"),
+                with_coll < no_coll,
+            ),
+        ];
+        ExpReport {
+            id: self.id().into(),
+            title: self.title().into(),
+            narrative,
+            findings,
+            data: serde_json::json!({ "modes": data }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_paper_shape() {
+        let r = Gs2Headline.run(true);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

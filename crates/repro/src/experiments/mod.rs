@@ -1,0 +1,16 @@
+//! One module per paper table/figure.
+
+pub mod common;
+pub mod fig2b;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod gs2_combined;
+pub mod gs2_headline;
+pub mod petsc_sles_large;
+pub mod petsc_snes_large;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,83 @@
+//! Table II: POP parameter values before and after tuning (27 iterations),
+//! with the best improvement of 16.7%.
+
+use super::common::in_band;
+use super::table1::param_campaign;
+use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::table;
+use ah_core::offline::ShortRunApp;
+
+/// The experiment.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table II: POP parameter values, default vs after 27 iterations"
+    }
+
+    fn run(&self, quick: bool) -> ExpReport {
+        let (out, app) = param_campaign(quick);
+        let default_cfg = app.default_config();
+        let best = &out.result.best_config;
+        let mut rows = Vec::new();
+        for (name, default_v) in default_cfg.iter() {
+            let tuned_v = best.get(name).expect("same space");
+            if default_v != tuned_v {
+                rows.push(vec![
+                    name.to_string(),
+                    default_v.to_string(),
+                    tuned_v.to_string(),
+                ]);
+            }
+        }
+        let gain = out.improvement_pct();
+        let narrative = format!(
+            "{}\nBest improvement after {} iterations: {}\n",
+            table::render(&["Parameter", "Default", "After tuning"], &rows),
+            out.result.evaluations,
+            table::pct(gain),
+        );
+
+        let band = if quick { (1.0, 45.0) } else { (8.0, 28.0) };
+        let findings = vec![
+            Finding::check(
+                "best improvement after 27 iterations",
+                "16.7%",
+                table::pct(gain),
+                in_band(gain, band.0, band.1),
+            ),
+            Finding::check(
+                "several parameters move off their defaults",
+                "12 parameters changed in Table II",
+                format!("{} parameters changed", rows.len()),
+                rows.len() >= 4,
+            ),
+        ];
+        ExpReport {
+            id: self.id().into(),
+            title: self.title().into(),
+            narrative,
+            findings,
+            data: serde_json::json!({
+                "improvement_pct": gain,
+                "changed_parameters": rows.len(),
+                "iterations": out.result.evaluations,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_paper_shape() {
+        let r = Table2.run(true);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

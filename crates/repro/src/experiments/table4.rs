@@ -1,0 +1,102 @@
+//! Table IV: GS2 (negrid, ntheta, nodes) tuning for production runs
+//! (1,000 time steps).
+//!
+//! Paper rows: `lxyes` default (16,26,32) = 1480.3s → tuned (10,20,28) =
+//! 244.2s (83.5%); `yxles` default = 384.9s → tuned version better still
+//! (tuned `yxles` is the best overall configuration).
+
+use super::common::in_band;
+use super::table3::{render_rows, resolution_campaign};
+use crate::experiment::{ExpReport, Finding};
+use crate::table;
+
+/// The experiment.
+pub struct Table4;
+
+impl crate::experiment::Experiment for Table4 {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table IV: GS2 tuning result for production run (1000 steps)"
+    }
+
+    fn run(&self, quick: bool) -> ExpReport {
+        let steps = 1000;
+        let (out_lx, _) = resolution_campaign("lxyes", steps, quick, 441);
+        let (out_yx, _) = resolution_campaign("yxles", steps, quick, 442);
+        let narrative = render_rows(&[("lxyes", &out_lx), ("yxles", &out_yx)]);
+
+        let lx_gain = out_lx.improvement_pct();
+        let yx_gain = out_yx.improvement_pct();
+
+        // Benchmark-run campaigns for the production-vs-benchmark contrast.
+        let (bench_lx, _) = resolution_campaign("lxyes", 10, quick, 331);
+        let bench_gain = bench_lx.improvement_pct();
+
+        let lx_band = if quick { (10.0, 97.0) } else { (50.0, 92.0) };
+        let findings = vec![
+            Finding::check(
+                "lxyes production improvement",
+                "83.5% (1480.3s -> 244.2s)",
+                table::pct(lx_gain),
+                in_band(lx_gain, lx_band.0, lx_band.1),
+            ),
+            // Known substrate divergence (see EXPERIMENTS.md): our
+            // flat-chunk decomposition can only repair lxyes alignment by
+            // dropping to fewer processors, so tuned lxyes keeps a compute
+            // penalty and the two layouts' *relative* production gains come
+            // out nearly equal instead of 83.5% vs 50.6%.
+            Finding::info(
+                "yxles production improvement smaller than lxyes's",
+                "83.5% (lxyes) vs 50.6% (yxles)",
+                format!("{} vs {}", table::pct(lx_gain), table::pct(yx_gain)),
+            ),
+            Finding::check(
+                "tuned yxles is the best overall production configuration",
+                "best overall performance from better layout + tuning",
+                format!(
+                    "yxles tuned {} vs lxyes tuned {}",
+                    table::secs(out_yx.result.best_cost),
+                    table::secs(out_lx.result.best_cost)
+                ),
+                out_yx.result.best_cost <= out_lx.result.best_cost,
+            ),
+            Finding::check(
+                "production gains exceed benchmarking gains (lxyes)",
+                "83.5% production vs 57.9% benchmarking",
+                format!(
+                    "{} production vs {} benchmarking",
+                    table::pct(lx_gain),
+                    table::pct(bench_gain)
+                ),
+                lx_gain >= bench_gain - 5.0,
+            ),
+        ];
+        ExpReport {
+            id: self.id().into(),
+            title: self.title().into(),
+            narrative,
+            findings,
+            data: serde_json::json!({
+                "lxyes": { "default": out_lx.default_cost, "tuned": out_lx.result.best_cost,
+                            "improvement_pct": lx_gain },
+                "yxles": { "default": out_yx.default_cost, "tuned": out_yx.result.best_cost,
+                            "improvement_pct": yx_gain },
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    #[test]
+    fn quick_run_matches_paper_shape() {
+        let r = Table4.run(true);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

@@ -1,0 +1,19 @@
+//! # ah-repro — the experiment harness
+//!
+//! One [`Experiment`] per table and figure of the HPDC'06 Active Harmony
+//! paper. Each experiment builds its workload from the app crates, runs the
+//! tuning campaign the paper describes, renders the paper-shaped table or
+//! chart, and compares its measured shape against the paper's reported
+//! numbers (directions, rough factors, crossovers — not absolute seconds;
+//! the substrate is a simulator, not the authors' testbed).
+//!
+//! Run everything with `cargo run --release -p ah-repro --bin repro -- all`.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiment;
+pub mod experiments;
+pub mod table;
+
+pub use experiment::{all_experiments, Experiment, ExpReport, Finding};

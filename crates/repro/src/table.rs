@@ -1,0 +1,101 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Render an ASCII table with a header row.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let sep = |c: char, junction: char| {
+        let mut s = String::new();
+        s.push(junction);
+        for w in &widths {
+            for _ in 0..w + 2 {
+                s.push(c);
+            }
+            s.push(junction);
+        }
+        s.push('\n');
+        s
+    };
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (w, cell) in widths.iter().zip(cells) {
+            s.push(' ');
+            s.push_str(cell);
+            for _ in 0..w - cell.chars().count() {
+                s.push(' ');
+            }
+            s.push_str(" |");
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&sep('-', '+'));
+    out.push_str(&line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push_str(&sep('=', '+'));
+    for row in rows {
+        out.push_str(&line(row));
+    }
+    out.push_str(&sep('-', '+'));
+    out
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.1}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // All lines have equal width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{t}");
+        assert!(t.contains("| longer |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        render(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(secs(1480.31), "1480.3");
+        assert_eq!(secs(55.064), "55.06");
+        assert_eq!(secs(0.12345), "0.1235");
+        assert_eq!(pct(57.94), "57.9%");
+    }
+}

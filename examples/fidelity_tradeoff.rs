@@ -1,0 +1,78 @@
+//! Automating the accuracy/performance tradeoff (paper §VII).
+//!
+//! "While changing negrid and ntheta may affect the simulation resolution,
+//! the dramatic performance gains possible warrant considering using such
+//! parameters. […] If these tradeoffs can be quantified, other metrics such
+//! as fidelity […] can also be specified and integrated into the objective
+//! function so the system can automate this tradeoff."
+//!
+//! This example tunes GS2's resolution parameters three times with
+//! different fidelity weights and shows how the chosen resolution moves:
+//! weight 0 races to the coarsest allowed grids; larger weights buy back
+//! accuracy at the price of runtime.
+//!
+//! ```text
+//! cargo run --release --example fidelity_tradeoff
+//! ```
+
+use ah_core::objective::TradeoffObjective;
+use ah_core::prelude::*;
+use ah_core::session::SessionOptions;
+use ah_gs2::{CollisionModel, Gs2Config, Gs2Model};
+
+fn main() {
+    let mut model = Gs2Model::on_linux_cluster(32);
+    // Keep the example snappy.
+    model.nx = 16;
+    model.ny = 8;
+    model.nl = 16;
+    let base = Gs2Config {
+        nodes: 32,
+        collision: CollisionModel::None,
+        ..Gs2Config::paper_default()
+    };
+
+    let space = SearchSpace::builder()
+        .int("negrid", 8, 32, 1)
+        .int("ntheta", 16, 50, 2)
+        .build()
+        .expect("valid space");
+
+    println!("fidelity weight -> tuned (negrid, ntheta), runtime, fidelity loss\n");
+    for weight in [0.0, 0.3, 1.0, 3.0] {
+        let model_ref = &model;
+        let cfg_of = |c: &Configuration| Gs2Config {
+            negrid: c.int("negrid").unwrap() as usize,
+            ntheta: c.int("ntheta").unwrap() as usize,
+            ..base
+        };
+        let mut objective = TradeoffObjective::new(
+            move |c: &Configuration| model_ref.run_time(&cfg_of(c), 100),
+            move |c: &Configuration| model_ref.fidelity_loss(&cfg_of(c)),
+            weight,
+        );
+        let mut session = TuningSession::new(
+            space.clone(),
+            Box::new(NelderMead::default()),
+            SessionOptions {
+                max_evaluations: 60,
+                seed: 17,
+                ..Default::default()
+            },
+        );
+        let result = session.run(|c| Objective::evaluate(&mut objective, c));
+        let best = cfg_of(&result.best_config);
+        println!(
+            "weight {weight:>4}: (negrid {:>2}, ntheta {:>2})  runtime {:>7.3}s  loss {:.3}",
+            best.negrid,
+            best.ntheta,
+            model.run_time(&best, 100),
+            model.fidelity_loss(&best),
+        );
+    }
+    println!(
+        "\nHigher fidelity weights keep the resolution closer to the reference \
+         (negrid 16, ntheta 26)\nwhile weight 0 reproduces the pure-time tuning \
+         of Tables III/IV."
+    );
+}

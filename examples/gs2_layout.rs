@@ -1,0 +1,69 @@
+//! GS2 data-layout tuning (the paper's §VI scenario).
+//!
+//! Compares the 120 possible 5-D data layouts on a 128-processor SP-3
+//! topology with and without the collision operator, then tunes the layout
+//! with Active Harmony and shows the (negrid, ntheta, nodes) follow-up.
+//!
+//! ```text
+//! cargo run --release --example gs2_layout
+//! ```
+
+use ah_core::offline::OfflineTuner;
+use ah_core::session::SessionOptions;
+use ah_core::strategy::NelderMead;
+use ah_gs2::{CollisionModel, Gs2Config, Gs2LayoutApp, Gs2Model, Gs2ResolutionApp, Layout};
+
+fn main() {
+    let model = Gs2Model::on_seaborg(16, 8); // 8 nodes x 16 procs = 128
+    let steps = 10;
+
+    for collision in [CollisionModel::None, CollisionModel::Lorentz] {
+        let base = Gs2Config {
+            nodes: 8,
+            collision,
+            ..Gs2Config::paper_default()
+        };
+        let app = Gs2LayoutApp::new(model.clone(), base, steps);
+        println!("collision = {collision:?}");
+        for layout in ["lxyes", "yxles", "yxels", "xyles"] {
+            let l: Layout = layout.parse().unwrap();
+            println!("  {layout}: {:.3}s", app.time_of(l));
+        }
+        let mut app = app;
+        let tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 60,
+            seed: 6,
+            ..Default::default()
+        });
+        let out = tuner.tune(&mut app, Box::new(NelderMead::default()));
+        println!(
+            "  tuned: {} at {:.3}s ({:.2}x faster than the lxyes default)\n",
+            out.result.best_config.choice("layout").unwrap(),
+            out.result.best_cost,
+            out.speedup()
+        );
+    }
+
+    // Follow-up: tune (negrid, ntheta, nodes) at the default layout.
+    let linux = Gs2Model::on_linux_cluster(32);
+    let base = Gs2Config {
+        nodes: 32,
+        ..Gs2Config::paper_default()
+    };
+    let mut app = Gs2ResolutionApp::new(linux, base, steps);
+    let tuner = OfflineTuner::new(SessionOptions {
+        max_evaluations: 40,
+        seed: 7,
+        ..Default::default()
+    });
+    let out = tuner.tune(&mut app, Box::new(NelderMead::default()));
+    let best = &out.result.best_config;
+    println!(
+        "resolution tuning on the Linux cluster: (negrid,ntheta,nodes) \
+         (16,26,32) -> ({},{},{}) = {:.1}% faster",
+        best.int("negrid").unwrap(),
+        best.int("ntheta").unwrap(),
+        best.int("nodes").unwrap(),
+        out.improvement_pct()
+    );
+}

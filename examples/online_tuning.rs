@@ -1,0 +1,76 @@
+//! On-line tuning through the Harmony server (the paper's Figure 1
+//! architecture): a long-running application registers its tunable
+//! variables with the server, then fetches fresh values and reports
+//! observed performance from inside its run loop — no restarts.
+//!
+//! ```text
+//! cargo run --release --example online_tuning
+//! ```
+
+use ah_core::param::Param;
+use ah_core::prelude::*;
+use ah_core::session::SessionOptions;
+
+/// Simulated per-interval runtime of a server application with a tunable
+/// read-ahead buffer and worker-pool size (the §II examples of things
+/// tunable at runtime).
+fn interval_time(readahead_kb: i64, workers: i64) -> f64 {
+    let r = readahead_kb as f64;
+    let w = workers as f64;
+    0.8 + (r.log2() - 7.0).powi(2) * 0.06 + (w - 12.0).powi(2) * 0.004
+}
+
+fn main() {
+    // The Harmony server runs on its own thread; applications connect over
+    // the message protocol.
+    let server = HarmonyServer::start();
+    let client = server.connect("file-service").expect("server reachable");
+
+    client
+        .add_param(Param::int("readahead_kb", 4, 4096, 4))
+        .expect("declare readahead");
+    client
+        .add_param(Param::int("workers", 1, 64, 1))
+        .expect("declare workers");
+    client
+        .seal(
+            SessionOptions {
+                max_evaluations: 60,
+                seed: 99,
+                ..Default::default()
+            },
+            StrategyKind::NelderMead,
+        )
+        .expect("start tuning");
+
+    println!("application running; Harmony adjusts parameters between intervals\n");
+    let mut interval = 0;
+    loop {
+        let fetched = client.fetch().expect("server reachable");
+        let readahead = fetched.config.int("readahead_kb").unwrap();
+        let workers = fetched.config.int("workers").unwrap();
+        if fetched.finished {
+            println!(
+                "\ntuning settled after {interval} intervals: \
+                 readahead={readahead}KB workers={workers}"
+            );
+            break;
+        }
+        let t = interval_time(readahead, workers);
+        if interval % 10 == 0 {
+            println!(
+                "interval {interval:>3}: readahead={readahead:>5}KB workers={workers:>2} \
+                 -> {t:.3}s"
+            );
+        }
+        client.report(t).expect("server reachable");
+        interval += 1;
+    }
+
+    let (best, cost) = client
+        .best()
+        .expect("server reachable")
+        .expect("at least one measurement");
+    println!("best configuration: {best} at {cost:.3}s per interval");
+    server.shutdown();
+}

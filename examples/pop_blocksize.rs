@@ -1,0 +1,57 @@
+//! POP block-size tuning across node topologies (the paper's §V scenario).
+//!
+//! For several `nodes × processors-per-node` layouts of the same
+//! 480-processor SP-3, tune the ocean-model block size and show that the
+//! best block depends on the topology.
+//!
+//! ```text
+//! cargo run --release --example pop_blocksize
+//! ```
+
+use ah_clustersim::machines::sp3_seaborg;
+use ah_core::offline::OfflineTuner;
+use ah_core::session::SessionOptions;
+use ah_core::strategy::{NelderMead, NelderMeadOptions, StartPoint};
+use ah_pop::{OceanGrid, PopBlockApp};
+
+fn main() {
+    // A downscaled ocean grid keeps the example fast; use
+    // `OceanGrid::paper_grid()` for the full 3,600x2,400 run.
+    let grid = OceanGrid::synthetic(720, 480);
+    println!(
+        "Ocean grid {}x{}, {:.0}% ocean\n",
+        grid.nx,
+        grid.ny,
+        100.0 * grid.ocean_fraction()
+    );
+
+    for (nodes, ppn) in [(6, 16), (12, 8), (24, 4), (48, 2)] {
+        let machine = sp3_seaborg(nodes, ppn);
+        let mut app = PopBlockApp::new(grid.clone(), machine, 3);
+        let tuner = OfflineTuner::new(SessionOptions {
+            max_evaluations: 50,
+            seed: nodes as u64,
+            ..Default::default()
+        });
+        let strategy = NelderMead::new(NelderMeadOptions {
+            start: StartPoint::Coords(vec![180.0, 100.0]),
+            ..Default::default()
+        });
+        let out = tuner.tune(&mut app, Box::new(strategy));
+        println!(
+            "topology {:>3}x{:<2}: default 180x100 -> best {:>3}x{:<3} \
+             ({:.3}s -> {:.3}s, {:.1}% better)",
+            nodes,
+            ppn,
+            out.result.best_config.int("bx").unwrap(),
+            out.result.best_config.int("by").unwrap(),
+            out.default_cost,
+            out.result.best_cost,
+            out.improvement_pct()
+        );
+    }
+    println!(
+        "\nOn the full 3,600x2,400 production grid the best block differs per \
+         topology\n(run `cargo run --release -p ah-repro --bin repro -- fig4`)."
+    );
+}

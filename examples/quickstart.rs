@@ -1,0 +1,106 @@
+//! Quickstart: tune a synthetic application with Active Harmony.
+//!
+//! A fictional "application" whose runtime depends on a buffer size, a
+//! thread count, and an algorithm choice is tuned off-line (one short run
+//! per iteration), exactly the §III mechanism of the paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ah_core::prelude::*;
+
+/// The synthetic application: runtime is a bowl over (buffer, threads) with
+/// a categorical algorithm factor.
+struct ToyApp {
+    runs: usize,
+}
+
+impl ShortRunApp for ToyApp {
+    fn space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .int("buffer_kb", 4, 1024, 4)
+            .int("threads", 1, 64, 1)
+            .enumeration("algorithm", ["heap_sort", "quick_sort", "merge_sort"])
+            .build()
+            .expect("valid space")
+    }
+
+    fn default_config(&self) -> Configuration {
+        self.space()
+            .configuration_from_strs([
+                ("buffer_kb", "4"),
+                ("threads", "1"),
+                ("algorithm", "heap_sort"),
+            ])
+            .expect("valid defaults")
+    }
+
+    fn run_short(&mut self, config: &Configuration) -> RunMeasurement {
+        self.runs += 1;
+        let buf = config.int("buffer_kb").unwrap() as f64;
+        let threads = config.int("threads").unwrap() as f64;
+        let alg = match config.choice("algorithm").unwrap() {
+            "quick_sort" => 1.0,
+            "merge_sort" => 1.15,
+            _ => 1.6, // heap_sort
+        };
+        // Sweet spot near 256 KB / 24 threads; oversubscription hurts.
+        let exec = alg
+            * (5.0
+                + (buf.log2() - 8.0).powi(2) * 0.8
+                + (threads - 24.0).powi(2) * 0.01
+                + if threads > 48.0 { (threads - 48.0) * 0.2 } else { 0.0 });
+        RunMeasurement {
+            exec_time: exec,
+            warmup_time: 0.5,
+            restart_cost: 0.25,
+        }
+    }
+}
+
+fn main() {
+    let mut app = ToyApp { runs: 0 };
+    println!("Tuning a toy application with Active Harmony (off-line mode)\n");
+
+    let tuner = OfflineTuner::new(SessionOptions {
+        max_evaluations: 80,
+        seed: 7,
+        ..Default::default()
+    });
+    let outcome = tuner.tune(&mut app, Box::new(NelderMead::default()));
+
+    println!("default configuration : {}", outcome.default_config);
+    println!("default runtime       : {:.2}s", outcome.default_cost);
+    println!("tuned configuration   : {}", outcome.result.best_config);
+    println!("tuned runtime         : {:.2}s", outcome.result.best_cost);
+    println!(
+        "improvement           : {:.1}%  (speedup {:.2}x)",
+        outcome.improvement_pct(),
+        outcome.speedup()
+    );
+    println!(
+        "tuning cost           : {} short runs, {:.1}s wall clock (incl. restarts)",
+        outcome.result.evaluations, outcome.tuning_time
+    );
+
+    // The evaluation history doubles as a Table-I-style trace.
+    println!("\nBest-so-far improvement trace:");
+    for row in outcome.result.history.parameter_change_trace() {
+        if row.changes.is_empty() {
+            println!("  iter {:>3}: start at cost {:.2}", row.iteration, row.cost);
+        } else {
+            let changes: Vec<String> = row
+                .changes
+                .iter()
+                .map(|c| format!("{} {}->{}", c.name, c.from, c.to))
+                .collect();
+            println!(
+                "  iter {:>3}: cost {:.2} ({})",
+                row.iteration,
+                row.cost,
+                changes.join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests on cross-crate invariants.
+
+use ah_core::constraint::MonotoneChain;
+use ah_core::prelude::*;
+use ah_core::session::SessionOptions;
+use ah_gs2::decomp::{locality, Decomposition, DimSizes};
+use ah_gs2::layout::{Dim, Layout};
+use ah_pop::{BlockDecomposition, OceanGrid};
+use ah_sparse::gen::laplacian_2d;
+use ah_sparse::RowPartition;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Projection always produces valid, in-domain configurations, and
+    /// embedding projects back to the same lattice point.
+    #[test]
+    fn space_projection_roundtrips(
+        x in -500.0..500.0f64,
+        y in -500.0..500.0f64,
+        z in -500.0..500.0f64,
+    ) {
+        let space = SearchSpace::builder()
+            .int("a", -10, 90, 7)
+            .enumeration("m", ["p", "q", "r"])
+            .int("b", 5, 6, 1)
+            .build()
+            .unwrap();
+        let cfg = space.project(&[x, y, z]);
+        prop_assert!(space.is_valid(&cfg));
+        let coords = space.embed(&cfg).unwrap();
+        prop_assert_eq!(space.project(&coords), cfg);
+    }
+
+    /// Monotone-chain repair always yields sorted boundaries, whatever the
+    /// input ordering.
+    #[test]
+    fn chain_repair_always_sorts(values in proptest::collection::vec(0.0..1000.0f64, 4)) {
+        let space = SearchSpace::builder()
+            .int("b1", 0, 1000, 1)
+            .int("b2", 0, 1000, 1)
+            .int("b3", 0, 1000, 1)
+            .int("b4", 0, 1000, 1)
+            .constraint(MonotoneChain::new(["b1", "b2", "b3", "b4"]))
+            .build()
+            .unwrap();
+        let cfg = space.project(&values);
+        let b: Vec<i64> = (1..=4).map(|i| cfg.int(&format!("b{i}")).unwrap()).collect();
+        prop_assert!(b.windows(2).all(|w| w[0] <= w[1]), "{:?}", b);
+    }
+
+    /// Row partitions conserve rows and nonzeros for any boundary set.
+    #[test]
+    fn partitions_conserve_mass(bounds in proptest::collection::vec(0usize..400, 1..8)) {
+        let a = laplacian_2d(20, 20);
+        let p = RowPartition::from_boundaries(400, &bounds);
+        prop_assert_eq!(p.row_counts().iter().sum::<usize>(), 400);
+        prop_assert_eq!(p.loads(&a).iter().sum::<usize>(), a.nnz());
+        // Cut is symmetric-bounded: can never exceed total nnz.
+        prop_assert!(p.total_cut(&a) <= a.nnz());
+    }
+
+    /// The tuning session never reports a best worse than any evaluation it
+    /// made, for arbitrary seeds.
+    #[test]
+    fn session_best_is_min_of_history(seed in 0u64..1000) {
+        let space = SearchSpace::builder()
+            .int("x", 0, 50, 1)
+            .int("y", 0, 50, 1)
+            .build()
+            .unwrap();
+        let mut session = TuningSession::new(
+            space,
+            Box::new(NelderMead::default()),
+            SessionOptions { max_evaluations: 30, seed, ..Default::default() },
+        );
+        let result = session.run(|cfg| {
+            let x = cfg.int("x").unwrap() as f64;
+            let y = cfg.int("y").unwrap() as f64;
+            (x * 13.0 + y * 7.0).sin() * 10.0 + x + y
+        });
+        let min = result
+            .history
+            .evaluations()
+            .iter()
+            .map(|e| e.cost)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((result.best_cost - min).abs() < 1e-12);
+    }
+
+    /// GS2 locality is a fraction in [0, 1], exactly 1 for an empty
+    /// requirement, and monotonically no better when more dimensions are
+    /// required local.
+    #[test]
+    fn gs2_locality_bounds(procs in 1usize..40, e in 2usize..9) {
+        let sizes = DimSizes { x: 4, y: 4, l: 8, e, s: 2 };
+        let layout: Layout = "lxyes".parse().unwrap();
+        let d = Decomposition::new(layout, sizes, procs);
+        let l_xy = locality(&d, &[Dim::X, Dim::Y]);
+        let l_all = locality(&d, &Dim::ALL);
+        prop_assert!((0.0..=1.0).contains(&l_xy));
+        prop_assert_eq!(locality(&d, &[]), 1.0);
+        prop_assert!(l_all <= l_xy + 1e-12);
+    }
+
+    /// POP decompositions conserve ocean work for any block size.
+    #[test]
+    fn pop_blocks_conserve_ocean(bx in 5usize..120, by in 5usize..120) {
+        let grid = OceanGrid::synthetic(240, 160);
+        let d = BlockDecomposition::new(&grid, bx, by, 16);
+        let ocean_in_blocks: usize = d.blocks.iter().map(|b| b.ocean_points).sum();
+        prop_assert_eq!(ocean_in_blocks, grid.ocean_points());
+        prop_assert!(d.load_imbalance() >= 1.0 - 1e-12);
+    }
+
+    /// Machine message costs are monotone in size and never cheaper across
+    /// nodes than within one.
+    #[test]
+    fn network_costs_are_monotone(bytes in 1.0..1e9f64) {
+        let m = ah_clustersim::machines::sp3_seaborg(4, 8);
+        let intra = m.network.msg_time(bytes, true);
+        let inter = m.network.msg_time(bytes, false);
+        prop_assert!(intra <= inter);
+        prop_assert!(m.network.msg_time(bytes * 2.0, false) >= inter);
+    }
+}
