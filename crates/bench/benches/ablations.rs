@@ -31,15 +31,14 @@ fn evals_to_within(strategy: Box<dyn SearchStrategy>, cap: usize, seed: u64) -> 
         },
     );
     let result = session.run(bowl);
-    result
-        .history
-        .iterations_to_within(1.05)
-        .unwrap_or(cap)
+    result.history.iterations_to_within(1.05).unwrap_or(cap)
 }
 
 fn ablate_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_search_to_5pct");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("nelder_mead", |b| {
         b.iter(|| black_box(evals_to_within(Box::new(NelderMead::default()), 2000, 3)))
     });
@@ -80,7 +79,9 @@ impl ShortRunApp for OverheadApp {
 
 fn ablate_restart_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_restart_accounting");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (label, charge) in [("charged", true), ("ignored", false)] {
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -106,7 +107,9 @@ fn ablate_restart_cost(c: &mut Criterion) {
             ..Default::default()
         });
         tuner.charge_overheads = charge;
-        tuner.tune(&mut app, Box::new(NelderMead::default())).tuning_time
+        tuner
+            .tune(&mut app, Box::new(NelderMead::default()))
+            .tuning_time
     };
     println!(
         "[ablation] tuning time with restart costs charged: {:.1}s vs ignored: {:.1}s",
@@ -131,7 +134,9 @@ fn ablate_prior_seeding(c: &mut Criterion) {
     db.record_history("bowl", &r1.history);
 
     let mut group = c.benchmark_group("ablate_prior_seeding_25_evals");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("cold_start", |b| {
         b.iter(|| {
             black_box(ah_bench::run_session(
@@ -169,7 +174,9 @@ fn ablate_parallel_rounds(c: &mut Criterion) {
     // evaluation, PRO pays rounds.
     use ah_core::strategy::pro::{tune_parallel, ProOptions};
     let mut group = c.benchmark_group("ablate_parallel_rounds");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("pro_parallel_driver", |b| {
         b.iter(|| {
             let r = tune_parallel(&bowl_space(), bowl, ProOptions::default(), 40, 8);
@@ -177,7 +184,13 @@ fn ablate_parallel_rounds(c: &mut Criterion) {
         })
     });
     group.bench_function("nelder_mead_serial", |b| {
-        b.iter(|| black_box(ah_bench::run_session(Box::new(NelderMead::default()), 160, 8)))
+        b.iter(|| {
+            black_box(ah_bench::run_session(
+                Box::new(NelderMead::default()),
+                160,
+                8,
+            ))
+        })
     });
     group.finish();
     let r = tune_parallel(&bowl_space(), bowl, ProOptions::default(), 40, 8);

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("strategy_120_evals");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("nelder_mead", |b| {
         b.iter(|| run_session(Box::new(NelderMead::default()), 120, 1))
     });
@@ -50,7 +52,9 @@ fn projection(c: &mut Criterion) {
 
 fn gs2_locality(c: &mut Criterion) {
     let mut group = c.benchmark_group("gs2_locality");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (label, sizes) in [
         (
             "small",
@@ -85,7 +89,9 @@ fn gs2_locality(c: &mut Criterion) {
 fn pop_decomposition(c: &mut Criterion) {
     let grid = OceanGrid::synthetic(720, 480);
     let mut group = c.benchmark_group("pop_decomposition");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (bx, by) in [(36, 30), (180, 100)] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{bx}x{by}")),
@@ -96,5 +102,11 @@ fn pop_decomposition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, strategies, projection, gs2_locality, pop_decomposition);
+criterion_group!(
+    benches,
+    strategies,
+    projection,
+    gs2_locality,
+    pop_decomposition
+);
 criterion_main!(benches);

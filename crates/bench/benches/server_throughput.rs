@@ -1,0 +1,129 @@
+//! Tuning-server round-trip throughput: serial fetch/report vs batched
+//! `FetchBatch`/`ReportBatch`, over the in-process bus and over TCP.
+//!
+//! Each measured iteration completes one whole evaluation (or a batch of
+//! them), so the `Throughput::Elements` rate is evaluations per second as
+//! seen by a tuning client. The `repro bench-server` subcommand runs the
+//! multi-client version of the same matrix and writes `BENCH_server.json`.
+
+use ah_core::param::Param;
+use ah_core::server::protocol::{StrategyKind, TrialReport};
+use ah_core::server::{HarmonyClient, HarmonyServer, TcpHarmonyClient, TcpHarmonyServer};
+use ah_core::session::SessionOptions;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+const BATCH: usize = 16;
+
+fn options(seed: u64) -> SessionOptions {
+    SessionOptions {
+        max_evaluations: usize::MAX / 4,
+        max_cached_replays: usize::MAX / 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn inproc_client(server: &HarmonyServer, seed: u64) -> HarmonyClient {
+    let client = server.connect("bench").expect("connect");
+    client
+        .add_param(Param::int("x", 0, 1_000_000, 1))
+        .expect("param");
+    client
+        .seal(options(seed), StrategyKind::Random)
+        .expect("seal");
+    client
+}
+
+fn inproc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_inproc");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+
+    let server = HarmonyServer::start();
+    let serial = inproc_client(&server, 1);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("serial_fetch_report", |b| {
+        b.iter(|| {
+            let fetched = serial.fetch().expect("fetch");
+            serial
+                .report_timed(fetched.config.int("x").expect("x") as f64, 0.0)
+                .expect("report");
+        })
+    });
+
+    let batched = inproc_client(&server, 2);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("batched_fetch_report_16", |b| {
+        b.iter(|| {
+            let (trials, _) = batched.fetch_batch(BATCH).expect("fetch_batch");
+            let reports: Vec<TrialReport> = trials
+                .iter()
+                .map(|t| TrialReport {
+                    iteration: t.iteration,
+                    cost: t.config.int("x").expect("x") as f64,
+                    wall_time: 0.0,
+                })
+                .collect();
+            batched.report_batch(reports).expect("report_batch");
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
+fn tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_tcp");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+
+    let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mk = |seed: u64| {
+        let mut client = TcpHarmonyClient::connect(addr, "bench").expect("connect");
+        client
+            .add_param(Param::int("x", 0, 1_000_000, 1))
+            .expect("param");
+        client
+            .seal(options(seed), StrategyKind::Random)
+            .expect("seal");
+        client
+    };
+
+    let mut serial = mk(1);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("serial_fetch_report", |b| {
+        b.iter(|| {
+            let (config, _) = serial.fetch().expect("fetch");
+            serial
+                .report(config.int("x").expect("x") as f64)
+                .expect("report");
+        })
+    });
+
+    let mut batched = mk(2);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("batched_fetch_report_16", |b| {
+        b.iter(|| {
+            let (trials, _) = batched.fetch_batch(BATCH).expect("fetch_batch");
+            let reports: Vec<TrialReport> = trials
+                .iter()
+                .map(|t| TrialReport {
+                    iteration: t.iteration,
+                    cost: t.config.int("x").expect("x") as f64,
+                    wall_time: 0.0,
+                })
+                .collect();
+            batched.report_batch(reports).expect("report_batch");
+        })
+    });
+    group.finish();
+    serial.close();
+    batched.close();
+    server.shutdown();
+}
+
+criterion_group!(benches, inproc, tcp);
+criterion_main!(benches);

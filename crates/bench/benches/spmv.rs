@@ -25,16 +25,12 @@ fn spmv(c: &mut Criterion) {
             .sample_size(30)
             .measurement_time(Duration::from_secs(5));
         for threads in [1usize, 2, 4, 8] {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(threads),
-                &threads,
-                |b, &t| {
-                    b.iter(|| {
-                        a.par_spmv(black_box(&x), &mut y, t);
-                        black_box(y[0])
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+                b.iter(|| {
+                    a.par_spmv(black_box(&x), &mut y, t);
+                    black_box(y[0])
+                })
+            });
         }
         group.finish();
     }
@@ -44,19 +40,17 @@ fn cg(c: &mut Criterion) {
     let a = laplacian_2d(64, 64);
     let rhs = random_rhs(a.rows(), 2);
     let mut group = c.benchmark_group("cg_4k");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for threads in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    let out = cg_solve(&a, &rhs, 1e-8, 2000, t);
-                    assert!(out.converged);
-                    black_box(out.iterations)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let out = cg_solve(&a, &rhs, 1e-8, 2000, t);
+                assert!(out.converged);
+                black_box(out.iterations)
+            })
+        });
     }
     group.finish();
 }

@@ -14,7 +14,7 @@ use crate::topology::{Machine, NodeSpec};
 pub fn sp3_seaborg(nodes: usize, procs_per_node: usize) -> Machine {
     assert!(procs_per_node <= 16, "SP-3 nodes are 16-way SMPs");
     let network = NetworkModel::new(
-        (8e-7, 3.0e9),   // shared-memory within a node
+        (8e-7, 3.0e9),  // shared-memory within a node
         (18e-6, 600e6), // switch fabric between nodes
     );
     let mut m = Machine::uniform(

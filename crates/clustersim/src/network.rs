@@ -99,19 +99,15 @@ impl NetworkModel {
     /// `bytes_per_pair` to every other processor: `P−1` rounds, each paying
     /// the intra- or inter-node cost depending on how many peers share the
     /// sender's node (`procs/nodes − 1` of the `P−1` peers, on average).
-    pub fn alltoall_time(
-        &self,
-        bytes_per_pair: f64,
-        procs: usize,
-        nodes: usize,
-    ) -> f64 {
+    pub fn alltoall_time(&self, bytes_per_pair: f64, procs: usize, nodes: usize) -> f64 {
         if procs <= 1 {
             return 0.0;
         }
         let ppn = (procs as f64 / nodes.max(1) as f64).max(1.0);
         let intra_peers = (ppn - 1.0).max(0.0);
         let inter_peers = (procs as f64 - ppn).max(0.0);
-        intra_peers * self.intra.time(bytes_per_pair) + inter_peers * self.inter.time(bytes_per_pair)
+        intra_peers * self.intra.time(bytes_per_pair)
+            + inter_peers * self.inter.time(bytes_per_pair)
     }
 }
 

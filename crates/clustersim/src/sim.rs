@@ -100,7 +100,8 @@ impl SimResult {
                 0.0
             };
             let n = (frac * width as f64).round() as usize;
-            out.push_str(&format!("p{p:<3} |{}{}| {:.0}%\n",
+            out.push_str(&format!(
+                "p{p:<3} |{}{}| {:.0}%\n",
                 "#".repeat(n),
                 " ".repeat(width - n),
                 frac * 100.0
@@ -176,15 +177,17 @@ pub fn execute(machine: &Machine, program: &[Superstep]) -> SimResult {
             step_span = step_span.max(ct + comm[proc]);
         }
         let coll = match step.collective {
-            Some(Collective::AllReduce { bytes }) => machine
-                .network
-                .allreduce_time(bytes, p, machine.node_count()),
-            Some(Collective::AllToAll { bytes_per_pair }) => machine
-                .network
-                .alltoall_time(bytes_per_pair, p, machine.node_count()),
-            Some(Collective::Barrier) => {
-                machine.network.barrier_time(p, machine.node_count())
+            Some(Collective::AllReduce { bytes }) => {
+                machine
+                    .network
+                    .allreduce_time(bytes, p, machine.node_count())
             }
+            Some(Collective::AllToAll { bytes_per_pair }) => {
+                machine
+                    .network
+                    .alltoall_time(bytes_per_pair, p, machine.node_count())
+            }
+            Some(Collective::Barrier) => machine.network.barrier_time(p, machine.node_count()),
             None => 0.0,
         };
         total += step_span + coll;

@@ -106,7 +106,10 @@ impl Machine {
             }
             p -= n.procs;
         }
-        panic!("processor id {proc} out of range (machine has {})", self.total_procs());
+        panic!(
+            "processor id {proc} out of range (machine has {})",
+            self.total_procs()
+        );
     }
 
     /// Node index of a processor.
@@ -140,10 +143,7 @@ impl Machine {
 
     /// Aggregate nominal compute capacity in Gflop/s.
     pub fn total_capacity(&self) -> f64 {
-        self.nodes
-            .iter()
-            .map(|n| n.speed * n.procs as f64)
-            .sum()
+        self.nodes.iter().map(|n| n.speed * n.procs as f64).sum()
     }
 }
 

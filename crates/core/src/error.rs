@@ -76,7 +76,9 @@ mod tests {
         };
         assert!(e.to_string().contains("bx"));
         assert!(e.to_string().contains("min > max"));
-        assert!(HarmonyError::EmptySpace.to_string().contains("no parameters"));
+        assert!(HarmonyError::EmptySpace
+            .to_string()
+            .contains("no parameters"));
         assert!(HarmonyError::UnknownClient(7).to_string().contains('7'));
     }
 

@@ -307,7 +307,10 @@ mod tests {
         h.push(eval(1, 5, 0.0, 10.0));
         let csv = h.to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "iteration,cost,cached,cumulative_time,x,m");
+        assert_eq!(
+            lines.next().unwrap(),
+            "iteration,cost,cached,cumulative_time,x,m"
+        );
         assert!(lines.next().unwrap().starts_with("1,10,"));
     }
 

@@ -69,18 +69,17 @@ pub mod prelude {
     pub use crate::history::{Evaluation, History};
     pub use crate::objective::{Objective, PenalizedObjective, TradeoffObjective};
     pub use crate::offline::{OfflineTuner, RunMeasurement, ShortRunApp};
+    pub use crate::online::OnlineTuner;
     pub use crate::param::Param;
     pub use crate::priors::PriorRunDb;
     pub use crate::report::TuningReport;
-    pub use crate::session::{SessionOptions, TuningResult, TuningSession};
-    pub use crate::space::{Configuration, SearchSpace};
-    pub use crate::online::OnlineTuner;
     pub use crate::server::protocol::StrategyKind;
     pub use crate::server::{HarmonyClient, HarmonyServer};
+    pub use crate::session::{SessionOptions, TuningResult, TuningSession};
+    pub use crate::space::{Configuration, SearchSpace};
     pub use crate::strategy::{
         Exhaustive, GreedyFrom, GreedyOneParam, GreedyOptions, GridSearch, NelderMead,
-        NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy,
-        StartPoint,
+        NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy, StartPoint,
     };
     pub use crate::value::ParamValue;
 }

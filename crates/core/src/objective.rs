@@ -116,10 +116,7 @@ mod tests {
     use crate::space::SearchSpace;
 
     fn space() -> SearchSpace {
-        SearchSpace::builder()
-            .int("res", 1, 16, 1)
-            .build()
-            .unwrap()
+        SearchSpace::builder().int("res", 1, 16, 1).build().unwrap()
     }
 
     #[test]
@@ -173,11 +170,8 @@ mod tests {
 
     #[test]
     fn score_parts_decompose() {
-        let mut obj = TradeoffObjective::new(
-            |_: &Configuration| 10.0,
-            |_: &Configuration| 0.5,
-            1.0,
-        );
+        let mut obj =
+            TradeoffObjective::new(|_: &Configuration| 10.0, |_: &Configuration| 0.5, 1.0);
         let cfg = space().project(&[8.0]);
         let (t, l, s) = obj.score_parts(&cfg);
         assert_eq!((t, l), (10.0, 0.5));

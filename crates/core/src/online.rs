@@ -22,7 +22,11 @@ pub struct OnlineTuner {
 
 impl OnlineTuner {
     /// Create an on-line tuner.
-    pub fn new(space: SearchSpace, strategy: Box<dyn SearchStrategy>, opts: SessionOptions) -> Self {
+    pub fn new(
+        space: SearchSpace,
+        strategy: Box<dyn SearchStrategy>,
+        opts: SessionOptions,
+    ) -> Self {
         OnlineTuner {
             session: TuningSession::new(space, strategy, opts),
             outstanding: None,

@@ -273,7 +273,10 @@ mod tests {
     fn cardinality_counts_lattice_points() {
         assert_eq!(Param::int("b", 0, 9, 1).cardinality(), Some(10));
         assert_eq!(Param::int("b", 0, 9, 3).cardinality(), Some(4));
-        assert_eq!(Param::enumeration("c", ["a", "b", "c"]).cardinality(), Some(3));
+        assert_eq!(
+            Param::enumeration("c", ["a", "b", "c"]).cardinality(),
+            Some(3)
+        );
         assert_eq!(Param::real("r", 0.0, 1.0).cardinality(), None);
     }
 
@@ -283,7 +286,9 @@ mod tests {
         assert!(Param::int("b", 1, 5, 0).validate().is_err());
         assert!(Param::real("r", 1.0, 0.0).validate().is_err());
         assert!(Param::real("r", f64::NAN, 1.0).validate().is_err());
-        assert!(Param::enumeration("c", Vec::<String>::new()).validate().is_err());
+        assert!(Param::enumeration("c", Vec::<String>::new())
+            .validate()
+            .is_err());
         assert!(Param::int("b", 1, 5, 2).validate().is_ok());
     }
 

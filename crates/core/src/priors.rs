@@ -140,7 +140,15 @@ impl PriorRunDb {
         let mut builder = SearchSpace::builder();
         for p in space.params() {
             let narrowed = match (p, best.config.get(p.name())) {
-                (crate::param::Param::Int { name, min, max, step }, Some(v)) => {
+                (
+                    crate::param::Param::Int {
+                        name,
+                        min,
+                        max,
+                        step,
+                    },
+                    Some(v),
+                ) => {
                     if let Some(b) = v.as_int() {
                         let range = (*max - *min) as f64;
                         let half = (range * margin).max(*step as f64);

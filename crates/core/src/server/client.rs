@@ -4,12 +4,13 @@
 //! adds to an application: connect, declare tunable variables, then
 //! fetch/report inside the run loop.
 
-use super::protocol::{Envelope, Reply, Request, StrategyKind};
+use super::protocol::{Envelope, FetchedTrial, Reply, Request, StrategyKind, TrialReport};
+use super::ServerBus;
 use crate::error::{HarmonyError, Result};
 use crate::param::Param;
 use crate::session::SessionOptions;
 use crate::space::Configuration;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::bounded;
 
 /// The result of a [`HarmonyClient::fetch`].
 #[derive(Debug, Clone)]
@@ -26,41 +27,49 @@ pub struct Fetched {
 ///
 /// Cloneable and sendable: an application may fetch from one thread and
 /// report from another, though requests are processed one at a time.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct HarmonyClient {
     id: u64,
     app: String,
-    req_tx: Sender<Envelope>,
+    bus: ServerBus,
+}
+
+impl std::fmt::Debug for HarmonyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HarmonyClient")
+            .field("id", &self.id)
+            .field("app", &self.app)
+            .finish_non_exhaustive()
+    }
 }
 
 impl HarmonyClient {
-    pub(crate) fn register(req_tx: Sender<Envelope>, app: String) -> Result<Self> {
-        let reply = Self::call_raw(&req_tx, 0, Request::Register { app: app.clone() })?;
+    pub(crate) fn register(bus: ServerBus, app: String) -> Result<Self> {
+        let reply = Self::call_raw(&bus, 0, Request::Register { app: app.clone() })?;
         match reply {
             Reply::Registered { client_id } => Ok(HarmonyClient {
                 id: client_id,
                 app,
-                req_tx,
+                bus,
             }),
             Reply::Error { message } => Err(HarmonyError::Protocol(message)),
             _ => Err(HarmonyError::Protocol("unexpected reply".into())),
         }
     }
 
-    fn call_raw(req_tx: &Sender<Envelope>, client: u64, req: Request) -> Result<Reply> {
+    fn call_raw(bus: &ServerBus, client: u64, req: Request) -> Result<Reply> {
         let (tx, rx) = bounded(1);
-        req_tx
-            .send(Envelope {
-                client,
-                req,
-                reply: tx,
-            })
-            .map_err(|_| HarmonyError::Disconnected)?;
+        bus.send(Envelope {
+            client,
+            req,
+            reply: tx,
+        })
+        .map_err(|_| HarmonyError::Disconnected)?;
         rx.recv().map_err(|_| HarmonyError::Disconnected)
     }
 
     fn call(&self, req: Request) -> Result<Reply> {
-        match Self::call_raw(&self.req_tx, self.id, req)? {
+        match Self::call_raw(&self.bus, self.id, req)? {
             Reply::Error { message } => Err(HarmonyError::Protocol(message)),
             ok => Ok(ok),
         }
@@ -123,6 +132,24 @@ impl HarmonyClient {
     /// Report a measured cost and the wall time spent measuring it.
     pub fn report_timed(&self, cost: f64, wall_time: f64) -> Result<()> {
         self.call(Request::Report { cost, wall_time }).map(|_| ())
+    }
+
+    /// Get up to `max` configurations to measure in one round-trip (a whole
+    /// PRO round, for example). Returns `(trials, finished)`; still-
+    /// unreported trials from earlier fetches are served again first.
+    pub fn fetch_batch(&self, max: usize) -> Result<(Vec<FetchedTrial>, bool)> {
+        match self.call(Request::FetchBatch { max })? {
+            Reply::Configs { trials, finished } => Ok((trials, finished)),
+            _ => Err(HarmonyError::Protocol(
+                "unexpected reply to FetchBatch".into(),
+            )),
+        }
+    }
+
+    /// Report measured costs for any subset of outstanding trials in one
+    /// round-trip. Each entry echoes the trial's iteration token.
+    pub fn report_batch(&self, reports: Vec<TrialReport>) -> Result<()> {
+        self.call(Request::ReportBatch { reports }).map(|_| ())
     }
 
     /// The best `(configuration, cost)` found so far, if any.

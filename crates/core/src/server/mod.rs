@@ -9,8 +9,10 @@
 //!
 //! Multiple clients may tune concurrently and independently — the paper's
 //! Active Harmony "tries to coordinate the use of resources by multiple
-//! libraries and applications"; each client gets its own session keyed by a
-//! client id.
+//! libraries and applications". Client sessions are partitioned across a
+//! pool of shard worker threads keyed by client id, so independent clients
+//! never serialize behind one dispatcher: each shard owns its slice of the
+//! client table and drains its own request channel.
 
 pub mod client;
 pub mod protocol;
@@ -23,9 +25,12 @@ use crate::error::{HarmonyError, Result};
 use crate::session::{Trial, TuningSession};
 use crate::space::SearchSpaceBuilder;
 use crate::strategy::{GridSearch, NelderMead, ParallelRankOrder, RandomSearch};
-use crossbeam::channel::{unbounded, Sender};
-use protocol::{Envelope, Reply, Request, StrategyKind};
-use std::collections::HashMap;
+use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
+use parking_lot::Mutex;
+use protocol::{Envelope, FetchedTrial, Reply, Request, StrategyKind};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Per-client state inside the server.
@@ -41,71 +46,157 @@ enum ClientState {
         #[allow(dead_code)]
         app: String,
         session: Box<TuningSession>,
-        outstanding: Option<Trial>,
+        /// Fetched-but-unreported trials, oldest first. A plain `Fetch`
+        /// re-serves and a plain `Report` resolves the oldest; batch
+        /// messages address entries by iteration token.
+        outstanding: VecDeque<Trial>,
     },
 }
 
-/// Handle to a running Harmony server thread.
+/// One shard of the client table: the worker thread that owns it drains
+/// `tx`'s receiving end; the mutex makes the table observable from the
+/// outside (diagnostics) without funnelling through the worker.
+struct Shard {
+    tx: Sender<Envelope>,
+    clients: Arc<Mutex<HashMap<u64, ClientState>>>,
+}
+
+/// Cheap, cloneable route to the shard workers (used by every client
+/// handle and by the TCP front-end).
+#[derive(Clone)]
+pub(crate) struct ServerBus {
+    shards: Arc<Vec<Shard>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl ServerBus {
+    fn shard_of(&self, client: u64) -> usize {
+        (client % self.shards.len() as u64) as usize
+    }
+
+    /// Deliver an envelope to the shard owning its client. `Register`
+    /// allocates the client id here so the id and the routing decision
+    /// always agree; the addressed shard then creates the state under
+    /// that id.
+    pub(crate) fn send(&self, mut env: Envelope) -> std::result::Result<(), SendError<Envelope>> {
+        if matches!(env.req, Request::Register { .. }) {
+            env.client = self.next_id.fetch_add(1, Ordering::Relaxed);
+        }
+        let shard = self.shard_of(env.client);
+        self.shards[shard].tx.send(env)
+    }
+
+    /// Total registered clients across all shards.
+    pub(crate) fn client_count(&self) -> usize {
+        self.shards.iter().map(|s| s.clients.lock().len()).sum()
+    }
+}
+
+/// Handle to a running Harmony server (a pool of shard worker threads).
 pub struct HarmonyServer {
-    req_tx: Sender<Envelope>,
-    handle: Option<JoinHandle<()>>,
+    bus: ServerBus,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl HarmonyServer {
-    /// Start the server on its own thread.
+    /// Start the server with one shard worker per available core (capped —
+    /// per-message work is small, so shards beyond the core count only add
+    /// memory and wake-up churn).
     pub fn start() -> Self {
-        let (req_tx, req_rx) = unbounded::<Envelope>();
-        let handle = std::thread::Builder::new()
-            .name("harmony-server".into())
-            .spawn(move || {
-                let mut next_id: u64 = 1;
-                let mut clients: HashMap<u64, ClientState> = HashMap::new();
-                for Envelope { client, req, reply } in req_rx.iter() {
-                    if matches!(req, Request::Shutdown) {
-                        let _ = reply.send(Reply::Ok);
-                        break;
-                    }
-                    let out = Self::handle(&mut next_id, &mut clients, client, req);
-                    let _ = reply.send(out);
-                }
-            })
-            .expect("spawn harmony server thread");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::start_with(cores.clamp(1, 8))
+    }
+
+    /// Start the server with an explicit number of shard workers.
+    /// Clients are partitioned by `client_id % shards`.
+    pub fn start_with(shards: usize) -> Self {
+        let n = shards.max(1);
+        let mut pool = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded::<Envelope>();
+            let clients = Arc::new(Mutex::new(HashMap::new()));
+            let worker_table = Arc::clone(&clients);
+            let handle = std::thread::Builder::new()
+                .name(format!("harmony-shard-{i}"))
+                .spawn(move || Self::worker_loop(rx, worker_table))
+                .expect("spawn harmony shard worker");
+            pool.push(Shard { tx, clients });
+            handles.push(handle);
+        }
         HarmonyServer {
-            req_tx,
-            handle: Some(handle),
+            bus: ServerBus {
+                shards: Arc::new(pool),
+                next_id: Arc::new(AtomicU64::new(1)),
+            },
+            handles,
         }
     }
 
-    /// The raw request channel (used by [`HarmonyClient`]).
-    pub(crate) fn sender(&self) -> Sender<Envelope> {
-        self.req_tx.clone()
+    fn worker_loop(rx: Receiver<Envelope>, clients: Arc<Mutex<HashMap<u64, ClientState>>>) {
+        for Envelope { client, req, reply } in rx.iter() {
+            if matches!(req, Request::Shutdown) {
+                let _ = reply.send(Reply::Ok);
+                break;
+            }
+            let out = {
+                let mut table = clients.lock();
+                Self::handle(&mut table, client, req)
+            };
+            let _ = reply.send(out);
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.bus.shards.len()
+    }
+
+    /// Number of registered clients across all shards.
+    pub fn client_count(&self) -> usize {
+        self.bus.client_count()
+    }
+
+    /// The routing bus (used by [`HarmonyClient`] and the TCP front-end).
+    pub(crate) fn bus(&self) -> ServerBus {
+        self.bus.clone()
     }
 
     /// Connect a new client application.
     pub fn connect(&self, app: impl Into<String>) -> Result<HarmonyClient> {
-        HarmonyClient::register(self.sender(), app.into())
+        HarmonyClient::register(self.bus(), app.into())
     }
 
-    /// Stop the server thread. Subsequent client calls fail with
+    /// Stop every shard worker. Subsequent client calls fail with
     /// [`HarmonyError::Disconnected`].
     pub fn shutdown(mut self) {
         self.do_shutdown();
     }
 
     fn do_shutdown(&mut self) {
-        let (tx, rx) = crossbeam::channel::bounded(1);
-        if self
-            .req_tx
-            .send(Envelope {
-                client: 0,
-                req: Request::Shutdown,
-                reply: tx,
-            })
-            .is_ok()
-        {
+        // Tell every shard to stop, then wait: collect acknowledgements
+        // first so shards wind down in parallel.
+        let mut acks = Vec::with_capacity(self.bus.shards.len());
+        for shard in self.bus.shards.iter() {
+            let (tx, rx) = crossbeam::channel::bounded(1);
+            if shard
+                .tx
+                .send(Envelope {
+                    client: 0,
+                    req: Request::Shutdown,
+                    reply: tx,
+                })
+                .is_ok()
+            {
+                acks.push(rx);
+            }
+        }
+        for rx in acks {
             let _ = rx.recv();
         }
-        if let Some(h) = self.handle.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -119,24 +210,33 @@ impl HarmonyServer {
         }
     }
 
-    fn handle(
-        next_id: &mut u64,
-        clients: &mut HashMap<u64, ClientState>,
-        client: u64,
-        req: Request,
-    ) -> Reply {
+    /// Reply for a fetch against a finished session: the best found.
+    fn finished_reply(session: &TuningSession) -> Reply {
+        match session.best() {
+            Some((cfg, _)) => Reply::Config {
+                config: cfg.clone(),
+                iteration: session.history().len(),
+                finished: true,
+            },
+            None => Reply::Error {
+                message: "session finished with no evaluations".into(),
+            },
+        }
+    }
+
+    fn handle(clients: &mut HashMap<u64, ClientState>, client: u64, req: Request) -> Reply {
         match req {
             Request::Register { app } => {
-                let id = *next_id;
-                *next_id += 1;
+                // The id was allocated by the bus; it routed here, so this
+                // shard owns it.
                 clients.insert(
-                    id,
+                    client,
                     ClientState::Building {
                         app,
                         builder: Some(SearchSpaceBuilder::default()),
                     },
                 );
-                Reply::Registered { client_id: id }
+                Reply::Registered { client_id: client }
             }
             Request::Shutdown => Reply::Ok, // handled by the loop
             other => {
@@ -179,7 +279,7 @@ impl HarmonyServer {
                         *state_ref = ClientState::Tuning {
                             app: std::mem::take(app),
                             session: Box::new(session),
-                            outstanding: None,
+                            outstanding: VecDeque::new(),
                         };
                         Reply::Ok
                     }
@@ -196,8 +296,15 @@ impl HarmonyServer {
                 },
                 Request::Fetch,
             ) => {
-                if let Some(trial) = outstanding {
-                    // Re-fetch without report: hand out the same trial.
+                if session.stop_reason().is_some() {
+                    // Trials fetched before the stop were dropped by the
+                    // session; forget them here too.
+                    outstanding.clear();
+                    return Self::finished_reply(session);
+                }
+                if let Some(trial) = outstanding.front() {
+                    // Re-fetch without report: hand out the oldest
+                    // unreported trial again.
                     return Reply::Config {
                         config: trial.config.clone(),
                         iteration: trial.iteration,
@@ -211,19 +318,10 @@ impl HarmonyServer {
                             iteration: trial.iteration,
                             finished: false,
                         };
-                        *outstanding = Some(trial);
+                        outstanding.push_back(trial);
                         reply
                     }
-                    None => match session.best() {
-                        Some((cfg, _)) => Reply::Config {
-                            config: cfg.clone(),
-                            iteration: session.history().len(),
-                            finished: true,
-                        },
-                        None => Reply::Error {
-                            message: "session finished with no evaluations".into(),
-                        },
-                    },
+                    None => Self::finished_reply(session),
                 }
             }
             (
@@ -233,7 +331,7 @@ impl HarmonyServer {
                     ..
                 },
                 Request::Report { cost, wall_time },
-            ) => match outstanding.take() {
+            ) => match outstanding.pop_front() {
                 Some(trial) => match session.report_timed(trial, cost, wall_time) {
                     Ok(()) => Reply::Ok,
                     Err(e) => Reply::Error {
@@ -244,15 +342,95 @@ impl HarmonyServer {
                     message: "report without an outstanding fetch".into(),
                 },
             },
+            (
+                ClientState::Tuning {
+                    session,
+                    outstanding,
+                    ..
+                },
+                Request::FetchBatch { max },
+            ) => {
+                if session.stop_reason().is_some() {
+                    outstanding.clear();
+                    return Reply::Configs {
+                        trials: Vec::new(),
+                        finished: true,
+                    };
+                }
+                // Unreported trials first (so a re-fetch after a lost reply
+                // converges), then top up with fresh proposals.
+                let mut trials: Vec<FetchedTrial> = outstanding
+                    .iter()
+                    .take(max)
+                    .map(|t| FetchedTrial {
+                        config: t.config.clone(),
+                        iteration: t.iteration,
+                    })
+                    .collect();
+                if trials.len() < max {
+                    for t in session.suggest_batch(max - trials.len()) {
+                        trials.push(FetchedTrial {
+                            config: t.config.clone(),
+                            iteration: t.iteration,
+                        });
+                        outstanding.push_back(t);
+                    }
+                }
+                let finished = trials.is_empty() && session.stop_reason().is_some();
+                if finished {
+                    outstanding.clear();
+                }
+                Reply::Configs { trials, finished }
+            }
+            (
+                ClientState::Tuning {
+                    session,
+                    outstanding,
+                    ..
+                },
+                Request::ReportBatch { reports },
+            ) => {
+                for r in reports {
+                    if session.stop_reason().is_some() {
+                        // Stopped mid-batch: the remaining results belong
+                        // to trials the session already dropped.
+                        break;
+                    }
+                    let Some(pos) = outstanding.iter().position(|t| t.iteration == r.iteration)
+                    else {
+                        return Reply::Error {
+                            message: HarmonyError::Protocol(format!(
+                                "report for unknown trial {}",
+                                r.iteration
+                            ))
+                            .to_string(),
+                        };
+                    };
+                    let trial = outstanding.remove(pos).expect("position found above");
+                    if let Err(e) = session.report_timed(trial, r.cost, r.wall_time) {
+                        return Reply::Error {
+                            message: e.to_string(),
+                        };
+                    }
+                }
+                if session.stop_reason().is_some() {
+                    outstanding.clear();
+                }
+                Reply::Ok
+            }
             (ClientState::Tuning { session, .. }, Request::QueryBest) => {
                 let best = session.best().map(|(c, v)| (c.clone(), v));
                 Reply::Best { best }
             }
-            (ClientState::Building { .. }, Request::Fetch | Request::Report { .. }) => {
-                Reply::Error {
-                    message: HarmonyError::Protocol("space not sealed yet".into()).to_string(),
-                }
-            }
+            (
+                ClientState::Building { .. },
+                Request::Fetch
+                | Request::Report { .. }
+                | Request::FetchBatch { .. }
+                | Request::ReportBatch { .. },
+            ) => Reply::Error {
+                message: HarmonyError::Protocol("space not sealed yet".into()).to_string(),
+            },
             (ClientState::Building { .. }, Request::QueryBest) => Reply::Best { best: None },
             (ClientState::Tuning { .. }, _) => Reply::Error {
                 message: HarmonyError::Protocol("space already sealed".into()).to_string(),
@@ -267,7 +445,7 @@ impl HarmonyServer {
 
 impl Drop for HarmonyServer {
     fn drop(&mut self) {
-        if self.handle.is_some() {
+        if !self.handles.is_empty() {
             self.do_shutdown();
         }
     }

@@ -61,10 +61,45 @@ pub enum Request {
         /// Wall-clock spent obtaining the measurement.
         wall_time: f64,
     },
+    /// Ask for up to `max` configurations in one round-trip. Still-unreported
+    /// trials from earlier fetches are re-served first (oldest first), then
+    /// the session tops the batch up with fresh proposals — for PRO this
+    /// surfaces a whole round of independent candidates in one message.
+    FetchBatch {
+        /// Upper bound on the number of trials returned.
+        max: usize,
+    },
+    /// Report measured costs for any subset of outstanding trials, in one
+    /// round-trip. Reports are matched to trials by iteration token, so
+    /// order does not matter and partial reports are fine.
+    ReportBatch {
+        /// One entry per measured trial.
+        reports: Vec<TrialReport>,
+    },
     /// Ask for the best configuration so far.
     QueryBest,
     /// Stop the server.
     Shutdown,
+}
+
+/// One measured result inside a [`Request::ReportBatch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialReport {
+    /// Iteration token of the fetched trial this result belongs to.
+    pub iteration: usize,
+    /// Measured objective (e.g. execution time in seconds).
+    pub cost: f64,
+    /// Wall-clock spent obtaining the measurement.
+    pub wall_time: f64,
+}
+
+/// One trial inside a [`Reply::Configs`] batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FetchedTrial {
+    /// The configuration to run.
+    pub config: Configuration,
+    /// Iteration token; echo it back in the matching [`TrialReport`].
+    pub iteration: usize,
 }
 
 /// Server → client messages.
@@ -85,6 +120,14 @@ pub enum Reply {
         iteration: usize,
         /// True once the session has stopped — `config` is then the best
         /// found and no further `Report` is expected.
+        finished: bool,
+    },
+    /// A batch of configurations to run (reply to [`Request::FetchBatch`]).
+    Configs {
+        /// The trials to measure; may be fewer than requested (strategy
+        /// waiting on outstanding reports) or empty with `finished`.
+        trials: Vec<FetchedTrial>,
+        /// True once the session has stopped; no further trials will come.
         finished: bool,
     },
     /// Best configuration so far, if any evaluation happened.
@@ -134,6 +177,21 @@ mod tests {
                 cost: 55.06,
                 wall_time: 60.0,
             },
+            Request::FetchBatch { max: 9 },
+            Request::ReportBatch {
+                reports: vec![
+                    TrialReport {
+                        iteration: 4,
+                        cost: 1.25,
+                        wall_time: 2.5,
+                    },
+                    TrialReport {
+                        iteration: 7,
+                        cost: 0.5,
+                        wall_time: 0.5,
+                    },
+                ],
+            },
             Request::QueryBest,
             Request::Shutdown,
         ];
@@ -159,6 +217,23 @@ mod tests {
                 config: space.center(),
                 iteration: 2,
                 finished: false,
+            },
+            Reply::Configs {
+                trials: vec![
+                    FetchedTrial {
+                        config: space.center(),
+                        iteration: 1,
+                    },
+                    FetchedTrial {
+                        config: space.center(),
+                        iteration: 2,
+                    },
+                ],
+                finished: false,
+            },
+            Reply::Configs {
+                trials: vec![],
+                finished: true,
             },
             Reply::Best {
                 best: Some((space.center(), 1.5)),

@@ -5,19 +5,40 @@
 //! [`protocol`](super::protocol) on a socket: one JSON message per line,
 //! one tuning client per connection. The in-process
 //! [`HarmonyServer`](super::HarmonyServer) remains the adaptation
-//! controller; connections are bridged onto its message bus.
+//! controller; connections are bridged onto its sharded message bus.
+//!
+//! A whole batch (`FetchBatch` request, `Configs` reply, `ReportBatch`
+//! request) is one serde frame — one line, one write — so a PRO round of
+//! candidates costs a single round-trip. Sockets run with `TCP_NODELAY`
+//! and buffered writers: frames are small and latency-bound, so waiting
+//! for Nagle coalescing only delays the tuning loop.
 
-use super::protocol::{Reply, Request, StrategyKind};
-use super::HarmonyServer;
+use super::protocol::{FetchedTrial, Reply, Request, StrategyKind, TrialReport};
+use super::{HarmonyServer, ServerBus};
 use crate::error::{HarmonyError, Result};
 use crate::param::Param;
 use crate::session::SessionOptions;
 use crate::space::Configuration;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Default cap on simultaneously served connections; beyond it new
+/// connections are refused with an error reply instead of degrading every
+/// established tuning loop.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 128;
+
+/// Decrements the live-connection count when a connection ends, however it
+/// ends (clean goodbye, I/O error, handler panic).
+struct ConnectionSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A Harmony server listening on a TCP socket.
 pub struct TcpHarmonyServer {
@@ -28,26 +49,51 @@ pub struct TcpHarmonyServer {
 }
 
 impl TcpHarmonyServer {
-    /// Bind and start serving. Use `"127.0.0.1:0"` to pick a free port.
+    /// Bind and start serving with [`DEFAULT_MAX_CONNECTIONS`]. Use
+    /// `"127.0.0.1:0"` to pick a free port.
     pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Self::bind_with_limit(addr, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// Bind with an explicit cap on simultaneous connections; connection
+    /// number `max_connections + 1` gets an error reply and is dropped.
+    pub fn bind_with_limit(addr: &str, max_connections: usize) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = HarmonyServer::start();
-        let bus = inner.sender();
+        let bus = inner.bus();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
+        let max_connections = max_connections.max(1);
         let accept_handle = std::thread::Builder::new()
             .name("harmony-tcp-accept".into())
             .spawn(move || {
+                let active = Arc::new(AtomicUsize::new(0));
+                let mut conn_seq: u64 = 0;
                 for conn in listener.incoming() {
                     if stop_accept.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        refuse_connection(stream, max_connections);
+                        continue;
+                    }
+                    let slot = ConnectionSlot(Arc::clone(&active));
                     let bus = bus.clone();
-                    let _ = std::thread::Builder::new()
-                        .name("harmony-tcp-conn".into())
-                        .spawn(move || serve_connection(stream, bus));
+                    conn_seq += 1;
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("harmony-tcp-conn-{conn_seq}"))
+                        .spawn(move || {
+                            let _slot = slot;
+                            serve_connection(stream, bus);
+                        });
+                    if let Err(e) = spawned {
+                        // The slot was moved into the failed closure and
+                        // dropped with it, releasing the count.
+                        eprintln!("harmony-tcp: could not spawn connection thread: {e}");
+                    }
                 }
             })?;
         Ok(TcpHarmonyServer {
@@ -89,14 +135,32 @@ impl Drop for TcpHarmonyServer {
     }
 }
 
+/// Tell an over-limit connection why it is being dropped, then drop it.
+fn refuse_connection(stream: TcpStream, limit: usize) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    eprintln!("harmony-tcp: refusing {peer}: at connection capacity ({limit})");
+    let mut writer = BufWriter::new(stream);
+    let _ = send_reply(
+        &mut writer,
+        &Reply::Error {
+            message: format!("server at connection capacity ({limit})"),
+        },
+    );
+}
+
 /// Per-connection loop: read JSON lines, bridge onto the in-process bus,
 /// write JSON replies. The connection *is* the client: its id is allocated
 /// by the first `Register` and reused for every later request.
-fn serve_connection(stream: TcpStream, bus: crossbeam::channel::Sender<super::protocol::Envelope>) {
-    let mut writer = match stream.try_clone() {
+fn serve_connection(stream: TcpStream, bus: ServerBus) {
+    let _ = stream.set_nodelay(true);
+    let writer_stream = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
+    let mut writer = BufWriter::new(writer_stream);
     let reader = BufReader::new(stream);
     let mut client_id: u64 = 0;
     for line in reader.lines() {
@@ -141,26 +205,28 @@ fn serve_connection(stream: TcpStream, bus: crossbeam::channel::Sender<super::pr
     }
 }
 
-fn send_reply(writer: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+fn send_reply(writer: &mut BufWriter<TcpStream>, reply: &Reply) -> std::io::Result<()> {
     let mut blob = serde_json::to_string(reply).expect("replies serialize");
     blob.push('\n');
-    writer.write_all(blob.as_bytes())
+    writer.write_all(blob.as_bytes())?;
+    writer.flush()
 }
 
 /// A Harmony client talking to a [`TcpHarmonyServer`] over a socket.
 pub struct TcpHarmonyClient {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    writer: BufWriter<TcpStream>,
 }
 
 impl TcpHarmonyClient {
     /// Connect and register the application.
     pub fn connect(addr: SocketAddr, app: &str) -> Result<Self> {
         let stream = TcpStream::connect(addr).map_err(|_| HarmonyError::Disconnected)?;
+        let _ = stream.set_nodelay(true);
         let writer = stream.try_clone().map_err(|_| HarmonyError::Disconnected)?;
         let mut client = TcpHarmonyClient {
             reader: BufReader::new(stream),
-            writer,
+            writer: BufWriter::new(writer),
         };
         match client.call(Request::Register {
             app: app.to_string(),
@@ -176,6 +242,7 @@ impl TcpHarmonyClient {
         blob.push('\n');
         self.writer
             .write_all(blob.as_bytes())
+            .and_then(|()| self.writer.flush())
             .map_err(|_| HarmonyError::Disconnected)?;
         let mut line = String::new();
         let n = self
@@ -234,6 +301,24 @@ impl TcpHarmonyClient {
             cost,
             wall_time: cost,
         })
+    }
+
+    /// Fetch up to `max` configurations in one round-trip — one request
+    /// frame out, one reply frame back. Returns `(trials, finished)`.
+    pub fn fetch_batch(&mut self, max: usize) -> Result<(Vec<FetchedTrial>, bool)> {
+        match self.call(Request::FetchBatch { max })? {
+            Reply::Configs { trials, finished } => Ok((trials, finished)),
+            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            _ => Err(HarmonyError::Protocol(
+                "unexpected reply to FetchBatch".into(),
+            )),
+        }
+    }
+
+    /// Report measured costs for any subset of outstanding trials in one
+    /// round-trip (one frame each way).
+    pub fn report_batch(&mut self, reports: Vec<TrialReport>) -> Result<()> {
+        self.call_ok(Request::ReportBatch { reports })
     }
 
     /// Best `(configuration, cost)` so far.
@@ -349,6 +434,84 @@ mod tests {
             .unwrap();
         let (cfg, _) = c2.fetch().unwrap();
         assert!(cfg.int("x").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_limit_connections_are_refused_with_an_error() {
+        let server = TcpHarmonyServer::bind_with_limit("127.0.0.1:0", 1).expect("bind");
+        let addr = server.local_addr();
+        // First connection occupies the single slot.
+        let c1 = TcpHarmonyClient::connect(addr, "a").unwrap();
+        // Second one must be told off, not silently dropped.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"{\"Register\":{\"app\":\"b\"}}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let reply: Reply = serde_json::from_str(&line).unwrap();
+        match reply {
+            Reply::Error { message } => assert!(
+                message.contains("connection capacity"),
+                "unexpected refusal message: {message}"
+            ),
+            other => panic!("expected refusal error, got {other:?}"),
+        }
+        drop(reader);
+        // Releasing the first slot lets new connections in again.
+        c1.close();
+        for _ in 0..50 {
+            if TcpHarmonyClient::connect(addr, "c").is_ok() {
+                server.shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        panic!("slot was not released after client close");
+    }
+
+    #[test]
+    fn batched_fetch_report_works_over_tcp() {
+        let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+        let mut client = TcpHarmonyClient::connect(server.local_addr(), "batch-app").unwrap();
+        client.add_param(Param::int("x", 0, 50, 1)).unwrap();
+        client.add_param(Param::int("y", 0, 50, 1)).unwrap();
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: 120,
+                    seed: 9,
+                    ..Default::default()
+                },
+                StrategyKind::Pro,
+            )
+            .unwrap();
+        loop {
+            let (trials, finished) = client.fetch_batch(32).unwrap();
+            if finished {
+                break;
+            }
+            assert!(!trials.is_empty());
+            let reports = trials
+                .iter()
+                .map(|t| {
+                    let x = t.config.int("x").unwrap() as f64;
+                    let y = t.config.int("y").unwrap() as f64;
+                    let cost = (x - 40.0).powi(2) + (y - 8.0).powi(2);
+                    TrialReport {
+                        iteration: t.iteration,
+                        cost,
+                        wall_time: cost,
+                    }
+                })
+                .collect();
+            client.report_batch(reports).unwrap();
+        }
+        let (best, cost) = client.best().unwrap().unwrap();
+        assert!(cost <= 25.0, "best {best} cost {cost}");
+        client.close();
         server.shutdown();
     }
 }

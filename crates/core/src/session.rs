@@ -16,7 +16,7 @@ use crate::space::{Configuration, SearchSpace};
 use crate::strategy::SearchStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Why a session stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,9 +66,33 @@ impl Default for SessionOptions {
 pub struct Trial {
     /// The projected, valid configuration to run.
     pub config: Configuration,
-    /// 1-based index of this evaluation in the history.
+    /// 1-based index of this evaluation in the history. Also the token that
+    /// ties a [`report`](TuningSession::report) back to its proposal when
+    /// several trials are outstanding at once.
     pub iteration: usize,
+}
+
+/// How a queued proposal gets its cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    /// Must be measured by the caller; resolved by `report_timed`.
+    Fresh,
+    /// Already-known configuration — a cache hit, or a duplicate of a fresh
+    /// trial queued ahead of it. Resolves from the cache when it reaches the
+    /// queue front (by then the original has been flushed).
+    Replay,
+}
+
+/// One proposal awaiting its turn in the in-order flush.
+#[derive(Debug)]
+struct PendingTrial {
     coords: Vec<f64>,
+    config: Configuration,
+    key: Vec<i64>,
+    iteration: usize,
+    kind: PendingKind,
+    /// `(cost, wall_time)` once reported; `Fresh` entries only.
+    outcome: Option<(f64, f64)>,
 }
 
 /// Final outcome of a completed session.
@@ -122,13 +146,21 @@ pub struct TuningSession {
     cumulative_time: f64,
     stopped: Option<StopReason>,
     initialized: bool,
-    outstanding: bool,
+    /// Proposals whose bookkeeping has not been applied yet, in proposal
+    /// order. Fresh entries wait for a report; everything is flushed from
+    /// the front strictly in order, so a batched session walks through
+    /// bit-identical state transitions to a serial one.
+    pending: VecDeque<PendingTrial>,
 }
 
 impl TuningSession {
     /// Create a session; the strategy is initialised lazily on the first
     /// [`suggest`](Self::suggest).
-    pub fn new(space: SearchSpace, strategy: Box<dyn SearchStrategy>, opts: SessionOptions) -> Self {
+    pub fn new(
+        space: SearchSpace,
+        strategy: Box<dyn SearchStrategy>,
+        opts: SessionOptions,
+    ) -> Self {
         let rng = StdRng::seed_from_u64(opts.seed);
         TuningSession {
             space,
@@ -144,7 +176,7 @@ impl TuningSession {
             cumulative_time: 0.0,
             stopped: None,
             initialized: false,
-            outstanding: false,
+            pending: VecDeque::new(),
         }
     }
 
@@ -193,50 +225,105 @@ impl TuningSession {
             return None;
         }
         assert!(
-            !self.outstanding,
+            self.pending.is_empty(),
             "suggest() called with a trial still outstanding; report() it first"
         );
+        self.suggest_batch(1).into_iter().next()
+    }
+
+    /// Ask for up to `max` configurations to measure in one round-trip.
+    ///
+    /// The returned trials may be measured concurrently and reported in any
+    /// order (or partially — unreported trials stay outstanding). Internally
+    /// every proposal joins a queue that is flushed front-to-back in
+    /// proposal order, so the history, cache, best tracking and strategy
+    /// trajectory are bit-identical to a serial `suggest`/`report` loop —
+    /// that is the batched surface of PRO's "evaluate the whole simplex per
+    /// round" design. How far a batch can run ahead is up to the strategy
+    /// ([`SearchStrategy::can_propose_unanswered`]): simplex search yields
+    /// batches of one, PRO yields the remainder of its current round, and
+    /// sampling baselines fill `max`.
+    ///
+    /// An empty result with [`stop_reason`](Self::stop_reason) `None` means
+    /// the strategy needs outstanding reports before it can propose again.
+    pub fn suggest_batch(&mut self, max: usize) -> Vec<Trial> {
+        let mut out = Vec::new();
+        if self.stopped.is_some() || max == 0 {
+            return out;
+        }
         if !self.initialized {
             self.strategy.init(&self.space, &mut self.rng);
             self.initialized = true;
         }
-        loop {
-            if self.fresh_evals >= self.opts.max_evaluations {
-                self.stopped = Some(StopReason::MaxEvaluations);
-                return None;
+        while out.len() < max && self.stopped.is_none() {
+            let pending_fresh = self
+                .pending
+                .iter()
+                .filter(|e| e.kind == PendingKind::Fresh)
+                .count();
+            if self.fresh_evals + pending_fresh >= self.opts.max_evaluations {
+                // Budget spent (counting trials already in flight). Only an
+                // idle session is *stopped*: outstanding reports may still
+                // trigger a different stop reason first.
+                if self.pending.is_empty() {
+                    self.stopped = Some(StopReason::MaxEvaluations);
+                }
+                break;
+            }
+            // Bound the queue: a strategy circling already-known points
+            // could otherwise grow it without limit inside one request.
+            if self.pending.len() >= max + self.opts.max_cached_replays {
+                break;
+            }
+            if !self.strategy.can_propose_unanswered(self.pending.len()) {
+                break;
             }
             let Some(coords) = self.strategy.propose(&self.space, &mut self.rng) else {
-                self.stopped = Some(StopReason::StrategyExhausted);
-                return None;
+                if self.pending.is_empty() {
+                    self.stopped = Some(StopReason::StrategyExhausted);
+                }
+                break;
             };
             let config = self.space.project(&coords);
             let key = config.cache_key();
-            if let Some(&cost) = self.cache.get(&key) {
-                // Replay: answer the strategy immediately; costs nothing.
-                self.consecutive_cached += 1;
-                self.history.push(Evaluation {
-                    iteration: self.history.len() + 1,
+            // Every queue entry lands exactly one history row, so the row
+            // index of this proposal is fixed now, before earlier trials
+            // have even been measured.
+            let iteration = self.history.len() + self.pending.len() + 1;
+            let known = self.cache.contains_key(&key)
+                || self
+                    .pending
+                    .iter()
+                    .any(|e| e.kind == PendingKind::Fresh && e.key == key);
+            if known {
+                // Replay: costs nothing, never surfaces as a trial. It may
+                // resolve only once it reaches the queue front (a duplicate
+                // of an in-flight trial waits for the original's report).
+                self.pending.push_back(PendingTrial {
+                    coords,
                     config,
-                    cost,
-                    cached: true,
-                    cumulative_time: self.cumulative_time,
+                    key,
+                    iteration,
+                    kind: PendingKind::Replay,
+                    outcome: None,
                 });
-                self.strategy
-                    .feedback(&coords, cost, &self.space, &mut self.rng);
-                if self.consecutive_cached >= self.opts.max_cached_replays {
-                    self.stopped = Some(StopReason::Converged);
-                    return None;
-                }
+                self.flush_pending();
                 continue;
             }
-            self.consecutive_cached = 0;
-            self.outstanding = true;
-            return Some(Trial {
-                config,
-                iteration: self.history.len() + 1,
+            out.push(Trial {
+                config: config.clone(),
+                iteration,
+            });
+            self.pending.push_back(PendingTrial {
                 coords,
+                config,
+                key,
+                iteration,
+                kind: PendingKind::Fresh,
+                outcome: None,
             });
         }
+        out
     }
 
     /// Report the measured cost of a trial, with the wall-clock time the
@@ -246,45 +333,106 @@ impl TuningSession {
         if self.stopped.is_some() {
             return Err(HarmonyError::SessionFinished);
         }
-        if !self.outstanding {
+        let Some(entry) = self.pending.iter_mut().find(|e| {
+            e.kind == PendingKind::Fresh && e.outcome.is_none() && e.iteration == trial.iteration
+        }) else {
             return Err(HarmonyError::Protocol(
                 "report() without an outstanding trial".into(),
             ));
-        }
-        self.outstanding = false;
-        // A failed measurement (NaN) must never become the best; treat it
-        // as infinitely slow so the search simply moves away.
-        let cost = if cost.is_nan() { f64::INFINITY } else { cost };
-        self.cumulative_time += wall_time;
-        self.cache.insert(trial.config.cache_key(), cost);
-        self.fresh_evals += 1;
-        self.history.push(Evaluation {
-            iteration: trial.iteration,
-            config: trial.config.clone(),
-            cost,
-            cached: false,
-            cumulative_time: self.cumulative_time,
-        });
-        let improved = self.update_best(&trial.config, cost);
-        if improved {
-            self.since_improvement = 0;
-        } else {
-            self.since_improvement += 1;
-        }
-        self.strategy
-            .feedback(&trial.coords, cost, &self.space, &mut self.rng);
-        if let Some(target) = self.opts.target_cost {
-            if cost <= target {
-                self.stopped = Some(StopReason::TargetReached);
-                return Ok(());
+        };
+        entry.outcome = Some((cost, wall_time));
+        self.flush_pending();
+        Ok(())
+    }
+
+    /// Apply every resolved entry at the queue front, strictly in proposal
+    /// order. All the bookkeeping the serial loop performed inline — cache
+    /// insert, history row, best/no-improvement tracking, strategy feedback,
+    /// stop checks — happens here, so out-of-order reports never reorder
+    /// state transitions.
+    fn flush_pending(&mut self) {
+        while self.stopped.is_none() {
+            let ready = match self.pending.front() {
+                None => break,
+                Some(e) => match e.kind {
+                    PendingKind::Fresh => e.outcome.is_some(),
+                    PendingKind::Replay => self.cache.contains_key(&e.key),
+                },
+            };
+            if !ready {
+                break;
+            }
+            let e = self.pending.pop_front().expect("front checked above");
+            match e.kind {
+                PendingKind::Fresh => {
+                    let (cost, wall_time) = e.outcome.expect("readiness checked above");
+                    // A failed measurement (NaN) must never become the best;
+                    // treat it as infinitely slow so the search moves away.
+                    let cost = if cost.is_nan() { f64::INFINITY } else { cost };
+                    self.cumulative_time += wall_time;
+                    self.cache.insert(e.key, cost);
+                    self.fresh_evals += 1;
+                    self.consecutive_cached = 0;
+                    self.history.push(Evaluation {
+                        iteration: e.iteration,
+                        config: e.config.clone(),
+                        cost,
+                        cached: false,
+                        cumulative_time: self.cumulative_time,
+                    });
+                    let improved = self.update_best(&e.config, cost);
+                    if improved {
+                        self.since_improvement = 0;
+                    } else {
+                        self.since_improvement += 1;
+                    }
+                    self.strategy
+                        .feedback(&e.coords, cost, &self.space, &mut self.rng);
+                    if let Some(target) = self.opts.target_cost {
+                        if cost <= target {
+                            self.stopped = Some(StopReason::TargetReached);
+                            break;
+                        }
+                    }
+                    if self.opts.no_improve_limit > 0
+                        && self.since_improvement >= self.opts.no_improve_limit
+                    {
+                        self.stopped = Some(StopReason::NoImprovement);
+                    } else if self.pending.is_empty() && self.strategy.converged() {
+                        // Only an idle session can stop as converged: a
+                        // batch may have proposed past the point where a
+                        // finite strategy's plan ran out, and those queued
+                        // trials still count. Serially, the queue is always
+                        // empty here, so the condition reduces to the old
+                        // behaviour.
+                        self.stopped = Some(StopReason::Converged);
+                    }
+                }
+                PendingKind::Replay => {
+                    let cost = *self.cache.get(&e.key).expect("readiness checked above");
+                    self.consecutive_cached += 1;
+                    self.history.push(Evaluation {
+                        iteration: e.iteration,
+                        config: e.config,
+                        cost,
+                        cached: true,
+                        cumulative_time: self.cumulative_time,
+                    });
+                    self.strategy
+                        .feedback(&e.coords, cost, &self.space, &mut self.rng);
+                    if self.consecutive_cached >= self.opts.max_cached_replays {
+                        self.stopped = Some(StopReason::Converged);
+                    }
+                }
             }
         }
-        if self.opts.no_improve_limit > 0 && self.since_improvement >= self.opts.no_improve_limit {
-            self.stopped = Some(StopReason::NoImprovement);
-        } else if self.strategy.converged() {
-            self.stopped = Some(StopReason::Converged);
+        if self.stopped.is_some() && !self.pending.is_empty() {
+            // Proposals queued past a stop are ones the serial loop would
+            // never have made; drop them so history and the strategy
+            // trajectory stay identical. Reports for them are accepted
+            // nowhere — the session is finished.
+            self.pending.clear();
         }
-        Ok(())
     }
 
     /// Report a cost whose measurement time equals the cost itself (the
@@ -309,7 +457,10 @@ impl TuningSession {
     /// Drive the session against any [`Objective`](crate::objective::Objective)
     /// implementation (composite time/fidelity objectives, penalised
     /// objectives, …).
-    pub fn run_objective(&mut self, objective: &mut dyn crate::objective::Objective) -> TuningResult {
+    pub fn run_objective(
+        &mut self,
+        objective: &mut dyn crate::objective::Objective,
+    ) -> TuningResult {
         while let Some(trial) = self.suggest() {
             let cost = objective.evaluate(&trial.config);
             self.report(trial, cost)
@@ -505,7 +656,6 @@ mod tests {
         let trial = Trial {
             config: sp.center(),
             iteration: 1,
-            coords: vec![20.0, 20.0],
         };
         assert!(matches!(
             s.report(trial, 1.0),
@@ -573,6 +723,186 @@ mod tests {
         });
         assert!(r.best_cost.is_finite(), "best={}", r.best_cost);
         assert!(r.best_cost >= 5.0); // the bowl's floor
+    }
+
+    /// Drive a session to completion fetching `batch` trials per round-trip.
+    fn run_batched<F>(s: &mut TuningSession, batch: usize, mut f: F) -> TuningResult
+    where
+        F: FnMut(&Configuration) -> f64,
+    {
+        loop {
+            let trials = s.suggest_batch(batch);
+            if trials.is_empty() {
+                if s.stop_reason().is_some() {
+                    break;
+                }
+                panic!("no trials but session not stopped (nothing outstanding)");
+            }
+            for t in trials {
+                let cost = f(&t.config);
+                let _ = s.report(t, cost); // stop mid-batch is legitimate
+            }
+        }
+        s.result()
+    }
+
+    fn histories_match(a: &TuningResult, b: &TuningResult) {
+        assert_eq!(a.stop_reason, b.stop_reason);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best_config.cache_key(), b.best_config.cache_key());
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.evaluations().iter().zip(b.history.evaluations()) {
+            assert_eq!(x.iteration, y.iteration);
+            assert_eq!(x.config.cache_key(), y.config.cache_key());
+            assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+            assert_eq!(x.cached, y.cached);
+            assert_eq!(x.cumulative_time.to_bits(), y.cumulative_time.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_random_is_bit_identical_to_serial() {
+        for batch in [2, 7, 16] {
+            let opts = SessionOptions {
+                max_evaluations: 120,
+                seed: 42,
+                ..Default::default()
+            };
+            let mut serial =
+                TuningSession::new(space(), Box::new(RandomSearch::new()), opts.clone());
+            let a = serial.run(bowl);
+            let mut batched =
+                TuningSession::new(space(), Box::new(RandomSearch::new()), opts.clone());
+            let b = run_batched(&mut batched, batch, bowl);
+            histories_match(&a, &b);
+        }
+    }
+
+    #[test]
+    fn batched_pro_is_bit_identical_to_serial() {
+        use crate::strategy::{ParallelRankOrder, ProOptions};
+        let opts = SessionOptions {
+            max_evaluations: 150,
+            seed: 7,
+            ..Default::default()
+        };
+        let mk = || Box::new(ParallelRankOrder::new(ProOptions::default()));
+        let mut serial = TuningSession::new(space(), mk(), opts.clone());
+        let a = serial.run(bowl);
+        let mut batched = TuningSession::new(space(), mk(), opts.clone());
+        let b = run_batched(&mut batched, 16, bowl);
+        histories_match(&a, &b);
+    }
+
+    #[test]
+    fn batched_nelder_mead_degrades_to_serial_batches() {
+        // A sequential strategy must never let the batch run ahead: each
+        // suggest_batch(16) yields exactly one trial, and the trajectory is
+        // the serial one.
+        let opts = SessionOptions {
+            max_evaluations: 80,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut serial = TuningSession::new(space(), Box::new(NelderMead::default()), opts.clone());
+        let a = serial.run(bowl);
+        let mut batched =
+            TuningSession::new(space(), Box::new(NelderMead::default()), opts.clone());
+        loop {
+            let trials = batched.suggest_batch(16);
+            if trials.is_empty() {
+                assert!(batched.stop_reason().is_some());
+                break;
+            }
+            assert_eq!(trials.len(), 1, "sequential strategy over-batched");
+            for t in trials {
+                let c = bowl(&t.config);
+                let _ = batched.report(t, c);
+            }
+        }
+        histories_match(&a, &batched.result());
+    }
+
+    #[test]
+    fn out_of_order_reports_flush_in_proposal_order() {
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 4,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let trials = s.suggest_batch(4);
+        assert_eq!(trials.len(), 4);
+        // Report last-to-first; history must still come out in proposal order.
+        for t in trials.into_iter().rev() {
+            s.report_timed(t, 1.0, 1.0).unwrap();
+        }
+        let iters: Vec<usize> = s
+            .history()
+            .evaluations()
+            .iter()
+            .map(|e| e.iteration)
+            .collect();
+        assert_eq!(iters, vec![1, 2, 3, 4]);
+        assert_eq!(s.stop_reason(), None);
+        assert!(s.suggest_batch(1).is_empty());
+        assert_eq!(s.stop_reason(), Some(StopReason::MaxEvaluations));
+    }
+
+    #[test]
+    fn duplicates_inside_a_batch_become_replays() {
+        // A two-point space forces duplicates within the very first batch.
+        let tiny = SearchSpace::builder().int("x", 0, 1, 1).build().unwrap();
+        let mut s = TuningSession::new(
+            tiny,
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 10,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let trials = s.suggest_batch(8);
+        // Fresh trials are deduplicated; at most one per lattice point.
+        let mut keys: Vec<_> = trials.iter().map(|t| t.config.cache_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), trials.len(), "batch served duplicate configs");
+        for t in trials {
+            let x = t.config.int("x").unwrap() as f64;
+            s.report(t, x + 1.0).unwrap();
+        }
+        // The duplicates were queued as replays and resolved from the cache.
+        assert!(s.history().evaluations().iter().any(|e| e.cached));
+    }
+
+    #[test]
+    fn partial_batch_report_allows_refetching_the_rest() {
+        let mut s = TuningSession::new(
+            space(),
+            Box::new(RandomSearch::new()),
+            SessionOptions {
+                max_evaluations: 50,
+                seed: 13,
+                ..Default::default()
+            },
+        );
+        let trials = s.suggest_batch(4);
+        assert_eq!(trials.len(), 4);
+        let mut it = trials.into_iter();
+        let first = it.next().unwrap();
+        s.report(first, 1.0).unwrap();
+        // Three still outstanding; a new batch may top up around them.
+        let more = s.suggest_batch(4);
+        assert_eq!(more.len(), 4);
+        for t in it.chain(more) {
+            s.report(t, 2.0).unwrap();
+        }
+        assert_eq!(s.history().len(), 8);
     }
 
     #[test]

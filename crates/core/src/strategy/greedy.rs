@@ -219,7 +219,11 @@ mod tests {
         let best = drive(&mut g, &space, 100, |cfg| {
             let a = cfg.int("a").unwrap() as f64;
             let b = cfg.int("b").unwrap() as f64;
-            let c = if cfg.choice("c") == Some("fast") { 0.0 } else { 5.0 };
+            let c = if cfg.choice("c") == Some("fast") {
+                0.0
+            } else {
+                5.0
+            };
             (a - 6.0).abs() + (b - 1.0).abs() + c
         });
         assert_eq!(best, 0.0);
@@ -270,10 +274,7 @@ mod tests {
 
     #[test]
     fn greedy_from_starts_at_given_point() {
-        let space = SearchSpace::builder()
-            .int("x", 0, 100, 1)
-            .build()
-            .unwrap();
+        let space = SearchSpace::builder().int("x", 0, 100, 1).build().unwrap();
         let mut g = GreedyFrom::new(vec![90.0], GreedyOptions::default());
         let best = drive(&mut g, &space, 40, |cfg| {
             (cfg.int("x").unwrap() as f64 - 85.0).abs()

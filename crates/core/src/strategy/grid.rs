@@ -146,6 +146,12 @@ impl SearchStrategy for GridSearch {
     fn converged(&self) -> bool {
         self.done
     }
+
+    /// The sample plan is fixed up front and feedback is a no-op, so the
+    /// whole remaining plan may be outstanding at once.
+    fn can_propose_unanswered(&self, _unanswered: usize) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,21 @@ pub trait SearchStrategy: Send {
     fn converged(&self) -> bool {
         false
     }
+
+    /// Whether the strategy can produce another proposal while `unanswered`
+    /// earlier proposals still await [`feedback`](Self::feedback).
+    ///
+    /// This is the contract behind batched fetching: a strategy may only
+    /// permit unanswered proposals if its trajectory is invariant to the
+    /// batched interleaving — i.e. `propose, propose, feedback, feedback`
+    /// (in proposal order) reaches exactly the same state as the serial
+    /// `propose, feedback, propose, feedback`. That holds when proposals
+    /// within the window draw on no feedback (PRO inside one round) or when
+    /// feedback is a no-op (random/systematic sampling). Sequential
+    /// strategies keep the default: one proposal at a time.
+    fn can_propose_unanswered(&self, unanswered: usize) -> bool {
+        unanswered == 0
+    }
 }
 
 #[cfg(test)]

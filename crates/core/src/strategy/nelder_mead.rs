@@ -248,7 +248,10 @@ impl NelderMead {
 
     fn combine(c: &[f64], w: &[f64], t: f64) -> Vec<f64> {
         // c + t*(c - w)
-        c.iter().zip(w).map(|(&ci, &wi)| ci + t * (ci - wi)).collect()
+        c.iter()
+            .zip(w)
+            .map(|(&ci, &wi)| ci + t * (ci - wi))
+            .collect()
     }
 
     /// True when every vertex projects onto the same lattice point.

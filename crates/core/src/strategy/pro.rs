@@ -86,6 +86,10 @@ pub struct ParallelRankOrder {
     proposed: usize,
     answered: usize,
     rounds: usize,
+    /// Consecutive contraction rounds that failed to move any vertex. The
+    /// reflect→contract cycle is fully deterministic, so two failures in a
+    /// row mean the simplex is in a limit cycle and needs a respread.
+    stagnant: usize,
 }
 
 impl Default for ParallelRankOrder {
@@ -109,6 +113,7 @@ impl ParallelRankOrder {
             proposed: 0,
             answered: 0,
             rounds: 0,
+            stagnant: 0,
         }
     }
 
@@ -224,15 +229,12 @@ impl ParallelRankOrder {
                 for (slot, &target) in self.batch_targets.iter().enumerate() {
                     self.points[target].cost = self.results[slot];
                 }
+                self.stagnant = 0;
                 self.make_reflection(space, rng);
             }
             Phase::Reflect => {
                 let best_cost = self.points[self.best_index()].cost;
-                let round_best = self
-                    .results
-                    .iter()
-                    .cloned()
-                    .fold(f64::INFINITY, f64::min);
+                let round_best = self.results.iter().cloned().fold(f64::INFINITY, f64::min);
                 if round_best < best_cost {
                     // Stash the reflected candidates and probe further out;
                     // expansion measures from the round origin, not from the
@@ -263,16 +265,26 @@ impl ParallelRankOrder {
                         self.points[target] = Vertex { coords, cost };
                     }
                 }
+                // Expansion only runs after a round improved on the global
+                // best, so the simplex is making progress.
+                self.stagnant = 0;
                 self.make_reflection(space, rng);
             }
             Phase::Contract => {
+                let mut moved = false;
                 for (slot, &target) in self.batch_targets.iter().enumerate() {
                     if self.results[slot] < self.points[target].cost {
                         self.points[target] = Vertex {
                             coords: self.batch[slot].clone(),
                             cost: self.results[slot],
                         };
+                        moved = true;
                     }
+                }
+                if moved {
+                    self.stagnant = 0;
+                } else {
+                    self.stagnant += 1;
                 }
                 self.make_reflection(space, rng);
             }
@@ -308,7 +320,9 @@ impl ParallelRankOrder {
         // Collapse guard: if every candidate projects onto the best point's
         // configuration, the simplex has converged in the lattice — respread
         // randomly around the best to keep exploring (as the paper's
-        // discrete adaptation demands).
+        // discrete adaptation demands). The same respread also breaks the
+        // deterministic reflect→contract limit cycle that arises when no
+        // contraction improves its vertex two rounds running.
         let best_key = space
             .project(&self.points[self.best_index()].coords)
             .cache_key();
@@ -316,7 +330,8 @@ impl ParallelRankOrder {
             .batch
             .iter()
             .all(|p| space.project(p).cache_key() == best_key);
-        if collapsed {
+        if collapsed || self.stagnant >= 2 {
+            self.stagnant = 0;
             let best_coords = self.points[self.best_index()].coords.clone();
             for p in &mut self.batch {
                 for (d, param) in space.params().iter().enumerate() {
@@ -368,6 +383,14 @@ impl SearchStrategy for ParallelRankOrder {
         if self.answered == self.batch.len() {
             self.advance_round(space, rng);
         }
+    }
+
+    /// A whole round is fixed before any of its results are used, so every
+    /// not-yet-proposed candidate of the current round may go out while
+    /// earlier ones are still being measured. Once the round is exhausted
+    /// the simplex must wait for all answers to build the next batch.
+    fn can_propose_unanswered(&self, _unanswered: usize) -> bool {
+        self.proposed < self.batch.len()
     }
 }
 

@@ -41,6 +41,12 @@ impl SearchStrategy for RandomSearch {
     }
 
     fn feedback(&mut self, _coords: &[f64], _cost: f64, _space: &SearchSpace, _rng: &mut StdRng) {}
+
+    /// Feedback is a no-op and proposals draw only on the rng, so any number
+    /// of proposals may be outstanding without changing the trajectory.
+    fn can_propose_unanswered(&self, _unanswered: usize) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

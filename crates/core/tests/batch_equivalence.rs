@@ -1,0 +1,121 @@
+//! Property tests: driving a session through `suggest_batch`/`report`
+//! produces the *bit-identical* trajectory of the serial
+//! `suggest`/`report` loop, for any seed and batch size. This is the
+//! contract that lets the server hand a whole round of candidates to a
+//! client in one `FetchBatch` frame without changing what gets explored.
+
+use ah_core::prelude::*;
+use ah_core::strategy::SearchStrategy;
+use proptest::prelude::*;
+
+fn space() -> SearchSpace {
+    SearchSpace::builder()
+        .int("x", 0, 120, 1)
+        .int("y", -20, 20, 1)
+        .build()
+        .expect("valid space")
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    let x = cfg.int("x").expect("x") as f64;
+    let y = cfg.int("y").expect("y") as f64;
+    (x - 37.0).powi(2) * 0.25 + (y + 3.0).abs()
+}
+
+fn session(strategy: Box<dyn SearchStrategy>, seed: u64) -> TuningSession {
+    TuningSession::new(
+        space(),
+        strategy,
+        SessionOptions {
+            max_evaluations: 60,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+fn run_serial(mut s: TuningSession) -> TuningResult {
+    while let Some(trial) = s.suggest() {
+        let cost = objective(&trial.config);
+        s.report(trial, cost).expect("serial report");
+    }
+    s.result()
+}
+
+fn run_batched(mut s: TuningSession, batch: usize) -> TuningResult {
+    loop {
+        let trials = s.suggest_batch(batch);
+        if trials.is_empty() {
+            break;
+        }
+        for t in trials {
+            let cost = objective(&t.config);
+            // The session may stop mid-batch; later trials of the batch
+            // were dropped and reporting them is a harmless error.
+            let _ = s.report(t, cost);
+        }
+    }
+    s.result()
+}
+
+fn assert_identical(serial: &TuningResult, batched: &TuningResult, label: &str) {
+    assert_eq!(
+        serial.history.len(),
+        batched.history.len(),
+        "{label}: history length"
+    );
+    for (a, b) in serial
+        .history
+        .evaluations()
+        .iter()
+        .zip(batched.history.evaluations())
+    {
+        assert_eq!(a.iteration, b.iteration, "{label}: iteration");
+        assert_eq!(
+            a.config.cache_key(),
+            b.config.cache_key(),
+            "{label}: config at iteration {}",
+            a.iteration
+        );
+        assert_eq!(
+            a.cost.to_bits(),
+            b.cost.to_bits(),
+            "{label}: cost at iteration {}",
+            a.iteration
+        );
+        assert_eq!(a.cached, b.cached, "{label}: cached at {}", a.iteration);
+    }
+    assert_eq!(
+        serial.best_cost.to_bits(),
+        batched.best_cost.to_bits(),
+        "{label}: best cost"
+    );
+    assert_eq!(
+        serial.best_config.cache_key(),
+        batched.best_config.cache_key(),
+        "{label}: best config"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random search: proposals depend only on the rng stream, so any
+    /// batch size must replay the serial trajectory exactly.
+    #[test]
+    fn random_batched_equals_serial(seed in 0u64..1_000_000, batch in 1usize..32) {
+        let serial = run_serial(session(Box::new(RandomSearch::new()), seed));
+        let batched = run_batched(session(Box::new(RandomSearch::new()), seed), batch);
+        assert_identical(&serial, &batched, "random");
+    }
+
+    /// Nelder–Mead: every proposal depends on the previous result, so
+    /// batches degrade to size one — and the trajectory still must not
+    /// drift by a bit.
+    #[test]
+    fn nelder_mead_batched_equals_serial(seed in 0u64..1_000_000, batch in 1usize..32) {
+        let serial = run_serial(session(Box::new(NelderMead::default()), seed));
+        let batched = run_batched(session(Box::new(NelderMead::default()), seed), batch);
+        assert_identical(&serial, &batched, "nelder-mead");
+    }
+}

@@ -1,0 +1,272 @@
+//! Concurrency stress and protocol-level tests for the sharded Harmony
+//! server: many clients over both transports, and frame accounting showing
+//! that a whole PRO round costs exactly one request/reply pair each way.
+
+use ah_core::param::Param;
+use ah_core::server::protocol::{StrategyKind, TrialReport};
+use ah_core::server::{HarmonyServer, TcpHarmonyClient, TcpHarmonyServer};
+use ah_core::session::SessionOptions;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+
+const CLIENTS: usize = 16;
+const ITERS: usize = 200;
+
+fn options(seed: u64) -> SessionOptions {
+    SessionOptions {
+        max_evaluations: ITERS,
+        // Keep cache replays from ending a session before its budget: the
+        // point here is sustained traffic, not convergence.
+        max_cached_replays: ITERS,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Each client minimizes |x - target| for its own target and records every
+/// configuration it was served. At the end, the server's best must be
+/// bit-identical to the best the client itself observed: if any state
+/// leaked between clients (shared session, crossed replies, clobbered
+/// outstanding trials), the server's best cost or best point would belong
+/// to some other client's stream.
+fn target_of(i: usize) -> i64 {
+    (i as i64) * 61 + 7
+}
+
+fn check_own_best(i: usize, seen: &[(i64, f64)], best_x: i64, best_cost: f64) {
+    let (own_x, own_cost) = seen
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("client measured something");
+    assert_eq!(
+        best_cost.to_bits(),
+        own_cost.to_bits(),
+        "client {i}: server best cost {best_cost} is not the client's own {own_cost}"
+    );
+    assert_eq!(
+        best_x, own_x,
+        "client {i}: server best point is not the client's own"
+    );
+}
+
+#[test]
+fn sixteen_inproc_clients_tune_independently() {
+    let server = HarmonyServer::start_with(4);
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|s| {
+        for i in 0..CLIENTS {
+            let client = server.connect(format!("stress-{i}")).expect("connect");
+            let barrier = &barrier;
+            s.spawn(move || {
+                client
+                    .add_param(Param::int("x", 0, 1000, 1))
+                    .expect("param");
+                client
+                    .seal(options(i as u64 + 1), StrategyKind::Random)
+                    .expect("seal");
+                barrier.wait();
+                let target = target_of(i);
+                let mut seen = Vec::with_capacity(ITERS);
+                for _ in 0..ITERS {
+                    let fetched = client.fetch().expect("fetch");
+                    if fetched.finished {
+                        break;
+                    }
+                    let x = fetched.config.int("x").expect("x");
+                    let cost = (x - target).abs() as f64;
+                    seen.push((x, cost));
+                    client.report_timed(cost, 0.0).expect("report");
+                }
+                let (best, cost) = client.best().expect("best").expect("some best");
+                check_own_best(i, &seen, best.int("x").expect("x"), cost);
+            });
+        }
+    });
+    assert_eq!(server.client_count(), CLIENTS);
+    server.shutdown();
+}
+
+#[test]
+fn sixteen_tcp_clients_tune_independently() {
+    let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|s| {
+        for i in 0..CLIENTS {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut client =
+                    TcpHarmonyClient::connect(addr, &format!("stress-{i}")).expect("connect");
+                client
+                    .add_param(Param::int("x", 0, 1000, 1))
+                    .expect("param");
+                client
+                    .seal(options(i as u64 + 1), StrategyKind::Random)
+                    .expect("seal");
+                barrier.wait();
+                let target = target_of(i);
+                let mut seen = Vec::with_capacity(ITERS);
+                let mut done = 0;
+                while done < ITERS {
+                    // Odd clients exercise the batched path, even ones the
+                    // serial path, concurrently against the same server.
+                    if i % 2 == 1 {
+                        let (trials, finished) = client.fetch_batch(8).expect("fetch_batch");
+                        if finished {
+                            break;
+                        }
+                        assert!(!trials.is_empty());
+                        let reports: Vec<TrialReport> = trials
+                            .iter()
+                            .map(|t| {
+                                let x = t.config.int("x").expect("x");
+                                let cost = (x - target).abs() as f64;
+                                seen.push((x, cost));
+                                TrialReport {
+                                    iteration: t.iteration,
+                                    cost,
+                                    wall_time: 0.0,
+                                }
+                            })
+                            .collect();
+                        done += reports.len();
+                        client.report_batch(reports).expect("report_batch");
+                    } else {
+                        let (cfg, finished) = client.fetch().expect("fetch");
+                        if finished {
+                            break;
+                        }
+                        let x = cfg.int("x").expect("x");
+                        let cost = (x - target).abs() as f64;
+                        seen.push((x, cost));
+                        client.report(cost).expect("report");
+                        done += 1;
+                    }
+                }
+                let (best, cost) = client.best().expect("best").expect("some best");
+                check_own_best(i, &seen, best.int("x").expect("x"), cost);
+                client.close();
+            });
+        }
+    });
+    server.shutdown();
+}
+
+/// Raw-socket helper: write one request frame (a single JSON line), read
+/// back exactly one reply frame.
+fn frame(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: serde_json::Value,
+) -> serde_json::Value {
+    let mut blob = serde_json::to_string(&request).expect("frame serializes");
+    blob.push('\n');
+    writer.write_all(blob.as_bytes()).expect("write frame");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read frame");
+    assert!(!line.is_empty(), "server closed the connection");
+    serde_json::from_str(&line).expect("reply frame is JSON")
+}
+
+/// The acceptance property of the batch protocol: one PRO round of K
+/// candidates crosses the wire as exactly one `FetchBatch` request frame
+/// (answered by one `Configs` frame carrying all K) and one `ReportBatch`
+/// request frame (answered by one `Ok`). Counting is structural — every
+/// `frame()` call is one line out, one line in.
+#[test]
+fn pro_round_is_one_fetchbatch_and_one_reportbatch() {
+    let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+    let mut writer = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+
+    let reply = frame(
+        &mut writer,
+        &mut reader,
+        serde_json::json!({"Register": {"app": "pro-frames"}}),
+    );
+    assert!(reply.get("Registered").is_some(), "{reply:?}");
+    for p in ["x", "y"] {
+        let param = Param::int(p, 0, 100, 1);
+        let reply = frame(
+            &mut writer,
+            &mut reader,
+            serde_json::json!({"AddParam": {"param": param}}),
+        );
+        assert_eq!(reply, serde_json::json!("Ok"), "{reply:?}");
+    }
+    let reply = frame(
+        &mut writer,
+        &mut reader,
+        serde_json::json!({"Seal": {
+            "options": options(3),
+            "strategy": "Pro",
+        }}),
+    );
+    assert_eq!(reply, serde_json::json!("Ok"), "{reply:?}");
+
+    // Frame 1: FetchBatch with room to spare returns the whole round — PRO
+    // proposes its entire simplex before needing any feedback, and the
+    // session will not run ahead into the next round.
+    let reply = frame(
+        &mut writer,
+        &mut reader,
+        serde_json::json!({"FetchBatch": {"max": 64}}),
+    );
+    let round = reply["Configs"]["trials"]
+        .as_array()
+        .unwrap_or_else(|| panic!("expected Configs, got {reply:?}"))
+        .to_vec();
+    let k = round.len();
+    assert!(k >= 2, "a PRO round has several candidates, got {k}");
+    let iterations: HashSet<u64> = round
+        .iter()
+        .map(|t| t["iteration"].as_u64().expect("iteration"))
+        .collect();
+    assert_eq!(iterations.len(), k, "iteration tokens are distinct");
+
+    // Frame 2: one ReportBatch answers all K candidates.
+    let reports: Vec<serde_json::Value> = round
+        .iter()
+        .map(|t| {
+            // Configuration serializes as parallel names/values vectors.
+            let names = t["config"]["names"].as_array().expect("names");
+            let idx = names
+                .iter()
+                .position(|n| n.as_str() == Some("x"))
+                .expect("param x present");
+            let x = t["config"]["values"][idx]["Int"].as_i64().expect("int x");
+            serde_json::json!({
+                "iteration": t["iteration"],
+                "cost": (x - 40).abs() as f64,
+                "wall_time": 0.0,
+            })
+        })
+        .collect();
+    let reply = frame(
+        &mut writer,
+        &mut reader,
+        serde_json::json!({"ReportBatch": {"reports": reports}}),
+    );
+    assert_eq!(reply, serde_json::json!("Ok"), "{reply:?}");
+
+    // The round advanced: the next fetch serves fresh trials, none reusing
+    // a consumed iteration token.
+    let reply = frame(
+        &mut writer,
+        &mut reader,
+        serde_json::json!({"FetchBatch": {"max": 64}}),
+    );
+    let next = reply["Configs"]["trials"]
+        .as_array()
+        .unwrap_or_else(|| panic!("expected Configs, got {reply:?}"))
+        .to_vec();
+    assert!(!next.is_empty());
+    for t in next.iter() {
+        let it = t["iteration"].as_u64().expect("iteration");
+        assert!(!iterations.contains(&it), "token {it} served twice");
+    }
+    server.shutdown();
+}

@@ -125,7 +125,11 @@ pub struct ParseLayoutError(pub String);
 
 impl fmt::Display for ParseLayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid layout `{}`: need a permutation of xyles", self.0)
+        write!(
+            f,
+            "invalid layout `{}`: need a permutation of xyles",
+            self.0
+        )
     }
 }
 
@@ -183,8 +187,7 @@ mod tests {
     fn all_layouts_are_120_unique_permutations() {
         let all = Layout::all();
         assert_eq!(all.len(), 120);
-        let set: std::collections::HashSet<String> =
-            all.iter().map(|l| l.to_string()).collect();
+        let set: std::collections::HashSet<String> = all.iter().map(|l| l.to_string()).collect();
         assert_eq!(set.len(), 120);
         assert!(set.contains("lxyes"));
         assert!(set.contains("yxles"));

@@ -163,12 +163,7 @@ impl Gs2Model {
     }
 
     fn cached_locality(&self, d: &Decomposition, needed: &[Dim], tag: u8) -> f64 {
-        let key = (
-            d.layout.to_string(),
-            d.sizes.e,
-            d.procs,
-            tag,
-        );
+        let key = (d.layout.to_string(), d.sizes.e, d.procs, tag);
         if let Some(&v) = self.locality_cache.lock().get(&key) {
             return v;
         }
@@ -222,8 +217,7 @@ impl Gs2Model {
         // Linear/field phase.
         let lin_compute = chunk_work * GFLOP_LINEAR / speed;
         let loc_xy = self.cached_locality(&d, &[Dim::X, Dim::Y], 0);
-        let lin_comm =
-            2.0 * self.redistribution_time(cfg, &d, loc_xy, BYTES_PER_ELEMENT_THETA);
+        let lin_comm = 2.0 * self.redistribution_time(cfg, &d, loc_xy, BYTES_PER_ELEMENT_THETA);
 
         // Collision phase: needs l-e velocity pencils local, which neither
         // lxyes nor yxles provides — both pay a (cheaper) redistribution,
@@ -234,12 +228,7 @@ impl Gs2Model {
                 let loc_le = self.cached_locality(&d, &[Dim::L, Dim::E], 1);
                 (
                     chunk_work * GFLOP_COLLISION / speed,
-                    2.0 * self.redistribution_time(
-                        cfg,
-                        &d,
-                        loc_le,
-                        BYTES_PER_ELEMENT_THETA_COLL,
-                    ),
+                    2.0 * self.redistribution_time(cfg, &d, loc_le, BYTES_PER_ELEMENT_THETA_COLL),
                 )
             }
         };
@@ -258,8 +247,8 @@ impl Gs2Model {
         let speed = self.node.effective_speed(self.node.procs);
         let compute = d.chunk() as f64 * cfg.ntheta as f64 * GFLOP_INIT / speed;
         let loc_xy = self.cached_locality(&d, &[Dim::X, Dim::Y], 0);
-        let redist = INIT_REDIST_PASSES
-            * self.redistribution_time(cfg, &d, loc_xy, BYTES_PER_ELEMENT_THETA);
+        let redist =
+            INIT_REDIST_PASSES * self.redistribution_time(cfg, &d, loc_xy, BYTES_PER_ELEMENT_THETA);
         INIT_FIXED + compute + redist
     }
 

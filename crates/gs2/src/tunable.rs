@@ -297,12 +297,21 @@ impl ShortRunApp for Gs2CombinedApp {
         let mut cfg = space
             .configuration_from_strs([("layout", layout.as_str())])
             .unwrap_or_else(|_| space.center());
-        cfg.set("negrid", ah_core::value::ParamValue::Int(self.base.negrid as i64))
-            .expect("negrid present");
-        cfg.set("ntheta", ah_core::value::ParamValue::Int(self.base.ntheta as i64))
-            .expect("ntheta present");
-        cfg.set("nodes", ah_core::value::ParamValue::Int(self.base.nodes as i64))
-            .expect("nodes present");
+        cfg.set(
+            "negrid",
+            ah_core::value::ParamValue::Int(self.base.negrid as i64),
+        )
+        .expect("negrid present");
+        cfg.set(
+            "ntheta",
+            ah_core::value::ParamValue::Int(self.base.ntheta as i64),
+        )
+        .expect("ntheta present");
+        cfg.set(
+            "nodes",
+            ah_core::value::ParamValue::Int(self.base.nodes as i64),
+        )
+        .expect("nodes present");
         cfg
     }
 
@@ -355,8 +364,8 @@ mod tests {
 
     #[test]
     fn restricted_menu_tunes_over_paper_candidates() {
-        let mut app = Gs2LayoutApp::new(model(), base(), 10)
-            .with_layouts(Layout::paper_candidates());
+        let mut app =
+            Gs2LayoutApp::new(model(), base(), 10).with_layouts(Layout::paper_candidates());
         let space = app.space();
         assert_eq!(space.cardinality(), Some(6));
         let tuner = OfflineTuner::new(SessionOptions {

@@ -207,7 +207,11 @@ impl DrivenCavity {
     /// between the mean and the max — rather than a hard `max`. The global
     /// reduction that closes each nonlinear iteration is added on top.
     pub fn run_time(&self, dist: &RowPartition) -> f64 {
-        assert_eq!(dist.rows(), self.ny, "distribution must cover all grid rows");
+        assert_eq!(
+            dist.rows(),
+            self.ny,
+            "distribution must cover all grid rows"
+        );
         let p = self.machine.total_procs();
         assert!(dist.parts() <= p, "more parts than processors");
 

@@ -305,7 +305,10 @@ mod tests {
             hetero_gain > homo_gain + 10.0,
             "hetero {hetero_gain}% vs homo {homo_gain}%"
         );
-        assert!(homo_gain < 25.0, "homo gain suspiciously large: {homo_gain}%");
+        assert!(
+            homo_gain < 25.0,
+            "homo gain suspiciously large: {homo_gain}%"
+        );
     }
 
     #[test]

@@ -47,10 +47,7 @@ impl Distribution {
 
     /// Parse a label.
     pub fn from_label(s: &str) -> Option<Distribution> {
-        Self::ALL
-            .iter()
-            .find(|(_, l)| *l == s)
-            .map(|(d, _)| *d)
+        Self::ALL.iter().find(|(_, l)| *l == s).map(|(d, _)| *d)
     }
 
     /// The label.
@@ -302,10 +299,21 @@ mod tests {
         let g = OceanGrid::synthetic(360, 240);
         let small = BlockDecomposition::new(&g, 15, 15, 16);
         let large = BlockDecomposition::new(&g, 120, 120, 16);
-        assert!(small.eliminated_blocks() > 0, "some blocks must be all-land");
+        assert!(
+            small.eliminated_blocks() > 0,
+            "some blocks must be all-land"
+        );
         // Smaller blocks eliminate a larger *fraction* of the grid's land.
-        let small_waste: usize = small.blocks.iter().map(|b| b.total_points - b.ocean_points).sum();
-        let large_waste: usize = large.blocks.iter().map(|b| b.total_points - b.ocean_points).sum();
+        let small_waste: usize = small
+            .blocks
+            .iter()
+            .map(|b| b.total_points - b.ocean_points)
+            .sum();
+        let large_waste: usize = large
+            .blocks
+            .iter()
+            .map(|b| b.total_points - b.ocean_points)
+            .sum();
         assert!(small_waste < large_waste);
     }
 
@@ -384,14 +392,16 @@ mod tests {
         // the processor count, so the rake scatters neighbours (a dividing
         // width would pathologically re-align them).
         let g = OceanGrid::all_ocean(240, 240);
-        let rake =
-            BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::RoundRobin);
-        let cart =
-            BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::Cartesian);
-        let sfc =
-            BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::SpaceFilling);
+        let rake = BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::RoundRobin);
+        let cart = BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::Cartesian);
+        let sfc = BlockDecomposition::with_distribution(&g, 20, 20, 16, Distribution::SpaceFilling);
         let f = |d: &BlockDecomposition| d.intra_node_neighbor_fraction(4);
-        assert!(f(&cart) > f(&rake), "cartesian {} rake {}", f(&cart), f(&rake));
+        assert!(
+            f(&cart) > f(&rake),
+            "cartesian {} rake {}",
+            f(&cart),
+            f(&rake)
+        );
         assert!(f(&sfc) > f(&rake), "sfc {} rake {}", f(&sfc), f(&rake));
     }
 
@@ -400,10 +410,8 @@ mod tests {
         // Land concentrates in some cartesian tiles, so its balance is
         // worse; the rake deals ocean blocks evenly.
         let g = OceanGrid::synthetic(360, 240);
-        let rake =
-            BlockDecomposition::with_distribution(&g, 15, 15, 16, Distribution::RoundRobin);
-        let cart =
-            BlockDecomposition::with_distribution(&g, 15, 15, 16, Distribution::Cartesian);
+        let rake = BlockDecomposition::with_distribution(&g, 15, 15, 16, Distribution::RoundRobin);
+        let cart = BlockDecomposition::with_distribution(&g, 15, 15, 16, Distribution::Cartesian);
         assert!(rake.load_imbalance() <= cart.load_imbalance());
     }
 

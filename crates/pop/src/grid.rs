@@ -33,11 +33,36 @@ impl OceanGrid {
         // Continent layout loosely inspired by Earth's: two large masses,
         // two medium, a polar cap. Coordinates are fractions of the grid.
         let blobs = [
-            Blob { cx: 0.22, cy: 0.62, rx: 0.10, ry: 0.22 }, // americas-ish
-            Blob { cx: 0.55, cy: 0.55, rx: 0.13, ry: 0.18 }, // africa/eurasia
-            Blob { cx: 0.68, cy: 0.75, rx: 0.14, ry: 0.10 }, // asia
-            Blob { cx: 0.82, cy: 0.30, rx: 0.06, ry: 0.07 }, // australia
-            Blob { cx: 0.50, cy: 0.97, rx: 0.50, ry: 0.05 }, // polar cap
+            Blob {
+                cx: 0.22,
+                cy: 0.62,
+                rx: 0.10,
+                ry: 0.22,
+            }, // americas-ish
+            Blob {
+                cx: 0.55,
+                cy: 0.55,
+                rx: 0.13,
+                ry: 0.18,
+            }, // africa/eurasia
+            Blob {
+                cx: 0.68,
+                cy: 0.75,
+                rx: 0.14,
+                ry: 0.10,
+            }, // asia
+            Blob {
+                cx: 0.82,
+                cy: 0.30,
+                rx: 0.06,
+                ry: 0.07,
+            }, // australia
+            Blob {
+                cx: 0.50,
+                cy: 0.97,
+                rx: 0.50,
+                ry: 0.05,
+            }, // polar cap
         ];
         let mut mask = vec![true; nx * ny];
         for j in 0..ny {

@@ -121,8 +121,7 @@ impl PopModel {
         let (bx, by) = (decomp.bx, decomp.by);
 
         // Halo-overhead factor: each block computes its extended domain.
-        let halo_factor =
-            ((bx + 2 * HALO) * (by + 2 * HALO)) as f64 / (bx * by) as f64;
+        let halo_factor = ((bx + 2 * HALO) * (by + 2 * HALO)) as f64 / (bx * by) as f64;
 
         // --- Baroclinic: span of the most loaded processor. ---
         let mut baro_span = 0.0f64;
@@ -153,16 +152,14 @@ impl PopModel {
             solver_span = solver_span.max(compute + comm);
         }
         let reduce = net.allreduce_time(8.0, nprocs, nodes);
-        let barotropic = SOLVER_ITERS as f64
-            * (solver_span + reduce)
-            * params.phase_factor(Phase::Barotropic);
+        let barotropic =
+            SOLVER_ITERS as f64 * (solver_span + reduce) * params.phase_factor(Phase::Barotropic);
 
         // --- Tracer/forcing. ---
         let tracer = baro_span * TRACER_FRACTION * params.phase_factor(Phase::Tracer);
 
         // --- I/O: volume proportional to the 3-D grid. ---
-        let io_volume =
-            (self.grid.nx * self.grid.ny * DEPTH_LEVELS) as f64 * IO_BYTES_PER_POINT;
+        let io_volume = (self.grid.nx * self.grid.ny * DEPTH_LEVELS) as f64 * IO_BYTES_PER_POINT;
         let io = io_volume / IO_BANDWIDTH * params.io_factor();
 
         PopTiming {

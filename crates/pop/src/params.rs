@@ -48,26 +48,140 @@ pub struct ChoiceSpec {
 /// `num_iotasks`).
 pub const CHOICES: &[ChoiceSpec] = &[
     // --- Table I / II parameters -------------------------------------
-    ChoiceSpec { name: "hmix_momentum_choice", choices: &["anis", "del2", "del4"], factors: &[1.090, 1.000, 1.035], phase: Phase::Baroclinic, default: 0 },
-    ChoiceSpec { name: "hmix_tracer_choice", choices: &["gent", "del2", "del4"], factors: &[1.075, 1.000, 1.030], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "kappa_choice", choices: &["constant", "variable"], factors: &[1.020, 1.000], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "slope_control_choice", choices: &["notanh", "clip", "tanh"], factors: &[1.018, 1.000, 1.028], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "hmix_alignment_choice", choices: &["east", "grid", "flow"], factors: &[1.022, 1.000, 1.015], phase: Phase::Baroclinic, default: 0 },
-    ChoiceSpec { name: "state_choice", choices: &["jmcd", "linear", "polynomial"], factors: &[1.040, 1.000, 1.022], phase: Phase::Baroclinic, default: 0 },
-    ChoiceSpec { name: "state_range_opt", choices: &["ignore", "enforce", "check"], factors: &[1.012, 1.000, 1.020], phase: Phase::Baroclinic, default: 0 },
-    ChoiceSpec { name: "ws_interp_type", choices: &["nearest", "linear", "4point"], factors: &[1.010, 1.006, 1.000], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "shf_interp_type", choices: &["nearest", "linear", "4point"], factors: &[1.010, 1.006, 1.000], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "sfwf_interp_type", choices: &["nearest", "linear", "4point"], factors: &[1.010, 1.006, 1.000], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "ap_interp_type", choices: &["nearest", "linear", "4point"], factors: &[1.008, 1.005, 1.000], phase: Phase::Tracer, default: 0 },
+    ChoiceSpec {
+        name: "hmix_momentum_choice",
+        choices: &["anis", "del2", "del4"],
+        factors: &[1.090, 1.000, 1.035],
+        phase: Phase::Baroclinic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "hmix_tracer_choice",
+        choices: &["gent", "del2", "del4"],
+        factors: &[1.075, 1.000, 1.030],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "kappa_choice",
+        choices: &["constant", "variable"],
+        factors: &[1.020, 1.000],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "slope_control_choice",
+        choices: &["notanh", "clip", "tanh"],
+        factors: &[1.018, 1.000, 1.028],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "hmix_alignment_choice",
+        choices: &["east", "grid", "flow"],
+        factors: &[1.022, 1.000, 1.015],
+        phase: Phase::Baroclinic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "state_choice",
+        choices: &["jmcd", "linear", "polynomial"],
+        factors: &[1.040, 1.000, 1.022],
+        phase: Phase::Baroclinic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "state_range_opt",
+        choices: &["ignore", "enforce", "check"],
+        factors: &[1.012, 1.000, 1.020],
+        phase: Phase::Baroclinic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "ws_interp_type",
+        choices: &["nearest", "linear", "4point"],
+        factors: &[1.010, 1.006, 1.000],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "shf_interp_type",
+        choices: &["nearest", "linear", "4point"],
+        factors: &[1.010, 1.006, 1.000],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "sfwf_interp_type",
+        choices: &["nearest", "linear", "4point"],
+        factors: &[1.010, 1.006, 1.000],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "ap_interp_type",
+        choices: &["nearest", "linear", "4point"],
+        factors: &[1.008, 1.005, 1.000],
+        phase: Phase::Tracer,
+        default: 0,
+    },
     // --- additional performance-related namelist families ------------
-    ChoiceSpec { name: "advect_type", choices: &["upwind3", "centered"], factors: &[1.000, 1.014], phase: Phase::Baroclinic, default: 0 },
-    ChoiceSpec { name: "convection_type", choices: &["adjustment", "diffusion"], factors: &[1.000, 1.011], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "sw_absorption_type", choices: &["top-layer", "jerlov"], factors: &[1.000, 1.009], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "tavg_method", choices: &["accumulate", "snapshot"], factors: &[1.008, 1.000], phase: Phase::Tracer, default: 0 },
-    ChoiceSpec { name: "solver_choice", choices: &["pcg", "cgr", "jacobi"], factors: &[1.000, 1.025, 1.110], phase: Phase::Barotropic, default: 0 },
-    ChoiceSpec { name: "preconditioner_choice", choices: &["diagonal", "none"], factors: &[1.000, 1.060], phase: Phase::Barotropic, default: 0 },
-    ChoiceSpec { name: "partial_bottom_cells", choices: &["off", "on"], factors: &[1.000, 1.016], phase: Phase::Baroclinic, default: 0 },
-    ChoiceSpec { name: "vmix_choice", choices: &["kpp", "const", "rich"], factors: &[1.012, 1.000, 1.007], phase: Phase::Baroclinic, default: 0 },
+    ChoiceSpec {
+        name: "advect_type",
+        choices: &["upwind3", "centered"],
+        factors: &[1.000, 1.014],
+        phase: Phase::Baroclinic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "convection_type",
+        choices: &["adjustment", "diffusion"],
+        factors: &[1.000, 1.011],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "sw_absorption_type",
+        choices: &["top-layer", "jerlov"],
+        factors: &[1.000, 1.009],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "tavg_method",
+        choices: &["accumulate", "snapshot"],
+        factors: &[1.008, 1.000],
+        phase: Phase::Tracer,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "solver_choice",
+        choices: &["pcg", "cgr", "jacobi"],
+        factors: &[1.000, 1.025, 1.110],
+        phase: Phase::Barotropic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "preconditioner_choice",
+        choices: &["diagonal", "none"],
+        factors: &[1.000, 1.060],
+        phase: Phase::Barotropic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "partial_bottom_cells",
+        choices: &["off", "on"],
+        factors: &[1.000, 1.016],
+        phase: Phase::Baroclinic,
+        default: 0,
+    },
+    ChoiceSpec {
+        name: "vmix_choice",
+        choices: &["kpp", "const", "rich"],
+        factors: &[1.012, 1.000, 1.007],
+        phase: Phase::Baroclinic,
+        default: 0,
+    },
 ];
 
 /// Maximum I/O task count exposed to the tuner.
@@ -197,14 +311,15 @@ mod tests {
 
     #[test]
     fn io_factor_is_minimised_at_four_tasks() {
-        let f = |k: i64| PopParams {
-            num_iotasks: k,
-            ..Default::default()
-        }
-        .io_factor();
-        let best = (1..=MAX_IOTASKS).min_by(|&a, &b| {
-            f(a).partial_cmp(&f(b)).expect("finite factors")
-        });
+        let f = |k: i64| {
+            PopParams {
+                num_iotasks: k,
+                ..Default::default()
+            }
+            .io_factor()
+        };
+        let best =
+            (1..=MAX_IOTASKS).min_by(|&a, &b| f(a).partial_cmp(&f(b)).expect("finite factors"));
         assert_eq!(best, Some(4));
         // 32 tasks (the greedy Table I first move) beats 1 but loses to 4.
         assert!(f(32) < f(1));

@@ -76,8 +76,18 @@ impl PopBlockApp {
 impl ShortRunApp for PopBlockApp {
     fn space(&self) -> SearchSpace {
         let mut builder = SearchSpace::builder()
-            .int("bx", self.block_range.0, self.block_range.1, self.block_step)
-            .int("by", self.block_range.0, self.block_range.1, self.block_step);
+            .int(
+                "bx",
+                self.block_range.0,
+                self.block_range.1,
+                self.block_step,
+            )
+            .int(
+                "by",
+                self.block_range.0,
+                self.block_range.1,
+                self.block_step,
+            );
         if self.tune_distribution {
             builder = builder.enumeration(
                 "distribution",
@@ -103,9 +113,10 @@ impl ShortRunApp for PopBlockApp {
             .choice("distribution")
             .and_then(crate::decomp::Distribution::from_label)
             .unwrap_or(crate::decomp::Distribution::RoundRobin);
-        let t = self
-            .noise
-            .apply(self.model.run_time_dist(bx, by, dist, &self.params, self.steps));
+        let t = self.noise.apply(
+            self.model
+                .run_time_dist(bx, by, dist, &self.params, self.steps),
+        );
         RunMeasurement {
             exec_time: t,
             warmup_time: self.overhead * 0.5,

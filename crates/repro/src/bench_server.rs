@@ -1,0 +1,346 @@
+//! `repro bench-server`: throughput of the Harmony tuning server.
+//!
+//! Drives C concurrent clients for I evaluations each against the
+//! in-process server (single-shard baseline vs sharded pool, serial
+//! fetch/report vs batched `FetchBatch`/`ReportBatch`) and against the TCP
+//! transport, then reports ops/sec and per-evaluation latency percentiles.
+//! The figures quantify the two server-side changes of this codebase's
+//! "tuning at scale" layer: shard workers remove the single-dispatcher
+//! bottleneck, and batch messages amortize one round-trip over a whole PRO
+//! round of candidates.
+
+use ah_core::param::Param;
+use ah_core::server::protocol::{StrategyKind, TrialReport};
+use ah_core::server::{HarmonyServer, TcpHarmonyClient, TcpHarmonyServer};
+use ah_core::session::SessionOptions;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// How many trials a batched client asks for per round-trip.
+pub const BATCH: usize = 16;
+
+/// Knobs of one `bench-server` run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Evaluations per client.
+    pub iters: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            clients: 16,
+            iters: 200,
+        }
+    }
+}
+
+/// Measured outcome of one scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label, e.g. `"inproc/serial/1-shard"`.
+    pub name: String,
+    /// Evaluations completed across all clients.
+    pub total_evals: usize,
+    /// Evaluations per wall-clock second, all clients together.
+    pub ops_per_sec: f64,
+    /// Median per-evaluation latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-evaluation latency in microseconds.
+    pub p99_us: f64,
+}
+
+fn session_options(seed: u64) -> SessionOptions {
+    SessionOptions {
+        // Effectively unbounded: the driver stops at `iters`, and neither
+        // the budget nor replay-convergence should end the session first.
+        max_evaluations: usize::MAX / 4,
+        max_cached_replays: usize::MAX / 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(name: String, mut latencies_us: Vec<f64>, wall_secs: f64) -> Scenario {
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let total = latencies_us.len();
+    Scenario {
+        name,
+        total_evals: total,
+        ops_per_sec: total as f64 / wall_secs.max(1e-9),
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+    }
+}
+
+/// One client's serial tuning loop; returns per-evaluation latencies (µs).
+fn drive_serial(client: &ah_core::server::HarmonyClient, iters: usize) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let fetched = client.fetch().expect("fetch");
+        assert!(!fetched.finished, "bench session must not finish");
+        let cost = fetched.config.int("x").expect("x") as f64;
+        client.report_timed(cost, 0.0).expect("report");
+        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    lat
+}
+
+/// One client's batched tuning loop; per-evaluation latency is the batch
+/// round-trip split evenly over its trials.
+fn drive_batched(client: &ah_core::server::HarmonyClient, iters: usize) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(iters);
+    let mut done = 0usize;
+    while done < iters {
+        let want = BATCH.min(iters - done);
+        let t0 = Instant::now();
+        let (trials, finished) = client.fetch_batch(want).expect("fetch_batch");
+        assert!(
+            !finished && !trials.is_empty(),
+            "bench session must not finish"
+        );
+        let reports: Vec<TrialReport> = trials
+            .iter()
+            .map(|t| TrialReport {
+                iteration: t.iteration,
+                cost: t.config.int("x").expect("x") as f64,
+                wall_time: 0.0,
+            })
+            .collect();
+        let n = reports.len();
+        client.report_batch(reports).expect("report_batch");
+        let per_eval = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+        lat.extend(std::iter::repeat_n(per_eval, n));
+        done += n;
+    }
+    lat
+}
+
+fn run_inproc(cfg: BenchConfig, shards: usize, batched: bool) -> Scenario {
+    let server = HarmonyServer::start_with(shards);
+    let barrier = Barrier::new(cfg.clients + 1);
+    let mut wall_secs = 0.0;
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|i| {
+                let client = server.connect(format!("bench-{i}")).expect("connect");
+                client
+                    .add_param(Param::int("x", 0, 1_000_000, 1))
+                    .expect("param");
+                client
+                    .seal(session_options(i as u64 + 1), StrategyKind::Random)
+                    .expect("seal");
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    if batched {
+                        drive_batched(&client, cfg.iters)
+                    } else {
+                        drive_serial(&client, cfg.iters)
+                    }
+                })
+            })
+            .collect();
+        // Setup (connect/declare/seal) stays outside the timed window.
+        barrier.wait();
+        let t0 = Instant::now();
+        let out = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        wall_secs = t0.elapsed().as_secs_f64();
+        out
+    });
+    server.shutdown();
+    let mode = if batched { "batched" } else { "serial" };
+    summarize(
+        format!("inproc/{mode}/{shards}-shard"),
+        latencies.into_iter().flatten().collect(),
+        wall_secs,
+    )
+}
+
+fn run_tcp(cfg: BenchConfig, batched: bool) -> Scenario {
+    let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let barrier = Barrier::new(cfg.clients + 1);
+    let mut wall_secs = 0.0;
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|i| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut client =
+                        TcpHarmonyClient::connect(addr, &format!("bench-{i}")).expect("connect");
+                    client
+                        .add_param(Param::int("x", 0, 1_000_000, 1))
+                        .expect("param");
+                    client
+                        .seal(session_options(i as u64 + 1), StrategyKind::Random)
+                        .expect("seal");
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(cfg.iters);
+                    let mut done = 0usize;
+                    while done < cfg.iters {
+                        if batched {
+                            let want = BATCH.min(cfg.iters - done);
+                            let t0 = Instant::now();
+                            let (trials, finished) = client.fetch_batch(want).expect("fetch_batch");
+                            assert!(!finished && !trials.is_empty());
+                            let reports: Vec<TrialReport> = trials
+                                .iter()
+                                .map(|t| TrialReport {
+                                    iteration: t.iteration,
+                                    cost: t.config.int("x").expect("x") as f64,
+                                    wall_time: 0.0,
+                                })
+                                .collect();
+                            let n = reports.len();
+                            client.report_batch(reports).expect("report_batch");
+                            let per_eval = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+                            lat.extend(std::iter::repeat_n(per_eval, n));
+                            done += n;
+                        } else {
+                            let t0 = Instant::now();
+                            let (config, finished) = client.fetch().expect("fetch");
+                            assert!(!finished);
+                            client
+                                .report(config.int("x").expect("x") as f64)
+                                .expect("report");
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                            done += 1;
+                        }
+                    }
+                    client.close();
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let out = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        wall_secs = t0.elapsed().as_secs_f64();
+        out
+    });
+    server.shutdown();
+    let mode = if batched { "batched" } else { "serial" };
+    summarize(
+        format!("tcp/{mode}"),
+        latencies.into_iter().flatten().collect(),
+        wall_secs,
+    )
+}
+
+/// Run the full scenario matrix and return the machine-readable report.
+pub fn run(cfg: BenchConfig) -> serde_json::Value {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sharded = host_cores.clamp(2, 8);
+    eprintln!(
+        "bench-server: {} clients x {} evaluations, host cores: {host_cores}",
+        cfg.clients, cfg.iters
+    );
+
+    let scenarios = vec![
+        run_inproc(cfg, 1, false),
+        run_inproc(cfg, sharded, false),
+        run_inproc(cfg, 1, true),
+        run_inproc(cfg, sharded, true),
+        run_tcp(cfg, false),
+        run_tcp(cfg, true),
+    ];
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "scenario", "ops/sec", "p50 (us)", "p99 (us)"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<28} {:>12.0} {:>12.1} {:>12.1}",
+            s.name, s.ops_per_sec, s.p50_us, s.p99_us
+        );
+    }
+
+    let by_name = |n: &str| scenarios.iter().find(|s| s.name == n);
+    let serial_1 = by_name("inproc/serial/1-shard").map(|s| s.ops_per_sec);
+    let serial_n = scenarios
+        .iter()
+        .find(|s| s.name.starts_with("inproc/serial/") && !s.name.ends_with("/1-shard"))
+        .map(|s| s.ops_per_sec);
+    let batched_n = scenarios
+        .iter()
+        .find(|s| s.name.starts_with("inproc/batched/") && !s.name.ends_with("/1-shard"))
+        .map(|s| s.ops_per_sec);
+    let speedup_sharded = match (serial_1, serial_n) {
+        (Some(a), Some(b)) if a > 0.0 => b / a,
+        _ => 0.0,
+    };
+    let speedup_batched = match (serial_1, batched_n) {
+        (Some(a), Some(b)) if a > 0.0 => b / a,
+        _ => 0.0,
+    };
+    println!(
+        "sharded vs single dispatcher: {speedup_sharded:.2}x; \
+         sharded+batched vs single serial: {speedup_batched:.2}x"
+    );
+    if host_cores == 1 {
+        println!(
+            "note: single-core host — shard workers cannot run in parallel, \
+             so the sharding speedup reflects scheduling overhead only."
+        );
+    }
+
+    serde_json::json!({
+        "host_cores": host_cores,
+        "clients": cfg.clients,
+        "iterations_per_client": cfg.iters,
+        "batch": BATCH,
+        "shards_tested": [1, sharded],
+        "scenarios": scenarios.iter().map(|s| serde_json::json!({
+            "name": s.name.clone(),
+            "total_evals": s.total_evals,
+            "ops_per_sec": s.ops_per_sec,
+            "p50_us": s.p50_us,
+            "p99_us": s.p99_us,
+        })).collect::<Vec<_>>(),
+        "speedup_sharded_vs_single_dispatcher": speedup_sharded,
+        "speedup_sharded_batched_vs_single_serial": speedup_batched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bench_produces_sane_numbers() {
+        let cfg = BenchConfig {
+            clients: 3,
+            iters: 20,
+        };
+        let report = run(cfg);
+        assert_eq!(report["clients"].as_u64(), Some(3));
+        let scenarios = report["scenarios"].as_array().unwrap();
+        assert_eq!(scenarios.len(), 6);
+        for s in scenarios {
+            assert_eq!(s["total_evals"].as_u64(), Some(60));
+            assert!(s["ops_per_sec"].as_f64().unwrap() > 0.0);
+            assert!(s["p99_us"].as_f64().unwrap() >= s["p50_us"].as_f64().unwrap());
+        }
+    }
+}

@@ -4,27 +4,67 @@
 //! repro list                 # list experiment ids
 //! repro all [--quick]        # run every experiment
 //! repro fig4 table1 [...]    # run specific experiments
+//! repro bench-server         # tuning-server throughput matrix
 //! options:
 //!   --quick        shrink workloads (smoke-test mode)
 //!   --json PATH    also dump machine-readable results
+//!   --clients N    bench-server: concurrent clients (default 16)
+//!   --iters N      bench-server: evaluations per client (default 200)
 //! ```
 
 use ah_repro::{all_experiments, Experiment};
 use std::io::Write;
 
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn bench_server(args: &[String], json_path: Option<String>) {
+    let parse = |flag: &str, default: usize| {
+        flag_value(args, flag)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("{flag} expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+    let defaults = ah_repro::bench_server::BenchConfig::default();
+    let cfg = ah_repro::bench_server::BenchConfig {
+        clients: parse("--clients", defaults.clients).max(1),
+        iters: parse("--iters", defaults.iters).max(1),
+    };
+    let report = ah_repro::bench_server::run(cfg);
+    let path = json_path.unwrap_or_else(|| "BENCH_server.json".into());
+    let blob = serde_json::to_string_pretty(&report).expect("report serializes");
+    let mut f = std::fs::File::create(&path).expect("create json output");
+    f.write_all(blob.as_bytes()).expect("write json output");
+    f.write_all(b"\n").expect("write json output");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
+    let json_path = flag_value(&args, "--json");
+    let flag_values: Vec<Option<String>> = ["--json", "--clients", "--iters"]
         .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+        .map(|f| flag_value(&args, f))
+        .collect();
     let selectors: Vec<&String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .filter(|a| Some(a.as_str()) != json_path.as_deref())
+        .filter(|a| !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str())))
         .collect();
+
+    if selectors.iter().any(|s| s.as_str() == "bench-server") {
+        bench_server(&args, json_path);
+        return;
+    }
 
     if selectors.iter().any(|s| s.as_str() == "list") {
         for e in all_experiments() {

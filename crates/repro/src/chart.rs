@@ -35,7 +35,12 @@ pub fn histogram(bounds: &[f64], counts: &[usize], width: usize) -> String {
         } else {
             0
         };
-        out.push_str(&format!("<= {:>10} | {} {}\n", crate::table::secs(*b), "#".repeat(n), c));
+        out.push_str(&format!(
+            "<= {:>10} | {} {}\n",
+            crate::table::secs(*b),
+            "#".repeat(n),
+            c
+        ));
     }
     out
 }
@@ -46,10 +51,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_width() {
-        let chart = bars(
-            &[("short".into(), 1.0), ("long".into(), 4.0)],
-            20,
-        );
+        let chart = bars(&[("short".into(), 1.0), ("long".into(), 4.0)], 20);
         assert!(chart.contains(&"#".repeat(20)));
         assert!(chart.contains(&format!("short | {} 1.000", "#".repeat(5))));
     }

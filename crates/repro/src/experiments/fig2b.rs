@@ -64,7 +64,13 @@ impl Experiment for Fig2b {
             ]
         };
         narrative.push_str(&table::render(
-            &["decomposition", "boundaries", "nnz per part", "cut", "sim time (s)"],
+            &[
+                "decomposition",
+                "boundaries",
+                "nnz per part",
+                "cut",
+                "sim time (s)",
+            ],
             &[
                 row("default (even)", &even, out.default_cost),
                 row("tuned", &tuned, out.result.best_cost),
@@ -83,11 +89,7 @@ impl Experiment for Fig2b {
             Finding::check(
                 "tuned boundaries reduce cross-partition nonzeros",
                 "boundaries avoid cutting dense sub-matrices",
-                format!(
-                    "cut {} -> {}",
-                    even.total_cut(&a),
-                    tuned.total_cut(&a)
-                ),
+                format!("cut {} -> {}", even.total_cut(&a), tuned.total_cut(&a)),
                 cut_reduced,
             ),
         ];

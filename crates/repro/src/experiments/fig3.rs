@@ -77,8 +77,7 @@ impl Experiment for Fig3 {
         let hetero_gain = results[1].2.improvement_pct();
         let hetero_rows = results[1].1.row_counts();
         // Machine layout: procs 0,1 are the slow PII nodes, 2,3 the fast P4s.
-        let fast_get_more =
-            hetero_rows[2] + hetero_rows[3] > hetero_rows[0] + hetero_rows[1];
+        let fast_get_more = hetero_rows[2] + hetero_rows[3] > hetero_rows[0] + hetero_rows[1];
         let findings = vec![
             Finding::check(
                 "homogeneous: equal split stays near-optimal",

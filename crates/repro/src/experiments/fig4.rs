@@ -49,12 +49,7 @@ impl Experiment for Fig4 {
             let machine = sp3_seaborg(nodes, ppn);
             let steps = 3;
             let mut app = PopBlockApp::new(grid.clone(), machine, steps);
-            let out = tune(
-                &mut app,
-                nm_from(vec![180.0, 100.0]),
-                evals,
-                480 + i as u64,
-            );
+            let out = tune(&mut app, nm_from(vec![180.0, 100.0]), evals, 480 + i as u64);
             let bx = out.result.best_config.int("bx").expect("bx present");
             let by = out.result.best_config.int("by").expect("by present");
             best_blocks.insert((bx, by));
@@ -67,7 +62,10 @@ impl Experiment for Fig4 {
                 table::secs(out.default_cost),
                 table::pct(gain),
             ]);
-            bars.push((format!("{nodes}x{ppn} tuned ({bx}x{by})"), out.result.best_cost));
+            bars.push((
+                format!("{nodes}x{ppn} tuned ({bx}x{by})"),
+                out.result.best_cost,
+            ));
             bars.push((format!("{nodes}x{ppn} default (180x100)"), out.default_cost));
             per_topology.push(serde_json::json!({
                 "topology": format!("{nodes}x{ppn}"),
@@ -83,7 +81,13 @@ impl Experiment for Fig4 {
             grid.nx,
             grid.ny,
             table::render(
-                &["topology", "best block", "tuned (s)", "default (s)", "improvement"],
+                &[
+                    "topology",
+                    "best block",
+                    "tuned (s)",
+                    "default (s)",
+                    "improvement"
+                ],
                 &rows,
             ),
             chart::bars(&bars, 40),
@@ -101,7 +105,10 @@ impl Experiment for Fig4 {
             Finding::check(
                 "no topology regresses under tuning",
                 "tuned bars never taller than default bars",
-                format!("min improvement {}", table::pct(improvements.iter().cloned().fold(f64::INFINITY, f64::min))),
+                format!(
+                    "min improvement {}",
+                    table::pct(improvements.iter().cloned().fold(f64::INFINITY, f64::min))
+                ),
                 all_improve,
             ),
             if quick {

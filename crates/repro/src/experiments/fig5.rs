@@ -131,7 +131,10 @@ impl Experiment for Fig5 {
             Finding::check(
                 "right layout beats default lxyes on aligned topologies",
                 "yxles/yxels significantly faster",
-                format!("best layouts: {rows:?}", rows = rows.iter().map(|r| r[1].clone()).collect::<Vec<_>>()),
+                format!(
+                    "best layouts: {rows:?}",
+                    rows = rows.iter().map(|r| r[1].clone()).collect::<Vec<_>>()
+                ),
                 default_beaten_everywhere,
             ),
             Finding::check(

@@ -14,6 +14,57 @@ use ah_core::session::{SessionOptions, TuningSession};
 use ah_core::strategy::GridSearch;
 use ah_gs2::{CollisionModel, Gs2Config, Gs2Model, Gs2ResolutionApp};
 
+/// Drive the systematic-sampling session to completion, measuring chunks
+/// of samples on crossbeam scoped threads.
+///
+/// Systematic samples are mutually independent: GridSearch proposals are
+/// feedback-free, so a whole chunk can be fetched up front
+/// ([`TuningSession::suggest_batch`]), split into contiguous index ranges
+/// across `workers` threads, merged back in index order, and reported in
+/// proposal order. The resulting history — and therefore every downstream
+/// percentile — is bit-identical to the serial sweep for a given seed,
+/// regardless of worker count or scheduling.
+fn parallel_sweep(session: &mut TuningSession, app: &Gs2ResolutionApp, workers: usize) {
+    let workers = workers.max(1);
+    let chunk_len = (workers * 32).max(64);
+    let objective = |cfg: &ah_core::space::Configuration| {
+        let negrid = cfg.int("negrid").expect("negrid") as usize;
+        let ntheta = cfg.int("ntheta").expect("ntheta") as usize;
+        let nodes = cfg.int("nodes").expect("nodes") as usize;
+        app.time_of(negrid, ntheta, nodes)
+    };
+    loop {
+        let trials = session.suggest_batch(chunk_len);
+        if trials.is_empty() {
+            break;
+        }
+        let span = trials.len().div_ceil(workers).max(1);
+        let costs: Vec<f64> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = trials
+                .chunks(span)
+                .map(|part| {
+                    let objective = &objective;
+                    s.spawn(move |_| {
+                        part.iter()
+                            .map(|t| objective(&t.config))
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sampling worker panicked"))
+                .collect()
+        })
+        .expect("scoped sampling sweep");
+        for (t, cost) in trials.into_iter().zip(costs) {
+            // The session may stop mid-chunk (budget edge); remaining
+            // reports belong to dropped trials and are simply ignored.
+            let _ = session.report(t, cost);
+        }
+    }
+}
+
 /// The experiment.
 pub struct Fig6;
 
@@ -57,12 +108,13 @@ impl Experiment for Fig6 {
                 ..Default::default()
             },
         );
-        let sampled = session.run(|cfg| {
-            let negrid = cfg.int("negrid").expect("negrid") as usize;
-            let ntheta = cfg.int("ntheta").expect("ntheta") as usize;
-            let nodes = cfg.int("nodes").expect("nodes") as usize;
-            app.time_of(negrid, ntheta, nodes)
-        });
+        // The sweep dominates this experiment's wall time; run it chunked
+        // across scoped worker threads.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        parallel_sweep(&mut session, &app, workers);
+        let sampled = session.result();
         let costs: Vec<f64> = sampled
             .history
             .evaluations()
@@ -160,5 +212,59 @@ mod tests {
         let r = Fig6.run(true);
         assert!(r.all_ok(), "{}", r.render());
         assert!(r.data["samples"].as_u64().unwrap() > 100);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let mut model = Gs2Model::on_linux_cluster(16);
+        model.nx = 16;
+        model.ny = 8;
+        model.nl = 16;
+        let base = Gs2Config {
+            nodes: 16,
+            collision: CollisionModel::None,
+            ..Gs2Config::paper_default()
+        };
+        let app = Gs2ResolutionApp::new(model, base, 1000);
+        let space = ah_core::offline::ShortRunApp::space(&app);
+        let mk = || {
+            TuningSession::new(
+                space.clone(),
+                Box::new(GridSearch::new(200)),
+                SessionOptions {
+                    max_evaluations: 200,
+                    seed: 6,
+                    ..Default::default()
+                },
+            )
+        };
+        let mut serial = mk();
+        let serial_result = serial.run(|cfg| {
+            let negrid = cfg.int("negrid").expect("negrid") as usize;
+            let ntheta = cfg.int("ntheta").expect("ntheta") as usize;
+            let nodes = cfg.int("nodes").expect("nodes") as usize;
+            app.time_of(negrid, ntheta, nodes)
+        });
+        for workers in [1, 3, 8] {
+            let mut par = mk();
+            parallel_sweep(&mut par, &app, workers);
+            let r = par.result();
+            assert_eq!(r.history.len(), serial_result.history.len());
+            for (a, b) in r
+                .history
+                .evaluations()
+                .iter()
+                .zip(serial_result.history.evaluations())
+            {
+                assert_eq!(a.iteration, b.iteration);
+                assert_eq!(a.config.cache_key(), b.config.cache_key());
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "workers={workers}");
+            }
+            assert_eq!(
+                r.best_cost.to_bits(),
+                serial_result.best_cost.to_bits(),
+                "workers={workers}"
+            );
+        }
     }
 }

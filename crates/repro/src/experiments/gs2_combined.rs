@@ -108,9 +108,7 @@ impl Experiment for Gs2Combined {
             Finding::check(
                 "combined beats each technique alone",
                 "two techniques compose",
-                format!(
-                    "{combined:.2}x vs layout {layout_only:.2}x, parameters {res_only:.2}x"
-                ),
+                format!("{combined:.2}x vs layout {layout_only:.2}x, parameters {res_only:.2}x"),
                 combined >= layout_only * 0.98 && combined >= res_only * 0.98,
             ),
         ];

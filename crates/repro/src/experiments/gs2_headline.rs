@@ -73,7 +73,13 @@ impl Experiment for Gs2Headline {
         }
 
         let narrative = table::render(
-            &["collision mode", "lxyes default (s)", "tuned (s)", "best layout", "speedup"],
+            &[
+                "collision mode",
+                "lxyes default (s)",
+                "tuned (s)",
+                "best layout",
+                "speedup",
+            ],
             &rows,
         );
 

@@ -9,8 +9,8 @@ use super::common::{in_band, nm_from, nm_simplex, tune};
 use crate::experiment::{ExpReport, Experiment, Finding};
 use crate::table;
 use ah_clustersim::{Machine, NetworkModel};
-use ah_petsc::tunable::partition_from_config;
 use ah_core::offline::ShortRunApp;
+use ah_petsc::tunable::partition_from_config;
 use ah_petsc::{SlesDecompositionApp, SlesProblem};
 use ah_sparse::gen::ones;
 use ah_sparse::{CsrMatrix, RowPartition};
@@ -131,7 +131,14 @@ impl Experiment for PetscSlesLarge {
         let space_log10 = app_large.space().log10_cardinality().unwrap_or(0.0);
 
         let narrative = table::render(
-            &["problem", "procs", "iterations", "default (s)", "tuned (s)", "improvement"],
+            &[
+                "problem",
+                "procs",
+                "iterations",
+                "default (s)",
+                "tuned (s)",
+                "improvement",
+            ],
             &[
                 vec![
                     format!("{n_small}^2"),

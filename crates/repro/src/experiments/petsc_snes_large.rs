@@ -65,7 +65,14 @@ impl Experiment for PetscSnesLarge {
         let gain = out.improvement_pct();
 
         let narrative = table::render(
-            &["grid points", "procs", "iterations", "default (s)", "tuned (s)", "improvement"],
+            &[
+                "grid points",
+                "procs",
+                "iterations",
+                "default (s)",
+                "tuned (s)",
+                "improvement",
+            ],
             &[vec![
                 (nx * ny).to_string(),
                 "32".into(),

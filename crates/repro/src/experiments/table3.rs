@@ -7,10 +7,10 @@
 //! (9.8%, 9 iterations).
 
 use super::common::{in_band, nm_from, tune_with};
-use ah_core::session::SessionOptions;
 use crate::experiment::{ExpReport, Experiment, Finding};
 use crate::table;
 use ah_core::offline::OfflineOutcome;
+use ah_core::session::SessionOptions;
 use ah_gs2::{CollisionModel, Gs2Config, Gs2Model, Gs2ResolutionApp};
 
 /// Run one resolution-tuning campaign; shared with Table IV.
@@ -88,7 +88,11 @@ pub fn render_rows(results: &[(&str, &OfflineOutcome)]) -> String {
         })
         .collect();
     table::render(
-        &["Tuning method (negrid,ntheta,nodes)", "Tuning time (iterations)", "Tuning result - seconds (improvement %)"],
+        &[
+            "Tuning method (negrid,ntheta,nodes)",
+            "Tuning time (iterations)",
+            "Tuning result - seconds (improvement %)",
+        ],
         &rows,
     )
 }

@@ -11,9 +11,10 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_server;
 pub mod chart;
 pub mod experiment;
 pub mod experiments;
 pub mod table;
 
-pub use experiment::{all_experiments, Experiment, ExpReport, Finding};
+pub use experiment::{all_experiments, ExpReport, Experiment, Finding};

@@ -19,13 +19,7 @@ pub struct CgOutcome {
 /// Solve `A x = b` by conjugate gradients from a zero initial guess.
 ///
 /// `threads` selects the SpMV parallelism (1 = serial).
-pub fn cg_solve(
-    a: &CsrMatrix,
-    b: &[f64],
-    tol: f64,
-    max_iters: usize,
-    threads: usize,
-) -> CgOutcome {
+pub fn cg_solve(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize, threads: usize) -> CgOutcome {
     assert_eq!(a.rows(), a.cols(), "CG needs a square matrix");
     assert_eq!(b.len(), a.rows());
     let n = b.len();

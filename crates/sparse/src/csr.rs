@@ -26,9 +26,7 @@ impl CsrMatrix {
         // entries are summed in a canonical order — without it, transposing
         // a matrix with 3+ duplicates of one entry could change the
         // floating-point summation order and break exact symmetry.
-        sorted.sort_unstable_by(|a, b| {
-            (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
-        });
+        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
         let mut row_ptr = vec![0usize; rows + 1];
         let mut indices = Vec::with_capacity(sorted.len());
         let mut values = Vec::with_capacity(sorted.len());
@@ -135,8 +133,7 @@ impl CsrMatrix {
 
     /// Transpose (used to symmetry-check generators in tests).
     pub fn transpose(&self) -> CsrMatrix {
-        let t: Vec<(usize, usize, f64)> =
-            self.triplets().map(|(r, c, v)| (c, r, v)).collect();
+        let t: Vec<(usize, usize, f64)> = self.triplets().map(|(r, c, v)| (c, r, v)).collect();
         CsrMatrix::from_triplets(self.cols, self.rows, &t)
     }
 }

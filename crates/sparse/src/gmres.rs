@@ -132,7 +132,11 @@ fn update_solution(x: &mut [f64], h: &[Vec<f64>], g: &[f64], v: &[Vec<f64>], k: 
         for (j, yj) in y.iter().enumerate().take(k).skip(i + 1) {
             s -= h[i][j] * yj;
         }
-        y[i] = if h[i][i].abs() > 1e-300 { s / h[i][i] } else { 0.0 };
+        y[i] = if h[i][i].abs() > 1e-300 {
+            s / h[i][i]
+        } else {
+            0.0
+        };
     }
     for (j, yj) in y.iter().enumerate() {
         axpy(*yj, &v[j], x);
@@ -142,8 +146,8 @@ fn update_solution(x: &mut [f64], h: &[Vec<f64>], g: &[f64], v: &[Vec<f64>], k: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{laplacian_2d, ones, random_rhs};
     use crate::csr::CsrMatrix;
+    use crate::gen::{laplacian_2d, ones, random_rhs};
 
     #[test]
     fn solves_spd_system() {

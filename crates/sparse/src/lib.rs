@@ -28,5 +28,5 @@ pub mod vec_ops;
 pub use cg::{cg_solve, CgOutcome};
 pub use csr::CsrMatrix;
 pub use gmres::{gmres_solve, GmresOutcome};
-pub use pcg::{pcg_solve, PcgOutcome};
 pub use partition::RowPartition;
+pub use pcg::{pcg_solve, PcgOutcome};

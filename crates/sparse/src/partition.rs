@@ -105,7 +105,10 @@ impl RowPartition {
         for (i, vol) in vols.iter_mut().enumerate() {
             for r in self.range(i) {
                 let (cols, _) = a.row(r);
-                *vol += cols.iter().filter(|&&c| !self.range(i).contains(&c)).count();
+                *vol += cols
+                    .iter()
+                    .filter(|&&c| !self.range(i).contains(&c))
+                    .count();
             }
         }
         vols

@@ -69,7 +69,10 @@ fn main() {
     let nm_wall = start.elapsed();
     println!(
         "Nelder-Mead : best {:>8.1} at {} after {} evaluations ({:.2}s wall)",
-        nm.best_cost, nm.best_config, nm.evaluations, nm_wall.as_secs_f64()
+        nm.best_cost,
+        nm.best_config,
+        nm.evaluations,
+        nm_wall.as_secs_f64()
     );
 
     println!(

@@ -22,18 +22,24 @@ fn main() {
     let blocks = [30, 110, 25, 60, 45, 30];
     let a = clustered_blocks(&blocks, 0.85, 42);
     let n = a.rows();
-    println!("Matrix: {n}x{n}, {} nonzeros, dense clusters {blocks:?}", a.nnz());
+    println!(
+        "Matrix: {n}x{n}, {} nonzeros, dense clusters {blocks:?}",
+        a.nnz()
+    );
 
     let machine = Machine::uniform("cluster 4x1", 4, 1, 1.0, NetworkModel::default());
-    let mut problem =
-        SlesProblem::new(a.clone(), ones(n), machine).with_tolerance(1e-12, 5000);
+    let mut problem = SlesProblem::new(a.clone(), ones(n), machine).with_tolerance(1e-12, 5000);
     // Solve the system once for real to get the CG iteration count.
     let iters = problem.iterations();
     println!("CG iterations to 1e-12: {iters}\n");
 
     let mut app = SlesDecompositionApp::new(problem, 4).with_overheads(1.0, 0.5);
     let even = RowPartition::even(n, 4);
-    let start: Vec<f64> = even.interior_boundaries().iter().map(|&b| b as f64).collect();
+    let start: Vec<f64> = even
+        .interior_boundaries()
+        .iter()
+        .map(|&b| b as f64)
+        .collect();
 
     let tuner = OfflineTuner::new(SessionOptions {
         max_evaluations: 150,

@@ -50,7 +50,11 @@ impl ShortRunApp for ToyApp {
             * (5.0
                 + (buf.log2() - 8.0).powi(2) * 0.8
                 + (threads - 24.0).powi(2) * 0.01
-                + if threads > 48.0 { (threads - 48.0) * 0.2 } else { 0.0 });
+                + if threads > 48.0 {
+                    (threads - 48.0) * 0.2
+                } else {
+                    0.0
+                });
         RunMeasurement {
             exec_time: exec,
             warmup_time: 0.5,

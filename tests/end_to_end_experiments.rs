@@ -14,11 +14,7 @@ fn every_experiment_runs_in_quick_mode_and_renders() {
         let report = e.run(true);
         assert_eq!(report.id, e.id());
         assert!(!report.narrative.is_empty(), "{} has no narrative", e.id());
-        assert!(
-            !report.findings.is_empty(),
-            "{} has no findings",
-            e.id()
-        );
+        assert!(!report.findings.is_empty(), "{} has no findings", e.id());
         let rendered = report.render();
         assert!(rendered.contains(e.id()));
         assert!(

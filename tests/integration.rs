@@ -25,7 +25,8 @@ fn harmony_tunes_every_application_through_short_runs() {
     // PETSc cavity on a heterogeneous machine.
     let cavity = DrivenCavity::new(40, 40, hetero_p4_p2(), 10);
     let mut petsc = CavityDistributionApp::new(cavity);
-    let petsc_out = OfflineTuner::new(opts(80, 1)).tune(&mut petsc, Box::new(NelderMead::default()));
+    let petsc_out =
+        OfflineTuner::new(opts(80, 1)).tune(&mut petsc, Box::new(NelderMead::default()));
     assert!(petsc_out.improvement_pct() > 0.0);
 
     // POP block sizing.
@@ -122,22 +123,13 @@ fn online_tuner_converges_on_simulated_sles_interval() {
 
     // On-line scenario: the application re-partitions between solver calls.
     let a = clustered_blocks(&[20, 60, 20], 0.8, 5);
-    let machine = ah_clustersim::Machine::uniform(
-        "m",
-        4,
-        1,
-        1.0,
-        ah_clustersim::NetworkModel::default(),
-    );
+    let machine =
+        ah_clustersim::Machine::uniform("m", 4, 1, 1.0, ah_clustersim::NetworkModel::default());
     let mut problem = ah_petsc::SlesProblem::new(a, ones(100), machine);
     problem.set_iterations(50);
 
     let space = ah_petsc::tunable::boundary_space(100, 4);
-    let mut tuner = OnlineTuner::new(
-        space,
-        Box::new(NelderMead::default()),
-        opts(60, 9),
-    );
+    let mut tuner = OnlineTuner::new(space, Box::new(NelderMead::default()), opts(60, 9));
     let default_time = problem.solve(&RowPartition::even(100, 4)).time;
     let mut best_seen = f64::INFINITY;
     while !tuner.settled() {
@@ -159,10 +151,15 @@ fn prior_run_db_accelerates_a_related_problem() {
         .int("b", 0, 1000, 1)
         .build()
         .unwrap();
-    let objective =
-        |cfg: &Configuration| ((cfg.int("a").unwrap() - 600) as f64).abs() + ((cfg.int("b").unwrap() - 300) as f64).abs();
+    let objective = |cfg: &Configuration| {
+        ((cfg.int("a").unwrap() - 600) as f64).abs() + ((cfg.int("b").unwrap() - 300) as f64).abs()
+    };
 
-    let mut first = TuningSession::new(space.clone(), Box::new(NelderMead::default()), opts(120, 10));
+    let mut first = TuningSession::new(
+        space.clone(),
+        Box::new(NelderMead::default()),
+        opts(120, 10),
+    );
     let r1 = first.run(objective);
 
     let mut db = PriorRunDb::new();

@@ -1,0 +1,300 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers the surface this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` header, `name in strategy` arguments
+//! over numeric ranges and [`collection::vec`], plus [`prop_assert!`] /
+//! [`prop_assert_eq!`]. Case generation is deterministic (fixed seed per
+//! case index) so failures reproduce; there is no shrinking — the panic
+//! message reports the exact inputs instead.
+
+use std::ops::Range;
+
+/// Deterministic generator handed to [`Strategy::sample`] (SplitMix64).
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1) with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in [0, bound) via widening multiply.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// A source of random test-case values.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn sample(&self, gen: &mut Gen) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, gen: &mut Gen) -> f64 {
+        self.start + gen.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + gen.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// Number of elements for [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        fn pick(&self, gen: &mut Gen) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _gen: &mut Gen) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, gen: &mut Gen) -> usize {
+            assert!(self.end > self.start, "empty size range");
+            self.start + gen.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length comes from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let n = self.len.pick(gen);
+            (0..n).map(|_| self.element.sample(gen)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is consulted by the stand-in.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, Strategy};
+}
+
+/// Run each property as a deterministic loop of sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::test_runner::Config::default())
+            $(#[$meta])* fn $name $($rest)*);
+    };
+    (@funcs ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                // Per-property base seed: stable across runs, distinct across
+                // properties.
+                let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    base = (base ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                for case in 0..config.cases as u64 {
+                    let mut gen = $crate::Gen::new(base.wrapping_add(case));
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut gen);)*
+                    let inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(&format!(
+                                "{} = {:?}; ", stringify!($arg), &$arg));
+                        )*
+                        s
+                    };
+                    let outcome: ::std::result::Result<(), String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case + 1, config.cases, msg, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a [`proptest!`] body; failures abort only the current case
+/// closure (reported with the sampled inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{collection, Gen, Strategy};
+
+    #[test]
+    fn gen_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut g = Gen::new(7);
+            (0..4).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = Gen::new(7);
+            (0..4).map(|_| g.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut g = Gen::new(42);
+        for _ in 0..1000 {
+            let f = (-500.0..500.0f64).sample(&mut g);
+            assert!((-500.0..500.0).contains(&f));
+            let u = (3usize..9).sample(&mut g);
+            assert!((3..9).contains(&u));
+            let i = (-5i64..5).sample(&mut g);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut g = Gen::new(1);
+        for _ in 0..100 {
+            let v = collection::vec(0usize..400, 1..8).sample(&mut g);
+            assert!((1..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 400));
+        }
+        let fixed = collection::vec(0.0..1.0f64, 4).sample(&mut g);
+        assert_eq!(fixed.len(), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_args_and_asserts(x in 0u64..100, v in collection::vec(0usize..10, 2..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_uses_default(x in 0.0..1.0f64) {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides a
+//! self-contained serialization framework with serde's surface *shape*:
+//! [`Serialize`] / [`Deserialize`] traits, `#[derive(Serialize, Deserialize)]`
+//! (re-exported from the sibling `serde_derive` proc-macro crate), and the
+//! JSON conventions the real serde_json uses (externally tagged enums,
+//! structs as objects, tuples as arrays).
+//!
+//! Instead of serde's zero-copy visitor architecture, everything funnels
+//! through an owned [`Value`] tree — dramatically simpler, and fast enough
+//! for the Harmony wire protocol and experiment reports this workspace
+//! serializes.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered (like serde_json's `preserve_order`).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) => u64::try_from(*v).ok(),
+            Value::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects (by key); `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup on arrays (by index); `None` on anything else.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(idx),
+            _ => None,
+        }
+    }
+}
+
+/// Shared `Null` for out-of-range `Index` lookups (serde_json convention:
+/// indexing never panics on a missing key, it yields `Null`).
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL_VALUE)
+    }
+}
+
+/// Deserialization error: a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Create an error from any displayable reason.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the JSON-shaped data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild a value of this type from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic (serde_json's BTreeMap order).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Int(n) => *n as i128,
+                    Value::UInt(n) => *n as i128,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}", kind(other)
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", kind(v))))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, found {}", kind(v))))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", kind(v))))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", kind(v))))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::custom("expected 3-element array")),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", kind(v))))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", kind(v))))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) | Value::UInt(_) => "integer",
+        Value::Float(_) => "float",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// Helpers the derive macro's generated code calls. Not part of the public
+/// serde API shape; kept in one module so generated code uses stable paths.
+pub mod de {
+    use super::{kind, Error, Value};
+
+    /// Interpret `v` as the object form of struct `ty`.
+    pub fn object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected {ty} object, found {}", kind(v))))
+    }
+
+    /// Fetch field `name` from a struct object.
+    pub fn field<'a>(obj: &'a [(String, Value)], ty: &str, name: &str) -> Result<&'a Value, Error> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` of {ty}")))
+    }
+
+    /// Split an externally tagged enum value into `(variant, payload)`.
+    /// Unit variants arrive as a bare string with no payload.
+    pub fn variant<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, Option<&'a Value>), Error> {
+        match v {
+            Value::String(s) => Ok((s.as_str(), None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::custom(format!(
+                "expected {ty} enum (string or single-key object), found {}",
+                kind(other)
+            ))),
+        }
+    }
+
+    /// Interpret a tuple-variant payload of known arity.
+    pub fn tuple<'a>(v: &'a Value, ty: &str, arity: usize) -> Result<&'a [Value], Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected {ty} tuple payload")))?;
+        if arr.len() != arity {
+            return Err(Error::custom(format!(
+                "expected {arity} elements for {ty}, found {}",
+                arr.len()
+            )));
+        }
+        Ok(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<i64> = vec![1, 2, 3];
+        assert_eq!(Vec::<i64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), None);
+        let p = ("x".to_string(), 2.5f64);
+        assert_eq!(<(String, f64)>::from_value(&p.to_value()).unwrap(), p);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(usize::from_value(&Value::Int(-1)).is_err());
+        assert!(i64::from_value(&Value::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Array(vec![Value::Float(2.0)])),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            v.get("b")
+                .and_then(|b| b.get_index(0))
+                .and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert!(v.get("c").is_none());
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace declares — non-generic structs with named fields
+//! and enums whose variants are unit, tuple, or struct-like — without `syn`
+//! or `quote` (neither is vendorable offline). The macro walks the item's
+//! token trees directly: field *types* never need parsing because generated
+//! code lets struct/variant constructors infer them.
+//!
+//! Generated impls target the sibling `serde` stand-in's data model:
+//! structs become ordered objects, enums are externally tagged (`"Unit"`,
+//! `{"Newtype": payload}`, `{"Tuple": [..]}`, `{"Struct": {..}}`), matching
+//! real serde_json conventions so the wire format stays conventional.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    /// Tuple variant with the given arity.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let msg = msg.replace('"', "\\\"");
+            return format!("compile_error!(\"serde stand-in derive: {msg}\");")
+                .parse()
+                .expect("compile_error tokens parse");
+        }
+    };
+    let code = match which {
+        Which::Serialize => gen_serialize(&item),
+        Which::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, doc comments arrive in this form) and
+    // visibility / auxiliary keywords until `struct` or `enum`.
+    let kind_kw = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // `pub(crate)` etc: skip a following paren group.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => break s,
+                    _ => {} // e.g. `r#...` escapes — not used in this repo
+                }
+            }
+            Some(_) => {}
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    // Reject generics: none of the workspace's serialized types are generic
+    // and the stand-in keeps codegen simple by not supporting them.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` not supported"));
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("unit/tuple struct `{name}` not supported"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple struct `{name}` not supported"))
+            }
+            Some(_) => {}
+            None => return Err("expected item body".into()),
+        }
+    };
+    let kind = if kind_kw == "struct" {
+        Kind::Struct(parse_named_fields(body)?)
+    } else {
+        Kind::Enum(parse_variants(body)?)
+    };
+    Ok(Item { name, kind })
+}
+
+/// Parse `field: Type, ...` from a brace group, returning field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and `pub`.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token `{other}` in fields")),
+                None => return Ok(fields),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(name);
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed variant attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token `{other}` in enum")),
+                None => return Ok(variants),
+            }
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("discriminant on variant `{name}` not supported"))
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` after variant")),
+            None => {
+                variants.push(Variant { name, shape });
+                return Ok(variants);
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+/// Count the comma-separated types of a tuple variant (angle-depth aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut count = 0;
+    let mut saw_tokens = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binders.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::de::field(obj, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = ::serde::de::object(v, \"{name}\")?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "(\"{vn}\", None) | (\"{vn}\", Some(::serde::Value::Null)) => Ok({name}::{vn}),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "(\"{vn}\", Some(payload)) => Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&elems[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "(\"{vn}\", Some(payload)) => {{\n\
+                                     let elems = ::serde::de::tuple(payload, \"{name}::{vn}\", {n})?;\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }},",
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::de::field(obj, \"{name}::{vn}\", \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "(\"{vn}\", Some(payload)) => {{\n\
+                                     let obj = ::serde::de::object(payload, \"{name}::{vn}\")?;\n\
+                                     Ok({name}::{vn} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match ::serde::de::variant(v, \"{name}\")? {{\n\
+                     {}\n\
+                     (other, _) => Err(::serde::Error::custom(format!(\n\
+                         \"unknown {name} variant `{{other}}`\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,554 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the surface this workspace uses: [`Value`], [`to_value`],
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`from_value`], and the
+//! [`json!`] macro. Text encoding follows serde_json conventions: compact
+//! output with no trailing spaces, non-finite floats serialized as `null`,
+//! and object keys emitted in insertion order.
+
+pub use serde::{Error, Value};
+
+/// Convert any [`serde::Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] tree back into a concrete type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to a human-readable JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into a concrete type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Match serde_json: always include a decimal point or exponent
+                // so floats round-trip as floats.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::custom(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::custom("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling for completeness.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 2) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    out.push(
+                                        char::from_u32(combined)
+                                            .ok_or_else(|| Error::custom("bad surrogate pair"))?,
+                                    );
+                                } else {
+                                    return Err(Error::custom("lone surrogate in string"));
+                                }
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error::custom("bad \\u escape"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(Error::custom("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    /// Read 4 hex digits following `\u` (cursor sits on the `u`).
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error::custom("bad \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("bad \\u escape"))?;
+        self.pos = end - 1; // leave cursor on last hex digit; caller advances
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        } else {
+            // Prefer i64 (matches serde_json's Number::as_i64 happy path),
+            // fall back to u64 for values above i64::MAX.
+            if let Ok(i) = text.parse::<i64>() {
+                Ok(Value::Int(i))
+            } else {
+                text.parse::<u64>()
+                    .map(Value::UInt)
+                    .map_err(|_| Error::custom(format!("bad number `{text}`")))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-like literal.
+///
+/// Supports the subset this workspace writes: `null`, arrays, objects with
+/// string-literal keys, nested literals, and arbitrary expressions whose
+/// types implement `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::json_internal!(@object [] $($tt)*)) };
+    ($other:expr) => { ::serde::Serialize::to_value(&$other) };
+}
+
+/// Recursive muncher backing [`json!`]. Not public API.
+///
+/// Structured values (`null`, `[..]`, `{..}`) are matched before the
+/// catch-all `:expr` rules: once an `expr` fragment starts parsing there is
+/// no backtracking, so ordering is what keeps nested literals working.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // -- array elements ----------------------------------------------------
+    (@array [$($done:expr,)*]) => { vec![$($done,)*] };
+    (@array [$($done:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($done,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@array [$($done:expr,)*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!([ $($inner)* ]),] $($($rest)*)?)
+    };
+    (@array [$($done:expr,)*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!({ $($inner)* }),] $($($rest)*)?)
+    };
+    (@array [$($done:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($done,)* ::serde::Serialize::to_value(&$next),] $($rest)*)
+    };
+    (@array [$($done:expr,)*] $last:expr) => {
+        vec![$($done,)* ::serde::Serialize::to_value(&$last)]
+    };
+    // -- object entries ----------------------------------------------------
+    (@object [$($done:expr,)*]) => { vec![$($done,)*] };
+    (@object [$($done:expr,)*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($done,)* ($key.to_string(), $crate::Value::Null),] $($($rest)*)?)
+    };
+    (@object [$($done:expr,)*] $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])),] $($($rest)*)?)
+    };
+    (@object [$($done:expr,)*] $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($done,)* ($key.to_string(), $crate::json!({ $($inner)* })),] $($($rest)*)?)
+    };
+    (@object [$($done:expr,)*] $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($done,)* ($key.to_string(), ::serde::Serialize::to_value(&$val)),] $($rest)*)
+    };
+    (@object [$($done:expr,)*] $key:literal : $val:expr) => {
+        vec![$($done,)* ($key.to_string(), ::serde::Serialize::to_value(&$val))]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        for text in ["null", "true", "false", "42", "-7", "3.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            let mut out = String::new();
+            write_value(&v, &mut out, None, 0);
+            assert_eq!(out, text, "roundtrip of {text}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let text = r#"{"a":[1,2,3],"b":{"c":true,"d":null},"e":"x\"y"}"#;
+        let v = parse(text).unwrap();
+        let mut out = String::new();
+        write_value(&v, &mut out, None, 0);
+        assert_eq!(out, text);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        let v: f64 = from_str(&s).unwrap();
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({
+            "name": "fig6",
+            "count": 3,
+            "flags": [true, false],
+            "nested": { "pi": 3.25 },
+        });
+        assert_eq!(v.get("name").unwrap().as_str().unwrap(), "fig6");
+        assert_eq!(v.get("count").unwrap().as_i64().unwrap(), 3);
+        assert_eq!(v.get("flags").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.get("nested")
+                .unwrap()
+                .get("pi")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            3.25
+        );
+    }
+
+    #[test]
+    fn json_macro_accepts_arbitrary_expressions() {
+        let rows = [1u64, 2, 3];
+        let v = json!({
+            "count": rows.len(),
+            "label": format!("n={}", rows.len()),
+            "empty": {},
+            "nothing": null,
+            "seq": [rows.len(), 9],
+        });
+        assert_eq!(v.get("count").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(v.get("label").unwrap().as_str().unwrap(), "n=3");
+        assert!(v.get("empty").unwrap().as_object().unwrap().is_empty());
+        assert!(v.get("nothing").unwrap().is_null());
+        assert_eq!(v.get("seq").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "a": 1 });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ slash \u{1}";
+        let encoded = to_string(&original.to_string()).unwrap();
+        let decoded: String = from_str(&encoded).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: String = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v, "A\u{1F600}");
+    }
+}
