@@ -1,0 +1,228 @@
+//! Deterministic fault injection.
+//!
+//! Long tuning runs on the paper's machines see real failures: nodes die
+//! mid-evaluation, a processor stalls behind a slow neighbour, a result
+//! never makes it back to the tuning server. [`FaultPlan`] decides, purely
+//! as a function of its seed and the evaluation index, what goes wrong at
+//! each evaluation — so a fault schedule is reproducible across runs,
+//! shareable as a single seed, and independent of execution order (worker
+//! `k` asking "what happens to evaluation 17?" always gets the same
+//! answer, no matter which worker asks or when).
+
+/// What goes wrong (if anything) at one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Nothing — the evaluation runs and reports normally.
+    None,
+    /// The worker dies mid-evaluation: the trial is never reported and the
+    /// worker leaves (or times out of) the session.
+    Crash,
+    /// The worker survives but runs slow: the measurement takes `factor`
+    /// times longer to come back, arriving late and possibly after the
+    /// trial was requeued to someone else.
+    Straggler {
+        /// Slowdown multiplier (> 1).
+        factor: f64,
+    },
+    /// The evaluation completes but its report is lost in transit: the
+    /// worker stays alive, the trial eventually times out and is requeued.
+    LostReport,
+}
+
+impl FaultKind {
+    /// True for any fault, false for [`FaultKind::None`].
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, FaultKind::None)
+    }
+}
+
+/// A reproducible schedule of faults over evaluation indices.
+///
+/// Probabilities are independent per evaluation and checked in order
+/// crash → lost report → straggler; at most one fault fires per index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the whole schedule derives from.
+    pub seed: u64,
+    /// Probability an evaluation's worker crashes.
+    pub crash_prob: f64,
+    /// Probability an evaluation's report is lost.
+    pub lost_prob: f64,
+    /// Probability an evaluation straggles.
+    pub straggler_prob: f64,
+    /// Slowdown multiplier applied to straggling evaluations.
+    pub straggler_factor: f64,
+}
+
+/// SplitMix64: one multiply-xor-shift round per draw, so `at(index)` is
+/// O(1) and stateless — no sequential RNG stream to keep in sync across
+/// workers.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// A fault-free plan (every index gets [`FaultKind::None`]).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            crash_prob: 0.0,
+            lost_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 4.0,
+        }
+    }
+
+    /// A plan with the given seed and per-fault probabilities.
+    ///
+    /// # Panics
+    /// If any probability is outside `[0, 1]`, their sum exceeds 1, or
+    /// `straggler_factor <= 1`.
+    pub fn new(seed: u64, crash_prob: f64, lost_prob: f64, straggler_prob: f64) -> Self {
+        let plan = FaultPlan {
+            seed,
+            crash_prob,
+            lost_prob,
+            straggler_prob,
+            straggler_factor: 4.0,
+        };
+        plan.validate();
+        plan
+    }
+
+    /// Same plan with a different straggler slowdown.
+    pub fn with_straggler_factor(mut self, factor: f64) -> Self {
+        self.straggler_factor = factor;
+        self.validate();
+        self
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("crash_prob", self.crash_prob),
+            ("lost_prob", self.lost_prob),
+            ("straggler_prob", self.straggler_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]: {p}");
+        }
+        assert!(
+            self.crash_prob + self.lost_prob + self.straggler_prob <= 1.0 + 1e-12,
+            "fault probabilities must sum to at most 1"
+        );
+        assert!(
+            self.straggler_factor > 1.0,
+            "straggler_factor must exceed 1: {}",
+            self.straggler_factor
+        );
+    }
+
+    /// True if any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.crash_prob > 0.0 || self.lost_prob > 0.0 || self.straggler_prob > 0.0
+    }
+
+    /// The fault (or [`FaultKind::None`]) scheduled for evaluation `index`.
+    /// Pure function of `(seed, index)`.
+    pub fn at(&self, index: u64) -> FaultKind {
+        if !self.is_active() {
+            return FaultKind::None;
+        }
+        let u = unit(splitmix64(
+            self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F),
+        ));
+        if u < self.crash_prob {
+            FaultKind::Crash
+        } else if u < self.crash_prob + self.lost_prob {
+            FaultKind::LostReport
+        } else if u < self.crash_prob + self.lost_prob + self.straggler_prob {
+            FaultKind::Straggler {
+                factor: self.straggler_factor,
+            }
+        } else {
+            FaultKind::None
+        }
+    }
+
+    /// Count of faults by kind over the first `n` indices:
+    /// `(crashes, lost reports, stragglers)`. Useful for experiment
+    /// reporting ("the schedule injected 3 crashes over 200 evaluations").
+    pub fn tally(&self, n: u64) -> (usize, usize, usize) {
+        let mut out = (0, 0, 0);
+        for i in 0..n {
+            match self.at(i) {
+                FaultKind::Crash => out.0 += 1,
+                FaultKind::LostReport => out.1 += 1,
+                FaultKind::Straggler { .. } => out.2 += 1,
+                FaultKind::None => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_faultless() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for i in 0..1000 {
+            assert_eq!(plan.at(i), FaultKind::None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_any_query_order() {
+        let a = FaultPlan::new(42, 0.05, 0.05, 0.10);
+        let b = FaultPlan::new(42, 0.05, 0.05, 0.10);
+        let forward: Vec<FaultKind> = (0..500).map(|i| a.at(i)).collect();
+        let backward: Vec<FaultKind> = (0..500).rev().map(|i| b.at(i)).collect();
+        let backward: Vec<FaultKind> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1, 0.2, 0.2, 0.2);
+        let b = FaultPlan::new(2, 0.2, 0.2, 0.2);
+        let same = (0..200).filter(|&i| a.at(i) == b.at(i)).count();
+        assert!(same < 200, "schedules should not be identical");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::new(7, 0.10, 0.05, 0.20);
+        let n = 20_000;
+        let (crashes, lost, stragglers) = plan.tally(n);
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(crashes) - 0.10).abs() < 0.01, "{crashes}");
+        assert!((frac(lost) - 0.05).abs() < 0.01, "{lost}");
+        assert!((frac(stragglers) - 0.20).abs() < 0.01, "{stragglers}");
+    }
+
+    #[test]
+    fn straggler_carries_the_configured_factor() {
+        let plan = FaultPlan::new(3, 0.0, 0.0, 1.0).with_straggler_factor(8.0);
+        match plan.at(5) {
+            FaultKind::Straggler { factor } => assert_eq!(factor, 8.0),
+            other => panic!("expected straggler, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overcommitted_probabilities_are_rejected() {
+        FaultPlan::new(0, 0.5, 0.4, 0.3);
+    }
+}

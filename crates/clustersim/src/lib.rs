@@ -23,12 +23,14 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod machines;
 pub mod network;
 pub mod noise;
 pub mod sim;
 pub mod topology;
 
+pub use faults::{FaultKind, FaultPlan};
 pub use machines::{hetero_p4_p2, hockney, myrinet_linux, sp3_seaborg};
 pub use network::NetworkModel;
 pub use noise::NoiseModel;

@@ -1,6 +1,22 @@
 //! Error types for the Active Harmony tuning system.
+//!
+//! Errors carry a coarse [`ErrorClass`]: *retryable* errors are transient
+//! transport conditions (lost connection, timeout, server at capacity) that
+//! a client may safely retry with backoff, while *fatal* errors are protocol
+//! or state violations that retrying can never fix. The TCP client's
+//! retry/backoff loop keys off [`HarmonyError::is_retryable`].
 
 use std::fmt;
+
+/// Whether an error is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient: retrying with backoff may succeed (lost connection,
+    /// timeout, server at capacity).
+    Retryable,
+    /// Permanent: a protocol or state violation; retrying cannot help.
+    Fatal,
+}
 
 /// Errors produced by search-space construction, sessions, and the tuning
 /// server.
@@ -30,11 +46,37 @@ pub enum HarmonyError {
     UnknownClient(u64),
     /// The server or a client channel was closed unexpectedly.
     Disconnected,
+    /// An I/O deadline elapsed (connect, read, or write).
+    Timeout(String),
+    /// The server refused service because it is at capacity; retry later.
+    ServerBusy(String),
+    /// A filesystem or socket operation failed (WAL append, frame write).
+    Io(String),
+    /// A write-ahead log could not be replayed (truncated mid-record is
+    /// tolerated; anything else is corruption).
+    WalCorrupt(String),
     /// A protocol message arrived in a state where it is not legal
     /// (e.g. `Fetch` before the space was sealed).
     Protocol(String),
     /// A session was asked to continue after it already finished.
     SessionFinished,
+}
+
+impl HarmonyError {
+    /// Coarse classification used by retry loops.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            HarmonyError::Disconnected | HarmonyError::Timeout(_) | HarmonyError::ServerBusy(_) => {
+                ErrorClass::Retryable
+            }
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// True if a client may retry the failed operation with backoff.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Retryable
+    }
 }
 
 impl fmt::Display for HarmonyError {
@@ -53,6 +95,10 @@ impl fmt::Display for HarmonyError {
             HarmonyError::EmptySpace => write!(f, "search space has no parameters"),
             HarmonyError::UnknownClient(id) => write!(f, "unknown client id {id}"),
             HarmonyError::Disconnected => write!(f, "harmony server/client channel disconnected"),
+            HarmonyError::Timeout(what) => write!(f, "timed out: {what}"),
+            HarmonyError::ServerBusy(msg) => write!(f, "server busy: {msg}"),
+            HarmonyError::Io(msg) => write!(f, "i/o error: {msg}"),
+            HarmonyError::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
             HarmonyError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             HarmonyError::SessionFinished => write!(f, "tuning session already finished"),
         }
@@ -86,5 +132,18 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&HarmonyError::Disconnected);
+    }
+
+    #[test]
+    fn retryable_fatal_split() {
+        assert!(HarmonyError::Disconnected.is_retryable());
+        assert!(HarmonyError::Timeout("read".into()).is_retryable());
+        assert!(HarmonyError::ServerBusy("capacity".into()).is_retryable());
+        assert!(!HarmonyError::Protocol("bad".into()).is_retryable());
+        assert!(!HarmonyError::SessionFinished.is_retryable());
+        assert!(!HarmonyError::Io("disk".into()).is_retryable());
+        assert!(!HarmonyError::WalCorrupt("truncated header".into()).is_retryable());
+        assert_eq!(HarmonyError::Disconnected.class(), ErrorClass::Retryable);
+        assert_eq!(HarmonyError::EmptySpace.class(), ErrorClass::Fatal);
     }
 }

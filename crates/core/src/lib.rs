@@ -56,11 +56,13 @@ pub mod online;
 pub mod param;
 pub mod priors;
 pub mod report;
+pub mod retry;
 pub mod server;
 pub mod session;
 pub mod space;
 pub mod strategy;
 pub mod value;
+pub mod wal;
 
 /// Convenience re-exports of the types needed for typical tuning workflows.
 pub mod prelude {
@@ -73,8 +75,9 @@ pub mod prelude {
     pub use crate::param::Param;
     pub use crate::priors::PriorRunDb;
     pub use crate::report::TuningReport;
+    pub use crate::retry::RetryPolicy;
     pub use crate::server::protocol::StrategyKind;
-    pub use crate::server::{HarmonyClient, HarmonyServer};
+    pub use crate::server::{HarmonyClient, HarmonyServer, ServerConfig};
     pub use crate::session::{SessionOptions, TuningResult, TuningSession};
     pub use crate::space::{Configuration, SearchSpace};
     pub use crate::strategy::{
@@ -82,4 +85,5 @@ pub mod prelude {
         NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy, StartPoint,
     };
     pub use crate::value::ParamValue;
+    pub use crate::wal::{WalHeader, WalSession};
 }

@@ -2,11 +2,17 @@
 //!
 //! This is the Rust analogue of the ~10 lines of instrumentation the paper
 //! adds to an application: connect, declare tunable variables, then
-//! fetch/report inside the run loop.
+//! fetch/report inside the run loop. A client either *founds* a session
+//! ([`HarmonyServer::connect`](super::HarmonyServer::connect)) or *attaches*
+//! to one as an additional worker
+//! ([`HarmonyServer::attach`](super::HarmonyServer::attach)) — attached
+//! members share the founder's outstanding-trial queue, which is how a
+//! crashed worker's trials get re-measured by its replacement.
 
 use super::protocol::{Envelope, FetchedTrial, Reply, Request, StrategyKind, TrialReport};
 use super::ServerBus;
 use crate::error::{HarmonyError, Result};
+use crate::history::History;
 use crate::param::Param;
 use crate::session::SessionOptions;
 use crate::space::Configuration;
@@ -30,6 +36,7 @@ pub struct Fetched {
 #[derive(Clone)]
 pub struct HarmonyClient {
     id: u64,
+    session: u64,
     app: String,
     bus: ServerBus,
 }
@@ -38,8 +45,19 @@ impl std::fmt::Debug for HarmonyClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HarmonyClient")
             .field("id", &self.id)
+            .field("session", &self.session)
             .field("app", &self.app)
             .finish_non_exhaustive()
+    }
+}
+
+/// Map a protocol error reply to the typed error split: retryable refusals
+/// become [`HarmonyError::ServerBusy`], the rest are protocol violations.
+pub(crate) fn reply_error(message: String, retryable: bool) -> HarmonyError {
+    if retryable {
+        HarmonyError::ServerBusy(message)
+    } else {
+        HarmonyError::Protocol(message)
     }
 }
 
@@ -47,12 +65,27 @@ impl HarmonyClient {
     pub(crate) fn register(bus: ServerBus, app: String) -> Result<Self> {
         let reply = Self::call_raw(&bus, 0, Request::Register { app: app.clone() })?;
         match reply {
-            Reply::Registered { client_id } => Ok(HarmonyClient {
+            Reply::Registered { client_id, session } => Ok(HarmonyClient {
                 id: client_id,
+                session,
                 app,
                 bus,
             }),
-            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
+            _ => Err(HarmonyError::Protocol("unexpected reply".into())),
+        }
+    }
+
+    pub(crate) fn attach(bus: ServerBus, session: u64) -> Result<Self> {
+        let reply = Self::call_raw(&bus, 0, Request::Attach { session })?;
+        match reply {
+            Reply::Registered { client_id, session } => Ok(HarmonyClient {
+                id: client_id,
+                session,
+                app: String::new(),
+                bus,
+            }),
+            Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
             _ => Err(HarmonyError::Protocol("unexpected reply".into())),
         }
     }
@@ -70,7 +103,7 @@ impl HarmonyClient {
 
     fn call(&self, req: Request) -> Result<Reply> {
         match Self::call_raw(&self.bus, self.id, req)? {
-            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+            Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
             ok => Ok(ok),
         }
     }
@@ -80,7 +113,15 @@ impl HarmonyClient {
         self.id
     }
 
-    /// The application label given at connect time.
+    /// The session this client belongs to (equals [`id`](Self::id) for a
+    /// founder). Pass it to [`HarmonyServer::attach`](super::HarmonyServer::attach)
+    /// to add workers or rejoin after a crash.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// The application label given at connect time (empty for an attached
+    /// member — the label belongs to the founder).
     pub fn app(&self) -> &str {
         &self.app
     }
@@ -136,7 +177,8 @@ impl HarmonyClient {
 
     /// Get up to `max` configurations to measure in one round-trip (a whole
     /// PRO round, for example). Returns `(trials, finished)`; still-
-    /// unreported trials from earlier fetches are served again first.
+    /// unreported trials from earlier fetches are served again first, then
+    /// requeued trials of departed members, then fresh proposals.
     pub fn fetch_batch(&self, max: usize) -> Result<(Vec<FetchedTrial>, bool)> {
         match self.call(Request::FetchBatch { max })? {
             Reply::Configs { trials, finished } => Ok((trials, finished)),
@@ -147,7 +189,9 @@ impl HarmonyClient {
     }
 
     /// Report measured costs for any subset of outstanding trials in one
-    /// round-trip. Each entry echoes the trial's iteration token.
+    /// round-trip. Each entry echoes the trial's iteration token; a stale
+    /// duplicate (the trial was requeued and already re-measured) is
+    /// tolerated, so retrying a possibly-delivered report is safe.
     pub fn report_batch(&self, reports: Vec<TrialReport>) -> Result<()> {
         self.call(Request::ReportBatch { reports }).map(|_| ())
     }
@@ -160,6 +204,29 @@ impl HarmonyClient {
                 "unexpected reply to QueryBest".into(),
             )),
         }
+    }
+
+    /// The full evaluation history of the session, and whether it finished.
+    pub fn history(&self) -> Result<(History, bool)> {
+        match self.call(Request::QueryHistory)? {
+            Reply::History { history, finished } => Ok((history, finished)),
+            _ => Err(HarmonyError::Protocol(
+                "unexpected reply to QueryHistory".into(),
+            )),
+        }
+    }
+
+    /// Refresh this client's liveness without any other effect — send it
+    /// from long measurements when the server runs with a
+    /// [`client_ttl`](super::ServerConfig::client_ttl).
+    pub fn heartbeat(&self) -> Result<()> {
+        self.call(Request::Heartbeat).map(|_| ())
+    }
+
+    /// Depart from the session, requeueing this client's outstanding trials
+    /// for the remaining members. The handle is unusable afterwards.
+    pub fn leave(&self) -> Result<()> {
+        self.call(Request::Leave).map(|_| ())
     }
 }
 
@@ -174,6 +241,7 @@ mod tests {
         let c = server.connect("petsc").unwrap();
         assert_eq!(c.app(), "petsc");
         assert!(c.id() > 0);
+        assert_eq!(c.session_id(), c.id(), "founder's session id is its own");
         server.shutdown();
     }
 
@@ -197,6 +265,15 @@ mod tests {
         c.seal(SessionOptions::default(), StrategyKind::NelderMead)
             .unwrap();
         assert_eq!(c.best().unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn leave_then_use_is_an_error() {
+        let server = HarmonyServer::start();
+        let c = server.connect("app").unwrap();
+        c.leave().unwrap();
+        assert!(matches!(c.best(), Err(HarmonyError::Protocol(_))));
         server.shutdown();
     }
 }

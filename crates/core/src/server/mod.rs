@@ -12,7 +12,22 @@
 //! libraries and applications". Client sessions are partitioned across a
 //! pool of shard worker threads keyed by client id, so independent clients
 //! never serialize behind one dispatcher: each shard owns its slice of the
-//! client table and drains its own request channel.
+//! session table and drains its own request channel.
+//!
+//! # Sessions, members, and fault tolerance
+//!
+//! A `Register` founds a *session* (one search space, one strategy) whose id
+//! equals the founding client's id. Further connections may [`Request::Attach`]
+//! to that session as additional *members*: they share the outstanding-trial
+//! queue, so a PRO round can be measured by a worker pool, and a worker that
+//! crashed can rejoin under a fresh client id. Every outstanding trial
+//! records its owner and issue time; a trial is *requeued* (made claimable
+//! by any member) when its owner leaves, is evicted for missing its
+//! [`ServerConfig::client_ttl`], or holds the trial past
+//! [`ServerConfig::trial_deadline`]. Because [`TuningSession`] applies
+//! reports strictly in proposal order and costs are functions of the
+//! configuration alone, requeue + re-measure cannot perturb the search
+//! trajectory: the history stays bit-identical to a fault-free serial run.
 
 pub mod client;
 pub mod protocol;
@@ -24,41 +39,89 @@ pub use tcp::{TcpHarmonyClient, TcpHarmonyServer};
 use crate::error::{HarmonyError, Result};
 use crate::session::{Trial, TuningSession};
 use crate::space::SearchSpaceBuilder;
-use crate::strategy::{GridSearch, NelderMead, ParallelRankOrder, RandomSearch};
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
-use protocol::{Envelope, FetchedTrial, Reply, Request, StrategyKind};
+use protocol::{Envelope, FetchedTrial, Reply, Request};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// Per-client state inside the server.
-enum ClientState {
+/// Liveness and deadline policy of a running server.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Shard worker threads; `0` means one per available core (capped at 8 —
+    /// per-message work is small, so shards beyond the core count only add
+    /// memory and wake-up churn).
+    pub shards: usize,
+    /// Requeue an outstanding trial whose owner has held it longer than
+    /// this. `None` (default) disables the deadline: trials are requeued
+    /// only when their owner leaves or is evicted.
+    pub trial_deadline: Option<Duration>,
+    /// Evict a session member not heard from for longer than this,
+    /// requeueing its outstanding trials. Any request counts as liveness;
+    /// idle clients holding long measurements should send
+    /// [`Request::Heartbeat`]. `None` (default) disables eviction.
+    pub client_ttl: Option<Duration>,
+}
+
+/// One member of a session.
+struct Member {
+    last_seen: Instant,
+}
+
+/// A trial handed to some member and not yet reported.
+struct OutstandingTrial {
+    trial: Trial,
+    /// Client currently measuring it; `0` = unowned (requeued), claimable
+    /// by any member's fetch.
+    owner: u64,
+    /// When the current owner received it (deadline eviction clock).
+    issued: Instant,
+}
+
+/// Declaration-vs-tuning phase of a session.
+enum SessionPhase {
     /// Still declaring parameters.
-    Building {
-        app: String,
-        builder: Option<SearchSpaceBuilder>,
-    },
+    Building { builder: Option<SearchSpaceBuilder> },
     /// Space sealed; tuning in progress.
     Tuning {
-        /// Application label, kept for diagnostics.
-        #[allow(dead_code)]
-        app: String,
         session: Box<TuningSession>,
-        /// Fetched-but-unreported trials, oldest first. A plain `Fetch`
-        /// re-serves and a plain `Report` resolves the oldest; batch
-        /// messages address entries by iteration token.
-        outstanding: VecDeque<Trial>,
+        /// Fetched-but-unreported trials, oldest first.
+        outstanding: VecDeque<OutstandingTrial>,
+        /// Highest iteration token ever issued; a report for an unknown
+        /// token at or below it is a stale duplicate (the trial was
+        /// requeued, re-measured, and already applied) and is ignored.
+        issued_high: usize,
     },
 }
 
-/// One shard of the client table: the worker thread that owns it drains
+/// One tuning session shared by its founder and any attached members.
+struct SessionState {
+    /// Application label, kept for diagnostics.
+    #[allow(dead_code)]
+    app: String,
+    phase: SessionPhase,
+    /// Live members by client id.
+    members: HashMap<u64, Member>,
+}
+
+/// The slice of server state one shard worker owns.
+#[derive(Default)]
+struct ShardTable {
+    /// Sessions keyed by founder client id.
+    sessions: HashMap<u64, SessionState>,
+    /// Client id → session id, for every live member on this shard.
+    clients: HashMap<u64, u64>,
+}
+
+/// One shard of the session table: the worker thread that owns it drains
 /// `tx`'s receiving end; the mutex makes the table observable from the
 /// outside (diagnostics) without funnelling through the worker.
 struct Shard {
     tx: Sender<Envelope>,
-    clients: Arc<Mutex<HashMap<u64, ClientState>>>,
+    table: Arc<Mutex<ShardTable>>,
 }
 
 /// Cheap, cloneable route to the shard workers (used by every client
@@ -66,7 +129,7 @@ struct Shard {
 #[derive(Clone)]
 pub(crate) struct ServerBus {
     shards: Arc<Vec<Shard>>,
-    next_id: Arc<AtomicU64>,
+    next_seq: Arc<AtomicU64>,
 }
 
 impl ServerBus {
@@ -74,21 +137,43 @@ impl ServerBus {
         (client % self.shards.len() as u64) as usize
     }
 
-    /// Deliver an envelope to the shard owning its client. `Register`
-    /// allocates the client id here so the id and the routing decision
-    /// always agree; the addressed shard then creates the state under
-    /// that id.
+    /// Allocate a client id that routes to `shard`: with `n` shards, id
+    /// `n*(seq+1) + shard` is unique per `seq` and satisfies
+    /// `id % n == shard`, so an `Attach` can be given an id living on the
+    /// same shard as the session it joins.
+    fn allocate(&self, shard: u64) -> u64 {
+        let n = self.shards.len() as u64;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        n * (seq + 1) + shard
+    }
+
+    /// Deliver an envelope to the shard owning its client. `Register` and
+    /// `Attach` allocate the client id here so the id and the routing
+    /// decision always agree; the addressed shard then creates the state
+    /// under that id. Registers spread round-robin; attaches must land on
+    /// the shard owning their session.
     pub(crate) fn send(&self, mut env: Envelope) -> std::result::Result<(), SendError<Envelope>> {
-        if matches!(env.req, Request::Register { .. }) {
-            env.client = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let n = self.shards.len() as u64;
+        match env.req {
+            Request::Register { .. } => {
+                let seq = self.next_seq.load(Ordering::Relaxed);
+                env.client = self.allocate(seq % n);
+            }
+            Request::Attach { session } => {
+                env.client = self.allocate(session % n);
+            }
+            _ => {}
         }
         let shard = self.shard_of(env.client);
         self.shards[shard].tx.send(env)
     }
 
-    /// Total registered clients across all shards.
+    /// Total live members across all shards.
     pub(crate) fn client_count(&self) -> usize {
-        self.shards.iter().map(|s| s.clients.lock().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.table.lock().clients.len())
+            .sum()
     }
 }
 
@@ -99,51 +184,64 @@ pub struct HarmonyServer {
 }
 
 impl HarmonyServer {
-    /// Start the server with one shard worker per available core (capped —
-    /// per-message work is small, so shards beyond the core count only add
-    /// memory and wake-up churn).
+    /// Start the server with the default [`ServerConfig`]: one shard worker
+    /// per available core, no deadlines, no eviction.
     pub fn start() -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::start_with(cores.clamp(1, 8))
+        Self::start_with_config(ServerConfig::default())
     }
 
     /// Start the server with an explicit number of shard workers.
     /// Clients are partitioned by `client_id % shards`.
     pub fn start_with(shards: usize) -> Self {
-        let n = shards.max(1);
+        Self::start_with_config(ServerConfig {
+            shards,
+            ..Default::default()
+        })
+    }
+
+    /// Start the server with full control over sharding, per-trial
+    /// deadlines, and member liveness eviction.
+    pub fn start_with_config(config: ServerConfig) -> Self {
+        let n = if config.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        } else {
+            config.shards
+        };
         let mut pool = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for i in 0..n {
             let (tx, rx) = unbounded::<Envelope>();
-            let clients = Arc::new(Mutex::new(HashMap::new()));
-            let worker_table = Arc::clone(&clients);
+            let table = Arc::new(Mutex::new(ShardTable::default()));
+            let worker_table = Arc::clone(&table);
+            let cfg = config.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("harmony-shard-{i}"))
-                .spawn(move || Self::worker_loop(rx, worker_table))
+                .spawn(move || Self::worker_loop(rx, worker_table, cfg))
                 .expect("spawn harmony shard worker");
-            pool.push(Shard { tx, clients });
+            pool.push(Shard { tx, table });
             handles.push(handle);
         }
         HarmonyServer {
             bus: ServerBus {
                 shards: Arc::new(pool),
-                next_id: Arc::new(AtomicU64::new(1)),
+                next_seq: Arc::new(AtomicU64::new(0)),
             },
             handles,
         }
     }
 
-    fn worker_loop(rx: Receiver<Envelope>, clients: Arc<Mutex<HashMap<u64, ClientState>>>) {
+    fn worker_loop(rx: Receiver<Envelope>, table: Arc<Mutex<ShardTable>>, cfg: ServerConfig) {
         for Envelope { client, req, reply } in rx.iter() {
             if matches!(req, Request::Shutdown) {
                 let _ = reply.send(Reply::Ok);
                 break;
             }
             let out = {
-                let mut table = clients.lock();
-                Self::handle(&mut table, client, req)
+                let mut table = table.lock();
+                Self::handle(&mut table, &cfg, client, req)
             };
             let _ = reply.send(out);
         }
@@ -154,7 +252,7 @@ impl HarmonyServer {
         self.bus.shards.len()
     }
 
-    /// Number of registered clients across all shards.
+    /// Number of live members across all shards.
     pub fn client_count(&self) -> usize {
         self.bus.client_count()
     }
@@ -164,9 +262,16 @@ impl HarmonyServer {
         self.bus.clone()
     }
 
-    /// Connect a new client application.
+    /// Connect a new client application (founds a fresh session).
     pub fn connect(&self, app: impl Into<String>) -> Result<HarmonyClient> {
         HarmonyClient::register(self.bus(), app.into())
+    }
+
+    /// Join an existing session as an additional member (worker pools,
+    /// crash rejoin). The session id comes from the founder's
+    /// [`HarmonyClient::session_id`].
+    pub fn attach(&self, session: u64) -> Result<HarmonyClient> {
+        HarmonyClient::attach(self.bus(), session)
     }
 
     /// Stop every shard worker. Subsequent client calls fail with
@@ -201,15 +306,6 @@ impl HarmonyServer {
         }
     }
 
-    fn build_strategy(kind: &StrategyKind) -> Box<dyn crate::strategy::SearchStrategy> {
-        match kind {
-            StrategyKind::NelderMead => Box::new(NelderMead::default()),
-            StrategyKind::Random => Box::new(RandomSearch::new()),
-            StrategyKind::Grid { target } => Box::new(GridSearch::new(*target)),
-            StrategyKind::Pro => Box::new(ParallelRankOrder::default()),
-        }
-    }
-
     /// Reply for a fetch against a finished session: the best found.
     fn finished_reply(session: &TuningSession) -> Reply {
         match session.best() {
@@ -218,81 +314,149 @@ impl HarmonyServer {
                 iteration: session.history().len(),
                 finished: true,
             },
-            None => Reply::Error {
-                message: "session finished with no evaluations".into(),
-            },
+            None => Reply::err("session finished with no evaluations"),
         }
     }
 
-    fn handle(clients: &mut HashMap<u64, ClientState>, client: u64, req: Request) -> Reply {
+    /// Requeue deadline-expired trials and evict silent members. Runs on
+    /// every message addressed to a tuning session, with the sender's
+    /// `last_seen` already refreshed (a client can never evict itself by
+    /// talking to the server).
+    fn sweep(
+        clients: &mut HashMap<u64, u64>,
+        state: &mut SessionState,
+        cfg: &ServerConfig,
+        now: Instant,
+    ) {
+        let SessionPhase::Tuning { outstanding, .. } = &mut state.phase else {
+            return;
+        };
+        if let Some(ttl) = cfg.client_ttl {
+            let dead: Vec<u64> = state
+                .members
+                .iter()
+                .filter(|(_, m)| now.duration_since(m.last_seen) > ttl)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in dead {
+                state.members.remove(&id);
+                clients.remove(&id);
+            }
+        }
+        for t in outstanding.iter_mut() {
+            if t.owner == 0 {
+                continue;
+            }
+            let expired = cfg
+                .trial_deadline
+                .is_some_and(|d| now.duration_since(t.issued) > d);
+            if expired || !state.members.contains_key(&t.owner) {
+                t.owner = 0;
+            }
+        }
+    }
+
+    fn handle(table: &mut ShardTable, cfg: &ServerConfig, client: u64, req: Request) -> Reply {
+        let now = Instant::now();
+        let ShardTable { sessions, clients } = table;
         match req {
             Request::Register { app } => {
                 // The id was allocated by the bus; it routed here, so this
-                // shard owns it.
-                clients.insert(
+                // shard owns it. The new session's id is the founder's id.
+                sessions.insert(
                     client,
-                    ClientState::Building {
+                    SessionState {
                         app,
-                        builder: Some(SearchSpaceBuilder::default()),
+                        phase: SessionPhase::Building {
+                            builder: Some(SearchSpaceBuilder::default()),
+                        },
+                        members: HashMap::from([(client, Member { last_seen: now })]),
                     },
                 );
-                Reply::Registered { client_id: client }
+                clients.insert(client, client);
+                Reply::Registered {
+                    client_id: client,
+                    session: client,
+                }
+            }
+            Request::Attach { session } => {
+                let Some(state) = sessions.get_mut(&session) else {
+                    return Reply::err(format!("unknown session {session}"));
+                };
+                state.members.insert(client, Member { last_seen: now });
+                clients.insert(client, session);
+                Reply::Registered {
+                    client_id: client,
+                    session,
+                }
             }
             Request::Shutdown => Reply::Ok, // handled by the loop
             other => {
-                let Some(state) = clients.get_mut(&client) else {
-                    return Reply::Error {
-                        message: HarmonyError::UnknownClient(client).to_string(),
-                    };
+                let Some(&session_id) = clients.get(&client) else {
+                    return Reply::err(HarmonyError::UnknownClient(client).to_string());
                 };
-                Self::handle_for_client(state, other)
+                let state = sessions
+                    .get_mut(&session_id)
+                    .expect("member maps to a live session");
+                if let Some(m) = state.members.get_mut(&client) {
+                    m.last_seen = now;
+                }
+                if matches!(other, Request::Leave) {
+                    clients.remove(&client);
+                    state.members.remove(&client);
+                    // sweep() requeues the leaver's outstanding trials.
+                    Self::sweep(clients, state, cfg, now);
+                    return Reply::Ok;
+                }
+                Self::sweep(clients, state, cfg, now);
+                Self::handle_for_session(state, client, other, now)
             }
         }
     }
 
-    fn handle_for_client(state: &mut ClientState, req: Request) -> Reply {
-        match (state, req) {
-            (ClientState::Building { builder, .. }, Request::AddParam { param }) => {
+    fn handle_for_session(
+        state: &mut SessionState,
+        client: u64,
+        req: Request,
+        now: Instant,
+    ) -> Reply {
+        if matches!(req, Request::Heartbeat) {
+            return Reply::Ok; // last_seen already refreshed by the caller
+        }
+        match (&mut state.phase, req) {
+            (SessionPhase::Building { builder }, Request::AddParam { param }) => {
                 if let Err(e) = param.validate() {
-                    return Reply::Error {
-                        message: e.to_string(),
-                    };
+                    return Reply::err(e.to_string());
                 }
                 let b = builder.take().expect("builder present while building");
                 *builder = Some(b.param(param));
                 Reply::Ok
             }
-            (ClientState::Building { builder, .. }, Request::AddMonotoneChain { names }) => {
+            (SessionPhase::Building { builder }, Request::AddMonotoneChain { names }) => {
                 let b = builder.take().expect("builder present while building");
                 *builder = Some(b.constraint(crate::constraint::MonotoneChain::new(names)));
                 Reply::Ok
             }
-            (state_ref @ ClientState::Building { .. }, Request::Seal { options, strategy }) => {
-                let ClientState::Building { app, builder } = state_ref else {
-                    unreachable!("matched Building above");
-                };
+            (SessionPhase::Building { builder }, Request::Seal { options, strategy }) => {
                 let b = builder.take().expect("builder present while building");
                 match b.build() {
                     Ok(space) => {
-                        let session =
-                            TuningSession::new(space, Self::build_strategy(&strategy), options);
-                        *state_ref = ClientState::Tuning {
-                            app: std::mem::take(app),
+                        let session = TuningSession::new(space, strategy.build(), options);
+                        state.phase = SessionPhase::Tuning {
                             session: Box::new(session),
                             outstanding: VecDeque::new(),
+                            issued_high: 0,
                         };
                         Reply::Ok
                     }
-                    Err(e) => Reply::Error {
-                        message: e.to_string(),
-                    },
+                    Err(e) => Reply::err(e.to_string()),
                 }
             }
             (
-                ClientState::Tuning {
+                SessionPhase::Tuning {
                     session,
                     outstanding,
-                    ..
+                    issued_high,
                 },
                 Request::Fetch,
             ) => {
@@ -302,51 +466,71 @@ impl HarmonyServer {
                     outstanding.clear();
                     return Self::finished_reply(session);
                 }
-                if let Some(trial) = outstanding.front() {
-                    // Re-fetch without report: hand out the oldest
-                    // unreported trial again.
+                // Re-fetch without report: hand out this client's oldest
+                // unreported trial again.
+                if let Some(t) = outstanding.iter().find(|t| t.owner == client) {
                     return Reply::Config {
-                        config: trial.config.clone(),
-                        iteration: trial.iteration,
+                        config: t.trial.config.clone(),
+                        iteration: t.trial.iteration,
                         finished: false,
                     };
                 }
-                match session.suggest() {
+                // Claim the oldest requeued trial of a departed/expired
+                // owner before asking the strategy for anything new.
+                if let Some(t) = outstanding.iter_mut().find(|t| t.owner == 0) {
+                    t.owner = client;
+                    t.issued = now;
+                    return Reply::Config {
+                        config: t.trial.config.clone(),
+                        iteration: t.trial.iteration,
+                        finished: false,
+                    };
+                }
+                match session.suggest_batch(1).pop() {
                     Some(trial) => {
+                        *issued_high = (*issued_high).max(trial.iteration);
                         let reply = Reply::Config {
                             config: trial.config.clone(),
                             iteration: trial.iteration,
                             finished: false,
                         };
-                        outstanding.push_back(trial);
+                        outstanding.push_back(OutstandingTrial {
+                            trial,
+                            owner: client,
+                            issued: now,
+                        });
                         reply
                     }
-                    None => Self::finished_reply(session),
+                    None if session.stop_reason().is_some() => {
+                        outstanding.clear();
+                        Self::finished_reply(session)
+                    }
+                    // The strategy is waiting on another member's report.
+                    None => Reply::busy("no trial available until outstanding reports arrive"),
                 }
             }
             (
-                ClientState::Tuning {
+                SessionPhase::Tuning {
                     session,
                     outstanding,
                     ..
                 },
                 Request::Report { cost, wall_time },
-            ) => match outstanding.pop_front() {
-                Some(trial) => match session.report_timed(trial, cost, wall_time) {
+            ) => {
+                let Some(pos) = outstanding.iter().position(|t| t.owner == client) else {
+                    return Reply::err("report without an outstanding fetch");
+                };
+                let t = outstanding.remove(pos).expect("position found above");
+                match session.report_timed(t.trial, cost, wall_time) {
                     Ok(()) => Reply::Ok,
-                    Err(e) => Reply::Error {
-                        message: e.to_string(),
-                    },
-                },
-                None => Reply::Error {
-                    message: "report without an outstanding fetch".into(),
-                },
-            },
+                    Err(e) => Reply::err(e.to_string()),
+                }
+            }
             (
-                ClientState::Tuning {
+                SessionPhase::Tuning {
                     session,
                     outstanding,
-                    ..
+                    issued_high,
                 },
                 Request::FetchBatch { max },
             ) => {
@@ -357,23 +541,41 @@ impl HarmonyServer {
                         finished: true,
                     };
                 }
-                // Unreported trials first (so a re-fetch after a lost reply
-                // converges), then top up with fresh proposals.
+                // This client's unreported trials first (so a re-fetch after
+                // a lost reply converges), then requeued trials of departed
+                // owners, then top up with fresh proposals.
                 let mut trials: Vec<FetchedTrial> = outstanding
                     .iter()
+                    .filter(|t| t.owner == client)
                     .take(max)
                     .map(|t| FetchedTrial {
-                        config: t.config.clone(),
-                        iteration: t.iteration,
+                        config: t.trial.config.clone(),
+                        iteration: t.trial.iteration,
                     })
                     .collect();
+                for t in outstanding.iter_mut().filter(|t| t.owner == 0) {
+                    if trials.len() >= max {
+                        break;
+                    }
+                    t.owner = client;
+                    t.issued = now;
+                    trials.push(FetchedTrial {
+                        config: t.trial.config.clone(),
+                        iteration: t.trial.iteration,
+                    });
+                }
                 if trials.len() < max {
-                    for t in session.suggest_batch(max - trials.len()) {
+                    for trial in session.suggest_batch(max - trials.len()) {
+                        *issued_high = (*issued_high).max(trial.iteration);
                         trials.push(FetchedTrial {
-                            config: t.config.clone(),
-                            iteration: t.iteration,
+                            config: trial.config.clone(),
+                            iteration: trial.iteration,
                         });
-                        outstanding.push_back(t);
+                        outstanding.push_back(OutstandingTrial {
+                            trial,
+                            owner: client,
+                            issued: now,
+                        });
                     }
                 }
                 let finished = trials.is_empty() && session.stop_reason().is_some();
@@ -383,10 +585,10 @@ impl HarmonyServer {
                 Reply::Configs { trials, finished }
             }
             (
-                ClientState::Tuning {
+                SessionPhase::Tuning {
                     session,
                     outstanding,
-                    ..
+                    issued_high,
                 },
                 Request::ReportBatch { reports },
             ) => {
@@ -396,21 +598,30 @@ impl HarmonyServer {
                         // to trials the session already dropped.
                         break;
                     }
-                    let Some(pos) = outstanding.iter().position(|t| t.iteration == r.iteration)
-                    else {
-                        return Reply::Error {
-                            message: HarmonyError::Protocol(format!(
-                                "report for unknown trial {}",
-                                r.iteration
-                            ))
-                            .to_string(),
-                        };
-                    };
-                    let trial = outstanding.remove(pos).expect("position found above");
-                    if let Err(e) = session.report_timed(trial, r.cost, r.wall_time) {
-                        return Reply::Error {
-                            message: e.to_string(),
-                        };
+                    match outstanding
+                        .iter()
+                        .position(|t| t.trial.iteration == r.iteration)
+                    {
+                        Some(pos) => {
+                            let t = outstanding.remove(pos).expect("position found above");
+                            if let Err(e) = session.report_timed(t.trial, r.cost, r.wall_time) {
+                                return Reply::err(e.to_string());
+                            }
+                        }
+                        // Stale duplicate: the trial was requeued after an
+                        // eviction, re-measured by another member, and its
+                        // cost already applied. Costs are functions of the
+                        // configuration, so dropping the echo is lossless.
+                        None if r.iteration <= *issued_high => continue,
+                        None => {
+                            return Reply::err(
+                                HarmonyError::Protocol(format!(
+                                    "report for unknown trial {}",
+                                    r.iteration
+                                ))
+                                .to_string(),
+                            )
+                        }
                     }
                 }
                 if session.stop_reason().is_some() {
@@ -418,27 +629,29 @@ impl HarmonyServer {
                 }
                 Reply::Ok
             }
-            (ClientState::Tuning { session, .. }, Request::QueryBest) => {
+            (SessionPhase::Tuning { session, .. }, Request::QueryBest) => {
                 let best = session.best().map(|(c, v)| (c.clone(), v));
                 Reply::Best { best }
             }
+            (SessionPhase::Tuning { session, .. }, Request::QueryHistory) => Reply::History {
+                history: session.history().clone(),
+                finished: session.stop_reason().is_some(),
+            },
             (
-                ClientState::Building { .. },
+                SessionPhase::Building { .. },
                 Request::Fetch
                 | Request::Report { .. }
                 | Request::FetchBatch { .. }
-                | Request::ReportBatch { .. },
-            ) => Reply::Error {
-                message: HarmonyError::Protocol("space not sealed yet".into()).to_string(),
-            },
-            (ClientState::Building { .. }, Request::QueryBest) => Reply::Best { best: None },
-            (ClientState::Tuning { .. }, _) => Reply::Error {
-                message: HarmonyError::Protocol("space already sealed".into()).to_string(),
-            },
-            (ClientState::Building { .. }, Request::Register { .. })
-            | (ClientState::Building { .. }, Request::Shutdown) => Reply::Error {
-                message: HarmonyError::Protocol("unexpected message".into()).to_string(),
-            },
+                | Request::ReportBatch { .. }
+                | Request::QueryHistory,
+            ) => Reply::err(HarmonyError::Protocol("space not sealed yet".into()).to_string()),
+            (SessionPhase::Building { .. }, Request::QueryBest) => Reply::Best { best: None },
+            (SessionPhase::Tuning { .. }, _) => {
+                Reply::err(HarmonyError::Protocol("space already sealed".into()).to_string())
+            }
+            (SessionPhase::Building { .. }, _) => {
+                Reply::err(HarmonyError::Protocol("unexpected message".into()).to_string())
+            }
         }
     }
 }
@@ -455,6 +668,7 @@ impl Drop for HarmonyServer {
 mod tests {
     use super::*;
     use crate::param::Param;
+    use crate::server::protocol::{StrategyKind, TrialReport};
     use crate::session::SessionOptions;
 
     #[test]
@@ -612,5 +826,221 @@ mod tests {
             j.join().unwrap();
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn attached_member_shares_the_session() {
+        let server = HarmonyServer::start_with(3);
+        let founder = server.connect("pool").unwrap();
+        founder.add_param(Param::int("x", 0, 100, 1)).unwrap();
+        founder
+            .seal(
+                SessionOptions {
+                    max_evaluations: 40,
+                    seed: 4,
+                    ..Default::default()
+                },
+                StrategyKind::Random,
+            )
+            .unwrap();
+        let worker = server.attach(founder.session_id()).unwrap();
+        assert_eq!(worker.session_id(), founder.session_id());
+        assert_ne!(worker.id(), founder.id());
+        // Both members alternate measuring trials of the one shared search.
+        let mut done = false;
+        while !done {
+            for c in [&founder, &worker] {
+                let (trials, finished) = c.fetch_batch(1).unwrap();
+                if finished {
+                    done = true;
+                    break;
+                }
+                let reports = trials
+                    .iter()
+                    .map(|t| TrialReport {
+                        iteration: t.iteration,
+                        cost: t.config.int("x").unwrap() as f64,
+                        wall_time: 0.0,
+                    })
+                    .collect();
+                c.report_batch(reports).unwrap();
+            }
+        }
+        // One shared history, 40 fresh evaluations between the two members.
+        let (h, finished) = founder.history().unwrap();
+        assert!(finished);
+        assert_eq!(h.evaluations().iter().filter(|e| !e.cached).count(), 40);
+        let (hw, _) = worker.history().unwrap();
+        assert_eq!(h.len(), hw.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn leave_requeues_outstanding_trials_for_other_members() {
+        let server = HarmonyServer::start_with(2);
+        let founder = server.connect("pool").unwrap();
+        founder.add_param(Param::int("x", 0, 100, 1)).unwrap();
+        founder
+            .seal(
+                SessionOptions {
+                    max_evaluations: 5,
+                    seed: 9,
+                    ..Default::default()
+                },
+                StrategyKind::Random,
+            )
+            .unwrap();
+        let worker = server.attach(founder.session_id()).unwrap();
+        // The worker grabs trials, then dies without reporting.
+        let (grabbed, _) = worker.fetch_batch(3).unwrap();
+        assert_eq!(grabbed.len(), 3);
+        worker.leave().unwrap();
+        assert!(worker.fetch().is_err(), "departed member must be refused");
+        // The founder inherits the exact same trials.
+        let (again, _) = founder.fetch_batch(5).unwrap();
+        let grabbed_iters: Vec<usize> = grabbed.iter().map(|t| t.iteration).collect();
+        let again_iters: Vec<usize> = again.iter().map(|t| t.iteration).collect();
+        assert_eq!(&again_iters[..3], &grabbed_iters[..]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn trial_deadline_requeues_stragglers() {
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 1,
+            trial_deadline: Some(Duration::from_millis(30)),
+            ..Default::default()
+        });
+        let founder = server.connect("straggle").unwrap();
+        founder.add_param(Param::int("x", 0, 100, 1)).unwrap();
+        founder
+            .seal(
+                SessionOptions {
+                    max_evaluations: 4,
+                    seed: 2,
+                    ..Default::default()
+                },
+                StrategyKind::Random,
+            )
+            .unwrap();
+        let worker = server.attach(founder.session_id()).unwrap();
+        let (held, _) = worker.fetch_batch(1).unwrap();
+        assert_eq!(held.len(), 1);
+        std::thread::sleep(Duration::from_millis(60));
+        // Past the deadline the founder's fetch claims the same trial.
+        let f = founder.fetch().unwrap();
+        assert_eq!(f.iteration, held[0].iteration);
+        founder.report(1.0).unwrap();
+        // The straggler's late report is a tolerated duplicate.
+        worker
+            .report_batch(vec![TrialReport {
+                iteration: held[0].iteration,
+                cost: 1.0,
+                wall_time: 1.0,
+            }])
+            .unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_ttl_evicts_silent_members() {
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 1,
+            client_ttl: Some(Duration::from_millis(30)),
+            ..Default::default()
+        });
+        let founder = server.connect("ttl").unwrap();
+        founder.add_param(Param::int("x", 0, 100, 1)).unwrap();
+        founder
+            .seal(
+                SessionOptions {
+                    max_evaluations: 4,
+                    seed: 3,
+                    ..Default::default()
+                },
+                StrategyKind::Random,
+            )
+            .unwrap();
+        let worker = server.attach(founder.session_id()).unwrap();
+        let (held, _) = worker.fetch_batch(1).unwrap();
+        assert_eq!(held.len(), 1);
+        // The founder heartbeats; the worker goes silent past its TTL.
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(20));
+            founder.heartbeat().unwrap();
+        }
+        // The worker was evicted and its trial requeued to the founder.
+        let f = founder.fetch().unwrap();
+        assert_eq!(f.iteration, held[0].iteration);
+        assert!(worker.fetch().is_err(), "evicted member must be refused");
+        server.shutdown();
+    }
+
+    #[test]
+    fn heartbeat_keeps_a_member_alive() {
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 1,
+            client_ttl: Some(Duration::from_millis(40)),
+            ..Default::default()
+        });
+        let founder = server.connect("hb").unwrap();
+        founder.add_param(Param::int("x", 0, 100, 1)).unwrap();
+        founder
+            .seal(
+                SessionOptions {
+                    max_evaluations: 4,
+                    seed: 5,
+                    ..Default::default()
+                },
+                StrategyKind::Random,
+            )
+            .unwrap();
+        let worker = server.attach(founder.session_id()).unwrap();
+        let (held, _) = worker.fetch_batch(1).unwrap();
+        assert_eq!(held.len(), 1);
+        // Both sides stay chatty for several TTL windows.
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(15));
+            worker.heartbeat().unwrap();
+            founder.heartbeat().unwrap();
+        }
+        // The trial is still the worker's: the founder gets a fresh one.
+        let f = founder.fetch().unwrap();
+        assert_ne!(f.iteration, held[0].iteration);
+        server.shutdown();
+    }
+
+    #[test]
+    fn attach_to_unknown_session_fails() {
+        let server = HarmonyServer::start_with(2);
+        let err = server.attach(999_999).unwrap_err();
+        assert!(err.to_string().contains("unknown session"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn attach_routes_to_the_founders_shard() {
+        // Exercise id allocation across several shard counts: an attached
+        // member must always land on the shard owning the session.
+        for shards in [1usize, 2, 3, 5, 8] {
+            let server = HarmonyServer::start_with(shards);
+            let founder = server.connect("route").unwrap();
+            founder.add_param(Param::int("x", 0, 10, 1)).unwrap();
+            founder
+                .seal(SessionOptions::default(), StrategyKind::Random)
+                .unwrap();
+            for _ in 0..3 {
+                let w = server.attach(founder.session_id()).unwrap();
+                assert_eq!(
+                    w.id() % shards as u64,
+                    founder.id() % shards as u64,
+                    "shards={shards}"
+                );
+                let (trials, _) = w.fetch_batch(1).unwrap();
+                assert_eq!(trials.len(), 1);
+                w.leave().unwrap();
+            }
+            server.shutdown();
+        }
     }
 }

@@ -27,6 +27,21 @@ pub enum StrategyKind {
     Pro,
 }
 
+impl StrategyKind {
+    /// Instantiate the strategy this kind names. Shared by the server's
+    /// `Seal` handler and by write-ahead-log replay, so both construct the
+    /// exact same strategy state for a given kind.
+    pub fn build(&self) -> Box<dyn crate::strategy::SearchStrategy> {
+        use crate::strategy::{GridSearch, NelderMead, ParallelRankOrder, RandomSearch};
+        match self {
+            StrategyKind::NelderMead => Box::new(NelderMead::default()),
+            StrategyKind::Random => Box::new(RandomSearch::new()),
+            StrategyKind::Grid { target } => Box::new(GridSearch::new(*target)),
+            StrategyKind::Pro => Box::new(ParallelRankOrder::default()),
+        }
+    }
+}
+
 /// Client → server messages.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Request {
@@ -35,6 +50,22 @@ pub enum Request {
         /// Application label (for logs and prior-run keys).
         app: String,
     },
+    /// Join an existing tuning session as an additional worker (or rejoin
+    /// it after a crash). The session id is the one returned by
+    /// [`Reply::Registered`]; the joining connection gets its own client id
+    /// and may fetch/report trials of the shared session.
+    Attach {
+        /// Session to join.
+        session: u64,
+    },
+    /// Liveness signal: refreshes this client's `last_seen` so deadline
+    /// eviction does not requeue its outstanding trials while a long
+    /// measurement is still running.
+    Heartbeat,
+    /// Depart from the session. Outstanding trials held by this client are
+    /// requeued for other workers. Sent explicitly by well-behaved clients
+    /// and synthesised by the TCP front-end when a connection drops.
+    Leave,
     /// Declare one tunable parameter (pre-seal only).
     AddParam {
         /// The parameter declaration.
@@ -78,6 +109,9 @@ pub enum Request {
     },
     /// Ask for the best configuration so far.
     QueryBest,
+    /// Ask for the full evaluation history of the session (used by tests,
+    /// diagnostics, and trajectory-equivalence checks).
+    QueryHistory,
     /// Stop the server.
     Shutdown,
 }
@@ -109,6 +143,10 @@ pub enum Reply {
     Registered {
         /// The allocated client id.
         client_id: u64,
+        /// The session this client belongs to. Equal to `client_id` for a
+        /// fresh `Register`; echoes the joined session for `Attach`. Pass
+        /// it to `Attach` to rejoin after a disconnect.
+        session: u64,
     },
     /// Request succeeded with nothing to return.
     Ok,
@@ -135,11 +173,39 @@ pub enum Reply {
         /// `(configuration, cost)` of the best evaluation.
         best: Option<(Configuration, f64)>,
     },
+    /// Full evaluation history (reply to [`Request::QueryHistory`]).
+    History {
+        /// Every evaluation in flush order.
+        history: crate::history::History,
+        /// True once the session has stopped.
+        finished: bool,
+    },
     /// The request failed.
     Error {
         /// Human-readable reason.
         message: String,
+        /// True when the condition is transient (e.g. the server is at its
+        /// connection cap) and the client should retry with backoff.
+        retryable: bool,
     },
+}
+
+impl Reply {
+    /// A fatal error reply.
+    pub fn err(message: impl Into<String>) -> Self {
+        Reply::Error {
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    /// A transient error reply the client should retry with backoff.
+    pub fn busy(message: impl Into<String>) -> Self {
+        Reply::Error {
+            message: message.into(),
+            retryable: true,
+        }
+    }
 }
 
 /// One request in flight, with its reply channel (not serialized — the
@@ -162,6 +228,10 @@ mod tests {
     fn requests_roundtrip_through_json() {
         let msgs = vec![
             Request::Register { app: "gs2".into() },
+            Request::Attach { session: 17 },
+            Request::Heartbeat,
+            Request::Leave,
+            Request::QueryHistory,
             Request::AddParam {
                 param: Param::int("negrid", 4, 32, 2),
             },
@@ -211,8 +281,16 @@ mod tests {
             .build()
             .unwrap();
         let msgs = vec![
-            Reply::Registered { client_id: 3 },
+            Reply::Registered {
+                client_id: 3,
+                session: 3,
+            },
             Reply::Ok,
+            Reply::History {
+                history: crate::history::History::new(),
+                finished: false,
+            },
+            Reply::busy("server at connection capacity (4)"),
             Reply::Config {
                 config: space.center(),
                 iteration: 2,
@@ -238,9 +316,7 @@ mod tests {
             Reply::Best {
                 best: Some((space.center(), 1.5)),
             },
-            Reply::Error {
-                message: "nope".into(),
-            },
+            Reply::err("nope"),
         ];
         for m in msgs {
             let s = serde_json::to_string(&m).unwrap();

@@ -12,11 +12,28 @@
 //! candidates costs a single round-trip. Sockets run with `TCP_NODELAY`
 //! and buffered writers: frames are small and latency-bound, so waiting
 //! for Nagle coalescing only delays the tuning loop.
+//!
+//! # Fault tolerance
+//!
+//! On the paper's machines clients lose connections mid-iteration, so
+//! [`TcpHarmonyClient`] retries retryable failures with the bounded
+//! exponential backoff of a [`RetryPolicy`]: connects retry on refusal or
+//! capacity errors, and idempotent requests (fetches, batch reports,
+//! queries) transparently reconnect and [`Request::Attach`] back to their
+//! session under a fresh client id. Reports ride `ReportBatch` with the
+//! trial's iteration token, which the server treats idempotently — a
+//! retried report whose first copy did arrive is a tolerated duplicate.
+//! When a connection dies, the server front-end synthesises a
+//! [`Request::Leave`], requeueing the client's outstanding trials for the
+//! surviving members.
 
+use super::client::reply_error;
 use super::protocol::{FetchedTrial, Reply, Request, StrategyKind, TrialReport};
 use super::{HarmonyServer, ServerBus};
 use crate::error::{HarmonyError, Result};
+use crate::history::History;
 use crate::param::Param;
+use crate::retry::RetryPolicy;
 use crate::session::SessionOptions;
 use crate::space::Configuration;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -24,10 +41,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Default cap on simultaneously served connections; beyond it new
-/// connections are refused with an error reply instead of degrading every
-/// established tuning loop.
+/// connections are refused with a retryable error reply instead of
+/// degrading every established tuning loop.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 128;
 
 /// Decrements the live-connection count when a connection ends, however it
@@ -56,11 +74,22 @@ impl TcpHarmonyServer {
     }
 
     /// Bind with an explicit cap on simultaneous connections; connection
-    /// number `max_connections + 1` gets an error reply and is dropped.
+    /// number `max_connections + 1` gets a retryable error reply and is
+    /// dropped.
     pub fn bind_with_limit(addr: &str, max_connections: usize) -> std::io::Result<Self> {
+        Self::bind_with(addr, max_connections, super::ServerConfig::default())
+    }
+
+    /// Bind with full control over the connection cap and the inner
+    /// server's deadline/eviction policy.
+    pub fn bind_with(
+        addr: &str,
+        max_connections: usize,
+        config: super::ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let inner = HarmonyServer::start();
+        let inner = HarmonyServer::start_with_config(config);
         let bus = inner.bus();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
@@ -77,7 +106,16 @@ impl TcpHarmonyServer {
                     let Ok(stream) = conn else { continue };
                     if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
                         active.fetch_sub(1, Ordering::SeqCst);
-                        refuse_connection(stream, max_connections);
+                        conn_seq += 1;
+                        // Refusals answer the client's first request, which
+                        // may take a blocking read — do not stall the accept
+                        // loop for it.
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("harmony-tcp-refuse-{conn_seq}"))
+                            .spawn(move || refuse_connection(stream, max_connections));
+                        if let Err(e) = spawned {
+                            eprintln!("harmony-tcp: could not spawn refusal thread: {e}");
+                        }
                         continue;
                     }
                     let slot = ConnectionSlot(Arc::clone(&active));
@@ -136,24 +174,39 @@ impl Drop for TcpHarmonyServer {
 }
 
 /// Tell an over-limit connection why it is being dropped, then drop it.
+///
+/// The refusal must *wait for the client's first request* before replying:
+/// writing the error immediately and closing races the client's in-flight
+/// write — the client's data then hits a closed socket, the kernel answers
+/// with RST, and the buffered error frame is discarded, so the client sees
+/// a bare EOF instead of the reason. Reading first means the client is
+/// already blocked on its reply when the error frame goes out.
 fn refuse_connection(stream: TcpStream, limit: usize) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "<unknown>".into());
     eprintln!("harmony-tcp: refusing {peer}: at connection capacity ({limit})");
+    // Bound the wait: a connection that never sends anything is dropped.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut first = String::new();
+    let _ = BufReader::new(reader_stream).read_line(&mut first);
     let mut writer = BufWriter::new(stream);
     let _ = send_reply(
         &mut writer,
-        &Reply::Error {
-            message: format!("server at connection capacity ({limit})"),
-        },
+        &Reply::busy(format!("server at connection capacity ({limit})")),
     );
 }
 
 /// Per-connection loop: read JSON lines, bridge onto the in-process bus,
 /// write JSON replies. The connection *is* the client: its id is allocated
-/// by the first `Register` and reused for every later request.
+/// by the first `Register`/`Attach` and reused for every later request.
+/// However the connection ends — clean goodbye, EOF, I/O error — a `Leave`
+/// is synthesised for its client so outstanding trials are requeued.
 fn serve_connection(stream: TcpStream, bus: ServerBus) {
     let _ = stream.set_nodelay(true);
     let writer_stream = match stream.try_clone() {
@@ -163,6 +216,7 @@ fn serve_connection(stream: TcpStream, bus: ServerBus) {
     let mut writer = BufWriter::new(writer_stream);
     let reader = BufReader::new(stream);
     let mut client_id: u64 = 0;
+    let mut departed = false;
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -176,6 +230,7 @@ fn serve_connection(stream: TcpStream, bus: ServerBus) {
                 break;
             }
             Ok(req) => {
+                let is_leave = matches!(req, Request::Leave);
                 let (tx, rx) = crossbeam::channel::bounded(1);
                 if bus
                     .send(super::protocol::Envelope {
@@ -188,19 +243,38 @@ fn serve_connection(stream: TcpStream, bus: ServerBus) {
                     break;
                 }
                 match rx.recv() {
-                    Ok(reply) => reply,
+                    Ok(reply) => {
+                        if is_leave && matches!(reply, Reply::Ok) {
+                            departed = true;
+                        }
+                        reply
+                    }
                     Err(_) => break,
                 }
             }
-            Err(e) => Reply::Error {
-                message: format!("malformed request: {e}"),
-            },
+            Err(e) => Reply::err(format!("malformed request: {e}")),
         };
-        if let Reply::Registered { client_id: id } = reply {
+        if let Reply::Registered { client_id: id, .. } = reply {
             client_id = id;
+            departed = false;
         }
         if send_reply(&mut writer, &reply).is_err() {
             break;
+        }
+    }
+    if client_id != 0 && !departed {
+        // The connection died with the client still a member: requeue its
+        // outstanding trials for the survivors.
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if bus
+            .send(super::protocol::Envelope {
+                client: client_id,
+                req: Request::Leave,
+                reply: tx,
+            })
+            .is_ok()
+        {
+            let _ = rx.recv();
         }
     }
 }
@@ -212,59 +286,251 @@ fn send_reply(writer: &mut BufWriter<TcpStream>, reply: &Reply) -> std::io::Resu
     writer.flush()
 }
 
-/// A Harmony client talking to a [`TcpHarmonyServer`] over a socket.
-pub struct TcpHarmonyClient {
+/// Transport knobs of a [`TcpHarmonyClient`].
+#[derive(Debug, Clone, Default)]
+pub struct TcpClientOptions {
+    /// Backoff schedule for connects and idempotent requests.
+    pub retry: RetryPolicy,
+    /// Per-operation socket deadline (connect, read, write). `None` blocks
+    /// indefinitely; with a deadline, an elapsed read surfaces as
+    /// [`HarmonyError::Timeout`] and is retried like a disconnect.
+    pub io_timeout: Option<Duration>,
+}
+
+fn io_error(e: std::io::Error, what: &str) -> HarmonyError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HarmonyError::Timeout(format!("{what} deadline elapsed"))
+        }
+        _ => HarmonyError::Disconnected,
+    }
+}
+
+/// One live socket to the server.
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
-impl TcpHarmonyClient {
-    /// Connect and register the application.
-    pub fn connect(addr: SocketAddr, app: &str) -> Result<Self> {
-        let stream = TcpStream::connect(addr).map_err(|_| HarmonyError::Disconnected)?;
+impl Conn {
+    fn open(addr: SocketAddr, io_timeout: Option<Duration>) -> Result<Conn> {
+        let stream = match io_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t).map_err(|e| io_error(e, "connect")),
+            None => TcpStream::connect(addr).map_err(|_| HarmonyError::Disconnected),
+        }?;
         let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(io_timeout);
+        let _ = stream.set_write_timeout(io_timeout);
         let writer = stream.try_clone().map_err(|_| HarmonyError::Disconnected)?;
-        let mut client = TcpHarmonyClient {
+        Ok(Conn {
             reader: BufReader::new(stream),
             writer: BufWriter::new(writer),
-        };
-        match client.call(Request::Register {
-            app: app.to_string(),
-        })? {
-            Reply::Registered { .. } => Ok(client),
-            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
-            _ => Err(HarmonyError::Protocol("unexpected reply".into())),
-        }
+        })
     }
 
-    fn call(&mut self, req: Request) -> Result<Reply> {
-        let mut blob = serde_json::to_string(&req).expect("requests serialize");
+    fn call(&mut self, req: &Request) -> Result<Reply> {
+        let mut blob = serde_json::to_string(req).expect("requests serialize");
         blob.push('\n');
         self.writer
             .write_all(blob.as_bytes())
             .and_then(|()| self.writer.flush())
-            .map_err(|_| HarmonyError::Disconnected)?;
+            .map_err(|e| io_error(e, "request write"))?;
         let mut line = String::new();
         let n = self
             .reader
             .read_line(&mut line)
-            .map_err(|_| HarmonyError::Disconnected)?;
+            .map_err(|e| io_error(e, "reply read"))?;
         if n == 0 {
             return Err(HarmonyError::Disconnected);
         }
         serde_json::from_str(&line).map_err(|e| HarmonyError::Protocol(format!("bad reply: {e}")))
     }
+}
 
-    fn call_ok(&mut self, req: Request) -> Result<()> {
-        match self.call(req)? {
-            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
-            _ => Ok(()),
+/// A Harmony client talking to a [`TcpHarmonyServer`] over a socket, with
+/// bounded retry/backoff and crash-rejoin via [`Request::Attach`].
+pub struct TcpHarmonyClient {
+    addr: SocketAddr,
+    opts: TcpClientOptions,
+    conn: Option<Conn>,
+    client_id: u64,
+    session: u64,
+    /// Iteration token of the last unanswered plain fetch; reports ride
+    /// `ReportBatch` with this token so a retried report is idempotent.
+    last_fetch: Option<usize>,
+}
+
+impl std::fmt::Debug for TcpHarmonyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpHarmonyClient")
+            .field("addr", &self.addr)
+            .field("client_id", &self.client_id)
+            .field("session", &self.session)
+            .field("connected", &self.conn.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpHarmonyClient {
+    /// Connect and register the application (founds a new session), with
+    /// default [`TcpClientOptions`].
+    pub fn connect(addr: SocketAddr, app: &str) -> Result<Self> {
+        Self::connect_with(addr, app, TcpClientOptions::default())
+    }
+
+    /// Connect and register with explicit retry/timeout options.
+    pub fn connect_with(addr: SocketAddr, app: &str, opts: TcpClientOptions) -> Result<Self> {
+        let mut client = TcpHarmonyClient {
+            addr,
+            opts,
+            conn: None,
+            client_id: 0,
+            session: 0,
+            last_fetch: None,
+        };
+        let policy = client.opts.retry.clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match client.register_once(app) {
+                Ok(()) => return Ok(client),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
+    }
+
+    /// Connect and join an existing session (worker pools, or rejoining
+    /// after this process crashed and lost its previous connection).
+    pub fn attach(addr: SocketAddr, session: u64) -> Result<Self> {
+        Self::attach_with(addr, session, TcpClientOptions::default())
+    }
+
+    /// [`attach`](Self::attach) with explicit retry/timeout options.
+    pub fn attach_with(addr: SocketAddr, session: u64, opts: TcpClientOptions) -> Result<Self> {
+        let mut client = TcpHarmonyClient {
+            addr,
+            opts,
+            conn: None,
+            client_id: 0,
+            session,
+            last_fetch: None,
+        };
+        let policy = client.opts.retry.clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match client.reconnect_once() {
+                Ok(()) => return Ok(client),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn register_once(&mut self, app: &str) -> Result<()> {
+        let mut conn = Conn::open(self.addr, self.opts.io_timeout)?;
+        match conn.call(&Request::Register {
+            app: app.to_string(),
+        })? {
+            Reply::Registered { client_id, session } => {
+                self.client_id = client_id;
+                self.session = session;
+                self.conn = Some(conn);
+                Ok(())
+            }
+            Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
+            _ => Err(HarmonyError::Protocol("unexpected reply".into())),
+        }
+    }
+
+    /// Open a fresh socket and rejoin the remembered session under a new
+    /// client id.
+    fn reconnect_once(&mut self) -> Result<()> {
+        if self.session == 0 {
+            return Err(HarmonyError::Protocol(
+                "cannot reconnect before registering".into(),
+            ));
+        }
+        let mut conn = Conn::open(self.addr, self.opts.io_timeout)?;
+        match conn.call(&Request::Attach {
+            session: self.session,
+        })? {
+            Reply::Registered { client_id, .. } => {
+                self.client_id = client_id;
+                self.conn = Some(conn);
+                Ok(())
+            }
+            Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
+            _ => Err(HarmonyError::Protocol("unexpected reply".into())),
+        }
+    }
+
+    /// One attempt: (re)open the connection if needed, send, read. A
+    /// transport failure poisons the connection so the next attempt
+    /// reconnects; a protocol-level error leaves it open.
+    fn try_call(&mut self, req: &Request) -> Result<Reply> {
+        if self.conn.is_none() {
+            self.reconnect_once()?;
+        }
+        let conn = self.conn.as_mut().expect("connection opened above");
+        match conn.call(req) {
+            Ok(Reply::Error { message, retryable }) => Err(reply_error(message, retryable)),
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                if e.is_retryable() {
+                    self.conn = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Retry loop for idempotent requests: fetches and queries have no
+    /// side effect to duplicate, and batch reports are deduplicated by
+    /// iteration token on the server.
+    fn call_retrying(&mut self, req: Request) -> Result<Reply> {
+        let policy = self.opts.retry.clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match self.try_call(&req) {
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Single attempt for declaration-phase requests, which are not
+    /// idempotent (a retried `AddParam` whose first copy arrived would
+    /// declare a duplicate parameter).
+    fn call_once(&mut self, req: Request) -> Result<Reply> {
+        self.try_call(&req)
+    }
+
+    /// This client's id on the server (changes after a reconnect).
+    pub fn id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The session this client tunes; keep it to
+    /// [`attach`](Self::attach) after a process restart.
+    pub fn session_id(&self) -> u64 {
+        self.session
     }
 
     /// Declare a tunable parameter.
     pub fn add_param(&mut self, param: Param) -> Result<()> {
-        self.call_ok(Request::AddParam { param })
+        self.call_once(Request::AddParam { param }).map(|_| ())
     }
 
     /// Declare a monotone-chain dependency.
@@ -273,42 +539,60 @@ impl TcpHarmonyClient {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.call_ok(Request::AddMonotoneChain {
+        self.call_once(Request::AddMonotoneChain {
             names: names.into_iter().map(Into::into).collect(),
         })
+        .map(|_| ())
     }
 
     /// Finish declaration and start tuning.
     pub fn seal(&mut self, options: SessionOptions, strategy: StrategyKind) -> Result<()> {
-        self.call_ok(Request::Seal { options, strategy })
+        self.call_once(Request::Seal { options, strategy })
+            .map(|_| ())
     }
 
     /// Fetch the next configuration (same semantics as the in-process
     /// client: repeats until reported; `finished` carries the final best).
     pub fn fetch(&mut self) -> Result<(Configuration, bool)> {
-        match self.call(Request::Fetch)? {
+        match self.call_retrying(Request::Fetch)? {
             Reply::Config {
-                config, finished, ..
-            } => Ok((config, finished)),
-            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
+                config,
+                iteration,
+                finished,
+            } => {
+                self.last_fetch = if finished { None } else { Some(iteration) };
+                Ok((config, finished))
+            }
             _ => Err(HarmonyError::Protocol("unexpected reply to Fetch".into())),
         }
     }
 
-    /// Report the measured cost of the last fetched configuration.
+    /// Report the measured cost of the last fetched configuration. Sent as
+    /// a one-entry `ReportBatch` carrying the fetched iteration token, so a
+    /// retry after a lost reply cannot double-count the measurement.
     pub fn report(&mut self, cost: f64) -> Result<()> {
-        self.call_ok(Request::Report {
+        let Some(iteration) = self.last_fetch.take() else {
+            return Err(HarmonyError::Protocol(
+                "report without an outstanding fetch".into(),
+            ));
+        };
+        let out = self.report_batch(vec![TrialReport {
+            iteration,
             cost,
             wall_time: cost,
-        })
+        }]);
+        if out.is_err() {
+            // Keep the token: the caller may retry the report.
+            self.last_fetch = Some(iteration);
+        }
+        out
     }
 
     /// Fetch up to `max` configurations in one round-trip — one request
     /// frame out, one reply frame back. Returns `(trials, finished)`.
     pub fn fetch_batch(&mut self, max: usize) -> Result<(Vec<FetchedTrial>, bool)> {
-        match self.call(Request::FetchBatch { max })? {
+        match self.call_retrying(Request::FetchBatch { max })? {
             Reply::Configs { trials, finished } => Ok((trials, finished)),
-            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
             _ => Err(HarmonyError::Protocol(
                 "unexpected reply to FetchBatch".into(),
             )),
@@ -316,23 +600,49 @@ impl TcpHarmonyClient {
     }
 
     /// Report measured costs for any subset of outstanding trials in one
-    /// round-trip (one frame each way).
+    /// round-trip (one frame each way). Safe to retry: duplicates are
+    /// dropped by iteration token on the server.
     pub fn report_batch(&mut self, reports: Vec<TrialReport>) -> Result<()> {
-        self.call_ok(Request::ReportBatch { reports })
+        self.call_retrying(Request::ReportBatch { reports })
+            .map(|_| ())
     }
 
     /// Best `(configuration, cost)` so far.
     pub fn best(&mut self) -> Result<Option<(Configuration, f64)>> {
-        match self.call(Request::QueryBest)? {
+        match self.call_retrying(Request::QueryBest)? {
             Reply::Best { best } => Ok(best),
-            Reply::Error { message } => Err(HarmonyError::Protocol(message)),
             _ => Err(HarmonyError::Protocol("unexpected reply".into())),
         }
     }
 
-    /// Say goodbye (closes this connection only).
+    /// The full evaluation history of the session, and whether it finished.
+    pub fn history(&mut self) -> Result<(History, bool)> {
+        match self.call_retrying(Request::QueryHistory)? {
+            Reply::History { history, finished } => Ok((history, finished)),
+            _ => Err(HarmonyError::Protocol(
+                "unexpected reply to QueryHistory".into(),
+            )),
+        }
+    }
+
+    /// Refresh liveness during a long measurement (see
+    /// [`ServerConfig::client_ttl`](super::ServerConfig::client_ttl)).
+    pub fn heartbeat(&mut self) -> Result<()> {
+        self.call_retrying(Request::Heartbeat).map(|_| ())
+    }
+
+    /// Depart from the session, requeueing outstanding trials for the
+    /// remaining members.
+    pub fn leave(&mut self) -> Result<()> {
+        self.call_once(Request::Leave).map(|_| ())
+    }
+
+    /// Say goodbye (closes this connection only; the server front-end
+    /// synthesises the `Leave`).
     pub fn close(mut self) {
-        let _ = self.call(Request::Shutdown);
+        if let Some(conn) = self.conn.as_mut() {
+            let _ = conn.call(&Request::Shutdown);
+        }
     }
 }
 
@@ -453,10 +763,13 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         let reply: Reply = serde_json::from_str(&line).unwrap();
         match reply {
-            Reply::Error { message } => assert!(
-                message.contains("connection capacity"),
-                "unexpected refusal message: {message}"
-            ),
+            Reply::Error { message, retryable } => {
+                assert!(
+                    message.contains("connection capacity"),
+                    "unexpected refusal message: {message}"
+                );
+                assert!(retryable, "capacity refusal must be marked retryable");
+            }
             other => panic!("expected refusal error, got {other:?}"),
         }
         drop(reader);
@@ -470,6 +783,93 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
         panic!("slot was not released after client close");
+    }
+
+    #[test]
+    fn refused_connect_surfaces_server_busy_not_eof() {
+        // The regression this guards: the refusal used to be written before
+        // the client's request was read, so the client's in-flight write
+        // triggered an RST that discarded the error frame and the client
+        // saw a bare EOF (`Disconnected`). It must see the typed, retryable
+        // capacity error instead.
+        let server = TcpHarmonyServer::bind_with_limit("127.0.0.1:0", 1).expect("bind");
+        let addr = server.local_addr();
+        let _c1 = TcpHarmonyClient::connect(addr, "a").unwrap();
+        let err = TcpHarmonyClient::connect_with(
+            addr,
+            "b",
+            TcpClientOptions {
+                retry: RetryPolicy::none(),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            HarmonyError::ServerBusy(msg) => {
+                assert!(msg.contains("connection capacity"), "{msg}")
+            }
+            other => panic!("expected ServerBusy, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_connection_rejoins_via_attach_and_inherits_trials() {
+        let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut c1 = TcpHarmonyClient::connect(addr, "crashy").unwrap();
+        c1.add_param(Param::int("x", 0, 100, 1)).unwrap();
+        c1.seal(
+            SessionOptions {
+                max_evaluations: 6,
+                seed: 8,
+                ..Default::default()
+            },
+            StrategyKind::Random,
+        )
+        .unwrap();
+        let session = c1.session_id();
+        let (held, _) = c1.fetch_batch(3).unwrap();
+        assert_eq!(held.len(), 3);
+        // Simulate a crash: the socket dies without a goodbye. The server
+        // front-end synthesises a Leave, requeueing the 3 held trials.
+        drop(c1);
+        let mut c2 = TcpHarmonyClient::attach(addr, session).unwrap();
+        // The Leave is processed asynchronously after the EOF; poll until
+        // the requeued trials are served to the new incarnation.
+        let mut inherited = Vec::new();
+        for _ in 0..100 {
+            let (trials, _) = c2.fetch_batch(3).unwrap();
+            inherited = trials;
+            if inherited.len() == 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let held_iters: Vec<usize> = held.iter().map(|t| t.iteration).collect();
+        let got_iters: Vec<usize> = inherited.iter().map(|t| t.iteration).collect();
+        assert_eq!(got_iters, held_iters);
+        // And the session completes normally from here.
+        loop {
+            let (trials, finished) = c2.fetch_batch(8).unwrap();
+            if finished {
+                break;
+            }
+            let reports = trials
+                .iter()
+                .map(|t| TrialReport {
+                    iteration: t.iteration,
+                    cost: t.config.int("x").unwrap() as f64,
+                    wall_time: 0.0,
+                })
+                .collect();
+            c2.report_batch(reports).unwrap();
+        }
+        let (h, finished) = c2.history().unwrap();
+        assert!(finished);
+        assert_eq!(h.evaluations().iter().filter(|e| !e.cached).count(), 6);
+        c2.close();
+        server.shutdown();
     }
 
     #[test]

@@ -78,7 +78,7 @@ fn near_square_factors(n: usize) -> (usize, usize) {
     let mut best = (1, n);
     let mut d = 1;
     while d * d <= n {
-        if n.is_multiple_of(d) {
+        if n % d == 0 {
             best = (d, n / d);
         }
         d += 1;

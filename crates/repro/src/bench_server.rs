@@ -37,6 +37,17 @@ impl Default for BenchConfig {
     }
 }
 
+impl BenchConfig {
+    /// Shrunken workload for CI regression gates: large enough to expose a
+    /// real throughput collapse, small enough to finish in seconds.
+    pub fn quick() -> Self {
+        BenchConfig {
+            clients: 4,
+            iters: 60,
+        }
+    }
+}
+
 /// Measured outcome of one scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -323,6 +334,87 @@ pub fn run(cfg: BenchConfig) -> serde_json::Value {
     })
 }
 
+/// Fold the host-dependent shard count out of a scenario name so reports
+/// from machines with different core counts stay comparable:
+/// `inproc/serial/6-shard` and `inproc/serial/4-shard` both become
+/// `inproc/serial/N-shard` (the 1-shard baseline keeps its name).
+fn canonical_name(name: &str) -> String {
+    match name.strip_suffix("-shard") {
+        Some(prefix) if !prefix.ends_with("/1") => {
+            let (head, _) = prefix.rsplit_once('/').unwrap_or(("", prefix));
+            format!("{head}/N-shard")
+        }
+        _ => name.to_string(),
+    }
+}
+
+/// Relative throughput of every scenario in a report, normalized to the
+/// in-process serial single-shard baseline of the *same* report. Absolute
+/// ops/sec vary wildly across CI runners; the ratios are the stable signal
+/// (how much sharding/batching/TCP costs or buys on this host).
+fn relative_throughput(report: &serde_json::Value) -> Option<Vec<(String, f64)>> {
+    let scenarios = report.get("scenarios")?.as_array()?;
+    let baseline = scenarios.iter().find_map(|s| {
+        (s.get("name")?.as_str()? == "inproc/serial/1-shard").then(|| s.get("ops_per_sec"))?
+    })?;
+    let baseline = baseline.as_f64().filter(|v| *v > 0.0)?;
+    let mut out = Vec::new();
+    for s in scenarios {
+        let name = canonical_name(s.get("name")?.as_str()?);
+        let ops = s.get("ops_per_sec")?.as_f64()?;
+        out.push((name, ops / baseline));
+    }
+    Some(out)
+}
+
+/// Compare a fresh report against a committed baseline; returns the list
+/// of regressions (empty = pass). A scenario regresses when its relative
+/// throughput falls more than `tolerance` (a fraction, e.g. `0.25`) below
+/// the baseline's relative throughput for the same canonical scenario.
+/// Scenarios present on only one side are reported as failures too — a
+/// silently vanished scenario must not read as "no regression".
+pub fn check_regression(
+    current: &serde_json::Value,
+    baseline: &serde_json::Value,
+    tolerance: f64,
+) -> Vec<String> {
+    let Some(cur) = relative_throughput(current) else {
+        return vec!["current report is malformed (no scenarios/baseline ops)".into()];
+    };
+    let Some(base) = relative_throughput(baseline) else {
+        return vec!["baseline report is malformed (no scenarios/baseline ops)".into()];
+    };
+    let mut failures = Vec::new();
+    println!(
+        "{:<28} {:>10} {:>10} {:>9}",
+        "scenario (vs 1-shard serial)", "baseline", "current", "change"
+    );
+    for (name, base_ratio) in &base {
+        let Some((_, cur_ratio)) = cur.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("scenario `{name}` missing from current run"));
+            continue;
+        };
+        let change = cur_ratio / base_ratio - 1.0;
+        println!(
+            "{name:<28} {base_ratio:>9.2}x {cur_ratio:>9.2}x {change:>+8.1}%",
+            change = change * 100.0
+        );
+        if *cur_ratio < base_ratio * (1.0 - tolerance) {
+            failures.push(format!(
+                "`{name}` relative throughput {cur_ratio:.2}x is more than \
+                 {:.0}% below baseline {base_ratio:.2}x",
+                tolerance * 100.0
+            ));
+        }
+    }
+    for (name, _) in &cur {
+        if !base.iter().any(|(n, _)| n == name) {
+            failures.push(format!("scenario `{name}` missing from baseline"));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +434,74 @@ mod tests {
             assert!(s["ops_per_sec"].as_f64().unwrap() > 0.0);
             assert!(s["p99_us"].as_f64().unwrap() >= s["p50_us"].as_f64().unwrap());
         }
+    }
+
+    #[test]
+    fn canonical_names_fold_shard_counts() {
+        assert_eq!(
+            canonical_name("inproc/serial/1-shard"),
+            "inproc/serial/1-shard"
+        );
+        assert_eq!(
+            canonical_name("inproc/serial/6-shard"),
+            "inproc/serial/N-shard"
+        );
+        assert_eq!(
+            canonical_name("inproc/batched/4-shard"),
+            "inproc/batched/N-shard"
+        );
+        assert_eq!(canonical_name("tcp/serial"), "tcp/serial");
+    }
+
+    fn fake_report(ratios: &[(&str, f64)]) -> serde_json::Value {
+        serde_json::json!({
+            "scenarios": ratios.iter().map(|(name, r)| serde_json::json!({
+                "name": name,
+                "ops_per_sec": r * 10_000.0,
+            })).collect::<Vec<_>>(),
+        })
+    }
+
+    #[test]
+    fn identical_reports_pass_the_regression_gate() {
+        let report = fake_report(&[
+            ("inproc/serial/1-shard", 1.0),
+            ("inproc/serial/4-shard", 2.0),
+            ("tcp/serial", 0.3),
+        ]);
+        assert!(check_regression(&report, &report, 0.25).is_empty());
+    }
+
+    #[test]
+    fn absolute_speed_changes_do_not_fail_only_ratio_shifts_do() {
+        let base = fake_report(&[
+            ("inproc/serial/1-shard", 1.0),
+            ("inproc/serial/8-shard", 2.0),
+        ]);
+        // Twice as fast overall (different runner), same ratios: fine.
+        let faster = fake_report(&[
+            ("inproc/serial/1-shard", 2.0),
+            ("inproc/serial/2-shard", 4.0),
+        ]);
+        assert!(check_regression(&faster, &base, 0.25).is_empty());
+        // Sharding collapsed from 2.0x to 1.2x relative: that is a regression.
+        let collapsed = fake_report(&[
+            ("inproc/serial/1-shard", 1.0),
+            ("inproc/serial/8-shard", 1.2),
+        ]);
+        let failures = check_regression(&collapsed, &base, 0.25);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("N-shard"), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_scenarios_are_failures() {
+        let base = fake_report(&[("inproc/serial/1-shard", 1.0), ("tcp/serial", 0.4)]);
+        let cur = fake_report(&[("inproc/serial/1-shard", 1.0)]);
+        let failures = check_regression(&cur, &base, 0.25);
+        assert!(
+            failures.iter().any(|f| f.contains("missing from current")),
+            "{failures:?}"
+        );
     }
 }

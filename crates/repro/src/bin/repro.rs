@@ -5,11 +5,20 @@
 //! repro all [--quick]        # run every experiment
 //! repro fig4 table1 [...]    # run specific experiments
 //! repro bench-server         # tuning-server throughput matrix
+//! repro fault-wal            # crash-safe tuning run through the WAL
 //! options:
-//!   --quick        shrink workloads (smoke-test mode)
-//!   --json PATH    also dump machine-readable results
-//!   --clients N    bench-server: concurrent clients (default 16)
-//!   --iters N      bench-server: evaluations per client (default 200)
+//!   --quick            shrink workloads (smoke-test mode)
+//!   --json PATH        also dump machine-readable results
+//!   --clients N        bench-server: concurrent clients (default 16)
+//!   --iters N          bench-server: evaluations per client (default 200)
+//!   --check PATH       bench-server: fail on regression vs this baseline
+//!   --tolerance F      bench-server: allowed relative drop (default 0.25)
+//!   --attempts N       bench-server: gate retries before failing (default 3)
+//!   --wal PATH         fault-wal: write-ahead log location (required)
+//!   --out PATH         fault-wal: results JSON location (required)
+//!   --resume           fault-wal: resume from an existing log
+//!   --crash-after N    fault-wal: abort() after N evaluations
+//!   --eval-delay-ms N  fault-wal: sleep per evaluation (for SIGKILL tests)
 //! ```
 
 use ah_repro::{all_experiments, Experiment};
@@ -22,39 +31,135 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-fn bench_server(args: &[String], json_path: Option<String>) {
-    let parse = |flag: &str, default: usize| {
-        flag_value(args, flag)
-            .map(|v| {
-                v.parse().unwrap_or_else(|_| {
-                    eprintln!("{flag} expects a positive integer, got `{v}`");
-                    std::process::exit(2);
-                })
+fn parse_usize(args: &[String], flag: &str, default: usize) -> usize {
+    flag_value(args, flag)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a non-negative integer, got `{v}`");
+                std::process::exit(2);
             })
-            .unwrap_or(default)
+        })
+        .unwrap_or(default)
+}
+
+fn bench_server(args: &[String], json_path: Option<String>, quick: bool) {
+    let defaults = if quick {
+        ah_repro::bench_server::BenchConfig::quick()
+    } else {
+        ah_repro::bench_server::BenchConfig::default()
     };
-    let defaults = ah_repro::bench_server::BenchConfig::default();
     let cfg = ah_repro::bench_server::BenchConfig {
-        clients: parse("--clients", defaults.clients).max(1),
-        iters: parse("--iters", defaults.iters).max(1),
+        clients: parse_usize(args, "--clients", defaults.clients).max(1),
+        iters: parse_usize(args, "--iters", defaults.iters).max(1),
     };
+    // Regression gate: compare against a committed baseline instead of
+    // overwriting it (a checking run must never move its own goalposts).
+    if let Some(baseline_path) = flag_value(args, "--check") {
+        let tolerance = flag_value(args, "--tolerance")
+            .map(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance expects a fraction in [0, 1), got `{v}`");
+                        std::process::exit(2);
+                    })
+            })
+            .unwrap_or(0.25);
+        let attempts = parse_usize(args, "--attempts", 3).max(1);
+        let blob = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: serde_json::Value = serde_json::from_str(&blob).unwrap_or_else(|e| {
+            eprintln!("baseline {baseline_path} is not valid JSON: {e}");
+            std::process::exit(2);
+        });
+        // Short runs on shared runners are noisy in one direction only —
+        // interference slows scenarios down, it never speeds them up — so a
+        // genuine regression fails every attempt while noise does not.
+        let mut failures = Vec::new();
+        for attempt in 1..=attempts {
+            let report = ah_repro::bench_server::run(cfg);
+            failures = ah_repro::bench_server::check_regression(&report, &baseline, tolerance);
+            if failures.is_empty() {
+                println!(
+                    "bench-server: no regression vs {baseline_path} \
+                     (tolerance {tolerance}, attempt {attempt}/{attempts})"
+                );
+                if let Some(path) = json_path {
+                    write_json(&path, &report);
+                }
+                return;
+            }
+            eprintln!("bench-server: attempt {attempt}/{attempts} saw a regression:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            if let Some(path) = json_path.as_deref() {
+                write_json(path, &report);
+            }
+        }
+        for f in &failures {
+            eprintln!("bench-server REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
     let report = ah_repro::bench_server::run(cfg);
     let path = json_path.unwrap_or_else(|| "BENCH_server.json".into());
-    let blob = serde_json::to_string_pretty(&report).expect("report serializes");
-    let mut f = std::fs::File::create(&path).expect("create json output");
+    write_json(&path, &report);
+}
+
+fn write_json(path: &str, value: &serde_json::Value) {
+    let blob = serde_json::to_string_pretty(value).expect("report serializes");
+    let mut f = std::fs::File::create(path).expect("create json output");
     f.write_all(blob.as_bytes()).expect("write json output");
     f.write_all(b"\n").expect("write json output");
     eprintln!("wrote {path}");
+}
+
+fn fault_wal(args: &[String], quick: bool) -> i32 {
+    let require = |flag: &str| {
+        flag_value(args, flag).unwrap_or_else(|| {
+            eprintln!("fault-wal requires {flag} PATH");
+            std::process::exit(2);
+        })
+    };
+    let cfg = ah_repro::fault_wal::FaultWalConfig {
+        wal: require("--wal").into(),
+        out: require("--out").into(),
+        resume: args.iter().any(|a| a == "--resume"),
+        crash_after: flag_value(args, "--crash-after").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--crash-after expects a positive integer, got `{v}`");
+                std::process::exit(2);
+            })
+        }),
+        eval_delay: std::time::Duration::from_millis(parse_usize(args, "--eval-delay-ms", 0) as u64),
+        quick,
+    };
+    ah_repro::fault_wal::run(&cfg)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = flag_value(&args, "--json");
-    let flag_values: Vec<Option<String>> = ["--json", "--clients", "--iters"]
-        .iter()
-        .map(|f| flag_value(&args, f))
-        .collect();
+    let flag_values: Vec<Option<String>> = [
+        "--json",
+        "--clients",
+        "--iters",
+        "--check",
+        "--tolerance",
+        "--attempts",
+        "--wal",
+        "--out",
+        "--crash-after",
+        "--eval-delay-ms",
+    ]
+    .iter()
+    .map(|f| flag_value(&args, f))
+    .collect();
     let selectors: Vec<&String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -62,8 +167,12 @@ fn main() {
         .collect();
 
     if selectors.iter().any(|s| s.as_str() == "bench-server") {
-        bench_server(&args, json_path);
+        bench_server(&args, json_path, quick);
         return;
+    }
+
+    if selectors.iter().any(|s| s.as_str() == "fault-wal") {
+        std::process::exit(fault_wal(&args, quick));
     }
 
     if selectors.iter().any(|s| s.as_str() == "list") {

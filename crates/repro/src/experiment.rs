@@ -125,6 +125,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::experiments::table3::Table3),
         Box::new(crate::experiments::table4::Table4),
         Box::new(crate::experiments::fig6::Fig6),
+        Box::new(crate::experiments::fault::Fault),
     ]
 }
 
@@ -140,11 +141,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_complete() {
         let all = all_experiments();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), 14);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13, "duplicate experiment ids");
+        assert_eq!(ids.len(), 14, "duplicate experiment ids");
         assert!(by_id("fig4").is_some());
         assert!(by_id("nope").is_none());
     }

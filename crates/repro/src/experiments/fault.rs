@@ -1,0 +1,288 @@
+//! Fault-tolerant tuning: crashes, lost reports and stragglers in the
+//! worker pool leave the search trajectory bit-identical.
+//!
+//! The paper's tuning runs occupied shared clusters for hours; on such
+//! machines workers die and reports go missing. This experiment injects a
+//! seeded fault schedule ([`FaultPlan`]) into a pool of workers sharing one
+//! tuning session, and checks the server-side requeue/eviction machinery
+//! preserves the *exact* search trajectory of a fault-free serial client:
+//! costs are deterministic functions of the configuration and reports are
+//! flushed in proposal order, so who measures a trial — or how many times —
+//! cannot change what the search explores.
+
+use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::table;
+use ah_clustersim::{FaultKind, FaultPlan};
+use ah_core::prelude::*;
+use ah_core::server::protocol::TrialReport;
+use ah_core::server::HarmonyClient;
+use std::collections::HashSet;
+
+/// The experiment.
+pub struct Fault;
+
+fn declare(c: &HarmonyClient) {
+    c.add_param(Param::int("rows", 1, 64, 1)).unwrap();
+    c.add_param(Param::int("cols", 1, 64, 1)).unwrap();
+}
+
+/// Deterministic stand-in cost: a POP-like block-size bowl.
+fn objective(cfg: &Configuration) -> f64 {
+    let r = cfg.int("rows").expect("rows") as f64;
+    let c = cfg.int("cols").expect("cols") as f64;
+    (r - 24.0).powi(2) * 0.7 + (c - 17.0).powi(2) + (r * c - 400.0).abs() * 0.01
+}
+
+fn options(evals: usize, seed: u64) -> SessionOptions {
+    SessionOptions {
+        max_evaluations: evals,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn serial_history(strategy: StrategyKind, evals: usize, seed: u64) -> History {
+    let server = HarmonyServer::start_with(1);
+    let c = server.connect("fault-serial").unwrap();
+    declare(&c);
+    c.seal(options(evals, seed), strategy).unwrap();
+    loop {
+        let f = c.fetch().unwrap();
+        if f.finished {
+            break;
+        }
+        c.report(objective(&f.config)).unwrap();
+    }
+    let (h, _) = c.history().unwrap();
+    server.shutdown();
+    h
+}
+
+struct FaultyOutcome {
+    history: History,
+    crashes: usize,
+    lost: usize,
+    stragglers: usize,
+    rejoins: usize,
+}
+
+fn faulty_history(
+    strategy: StrategyKind,
+    evals: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    workers: usize,
+) -> FaultyOutcome {
+    let server = HarmonyServer::start_with(2);
+    let founder = server.connect("fault-pool").unwrap();
+    declare(&founder);
+    founder.seal(options(evals, seed), strategy).unwrap();
+    let session = founder.session_id();
+    let mut members: Vec<HarmonyClient> = (0..workers)
+        .map(|_| server.attach(session).unwrap())
+        .collect();
+
+    let mut held: Vec<(u32, TrialReport)> = Vec::new();
+    let mut faulted: HashSet<usize> = HashSet::new();
+    let (mut crashes, mut lost, mut stragglers, mut rejoins) = (0, 0, 0, 0);
+    let mut finished = false;
+    while !finished {
+        for h in held.iter_mut() {
+            h.0 -= 1;
+        }
+        let mut due = Vec::new();
+        held.retain_mut(|h| {
+            if h.0 == 0 {
+                due.push(h.1.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if !due.is_empty() {
+            founder.report_batch(due).unwrap();
+        }
+        for member in members.iter_mut() {
+            let (trials, fin) = member.fetch_batch(1).unwrap();
+            if fin {
+                finished = true;
+                break;
+            }
+            let Some(t) = trials.into_iter().next() else {
+                continue;
+            };
+            if held.iter().any(|(_, r)| r.iteration == t.iteration) {
+                continue; // still "measuring" its straggling trial
+            }
+            let report = TrialReport {
+                iteration: t.iteration,
+                cost: objective(&t.config),
+                wall_time: objective(&t.config),
+            };
+            let fault = if faulted.insert(t.iteration) {
+                plan.at(t.iteration as u64)
+            } else {
+                FaultKind::None
+            };
+            match fault {
+                FaultKind::None => member.report_batch(vec![report]).unwrap(),
+                FaultKind::Crash => {
+                    crashes += 1;
+                    rejoins += 1;
+                    member.leave().unwrap();
+                    *member = server.attach(session).unwrap();
+                }
+                FaultKind::LostReport => {
+                    lost += 1;
+                    rejoins += 1;
+                    held.push((4, report));
+                    member.leave().unwrap();
+                    *member = server.attach(session).unwrap();
+                }
+                FaultKind::Straggler { factor } => {
+                    stragglers += 1;
+                    held.push(((factor as u32).clamp(2, 8), report));
+                }
+            }
+        }
+    }
+    let (history, _) = founder.history().unwrap();
+    server.shutdown();
+    FaultyOutcome {
+        history,
+        crashes,
+        lost,
+        stragglers,
+        rejoins,
+    }
+}
+
+fn identical(a: &History, b: &History) -> bool {
+    serde_json::to_string(a).unwrap() == serde_json::to_string(b).unwrap()
+}
+
+impl Experiment for Fault {
+    fn id(&self) -> &'static str {
+        "fault"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fault tolerance: faulty worker pools keep the exact search trajectory"
+    }
+
+    fn run(&self, quick: bool) -> ExpReport {
+        let evals = if quick { 40 } else { 120 };
+        let workers = 3;
+        let plan = FaultPlan::new(2026, 0.12, 0.08, 0.18);
+
+        let mut rows = Vec::new();
+        let mut all_identical = true;
+        let mut total_faults = 0usize;
+        let mut total_rejoins = 0usize;
+        let mut per_strategy = Vec::new();
+        for (label, strategy, seed) in [
+            ("random", StrategyKind::Random, 61_u64),
+            ("nelder-mead", StrategyKind::NelderMead, 62),
+            ("pro", StrategyKind::Pro, 63),
+        ] {
+            let want = serial_history(strategy.clone(), evals, seed);
+            let got = faulty_history(strategy.clone(), evals, seed, &plan, workers);
+            let same = identical(&want, &got.history);
+            all_identical &= same;
+            let faults = got.crashes + got.lost + got.stragglers;
+            total_faults += faults;
+            total_rejoins += got.rejoins;
+            rows.push(vec![
+                label.to_string(),
+                want.len().to_string(),
+                got.crashes.to_string(),
+                got.lost.to_string(),
+                got.stragglers.to_string(),
+                got.rejoins.to_string(),
+                if same { "bit-identical" } else { "DIVERGED" }.to_string(),
+            ]);
+            per_strategy.push(serde_json::json!({
+                "strategy": label,
+                "evaluations": want.len(),
+                "crashes": got.crashes,
+                "lost_reports": got.lost,
+                "stragglers": got.stragglers,
+                "rejoins": got.rejoins,
+                "trajectory_identical": same,
+            }));
+        }
+
+        let narrative = format!(
+            "{workers} workers share each session; fault schedule seed {}, \
+             p(crash)={}, p(lost)={}, p(straggler)={}\n\n{}",
+            plan.seed,
+            plan.crash_prob,
+            plan.lost_prob,
+            plan.straggler_prob,
+            table::render(
+                &[
+                    "strategy",
+                    "evals",
+                    "crashes",
+                    "lost",
+                    "stragglers",
+                    "rejoins",
+                    "trajectory"
+                ],
+                &rows,
+            )
+        );
+
+        let findings = vec![
+            Finding::check(
+                "trajectory under faults",
+                "bit-identical to fault-free serial run",
+                if all_identical {
+                    "bit-identical for random, nelder-mead, pro".into()
+                } else {
+                    "diverged".to_string()
+                },
+                all_identical,
+            ),
+            Finding::check(
+                "fault schedule actually fires",
+                "> 0 injected faults",
+                format!("{total_faults} faults, {total_rejoins} worker rejoins"),
+                total_faults > 0 && total_rejoins > 0,
+            ),
+            Finding::info(
+                "recovery mechanism",
+                "requeue by iteration token, dedupe stale duplicates",
+                "leave/eviction requeues; duplicates ignored via issued-high watermark",
+            ),
+        ];
+        ExpReport {
+            id: self.id().into(),
+            title: self.title().into(),
+            narrative,
+            findings,
+            data: serde_json::json!({
+                "workers": workers,
+                "evaluations": evals,
+                "fault_plan": {
+                    "seed": plan.seed,
+                    "crash_prob": plan.crash_prob,
+                    "lost_prob": plan.lost_prob,
+                    "straggler_prob": plan.straggler_prob,
+                },
+                "strategies": per_strategy,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_paper_shape() {
+        let r = Fault.run(true);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per paper table/figure.
 
 pub mod common;
+pub mod fault;
 pub mod fig2b;
 pub mod fig3;
 pub mod fig4;

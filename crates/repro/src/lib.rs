@@ -15,6 +15,7 @@ pub mod bench_server;
 pub mod chart;
 pub mod experiment;
 pub mod experiments;
+pub mod fault_wal;
 pub mod table;
 
 pub use experiment::{all_experiments, ExpReport, Experiment, Finding};

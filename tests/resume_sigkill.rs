@@ -1,0 +1,123 @@
+//! Crash-safety acceptance test: a tuning run killed mid-experiment and
+//! resumed via `--resume` writes results *byte-identical* to an
+//! uninterrupted run.
+//!
+//! Two kill mechanisms are exercised against the real `repro` binary:
+//! a cooperative `--crash-after N` (`std::process::abort()` inside the
+//! driver — no unwinding, no Drop cleanup) and an external `SIGKILL`
+//! landing at an arbitrary point of a slowed-down run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-resume-sigkill-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Uninterrupted reference run; returns the results bytes.
+fn clean_run(dir: &Path) -> Vec<u8> {
+    let wal = dir.join("clean.wal");
+    let out = dir.join("clean.json");
+    let status = repro()
+        .args(["fault-wal", "--quick"])
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "clean run failed: {status}");
+    std::fs::read(&out).expect("clean results")
+}
+
+#[test]
+fn abort_mid_experiment_then_resume_is_byte_identical() {
+    let dir = tmp_dir("abort");
+    let want = clean_run(&dir);
+
+    let wal = dir.join("crash.wal");
+    let out = dir.join("crash.json");
+    let status = repro()
+        .args(["fault-wal", "--quick", "--crash-after", "7"])
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(!status.success(), "crash-after run must die, got {status}");
+    assert!(!out.exists(), "crashed run must not have written results");
+
+    let status = repro()
+        .args(["fault-wal", "--quick", "--resume"])
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "resume failed: {status}");
+    let got = std::fs::read(&out).expect("resumed results");
+    assert_eq!(got, want, "resumed results differ from uninterrupted run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_experiment_then_resume_is_byte_identical() {
+    let dir = tmp_dir("sigkill");
+    let want = clean_run(&dir);
+
+    let wal = dir.join("killed.wal");
+    let out = dir.join("killed.json");
+    // Slow the run down so the kill lands mid-experiment, then SIGKILL it
+    // (`Child::kill` sends SIGKILL on unix: no handler, no cleanup).
+    let mut child = repro()
+        .args(["fault-wal", "--quick", "--eval-delay-ms", "25"])
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--out")
+        .arg(&out)
+        .spawn()
+        .expect("spawn repro");
+    // Wait for the header plus a few records to hit the disk.
+    let mut saw_progress = false;
+    for _ in 0..200 {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        if let Ok(blob) = std::fs::read_to_string(&wal) {
+            if blob.lines().count() >= 4 {
+                saw_progress = true;
+                break;
+            }
+        }
+    }
+    child.kill().expect("kill repro");
+    let status = child.wait().expect("wait repro");
+    assert!(!status.success(), "killed run must not exit cleanly");
+    assert!(
+        saw_progress,
+        "run never made logged progress before the kill"
+    );
+    assert!(!out.exists(), "killed run must not have written results");
+
+    let status = repro()
+        .args(["fault-wal", "--quick", "--resume"])
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "resume after SIGKILL failed: {status}");
+    let got = std::fs::read(&out).expect("resumed results");
+    assert_eq!(
+        got, want,
+        "post-SIGKILL results differ from uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
