@@ -9,6 +9,9 @@
 //! `k` asking "what happens to evaluation 17?" always gets the same
 //! answer, no matter which worker asks or when).
 
+use ah_core::seeded::{splitmix64, unit_f64};
+use ah_core::telemetry::{Counter, Telemetry, TrialStage};
+
 /// What goes wrong (if anything) at one evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
@@ -52,22 +55,6 @@ pub struct FaultPlan {
     pub straggler_prob: f64,
     /// Slowdown multiplier applied to straggling evaluations.
     pub straggler_factor: f64,
-}
-
-/// SplitMix64: one multiply-xor-shift round per draw, so `at(index)` is
-/// O(1) and stateless — no sequential RNG stream to keep in sync across
-/// workers.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Map a hash to a uniform draw in `[0, 1)`.
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl FaultPlan {
@@ -136,7 +123,7 @@ impl FaultPlan {
         if !self.is_active() {
             return FaultKind::None;
         }
-        let u = unit(splitmix64(
+        let u = unit_f64(splitmix64(
             self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F),
         ));
         if u < self.crash_prob {
@@ -150,6 +137,23 @@ impl FaultPlan {
         } else {
             FaultKind::None
         }
+    }
+
+    /// [`at`](Self::at), with any injected fault recorded on `telemetry` as
+    /// a [`TrialStage::Faulted`] event (cause `crash` / `lost_report` /
+    /// `straggler`) plus the matching fault counter. `index` doubles as the
+    /// trial's iteration token in the event.
+    pub fn at_observed(&self, index: u64, telemetry: &Telemetry) -> FaultKind {
+        let kind = self.at(index);
+        let (counter, cause) = match kind {
+            FaultKind::None => return kind,
+            FaultKind::Crash => (Counter::FaultsCrash, "crash"),
+            FaultKind::LostReport => (Counter::FaultsLostReport, "lost_report"),
+            FaultKind::Straggler { .. } => (Counter::FaultsStraggler, "straggler"),
+        };
+        telemetry.inc(counter);
+        telemetry.event(TrialStage::Faulted, index as usize, 0, Some(cause));
+        kind
     }
 
     /// Count of faults by kind over the first `n` indices:
@@ -224,5 +228,24 @@ mod tests {
     #[should_panic(expected = "sum to at most 1")]
     fn overcommitted_probabilities_are_rejected() {
         FaultPlan::new(0, 0.5, 0.4, 0.3);
+    }
+
+    #[test]
+    fn at_observed_matches_at_and_records_faults() {
+        let plan = FaultPlan::new(7, 0.10, 0.05, 0.20);
+        let t = Telemetry::enabled();
+        let n = 500;
+        for i in 0..n {
+            assert_eq!(plan.at_observed(i, &t), plan.at(i));
+        }
+        let (crashes, lost, stragglers) = plan.tally(n);
+        assert_eq!(t.counter(Counter::FaultsCrash), crashes as u64);
+        assert_eq!(t.counter(Counter::FaultsLostReport), lost as u64);
+        assert_eq!(t.counter(Counter::FaultsStraggler), stragglers as u64);
+        assert_eq!(
+            t.events().len(),
+            crashes + lost + stragglers,
+            "one Faulted event per injected fault"
+        );
     }
 }

@@ -59,13 +59,11 @@ impl History {
         self.evals.iter().filter(|e| !e.cached).count()
     }
 
-    /// Best evaluation so far (ties go to the earliest).
+    /// Best evaluation so far (ties go to the earliest). `total_cmp` keeps
+    /// the ordering a real total order even if a NaN cost slips in: NaN
+    /// sorts above `+inf`, so it can never shadow a genuine best.
     pub fn best(&self) -> Option<&Evaluation> {
-        self.evals.iter().min_by(|a, b| {
-            a.cost
-                .partial_cmp(&b.cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.evals.iter().min_by(|a, b| a.cost.total_cmp(&b.cost))
     }
 
     /// The running best cost after each evaluation (a convergence curve).

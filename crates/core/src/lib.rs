@@ -57,10 +57,12 @@ pub mod param;
 pub mod priors;
 pub mod report;
 pub mod retry;
+pub mod seeded;
 pub mod server;
 pub mod session;
 pub mod space;
 pub mod strategy;
+pub mod telemetry;
 pub mod value;
 pub mod wal;
 
@@ -84,6 +86,7 @@ pub mod prelude {
         Exhaustive, GreedyFrom, GreedyOneParam, GreedyOptions, GridSearch, NelderMead,
         NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy, StartPoint,
     };
+    pub use crate::telemetry::{Counter, Latency, Telemetry, TrialEvent, TrialStage};
     pub use crate::value::ParamValue;
     pub use crate::wal::{WalHeader, WalSession};
 }

@@ -7,6 +7,8 @@
 //! all saw the same failure at the same instant.
 
 use crate::error::{HarmonyError, Result};
+use crate::seeded::{splitmix64, unit_f64};
+use crate::telemetry::{Counter, Latency, Telemetry};
 use std::time::Duration;
 
 /// Backoff schedule for retryable transport errors.
@@ -40,19 +42,6 @@ impl Default for RetryPolicy {
             seed: 0,
         }
     }
-}
-
-/// SplitMix64: a tiny, high-quality stateless mixer — enough for jitter.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-/// Uniform f64 in `[0, 1)` from a hash.
-pub(crate) fn unit_f64(hash: u64) -> f64 {
-    (hash >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl RetryPolicy {
@@ -90,7 +79,17 @@ impl RetryPolicy {
     /// Run `op` until it succeeds, exhausts `max_attempts`, or fails with a
     /// fatal error. Sleeps `delay(i)` between attempts. Returns the last
     /// error on exhaustion.
-    pub fn run<T, F>(&self, mut op: F) -> Result<T>
+    pub fn run<T, F>(&self, op: F) -> Result<T>
+    where
+        F: FnMut() -> Result<T>,
+    {
+        self.run_observed(&Telemetry::disabled(), op)
+    }
+
+    /// [`run`](Self::run), with each backoff sleep recorded on `telemetry`
+    /// (a [`Counter::RetryBackoffs`] tick and a
+    /// [`Latency::RetryBackoffSleep`] observation per sleep).
+    pub fn run_observed<T, F>(&self, telemetry: &Telemetry, mut op: F) -> Result<T>
     where
         F: FnMut() -> Result<T>,
     {
@@ -100,7 +99,10 @@ impl RetryPolicy {
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_retryable() && attempt + 1 < attempts => {
-                    std::thread::sleep(self.delay(attempt));
+                    let sleep = self.delay(attempt);
+                    telemetry.inc(Counter::RetryBackoffs);
+                    telemetry.observe(Latency::RetryBackoffSleep, sleep);
+                    std::thread::sleep(sleep);
                     last = e;
                 }
                 Err(e) => return Err(e),
@@ -204,6 +206,20 @@ mod tests {
         });
         assert!(matches!(out, Err(HarmonyError::Timeout(_))));
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_observed_records_each_backoff() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let t = Telemetry::enabled();
+        let _: Result<()> = p.run_observed(&t, || Err(HarmonyError::Disconnected));
+        // Three attempts means two inter-attempt sleeps.
+        assert_eq!(t.counter(Counter::RetryBackoffs), 2);
     }
 
     #[test]

@@ -92,12 +92,8 @@ impl HarmonyClient {
 
     fn call_raw(bus: &ServerBus, client: u64, req: Request) -> Result<Reply> {
         let (tx, rx) = bounded(1);
-        bus.send(Envelope {
-            client,
-            req,
-            reply: tx,
-        })
-        .map_err(|_| HarmonyError::Disconnected)?;
+        bus.send(Envelope::new(client, req, tx))
+            .map_err(|_| HarmonyError::Disconnected)?;
         rx.recv().map_err(|_| HarmonyError::Disconnected)
     }
 

@@ -34,15 +34,16 @@ pub mod protocol;
 pub mod tcp;
 
 pub use client::HarmonyClient;
-pub use tcp::{TcpHarmonyClient, TcpHarmonyServer};
+pub use tcp::{TcpClientOptions, TcpHarmonyClient, TcpHarmonyServer};
 
 use crate::error::{HarmonyError, Result};
 use crate::session::{Trial, TuningSession};
 use crate::space::SearchSpaceBuilder;
+use crate::telemetry::{Counter, Latency, Telemetry, TrialStage};
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
-use protocol::{Envelope, FetchedTrial, Reply, Request};
-use std::collections::{HashMap, VecDeque};
+use protocol::{sanitize_measurement, Envelope, FetchedTrial, Reply, Request};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -64,6 +65,9 @@ pub struct ServerConfig {
     /// idle clients holding long measurements should send
     /// [`Request::Heartbeat`]. `None` (default) disables eviction.
     pub client_ttl: Option<Duration>,
+    /// Telemetry handle every shard records onto (disabled by default —
+    /// recording costs nothing until a caller passes an enabled handle).
+    pub telemetry: Telemetry,
 }
 
 /// One member of a session.
@@ -234,7 +238,12 @@ impl HarmonyServer {
     }
 
     fn worker_loop(rx: Receiver<Envelope>, table: Arc<Mutex<ShardTable>>, cfg: ServerConfig) {
-        for Envelope { client, req, reply } in rx.iter() {
+        for env in rx.iter() {
+            cfg.telemetry
+                .observe(Latency::ShardQueueWait, env.queued_at.elapsed());
+            let Envelope {
+                client, req, reply, ..
+            } = env;
             if matches!(req, Request::Shutdown) {
                 let _ = reply.send(Reply::Ok);
                 break;
@@ -288,11 +297,7 @@ impl HarmonyServer {
             let (tx, rx) = crossbeam::channel::bounded(1);
             if shard
                 .tx
-                .send(Envelope {
-                    client: 0,
-                    req: Request::Shutdown,
-                    reply: tx,
-                })
+                .send(Envelope::new(0, Request::Shutdown, tx))
                 .is_ok()
             {
                 acks.push(rx);
@@ -328,9 +333,13 @@ impl HarmonyServer {
         cfg: &ServerConfig,
         now: Instant,
     ) {
+        let telemetry = &cfg.telemetry;
         let SessionPhase::Tuning { outstanding, .. } = &mut state.phase else {
             return;
         };
+        // Members evicted by *this* sweep, so requeues below can name the
+        // right cause (an eviction vs. an explicit leave).
+        let mut evicted: HashSet<u64> = HashSet::new();
         if let Some(ttl) = cfg.client_ttl {
             let dead: Vec<u64> = state
                 .members
@@ -341,6 +350,9 @@ impl HarmonyServer {
             for id in dead {
                 state.members.remove(&id);
                 clients.remove(&id);
+                telemetry.inc(Counter::MembersEvicted);
+                telemetry.event(TrialStage::Evicted, 0, id, Some("ttl_expired"));
+                evicted.insert(id);
             }
         }
         for t in outstanding.iter_mut() {
@@ -351,6 +363,20 @@ impl HarmonyServer {
                 .trial_deadline
                 .is_some_and(|d| now.duration_since(t.issued) > d);
             if expired || !state.members.contains_key(&t.owner) {
+                let cause = if expired {
+                    "trial_deadline"
+                } else if evicted.contains(&t.owner) {
+                    "owner_evicted"
+                } else {
+                    "owner_left"
+                };
+                telemetry.inc(Counter::TrialsRequeued);
+                telemetry.event(
+                    TrialStage::Requeued,
+                    t.trial.iteration,
+                    t.owner,
+                    Some(cause),
+                );
                 t.owner = 0;
             }
         }
@@ -409,17 +435,19 @@ impl HarmonyServer {
                     return Reply::Ok;
                 }
                 Self::sweep(clients, state, cfg, now);
-                Self::handle_for_session(state, client, other, now)
+                Self::handle_for_session(state, cfg, client, other, now)
             }
         }
     }
 
     fn handle_for_session(
         state: &mut SessionState,
+        cfg: &ServerConfig,
         client: u64,
         req: Request,
         now: Instant,
     ) -> Reply {
+        let telemetry = &cfg.telemetry;
         if matches!(req, Request::Heartbeat) {
             return Reply::Ok; // last_seen already refreshed by the caller
         }
@@ -441,7 +469,8 @@ impl HarmonyServer {
                 let b = builder.take().expect("builder present while building");
                 match b.build() {
                     Ok(space) => {
-                        let session = TuningSession::new(space, strategy.build(), options);
+                        let mut session = TuningSession::new(space, strategy.build(), options);
+                        session.set_telemetry(telemetry.clone());
                         state.phase = SessionPhase::Tuning {
                             session: Box::new(session),
                             outstanding: VecDeque::new(),
@@ -469,6 +498,13 @@ impl HarmonyServer {
                 // Re-fetch without report: hand out this client's oldest
                 // unreported trial again.
                 if let Some(t) = outstanding.iter().find(|t| t.owner == client) {
+                    telemetry.inc(Counter::TrialsFetched);
+                    telemetry.event(
+                        TrialStage::Fetched,
+                        t.trial.iteration,
+                        client,
+                        Some("refetch"),
+                    );
                     return Reply::Config {
                         config: t.trial.config.clone(),
                         iteration: t.trial.iteration,
@@ -480,6 +516,13 @@ impl HarmonyServer {
                 if let Some(t) = outstanding.iter_mut().find(|t| t.owner == 0) {
                     t.owner = client;
                     t.issued = now;
+                    telemetry.inc(Counter::TrialsFetched);
+                    telemetry.event(
+                        TrialStage::Fetched,
+                        t.trial.iteration,
+                        client,
+                        Some("requeue_claim"),
+                    );
                     return Reply::Config {
                         config: t.trial.config.clone(),
                         iteration: t.trial.iteration,
@@ -489,6 +532,8 @@ impl HarmonyServer {
                 match session.suggest_batch(1).pop() {
                     Some(trial) => {
                         *issued_high = (*issued_high).max(trial.iteration);
+                        telemetry.inc(Counter::TrialsFetched);
+                        telemetry.event(TrialStage::Fetched, trial.iteration, client, None);
                         let reply = Reply::Config {
                             config: trial.config.clone(),
                             iteration: trial.iteration,
@@ -521,6 +566,10 @@ impl HarmonyServer {
                     return Reply::err("report without an outstanding fetch");
                 };
                 let t = outstanding.remove(pos).expect("position found above");
+                let (cost, wall_time, clamped) = sanitize_measurement(cost, wall_time);
+                if clamped {
+                    telemetry.inc(Counter::NonFiniteCostsSanitized);
+                }
                 match session.report_timed(t.trial, cost, wall_time) {
                     Ok(()) => Reply::Ok,
                     Err(e) => Reply::err(e.to_string()),
@@ -544,21 +593,33 @@ impl HarmonyServer {
                 // This client's unreported trials first (so a re-fetch after
                 // a lost reply converges), then requeued trials of departed
                 // owners, then top up with fresh proposals.
-                let mut trials: Vec<FetchedTrial> = outstanding
-                    .iter()
-                    .filter(|t| t.owner == client)
-                    .take(max)
-                    .map(|t| FetchedTrial {
+                let mut trials: Vec<FetchedTrial> = Vec::new();
+                for t in outstanding.iter().filter(|t| t.owner == client).take(max) {
+                    telemetry.inc(Counter::TrialsFetched);
+                    telemetry.event(
+                        TrialStage::Fetched,
+                        t.trial.iteration,
+                        client,
+                        Some("refetch"),
+                    );
+                    trials.push(FetchedTrial {
                         config: t.trial.config.clone(),
                         iteration: t.trial.iteration,
-                    })
-                    .collect();
+                    });
+                }
                 for t in outstanding.iter_mut().filter(|t| t.owner == 0) {
                     if trials.len() >= max {
                         break;
                     }
                     t.owner = client;
                     t.issued = now;
+                    telemetry.inc(Counter::TrialsFetched);
+                    telemetry.event(
+                        TrialStage::Fetched,
+                        t.trial.iteration,
+                        client,
+                        Some("requeue_claim"),
+                    );
                     trials.push(FetchedTrial {
                         config: t.trial.config.clone(),
                         iteration: t.trial.iteration,
@@ -567,6 +628,8 @@ impl HarmonyServer {
                 if trials.len() < max {
                     for trial in session.suggest_batch(max - trials.len()) {
                         *issued_high = (*issued_high).max(trial.iteration);
+                        telemetry.inc(Counter::TrialsFetched);
+                        telemetry.event(TrialStage::Fetched, trial.iteration, client, None);
                         trials.push(FetchedTrial {
                             config: trial.config.clone(),
                             iteration: trial.iteration,
@@ -604,7 +667,12 @@ impl HarmonyServer {
                     {
                         Some(pos) => {
                             let t = outstanding.remove(pos).expect("position found above");
-                            if let Err(e) = session.report_timed(t.trial, r.cost, r.wall_time) {
+                            let (cost, wall_time, clamped) =
+                                sanitize_measurement(r.cost, r.wall_time);
+                            if clamped {
+                                telemetry.inc(Counter::NonFiniteCostsSanitized);
+                            }
+                            if let Err(e) = session.report_timed(t.trial, cost, wall_time) {
                                 return Reply::err(e.to_string());
                             }
                         }
@@ -612,7 +680,10 @@ impl HarmonyServer {
                         // eviction, re-measured by another member, and its
                         // cost already applied. Costs are functions of the
                         // configuration, so dropping the echo is lossless.
-                        None if r.iteration <= *issued_high => continue,
+                        None if r.iteration <= *issued_high => {
+                            telemetry.inc(Counter::StaleReportsDropped);
+                            continue;
+                        }
                         None => {
                             return Reply::err(
                                 HarmonyError::Protocol(format!(

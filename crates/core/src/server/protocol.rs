@@ -190,6 +190,31 @@ pub enum Reply {
     },
 }
 
+/// Clamp one measurement at the protocol boundary: a non-finite cost
+/// becomes `+inf` (NaN would scramble cost ordering; `-inf` would become an
+/// unbeatable false best) and a non-finite wall time becomes `0.0` (it
+/// would poison the history's cumulative-time column). Returns the
+/// sanitized pair and whether anything was clamped. Applied to `Report`
+/// and `ReportBatch` before a session sees the values — a hostile or buggy
+/// client must not be able to corrupt the shared trajectory. Note the wire
+/// format makes this reachable: raw JSON like `1e999` parses to `+inf`.
+pub fn sanitize_measurement(cost: f64, wall_time: f64) -> (f64, f64, bool) {
+    let clamped = !cost.is_finite() || !wall_time.is_finite();
+    (
+        if cost.is_finite() {
+            cost
+        } else {
+            f64::INFINITY
+        },
+        if wall_time.is_finite() {
+            wall_time
+        } else {
+            0.0
+        },
+        clamped,
+    )
+}
+
 impl Reply {
     /// A fatal error reply.
     pub fn err(message: impl Into<String>) -> Self {
@@ -218,6 +243,21 @@ pub struct Envelope {
     pub req: Request,
     /// Where to deliver the reply.
     pub reply: Sender<Reply>,
+    /// When the envelope entered its shard queue (feeds the
+    /// `shard_queue_wait` latency histogram).
+    pub queued_at: std::time::Instant,
+}
+
+impl Envelope {
+    /// Build an envelope stamped with the current instant.
+    pub fn new(client: u64, req: Request, reply: Sender<Reply>) -> Self {
+        Envelope {
+            client,
+            req,
+            reply,
+            queued_at: std::time::Instant::now(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -36,12 +36,13 @@ use crate::param::Param;
 use crate::retry::RetryPolicy;
 use crate::session::SessionOptions;
 use crate::space::Configuration;
+use crate::telemetry::{Counter, Latency, Telemetry};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default cap on simultaneously served connections; beyond it new
 /// connections are refused with a retryable error reply instead of
@@ -233,11 +234,7 @@ fn serve_connection(stream: TcpStream, bus: ServerBus) {
                 let is_leave = matches!(req, Request::Leave);
                 let (tx, rx) = crossbeam::channel::bounded(1);
                 if bus
-                    .send(super::protocol::Envelope {
-                        client: client_id,
-                        req,
-                        reply: tx,
-                    })
+                    .send(super::protocol::Envelope::new(client_id, req, tx))
                     .is_err()
                 {
                     break;
@@ -267,11 +264,11 @@ fn serve_connection(stream: TcpStream, bus: ServerBus) {
         // outstanding trials for the survivors.
         let (tx, rx) = crossbeam::channel::bounded(1);
         if bus
-            .send(super::protocol::Envelope {
-                client: client_id,
-                req: Request::Leave,
-                reply: tx,
-            })
+            .send(super::protocol::Envelope::new(
+                client_id,
+                Request::Leave,
+                tx,
+            ))
             .is_ok()
         {
             let _ = rx.recv();
@@ -295,6 +292,9 @@ pub struct TcpClientOptions {
     /// indefinitely; with a deadline, an elapsed read surfaces as
     /// [`HarmonyError::Timeout`] and is retried like a disconnect.
     pub io_timeout: Option<Duration>,
+    /// Telemetry handle recording batch round-trip latencies and retry
+    /// backoffs on the client side (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 fn io_error(e: std::io::Error, what: &str) -> HarmonyError {
@@ -371,6 +371,16 @@ impl std::fmt::Debug for TcpHarmonyClient {
     }
 }
 
+/// Record one retry backoff in `telemetry`, then sleep it out. Shared by
+/// the connect, attach, and idempotent-call retry loops so every backoff a
+/// client takes shows up in the `retry_backoff_sleep` histogram.
+fn observed_backoff(telemetry: &Telemetry, policy: &RetryPolicy, attempt: u32) {
+    let sleep = policy.delay(attempt);
+    telemetry.inc(Counter::RetryBackoffs);
+    telemetry.observe(Latency::RetryBackoffSleep, sleep);
+    std::thread::sleep(sleep);
+}
+
 impl TcpHarmonyClient {
     /// Connect and register the application (founds a new session), with
     /// default [`TcpClientOptions`].
@@ -395,7 +405,7 @@ impl TcpHarmonyClient {
             match client.register_once(app) {
                 Ok(()) => return Ok(client),
                 Err(e) if e.is_retryable() && attempt + 1 < attempts => {
-                    std::thread::sleep(policy.delay(attempt));
+                    observed_backoff(&client.opts.telemetry, &policy, attempt);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -426,7 +436,7 @@ impl TcpHarmonyClient {
             match client.reconnect_once() {
                 Ok(()) => return Ok(client),
                 Err(e) if e.is_retryable() && attempt + 1 < attempts => {
-                    std::thread::sleep(policy.delay(attempt));
+                    observed_backoff(&client.opts.telemetry, &policy, attempt);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -502,7 +512,7 @@ impl TcpHarmonyClient {
         loop {
             match self.try_call(&req) {
                 Err(e) if e.is_retryable() && attempt + 1 < attempts => {
-                    std::thread::sleep(policy.delay(attempt));
+                    observed_backoff(&self.opts.telemetry, &policy, attempt);
                     attempt += 1;
                 }
                 other => return other,
@@ -591,7 +601,12 @@ impl TcpHarmonyClient {
     /// Fetch up to `max` configurations in one round-trip — one request
     /// frame out, one reply frame back. Returns `(trials, finished)`.
     pub fn fetch_batch(&mut self, max: usize) -> Result<(Vec<FetchedTrial>, bool)> {
-        match self.call_retrying(Request::FetchBatch { max })? {
+        let started = Instant::now();
+        let reply = self.call_retrying(Request::FetchBatch { max })?;
+        self.opts
+            .telemetry
+            .observe(Latency::FetchBatchRtt, started.elapsed());
+        match reply {
             Reply::Configs { trials, finished } => Ok((trials, finished)),
             _ => Err(HarmonyError::Protocol(
                 "unexpected reply to FetchBatch".into(),
@@ -603,8 +618,12 @@ impl TcpHarmonyClient {
     /// round-trip (one frame each way). Safe to retry: duplicates are
     /// dropped by iteration token on the server.
     pub fn report_batch(&mut self, reports: Vec<TrialReport>) -> Result<()> {
-        self.call_retrying(Request::ReportBatch { reports })
-            .map(|_| ())
+        let started = Instant::now();
+        let reply = self.call_retrying(Request::ReportBatch { reports });
+        self.opts
+            .telemetry
+            .observe(Latency::ReportBatchRtt, started.elapsed());
+        reply.map(|_| ())
     }
 
     /// Best `(configuration, cost)` so far.
@@ -728,6 +747,88 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         let reply: Reply = serde_json::from_str(&line).unwrap();
         assert!(matches!(reply, Reply::Error { .. }), "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_finite_cost_over_the_wire_is_sanitized_not_best() {
+        // Regression: the vendored serde_json refuses to *serialize* NaN or
+        // infinity, but raw JSON like `1e999` happily *parses* to `+inf`,
+        // so a buggy or hostile client can deliver a non-finite cost over
+        // TCP. The server must clamp it at the protocol boundary: it may
+        // never become the session's best or scramble the cost ordering.
+        let telemetry = Telemetry::enabled();
+        let server = TcpHarmonyServer::bind_with(
+            "127.0.0.1:0",
+            64,
+            crate::server::ServerConfig {
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut call = |frame: String| -> Reply {
+            stream.write_all(frame.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            serde_json::from_str(&line).unwrap()
+        };
+        let frame = |req: &Request| serde_json::to_string(req).unwrap();
+
+        let reply = call(frame(&Request::Register { app: "nan".into() }));
+        assert!(matches!(reply, Reply::Registered { .. }), "{reply:?}");
+        call(frame(&Request::AddParam {
+            param: Param::int("x", 0, 10, 1),
+        }));
+        call(frame(&Request::Seal {
+            options: SessionOptions {
+                max_evaluations: 4,
+                seed: 5,
+                ..Default::default()
+            },
+            strategy: StrategyKind::Random,
+        }));
+        let Reply::Configs { trials, .. } = call(frame(&Request::FetchBatch { max: 4 })) else {
+            panic!("expected Configs");
+        };
+        assert_eq!(trials.len(), 4);
+        // First trial reports `1e999` (parses to +inf — a stand-in for any
+        // non-finite measurement); the rest report finite costs.
+        let poisoned = trials[0].iteration;
+        call(format!(
+            "{{\"ReportBatch\":{{\"reports\":[{{\"iteration\":{poisoned},\
+             \"cost\":1e999,\"wall_time\":0.0}}]}}}}"
+        ));
+        let reports: Vec<String> = trials[1..]
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"iteration\":{},\"cost\":{}.0,\"wall_time\":0.0}}",
+                    t.iteration,
+                    t.iteration + 2
+                )
+            })
+            .collect();
+        call(format!(
+            "{{\"ReportBatch\":{{\"reports\":[{}]}}}}",
+            reports.join(",")
+        ));
+        let Reply::Best { best } = call(frame(&Request::QueryBest)) else {
+            panic!("expected Best");
+        };
+        let (_, cost) = best.expect("four evaluations happened");
+        assert!(
+            cost.is_finite(),
+            "non-finite report leaked into best: {cost}"
+        );
+        assert_eq!(
+            telemetry.counter(Counter::NonFiniteCostsSanitized),
+            1,
+            "the clamp must be counted exactly once"
+        );
         server.shutdown();
     }
 

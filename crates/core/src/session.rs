@@ -14,6 +14,7 @@ use crate::error::{HarmonyError, Result};
 use crate::history::{Evaluation, History};
 use crate::space::{Configuration, SearchSpace};
 use crate::strategy::SearchStrategy;
+use crate::telemetry::{Counter, Telemetry, TrialStage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
@@ -151,6 +152,7 @@ pub struct TuningSession {
     /// the front strictly in order, so a batched session walks through
     /// bit-identical state transitions to a serial one.
     pending: VecDeque<PendingTrial>,
+    telemetry: Telemetry,
 }
 
 impl TuningSession {
@@ -177,7 +179,16 @@ impl TuningSession {
             stopped: None,
             initialized: false,
             pending: VecDeque::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle: from now on the session records
+    /// Proposed / Measured / Reported / Replayed lifecycle events and their
+    /// counters on it. Recording is a pure observer — it never influences
+    /// the trajectory.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The space being searched.
@@ -310,6 +321,9 @@ impl TuningSession {
                 self.flush_pending();
                 continue;
             }
+            self.telemetry.inc(Counter::TrialsProposed);
+            self.telemetry
+                .event(TrialStage::Proposed, iteration, 0, None);
             out.push(Trial {
                 config: config.clone(),
                 iteration,
@@ -341,6 +355,9 @@ impl TuningSession {
             ));
         };
         entry.outcome = Some((cost, wall_time));
+        self.telemetry.inc(Counter::TrialsMeasured);
+        self.telemetry
+            .event(TrialStage::Measured, trial.iteration, 0, None);
         self.flush_pending();
         Ok(())
     }
@@ -366,9 +383,18 @@ impl TuningSession {
             match e.kind {
                 PendingKind::Fresh => {
                     let (cost, wall_time) = e.outcome.expect("readiness checked above");
-                    // A failed measurement (NaN) must never become the best;
-                    // treat it as infinitely slow so the search moves away.
-                    let cost = if cost.is_nan() { f64::INFINITY } else { cost };
+                    // A failed measurement must never become the best; map
+                    // every non-finite cost (NaN, but also ±inf — a -inf
+                    // would be a permanent false best) to infinitely slow so
+                    // the search moves away.
+                    // (Counted at the protocol boundary, not here: the
+                    // server already maps non-finite to +inf, so this is the
+                    // idempotent backstop for in-process callers.)
+                    let cost = if cost.is_finite() {
+                        cost
+                    } else {
+                        f64::INFINITY
+                    };
                     self.cumulative_time += wall_time;
                     self.cache.insert(e.key, cost);
                     self.fresh_evals += 1;
@@ -380,6 +406,9 @@ impl TuningSession {
                         cached: false,
                         cumulative_time: self.cumulative_time,
                     });
+                    self.telemetry.inc(Counter::TrialsReported);
+                    self.telemetry
+                        .event(TrialStage::Reported, e.iteration, 0, None);
                     let improved = self.update_best(&e.config, cost);
                     if improved {
                         self.since_improvement = 0;
@@ -410,6 +439,9 @@ impl TuningSession {
                 }
                 PendingKind::Replay => {
                     let cost = *self.cache.get(&e.key).expect("readiness checked above");
+                    self.telemetry.inc(Counter::CacheReplays);
+                    self.telemetry
+                        .event(TrialStage::Replayed, e.iteration, 0, Some("cache_hit"));
                     self.consecutive_cached += 1;
                     self.history.push(Evaluation {
                         iteration: e.iteration,

@@ -224,11 +224,10 @@ impl NelderMead {
     }
 
     fn order(&mut self) {
-        self.vertices.sort_by(|a, b| {
-            a.cost
-                .partial_cmp(&b.cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // total_cmp, not partial_cmp-or-Equal: a NaN vertex must sort to
+        // the worst end of the simplex (NaN > +inf in the total order), not
+        // freeze wherever the unstable sort happened to leave it.
+        self.vertices.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     }
 
     fn centroid_excluding_worst(&self) -> Vec<f64> {

@@ -131,11 +131,7 @@ impl ParallelRankOrder {
         self.points
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                a.1.cost
-                    .partial_cmp(&b.1.cost)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
             .map(|(i, _)| i)
             .expect("nonempty simplex")
     }

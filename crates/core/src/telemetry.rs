@@ -1,0 +1,610 @@
+//! Trial-lifecycle observability: counters, latency histograms, and a
+//! bounded event ring.
+//!
+//! The paper's authors debug their tuning runs by reading per-iteration
+//! traces; after the sharded server, fault injection, retry and WAL layers,
+//! this codebase needed the same visibility — when a trial is requeued,
+//! evicted, retried or replayed, *something* must record why. A
+//! [`Telemetry`] handle is that something. It threads through the server
+//! ([`ServerConfig`](crate::server::ServerConfig)), the TCP client
+//! ([`TcpClientOptions`](crate::server::tcp::TcpClientOptions)), the session,
+//! the retry policy and the write-ahead log, and records three kinds of
+//! signal:
+//!
+//! * **Events** — one [`TrialEvent`] per lifecycle transition
+//!   (proposed → fetched → measured → reported, plus requeued / evicted /
+//!   replayed / faulted with a cause), kept in a bounded ring so a runaway
+//!   session cannot exhaust memory.
+//! * **Counters** — monotonic totals ([`Counter`]) for the same
+//!   transitions plus sanitized costs, stale duplicate reports, retry
+//!   backoffs, WAL appends and torn tails.
+//! * **Latency histograms** — log2-bucketed microsecond histograms
+//!   ([`Latency`]) for shard-queue wait, batch round-trips, backoff sleeps
+//!   and WAL append+fsync.
+//!
+//! # Overhead
+//!
+//! The handle is an `Option<Arc<Inner>>`. [`Telemetry::disabled`] (the
+//! `Default`) is `None`: every record call is one branch on a niche-encoded
+//! option and returns — no allocation, no atomics, no locking. Enabled
+//! recording is a relaxed atomic add for counters/histograms and a short
+//! mutex-protected ring push for events. The `bench-server --check` CI gate
+//! runs with telemetry enabled to keep the overhead inside the regression
+//! tolerance.
+//!
+//! # Determinism
+//!
+//! Everything except timestamps is a pure function of the message sequence:
+//! two runs with the same seed and fault plan produce the identical
+//! [`Telemetry::lifecycle`] sequence and counter totals (property-tested in
+//! `tests/telemetry_determinism.rs`). Timestamps exist for humans reading a
+//! trace, and are excluded from `lifecycle()`.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default capacity of the bounded event ring (events beyond it evict the
+/// oldest and bump [`Telemetry::dropped_events`]).
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Lifecycle stage of a trial (or member) event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum TrialStage {
+    /// The session emitted a fresh trial to be measured.
+    Proposed,
+    /// The server handed the trial to a client (fresh, re-fetch, or a
+    /// requeued trial claimed by a new owner — the cause tells which).
+    Fetched,
+    /// A measured cost arrived for the trial.
+    Measured,
+    /// The trial's cost was flushed into the history (in proposal order).
+    Reported,
+    /// The trial lost its owner and became claimable again (cause:
+    /// `owner_left`, `owner_evicted`, or `trial_deadline`).
+    Requeued,
+    /// A session member was evicted for missing its liveness TTL.
+    Evicted,
+    /// The trial's cost was replayed rather than measured (cause:
+    /// `cache_hit` for an in-session duplicate, `wal` for log replay).
+    Replayed,
+    /// A fault-injection plan decided this trial's fate (cause: `crash`,
+    /// `lost_report`, or `straggler`).
+    Faulted,
+}
+
+impl TrialStage {
+    /// Stable lowercase name (used in JSON dumps and metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrialStage::Proposed => "proposed",
+            TrialStage::Fetched => "fetched",
+            TrialStage::Measured => "measured",
+            TrialStage::Reported => "reported",
+            TrialStage::Requeued => "requeued",
+            TrialStage::Evicted => "evicted",
+            TrialStage::Replayed => "replayed",
+            TrialStage::Faulted => "faulted",
+        }
+    }
+}
+
+/// Monotonic counters. Each renders as one Prometheus counter
+/// `ah_<name>_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Fresh trials proposed by sessions.
+    TrialsProposed,
+    /// Trials handed to clients by the server (re-fetches included).
+    TrialsFetched,
+    /// Measured costs that reached a session.
+    TrialsMeasured,
+    /// Trials flushed into a history (fresh rows only).
+    TrialsReported,
+    /// Trials whose owner departed/expired, made claimable again.
+    TrialsRequeued,
+    /// Session members evicted for missing their liveness TTL.
+    MembersEvicted,
+    /// Reports for already-applied trials, dropped by the issued-high
+    /// watermark.
+    StaleReportsDropped,
+    /// Duplicate proposals resolved from the in-session cache.
+    CacheReplays,
+    /// Non-finite costs coerced to `+inf` at the protocol boundary or in
+    /// the session flush.
+    NonFiniteCostsSanitized,
+    /// Backoff sleeps taken by retry loops.
+    RetryBackoffs,
+    /// Injected worker crashes.
+    FaultsCrash,
+    /// Injected lost reports.
+    FaultsLostReport,
+    /// Injected stragglers.
+    FaultsStraggler,
+    /// Records appended (and fsynced) to a write-ahead log.
+    WalAppends,
+    /// Evaluations replayed from a write-ahead log on resume.
+    WalReplayed,
+    /// Torn trailing records truncated away on WAL resume.
+    WalTornTails,
+}
+
+/// Number of [`Counter`] variants (size of the per-handle counter array).
+const COUNTER_COUNT: usize = 16;
+
+impl Counter {
+    /// Every counter, in rendering order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::TrialsProposed,
+        Counter::TrialsFetched,
+        Counter::TrialsMeasured,
+        Counter::TrialsReported,
+        Counter::TrialsRequeued,
+        Counter::MembersEvicted,
+        Counter::StaleReportsDropped,
+        Counter::CacheReplays,
+        Counter::NonFiniteCostsSanitized,
+        Counter::RetryBackoffs,
+        Counter::FaultsCrash,
+        Counter::FaultsLostReport,
+        Counter::FaultsStraggler,
+        Counter::WalAppends,
+        Counter::WalReplayed,
+        Counter::WalTornTails,
+    ];
+
+    /// Stable snake_case name (the Prometheus metric is
+    /// `ah_<name>_total`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Counter::TrialsProposed => "trials_proposed",
+            Counter::TrialsFetched => "trials_fetched",
+            Counter::TrialsMeasured => "trials_measured",
+            Counter::TrialsReported => "trials_reported",
+            Counter::TrialsRequeued => "trials_requeued",
+            Counter::MembersEvicted => "members_evicted",
+            Counter::StaleReportsDropped => "stale_reports_dropped",
+            Counter::CacheReplays => "cache_replays",
+            Counter::NonFiniteCostsSanitized => "non_finite_costs_sanitized",
+            Counter::RetryBackoffs => "retry_backoffs",
+            Counter::FaultsCrash => "faults_crash",
+            Counter::FaultsLostReport => "faults_lost_report",
+            Counter::FaultsStraggler => "faults_straggler",
+            Counter::WalAppends => "wal_appends",
+            Counter::WalReplayed => "wal_replayed",
+            Counter::WalTornTails => "wal_torn_tails",
+        }
+    }
+
+    fn idx(&self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("every counter is in ALL")
+    }
+}
+
+/// Latency histograms. Each renders as one Prometheus histogram
+/// `ah_<name>_seconds`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Latency {
+    /// Time an envelope spent queued before its shard worker picked it up.
+    ShardQueueWait,
+    /// TCP client `FetchBatch` round-trip.
+    FetchBatchRtt,
+    /// TCP client `ReportBatch` round-trip.
+    ReportBatchRtt,
+    /// Sleep taken before a retry attempt.
+    RetryBackoffSleep,
+    /// WAL record append + flush + fsync.
+    WalAppendFsync,
+}
+
+/// Number of [`Latency`] variants (size of the per-handle histogram array).
+const LATENCY_COUNT: usize = 5;
+
+/// Log2 bucket count per histogram: upper bounds 1µs, 2µs, … 2^24µs
+/// (~16.8s), plus a +Inf overflow bucket.
+const HISTO_BUCKETS: usize = 26;
+
+impl Latency {
+    /// Every histogram, in rendering order.
+    pub const ALL: [Latency; LATENCY_COUNT] = [
+        Latency::ShardQueueWait,
+        Latency::FetchBatchRtt,
+        Latency::ReportBatchRtt,
+        Latency::RetryBackoffSleep,
+        Latency::WalAppendFsync,
+    ];
+
+    /// Stable snake_case name (the Prometheus metric is
+    /// `ah_<name>_seconds`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Latency::ShardQueueWait => "shard_queue_wait",
+            Latency::FetchBatchRtt => "fetch_batch_rtt",
+            Latency::ReportBatchRtt => "report_batch_rtt",
+            Latency::RetryBackoffSleep => "retry_backoff_sleep",
+            Latency::WalAppendFsync => "wal_append_fsync",
+        }
+    }
+
+    fn idx(&self) -> usize {
+        Latency::ALL
+            .iter()
+            .position(|l| l == self)
+            .expect("every latency is in ALL")
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrialEvent {
+    /// Monotonic sequence number (gaps mean ring evictions elsewhere, not
+    /// lost ordering).
+    pub seq: u64,
+    /// Microseconds since the handle was created. Wall-clock flavoured;
+    /// excluded from determinism comparisons.
+    pub at_us: u64,
+    /// The lifecycle transition.
+    pub stage: TrialStage,
+    /// Iteration token of the trial (0 for member-level events such as
+    /// eviction).
+    pub iteration: usize,
+    /// Client id involved, when known (0 otherwise).
+    pub client: u64,
+    /// Why the transition happened, for stages with multiple causes.
+    pub cause: Option<&'static str>,
+}
+
+impl TrialEvent {
+    /// The deterministic projection of the event: everything except the
+    /// timestamp and client id (which depend on wall clock and allocation
+    /// order). Two runs with the same seed and fault plan produce identical
+    /// lifecycle sequences.
+    pub fn lifecycle(&self) -> (TrialStage, usize, Option<&'static str>) {
+        (self.stage, self.iteration, self.cause)
+    }
+}
+
+/// One log2-bucketed latency histogram (microsecond resolution).
+struct Histo {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histo {
+    fn new() -> Self {
+        Histo {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = if us <= 1 {
+            0
+        } else {
+            ((64 - (us - 1).leading_zeros()) as usize).min(HISTO_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    start: Instant,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    counters: [AtomicU64; COUNTER_COUNT],
+    latencies: [Histo; LATENCY_COUNT],
+    ring: Mutex<VecDeque<TrialEvent>>,
+}
+
+/// A cheap, cloneable recording handle. See the [module docs](self) for
+/// what it records and what it costs.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(inner) => f
+                .debug_struct("Telemetry")
+                .field("events", &inner.ring.lock().len())
+                .field("dropped", &inner.dropped.load(Ordering::Relaxed))
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: every record call is a single branch. This is the
+    /// `Default`, so telemetry is pay-for-what-you-enable.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// An enabled handle with the [`DEFAULT_EVENT_CAPACITY`] event ring.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled handle whose event ring holds at most `capacity` events
+    /// (older events are evicted, counted by
+    /// [`dropped_events`](Self::dropped_events)).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Telemetry(Some(Arc::new(Inner {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            latencies: std::array::from_fn(|_| Histo::new()),
+            ring: Mutex::new(VecDeque::new()),
+        })))
+    }
+
+    /// True when this handle actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record a lifecycle event (no-op when disabled).
+    pub fn event(
+        &self,
+        stage: TrialStage,
+        iteration: usize,
+        client: u64,
+        cause: Option<&'static str>,
+    ) {
+        let Some(inner) = &self.0 else { return };
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let at_us = u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ev = TrialEvent {
+            seq,
+            at_us,
+            stage,
+            iteration,
+            client,
+            cause,
+        };
+        let mut ring = inner.ring.lock();
+        if ring.len() >= inner.capacity {
+            ring.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// Increment a counter by one (no-op when disabled).
+    pub fn inc(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Increment a counter by `n` (no-op when disabled).
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(inner) = &self.0 {
+            inner.counters[counter.idx()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one latency observation (no-op when disabled).
+    pub fn observe(&self, latency: Latency, d: Duration) {
+        if let Some(inner) = &self.0 {
+            inner.latencies[latency.idx()].observe(d);
+        }
+    }
+
+    /// Current value of one counter (0 when disabled).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.counters[counter.idx()].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of every counter as `(name, value)` pairs, in stable order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        Counter::ALL
+            .iter()
+            .map(|c| (c.name(), self.counter(*c)))
+            .collect()
+    }
+
+    /// Snapshot of the event ring, oldest first (empty when disabled).
+    pub fn events(&self) -> Vec<TrialEvent> {
+        match &self.0 {
+            Some(inner) => inner.ring.lock().iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Deterministic projection of the event ring: the
+    /// [`TrialEvent::lifecycle`] of every event, in order.
+    pub fn lifecycle(&self) -> Vec<(TrialStage, usize, Option<&'static str>)> {
+        self.events().iter().map(TrialEvent::lifecycle).collect()
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Render every counter and histogram in the Prometheus text exposition
+    /// format (version 0.0.4): `# HELP`/`# TYPE` comments, counters as
+    /// `ah_<name>_total`, histograms as `ah_<name>_seconds` with cumulative
+    /// `_bucket{le=...}` lines plus `_sum` and `_count`.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in Counter::ALL.iter() {
+            let name = c.name();
+            out.push_str(&format!(
+                "# HELP ah_{name}_total Total {} events.\n# TYPE ah_{name}_total counter\n\
+                 ah_{name}_total {}\n",
+                name.replace('_', " "),
+                self.counter(*c)
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP ah_events_dropped_total Events evicted from the bounded ring.\n\
+             # TYPE ah_events_dropped_total counter\n\
+             ah_events_dropped_total {}\n",
+            self.dropped_events()
+        ));
+        for l in Latency::ALL.iter() {
+            let name = l.name();
+            out.push_str(&format!(
+                "# HELP ah_{name}_seconds Latency of {}.\n# TYPE ah_{name}_seconds histogram\n",
+                name.replace('_', " ")
+            ));
+            let (buckets, sum_us, count) = match &self.0 {
+                Some(inner) => {
+                    let h = &inner.latencies[l.idx()];
+                    (
+                        h.buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect::<Vec<u64>>(),
+                        h.sum_us.load(Ordering::Relaxed),
+                        h.count.load(Ordering::Relaxed),
+                    )
+                }
+                None => (vec![0; HISTO_BUCKETS], 0, 0),
+            };
+            let mut cumulative = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                cumulative += n;
+                let le = if i == HISTO_BUCKETS - 1 {
+                    "+Inf".to_string()
+                } else {
+                    // Upper bound 2^i µs, rendered in seconds.
+                    format!("{}", (1u64 << i) as f64 / 1e6)
+                };
+                out.push_str(&format!(
+                    "ah_{name}_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "ah_{name}_seconds_sum {}\nah_{name}_seconds_count {count}\n",
+                sum_us as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.inc(Counter::TrialsProposed);
+        t.event(TrialStage::Proposed, 1, 7, None);
+        t.observe(Latency::FetchBatchRtt, Duration::from_millis(3));
+        assert_eq!(t.counter(Counter::TrialsProposed), 0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped_events(), 0);
+    }
+
+    #[test]
+    fn counters_and_events_accumulate() {
+        let t = Telemetry::enabled();
+        t.inc(Counter::TrialsProposed);
+        t.add(Counter::TrialsProposed, 2);
+        t.event(TrialStage::Proposed, 1, 0, None);
+        t.event(TrialStage::Requeued, 1, 9, Some("owner_left"));
+        assert_eq!(t.counter(Counter::TrialsProposed), 3);
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(
+            t.lifecycle(),
+            vec![
+                (TrialStage::Proposed, 1, None),
+                (TrialStage::Requeued, 1, Some("owner_left")),
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Telemetry::with_capacity(4);
+        for i in 0..10 {
+            t.event(TrialStage::Measured, i, 0, None);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(t.dropped_events(), 6);
+        // The survivors are the newest four, in order.
+        let iters: Vec<usize> = events.iter().map(|e| e.iteration).collect();
+        assert_eq!(iters, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cumulative() {
+        let t = Telemetry::enabled();
+        t.observe(Latency::WalAppendFsync, Duration::from_micros(1));
+        t.observe(Latency::WalAppendFsync, Duration::from_micros(3));
+        t.observe(Latency::WalAppendFsync, Duration::from_secs(100)); // overflow
+        let text = t.prometheus();
+        // 1µs lands in the first bucket (le=1e-6 seconds = 0.000001).
+        assert!(
+            text.contains("ah_wal_append_fsync_seconds_bucket{le=\"0.000001\"} 1"),
+            "{text}"
+        );
+        // The +Inf bucket is cumulative: all three observations.
+        assert!(
+            text.contains("ah_wal_append_fsync_seconds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ah_wal_append_fsync_seconds_count 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_is_parseable() {
+        let t = Telemetry::enabled();
+        t.inc(Counter::TrialsReported);
+        t.observe(Latency::ShardQueueWait, Duration::from_micros(50));
+        for line in t.prometheus().lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            // `name{labels} value` or `name value`; the value parses as f64
+            // (+Inf bucket labels live inside the braces, not the value).
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in: {line}");
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        u.inc(Counter::WalAppends);
+        assert_eq!(t.counter(Counter::WalAppends), 1);
+    }
+}

@@ -49,11 +49,13 @@ use crate::param::Param;
 use crate::server::protocol::StrategyKind;
 use crate::session::{SessionOptions, Trial, TuningResult, TuningSession};
 use crate::space::SearchSpace;
+use crate::telemetry::{Counter, Latency, Telemetry, TrialStage};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Current log format version (line 1 of every log).
 pub const WAL_VERSION: u32 = 1;
@@ -167,6 +169,7 @@ pub struct WalSession {
     file: File,
     session: TuningSession,
     replayed: usize,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for WalSession {
@@ -182,8 +185,19 @@ impl WalSession {
     /// Start a fresh logged session at `path` (truncating any existing
     /// file) and write the header line.
     pub fn create(path: impl AsRef<Path>, header: &WalHeader) -> Result<Self> {
+        Self::create_with(path, header, Telemetry::disabled())
+    }
+
+    /// [`create`](Self::create), recording WAL appends and session
+    /// lifecycle events on `telemetry`.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        header: &WalHeader,
+        telemetry: Telemetry,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let session = header.build_session()?;
+        let mut session = header.build_session()?;
+        session.set_telemetry(telemetry.clone());
         let mut file = File::create(&path).map_err(|e| io_err("create", &path, e))?;
         let mut line =
             serde_json::to_string(header).map_err(|e| HarmonyError::Io(e.to_string()))?;
@@ -197,6 +211,7 @@ impl WalSession {
             file,
             session,
             replayed: 0,
+            telemetry,
         })
     }
 
@@ -210,62 +225,80 @@ impl WalSession {
     /// instance). The caller must measure and [`report`](Self::report)
     /// those before asking for fresh suggestions.
     pub fn resume(path: impl AsRef<Path>) -> Result<(Self, Vec<Trial>)> {
+        Self::resume_with(path, Telemetry::disabled())
+    }
+
+    /// [`resume`](Self::resume), recording each replayed evaluation (a
+    /// [`TrialStage::Replayed`] event with cause `wal`), any truncated torn
+    /// tail, and the resumed session's lifecycle on `telemetry`.
+    pub fn resume_with(path: impl AsRef<Path>, telemetry: Telemetry) -> Result<(Self, Vec<Trial>)> {
         let path = path.as_ref().to_path_buf();
         let blob = std::fs::read_to_string(&path).map_err(|e| io_err("read", &path, e))?;
-        let mut lines = blob.lines().enumerate();
-        let header: WalHeader = match lines.next() {
-            Some((_, first)) => serde_json::from_str(first).map_err(|e| {
-                HarmonyError::WalCorrupt(format!("{}: bad header: {e}", path.display()))
-            })?,
-            None => {
-                return Err(HarmonyError::WalCorrupt(format!(
-                    "{}: empty log has no header",
-                    path.display()
-                )))
-            }
-        };
-        if header.version != WAL_VERSION {
-            return Err(HarmonyError::WalCorrupt(format!(
-                "{}: log version {} (this build reads {WAL_VERSION})",
-                path.display(),
-                header.version
-            )));
-        }
-        let mut session = header.build_session()?;
 
-        // Parse records up front so a torn *final* line (crash mid-append)
-        // can be distinguished from corruption in the middle of the log.
+        // Single pass over the log, tracking byte offsets: `good_end` is
+        // the offset just past the last chunk that parsed, so a torn final
+        // line (crash mid-append) can be truncated away — not merely
+        // skipped. Skipping without truncating was a bug: the next append
+        // glued onto the torn partial line and a *second* resume died with
+        // WalCorrupt in the middle of the log.
+        let mut header: Option<WalHeader> = None;
         let mut records: Vec<EvalRecord> = Vec::new();
-        let mut parsed: Vec<(usize, EvalRecord)> = Vec::new();
-        let mut bad: Option<(usize, String)> = None;
-        let mut last_line = 0usize;
-        for (idx, line) in lines {
-            if line.trim().is_empty() {
+        // A record that failed to parse, held until we know whether any
+        // later non-empty line follows it (torn tail vs. real corruption).
+        let mut pending_bad: Option<(usize, String)> = None;
+        let mut good_end = 0usize;
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        for chunk in blob.split_inclusive('\n') {
+            line_no += 1;
+            offset += chunk.len();
+            let line = chunk.trim_end();
+            if line_no == 1 {
+                let h: WalHeader = serde_json::from_str(line).map_err(|e| {
+                    HarmonyError::WalCorrupt(format!("{}: bad header: {e}", path.display()))
+                })?;
+                if h.version != WAL_VERSION {
+                    return Err(HarmonyError::WalCorrupt(format!(
+                        "{}: log version {} (this build reads {WAL_VERSION})",
+                        path.display(),
+                        h.version
+                    )));
+                }
+                header = Some(h);
+                good_end = offset;
                 continue;
             }
-            last_line = idx;
-            match serde_json::from_str::<EvalRecord>(line) {
-                Ok(r) => parsed.push((idx, r)),
-                Err(e) => bad = Some((idx, e.to_string())),
+            if line.is_empty() {
+                continue;
             }
-        }
-        if let Some((idx, e)) = bad {
-            if idx == last_line {
-                // Torn trailing write: drop it, the evaluation is redone.
-            } else {
+            if let Some((bad_line, e)) = pending_bad.take() {
+                // The unreadable line has readable lines after it: that is
+                // corruption in the middle of the log, not a torn tail.
                 return Err(HarmonyError::WalCorrupt(format!(
-                    "{}: unreadable record at line {}: {e}",
-                    path.display(),
-                    idx + 1
+                    "{}: unreadable record at line {bad_line}: {e}",
+                    path.display()
                 )));
             }
+            match serde_json::from_str::<EvalRecord>(line) {
+                Ok(r) => {
+                    records.push(r);
+                    good_end = offset;
+                }
+                Err(e) => pending_bad = Some((line_no, e.to_string())),
+            }
         }
-        records.extend(parsed.into_iter().map(|(_, r)| r));
+        let header = header.ok_or_else(|| {
+            HarmonyError::WalCorrupt(format!("{}: empty log has no header", path.display()))
+        })?;
+        let torn = pending_bad.is_some();
+        let mut session = header.build_session()?;
 
         // Replay: re-suggest deterministically, matching records to
         // proposals by iteration token. Records can reference tokens out of
         // proposal order (a batch round reported out of order), so issued-
-        // but-not-yet-consumed proposals stage in a map.
+        // but-not-yet-consumed proposals stage in a map. The session gets
+        // its telemetry only *after* replay: a replayed evaluation shows up
+        // as one Replayed event, not a fake Proposed/Measured/Reported run.
         let mut staged: HashMap<usize, Trial> = HashMap::new();
         let mut applied = 0usize;
         for rec in &records {
@@ -289,8 +322,11 @@ impl WalSession {
                 f64::from_bits(rec.cost_bits),
                 f64::from_bits(rec.wall_bits),
             )?;
+            telemetry.inc(Counter::WalReplayed);
+            telemetry.event(TrialStage::Replayed, rec.iteration, 0, Some("wal"));
             applied += 1;
         }
+        session.set_telemetry(telemetry.clone());
         let mut outstanding: Vec<Trial> = staged.into_values().collect();
         outstanding.sort_by_key(|t| t.iteration);
 
@@ -298,12 +334,23 @@ impl WalSession {
             .append(true)
             .open(&path)
             .map_err(|e| io_err("reopen", &path, e))?;
+        if good_end < blob.len() {
+            // Drop the torn bytes from disk so the next append starts a
+            // fresh line instead of gluing onto the partial record.
+            file.set_len(good_end as u64)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| io_err("truncate torn tail of", &path, e))?;
+            if torn {
+                telemetry.inc(Counter::WalTornTails);
+            }
+        }
         Ok((
             WalSession {
                 path,
                 file,
                 session,
                 replayed: applied,
+                telemetry,
             },
             outstanding,
         ))
@@ -316,10 +363,20 @@ impl WalSession {
         path: impl AsRef<Path>,
         header: &WalHeader,
     ) -> Result<(Self, Vec<Trial>)> {
+        Self::open_or_create_with(path, header, Telemetry::disabled())
+    }
+
+    /// [`open_or_create`](Self::open_or_create) with a telemetry handle
+    /// threaded into whichever path is taken.
+    pub fn open_or_create_with(
+        path: impl AsRef<Path>,
+        header: &WalHeader,
+        telemetry: Telemetry,
+    ) -> Result<(Self, Vec<Trial>)> {
         let p = path.as_ref();
         match std::fs::metadata(p) {
-            Ok(m) if m.len() > 0 => Self::resume(p),
-            _ => Ok((Self::create(p, header)?, Vec::new())),
+            Ok(m) if m.len() > 0 => Self::resume_with(p, telemetry),
+            _ => Ok((Self::create_with(p, header, telemetry)?, Vec::new())),
         }
     }
 
@@ -352,11 +409,15 @@ impl WalSession {
         };
         let mut line = serde_json::to_string(&rec).map_err(|e| HarmonyError::Io(e.to_string()))?;
         line.push('\n');
+        let started = Instant::now();
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
             .and_then(|()| self.file.sync_data())
             .map_err(|e| io_err("append to", &self.path, e))?;
+        self.telemetry
+            .observe(Latency::WalAppendFsync, started.elapsed());
+        self.telemetry.inc(Counter::WalAppends);
         self.session.report_timed(trial, cost, wall_time)
     }
 
@@ -542,6 +603,73 @@ mod tests {
         while let Some(t) = wal.suggest().unwrap() {
             let c = cost_of(&t);
             wal.report(t, c).unwrap();
+        }
+        assert_eq!(history_json(wal.session()), want);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_a_second_crash_still_resumes() {
+        // Regression: resume used to *skip* a torn trailing record but
+        // reopen in append mode without truncating, so the next appended
+        // record glued onto the torn partial line and a second resume died
+        // with WalCorrupt mid-log. Crash → resume → crash → resume must
+        // work, and end bit-identical to the unlogged baseline.
+        let h = header(StrategyKind::NelderMead, 40, 13);
+        let want = baseline(&h);
+        let path = temp_path("torn-twice");
+        let mut wal = WalSession::create(&path, &h).unwrap();
+        for _ in 0..7 {
+            let t = wal.suggest().unwrap().unwrap();
+            let c = cost_of(&t);
+            wal.report(t, c).unwrap();
+        }
+        drop(wal);
+        // Iteration 777 can never occur in a 40-evaluation run, so finding
+        // these bytes later can only mean the torn tail survived (the real
+        // iteration-8 record would alias a torn `"iteration":8` prefix).
+        let torn_tail = b"{\"iteration\":777,\"cost_b";
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(torn_tail).unwrap();
+        }
+        // First resume: drop the torn record, truncate it off disk, and
+        // append a few more evaluations.
+        let t = Telemetry::enabled();
+        let (mut wal, outstanding) = WalSession::resume_with(&path, t.clone()).unwrap();
+        assert_eq!(wal.replayed(), 7);
+        assert_eq!(t.counter(Counter::WalTornTails), 1);
+        assert_eq!(t.counter(Counter::WalReplayed), 7);
+        for trial in outstanding {
+            let c = cost_of(&trial);
+            wal.report(trial, c).unwrap();
+        }
+        for _ in 0..5 {
+            let trial = wal.suggest().unwrap().unwrap();
+            let c = cost_of(&trial);
+            wal.report(trial, c).unwrap();
+        }
+        drop(wal);
+        // The file must contain no trace of the torn bytes.
+        let blob = std::fs::read(&path).unwrap();
+        assert!(
+            !blob
+                .windows(torn_tail.len())
+                .any(|w| w == torn_tail.as_slice()),
+            "torn partial record still present in the log"
+        );
+        // Second crash mid-append, second resume: must still parse.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"iteration\":99,\"co").unwrap();
+        }
+        let (mut wal, outstanding) = WalSession::resume(&path).unwrap();
+        for trial in outstanding {
+            let c = cost_of(&trial);
+            wal.report(trial, c).unwrap();
+        }
+        while let Some(trial) = wal.suggest().unwrap() {
+            let c = cost_of(&trial);
+            wal.report(trial, c).unwrap();
         }
         assert_eq!(history_json(wal.session()), want);
     }

@@ -11,8 +11,10 @@
 
 use ah_core::param::Param;
 use ah_core::server::protocol::{StrategyKind, TrialReport};
-use ah_core::server::{HarmonyServer, TcpHarmonyClient, TcpHarmonyServer};
+use ah_core::server::tcp::{TcpClientOptions, DEFAULT_MAX_CONNECTIONS};
+use ah_core::server::{HarmonyServer, ServerConfig, TcpHarmonyClient, TcpHarmonyServer};
 use ah_core::session::SessionOptions;
+use ah_core::telemetry::Telemetry;
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -26,6 +28,11 @@ pub struct BenchConfig {
     pub clients: usize,
     /// Evaluations per client.
     pub iters: usize,
+    /// Run every scenario with an *enabled* telemetry handle on server and
+    /// clients. The regression gate run with this on proves observation is
+    /// overhead-neutral: the same tolerance that catches real throughput
+    /// collapses must not fire merely because recording was turned on.
+    pub telemetry: bool,
 }
 
 impl Default for BenchConfig {
@@ -33,6 +40,7 @@ impl Default for BenchConfig {
         BenchConfig {
             clients: 16,
             iters: 200,
+            telemetry: false,
         }
     }
 }
@@ -44,6 +52,15 @@ impl BenchConfig {
         BenchConfig {
             clients: 4,
             iters: 60,
+            telemetry: false,
+        }
+    }
+
+    fn server_telemetry(&self) -> Telemetry {
+        if self.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
         }
     }
 }
@@ -139,7 +156,11 @@ fn drive_batched(client: &ah_core::server::HarmonyClient, iters: usize) -> Vec<f
 }
 
 fn run_inproc(cfg: BenchConfig, shards: usize, batched: bool) -> Scenario {
-    let server = HarmonyServer::start_with(shards);
+    let server = HarmonyServer::start_with_config(ServerConfig {
+        shards,
+        telemetry: cfg.server_telemetry(),
+        ..Default::default()
+    });
     let barrier = Barrier::new(cfg.clients + 1);
     let mut wall_secs = 0.0;
     let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
@@ -183,17 +204,31 @@ fn run_inproc(cfg: BenchConfig, shards: usize, batched: bool) -> Scenario {
 }
 
 fn run_tcp(cfg: BenchConfig, batched: bool) -> Scenario {
-    let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
+    let server = TcpHarmonyServer::bind_with(
+        "127.0.0.1:0",
+        DEFAULT_MAX_CONNECTIONS,
+        ServerConfig {
+            telemetry: cfg.server_telemetry(),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
     let addr = server.local_addr();
+    let client_opts = TcpClientOptions {
+        telemetry: cfg.server_telemetry(),
+        ..Default::default()
+    };
     let barrier = Barrier::new(cfg.clients + 1);
     let mut wall_secs = 0.0;
     let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|i| {
                 let barrier = &barrier;
+                let opts = client_opts.clone();
                 s.spawn(move || {
                     let mut client =
-                        TcpHarmonyClient::connect(addr, &format!("bench-{i}")).expect("connect");
+                        TcpHarmonyClient::connect_with(addr, &format!("bench-{i}"), opts)
+                            .expect("connect");
                     client
                         .add_param(Param::int("x", 0, 1_000_000, 1))
                         .expect("param");
@@ -263,8 +298,10 @@ pub fn run(cfg: BenchConfig) -> serde_json::Value {
         .unwrap_or(1);
     let sharded = host_cores.clamp(2, 8);
     eprintln!(
-        "bench-server: {} clients x {} evaluations, host cores: {host_cores}",
-        cfg.clients, cfg.iters
+        "bench-server: {} clients x {} evaluations, host cores: {host_cores}, telemetry: {}",
+        cfg.clients,
+        cfg.iters,
+        if cfg.telemetry { "on" } else { "off" }
     );
 
     let scenarios = vec![
@@ -320,6 +357,7 @@ pub fn run(cfg: BenchConfig) -> serde_json::Value {
         "host_cores": host_cores,
         "clients": cfg.clients,
         "iterations_per_client": cfg.iters,
+        "telemetry": cfg.telemetry,
         "batch": BATCH,
         "shards_tested": [1, sharded],
         "scenarios": scenarios.iter().map(|s| serde_json::json!({
@@ -424,6 +462,7 @@ mod tests {
         let cfg = BenchConfig {
             clients: 3,
             iters: 20,
+            telemetry: true,
         };
         let report = run(cfg);
         assert_eq!(report["clients"].as_u64(), Some(3));

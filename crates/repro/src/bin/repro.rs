@@ -6,6 +6,8 @@
 //! repro fig4 table1 [...]    # run specific experiments
 //! repro bench-server         # tuning-server throughput matrix
 //! repro fault-wal            # crash-safe tuning run through the WAL
+//! repro metrics              # Prometheus metrics of a faulted tuning run
+//! repro trace                # per-trial JSON event timeline of the same run
 //! options:
 //!   --quick            shrink workloads (smoke-test mode)
 //!   --json PATH        also dump machine-readable results
@@ -14,8 +16,10 @@
 //!   --check PATH       bench-server: fail on regression vs this baseline
 //!   --tolerance F      bench-server: allowed relative drop (default 0.25)
 //!   --attempts N       bench-server: gate retries before failing (default 3)
+//!   --telemetry        bench-server: run with telemetry recording enabled
 //!   --wal PATH         fault-wal: write-ahead log location (required)
-//!   --out PATH         fault-wal: results JSON location (required)
+//!   --out PATH         fault-wal: results JSON location (required);
+//!                      metrics/trace: output file (default stdout)
 //!   --resume           fault-wal: resume from an existing log
 //!   --crash-after N    fault-wal: abort() after N evaluations
 //!   --eval-delay-ms N  fault-wal: sleep per evaluation (for SIGKILL tests)
@@ -51,6 +55,7 @@ fn bench_server(args: &[String], json_path: Option<String>, quick: bool) {
     let cfg = ah_repro::bench_server::BenchConfig {
         clients: parse_usize(args, "--clients", defaults.clients).max(1),
         iters: parse_usize(args, "--iters", defaults.iters).max(1),
+        telemetry: args.iter().any(|a| a == "--telemetry"),
     };
     // Regression gate: compare against a committed baseline instead of
     // overwriting it (a checking run must never move its own goalposts).
@@ -173,6 +178,15 @@ fn main() {
 
     if selectors.iter().any(|s| s.as_str() == "fault-wal") {
         std::process::exit(fault_wal(&args, quick));
+    }
+
+    let out = flag_value(&args, "--out");
+    if selectors.iter().any(|s| s.as_str() == "metrics") {
+        std::process::exit(ah_repro::telemetry_cli::metrics(quick, out.as_deref()));
+    }
+
+    if selectors.iter().any(|s| s.as_str() == "trace") {
+        std::process::exit(ah_repro::telemetry_cli::trace(quick, out.as_deref()));
     }
 
     if selectors.iter().any(|s| s.as_str() == "list") {

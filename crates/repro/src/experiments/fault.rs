@@ -15,7 +15,7 @@ use crate::table;
 use ah_clustersim::{FaultKind, FaultPlan};
 use ah_core::prelude::*;
 use ah_core::server::protocol::TrialReport;
-use ah_core::server::HarmonyClient;
+use ah_core::server::{HarmonyClient, ServerConfig};
 use std::collections::HashSet;
 
 /// The experiment.
@@ -58,22 +58,30 @@ fn serial_history(strategy: StrategyKind, evals: usize, seed: u64) -> History {
     h
 }
 
-struct FaultyOutcome {
-    history: History,
-    crashes: usize,
-    lost: usize,
-    stragglers: usize,
-    rejoins: usize,
+pub(crate) struct FaultyOutcome {
+    pub(crate) history: History,
+    pub(crate) crashes: usize,
+    pub(crate) lost: usize,
+    pub(crate) stragglers: usize,
+    pub(crate) rejoins: usize,
+    /// The run's telemetry handle — counters and the full event trace of
+    /// exactly this faulted campaign.
+    pub(crate) telemetry: Telemetry,
 }
 
-fn faulty_history(
+pub(crate) fn faulty_history(
     strategy: StrategyKind,
     evals: usize,
     seed: u64,
     plan: &FaultPlan,
     workers: usize,
 ) -> FaultyOutcome {
-    let server = HarmonyServer::start_with(2);
+    let telemetry = Telemetry::enabled();
+    let server = HarmonyServer::start_with_config(ServerConfig {
+        shards: 2,
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    });
     let founder = server.connect("fault-pool").unwrap();
     declare(&founder);
     founder.seal(options(evals, seed), strategy).unwrap();
@@ -120,7 +128,7 @@ fn faulty_history(
                 wall_time: objective(&t.config),
             };
             let fault = if faulted.insert(t.iteration) {
-                plan.at(t.iteration as u64)
+                plan.at_observed(t.iteration as u64, &telemetry)
             } else {
                 FaultKind::None
             };
@@ -154,6 +162,7 @@ fn faulty_history(
         lost,
         stragglers,
         rejoins,
+        telemetry,
     }
 }
 
@@ -179,6 +188,7 @@ impl Experiment for Fault {
         let mut all_identical = true;
         let mut total_faults = 0usize;
         let mut total_rejoins = 0usize;
+        let mut telemetry_agrees = true;
         let mut per_strategy = Vec::new();
         for (label, strategy, seed) in [
             ("random", StrategyKind::Random, 61_u64),
@@ -201,6 +211,33 @@ impl Experiment for Fault {
                 got.rejoins.to_string(),
                 if same { "bit-identical" } else { "DIVERGED" }.to_string(),
             ]);
+            // Cross-check: the observability layer must agree with the
+            // driver's own tally of what it injected and what the server
+            // reported back.
+            // The history holds fresh evaluations *and* cache-replayed
+            // duplicates (a strategy revisiting a configuration), so the
+            // two counters together must account for every entry.
+            let t = &got.telemetry;
+            let accounted = t.counter(Counter::TrialsReported) + t.counter(Counter::CacheReplays);
+            let agrees = t.counter(Counter::FaultsCrash) == got.crashes as u64
+                && t.counter(Counter::FaultsLostReport) == got.lost as u64
+                && t.counter(Counter::FaultsStraggler) == got.stragglers as u64
+                && accounted == want.len() as u64;
+            if !agrees {
+                eprintln!(
+                    "fault[{label}]: telemetry crash={}/{} lost={}/{} straggler={}/{} \
+                     reported+replayed={}/{} (counter/driver)",
+                    t.counter(Counter::FaultsCrash),
+                    got.crashes,
+                    t.counter(Counter::FaultsLostReport),
+                    got.lost,
+                    t.counter(Counter::FaultsStraggler),
+                    got.stragglers,
+                    accounted,
+                    want.len(),
+                );
+            }
+            telemetry_agrees &= agrees;
             per_strategy.push(serde_json::json!({
                 "strategy": label,
                 "evaluations": want.len(),
@@ -209,6 +246,7 @@ impl Experiment for Fault {
                 "stragglers": got.stragglers,
                 "rejoins": got.rejoins,
                 "trajectory_identical": same,
+                "telemetry_counters": crate::telemetry_cli::counters_json(t),
             }));
         }
 
@@ -249,6 +287,16 @@ impl Experiment for Fault {
                 "> 0 injected faults",
                 format!("{total_faults} faults, {total_rejoins} worker rejoins"),
                 total_faults > 0 && total_rejoins > 0,
+            ),
+            Finding::check(
+                "telemetry agrees with the driver",
+                "per-kind fault counters and reported-trial counts match",
+                if telemetry_agrees {
+                    "crash/lost/straggler counters and reported totals match".into()
+                } else {
+                    "counter totals diverged from the driver's tally".to_string()
+                },
+                telemetry_agrees,
             ),
             Finding::info(
                 "recovery mechanism",

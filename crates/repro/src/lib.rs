@@ -17,5 +17,6 @@ pub mod experiment;
 pub mod experiments;
 pub mod fault_wal;
 pub mod table;
+pub mod telemetry_cli;
 
 pub use experiment::{all_experiments, ExpReport, Experiment, Finding};
