@@ -5,7 +5,7 @@
 //! The *shape* validation lives in the repro binary and the integration
 //! tests; these benches track the cost of regenerating each artefact.
 
-use ah_repro::all_experiments;
+use ah_repro::{all_experiments, RunCtx};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -15,10 +15,11 @@ fn paper_experiments(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(8))
         .warm_up_time(Duration::from_secs(1));
+    let ctx = RunCtx::quick(true);
     for e in all_experiments() {
         group.bench_function(e.id(), |b| {
             b.iter(|| {
-                let report = e.run(true);
+                let report = e.run(&ctx);
                 assert!(!report.narrative.is_empty());
                 report
             })

@@ -55,6 +55,9 @@ pub enum HarmonyError {
     /// A write-ahead log could not be replayed (truncated mid-record is
     /// tolerated; anything else is corruption).
     WalCorrupt(String),
+    /// A performance store could not be opened (torn trailing record is
+    /// tolerated; wrong kind/version or mid-file damage is corruption).
+    StoreCorrupt(String),
     /// A protocol message arrived in a state where it is not legal
     /// (e.g. `Fetch` before the space was sealed).
     Protocol(String),
@@ -99,6 +102,7 @@ impl fmt::Display for HarmonyError {
             HarmonyError::ServerBusy(msg) => write!(f, "server busy: {msg}"),
             HarmonyError::Io(msg) => write!(f, "i/o error: {msg}"),
             HarmonyError::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
+            HarmonyError::StoreCorrupt(msg) => write!(f, "performance store corrupt: {msg}"),
             HarmonyError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             HarmonyError::SessionFinished => write!(f, "tuning session already finished"),
         }
@@ -143,6 +147,7 @@ mod tests {
         assert!(!HarmonyError::SessionFinished.is_retryable());
         assert!(!HarmonyError::Io("disk".into()).is_retryable());
         assert!(!HarmonyError::WalCorrupt("truncated header".into()).is_retryable());
+        assert!(!HarmonyError::StoreCorrupt("bad kind".into()).is_retryable());
         assert_eq!(HarmonyError::Disconnected.class(), ErrorClass::Retryable);
         assert_eq!(HarmonyError::EmptySpace.class(), ErrorClass::Fatal);
     }

@@ -61,6 +61,7 @@ pub mod seeded;
 pub mod server;
 pub mod session;
 pub mod space;
+pub mod store;
 pub mod strategy;
 pub mod telemetry;
 pub mod value;
@@ -82,6 +83,9 @@ pub mod prelude {
     pub use crate::server::{HarmonyClient, HarmonyServer, ServerConfig};
     pub use crate::session::{SessionOptions, TuningResult, TuningSession};
     pub use crate::space::{Configuration, SearchSpace};
+    pub use crate::store::{
+        space_fingerprint, PerfStore, SharedStore, StoreRecord, StoreStats, StoredCost,
+    };
     pub use crate::strategy::{
         Exhaustive, GreedyFrom, GreedyOneParam, GreedyOptions, GridSearch, NelderMead,
         NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy, StartPoint,

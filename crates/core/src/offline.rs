@@ -13,6 +13,7 @@
 use crate::report::TuningReport;
 use crate::session::{SessionOptions, TuningResult, TuningSession};
 use crate::space::{Configuration, SearchSpace};
+use crate::store::{space_fingerprint, SharedStore, StoreRecord};
 use crate::strategy::SearchStrategy;
 
 /// What one representative short run measured.
@@ -92,6 +93,9 @@ pub struct OfflineTuner {
     /// time accounting (used by the ablation bench to show why the paper
     /// includes them).
     pub charge_overheads: bool,
+    /// Performance store and application label to tune against; see
+    /// [`with_store`](Self::with_store).
+    store: Option<(SharedStore, String)>,
 }
 
 impl OfflineTuner {
@@ -100,7 +104,17 @@ impl OfflineTuner {
         OfflineTuner {
             opts,
             charge_overheads: true,
+            store: None,
         }
+    }
+
+    /// Tune against a persistent performance store under `app`'s label:
+    /// configurations already on record are served from the store — no
+    /// short run, no restart, *nothing* charged to the tuning budget — and
+    /// every fresh measurement is recorded for future campaigns.
+    pub fn with_store(mut self, store: SharedStore, app: impl Into<String>) -> Self {
+        self.store = Some((store, app.into()));
+        self
     }
 
     /// Tune the application with the given strategy. The default
@@ -112,16 +126,48 @@ impl OfflineTuner {
         strategy: Box<dyn SearchStrategy>,
     ) -> OfflineOutcome {
         let space = app.space();
+        let fingerprint = space_fingerprint(&space);
         let default_cfg = app.default_config();
-        let default_run = app.run_short(&default_cfg);
-        let mut session = TuningSession::new(space, strategy, self.opts.clone());
-        session.preload(&default_cfg, default_run.exec_time);
-        let mut tuning_time = if self.charge_overheads {
-            default_run.total_time()
-        } else {
-            default_run.exec_time
+        let mut store_hits = 0usize;
+        let lookup = |cfg: &Configuration, hits: &mut usize| -> Option<f64> {
+            let (store, label) = self.store.as_ref()?;
+            let hit = store.lookup(label, fingerprint, &cfg.cache_key())?;
+            *hits += 1;
+            Some(hit.cost)
         };
+        let record = |cfg: &Configuration, cost: f64, charged: f64, iteration: usize| {
+            if let Some((store, label)) = self.store.as_ref() {
+                // Advisory write: never fail the campaign over it.
+                let _ = store.insert(
+                    StoreRecord::new(label.clone(), fingerprint, cfg.clone(), cost, charged)
+                        .with_provenance(0, iteration),
+                );
+            }
+        };
+        // Stored default: skip the baseline short run entirely — a restart
+        // the tuning budget never pays for.
+        let (default_cost, mut tuning_time) = match lookup(&default_cfg, &mut store_hits) {
+            Some(cost) => (cost, 0.0),
+            None => {
+                let m = app.run_short(&default_cfg);
+                let charged = if self.charge_overheads {
+                    m.total_time()
+                } else {
+                    m.exec_time
+                };
+                record(&default_cfg, m.exec_time, charged, 0);
+                (m.exec_time, charged)
+            }
+        };
+        let mut session = TuningSession::new(space, strategy, self.opts.clone());
+        session.preload(&default_cfg, default_cost);
         while let Some(trial) = session.suggest() {
+            if let Some(cost) = lookup(&trial.config, &mut store_hits) {
+                session
+                    .report_stored(trial, cost)
+                    .expect("session accepts stored report for its own trial");
+                continue;
+            }
             let m = app.run_short(&trial.config);
             let charged = if self.charge_overheads {
                 m.total_time()
@@ -129,6 +175,7 @@ impl OfflineTuner {
                 m.exec_time
             };
             tuning_time += charged;
+            record(&trial.config, m.exec_time, charged, trial.iteration);
             session
                 .report_timed(trial, m.exec_time, charged)
                 .expect("session accepts report for its own trial");
@@ -136,8 +183,9 @@ impl OfflineTuner {
         let result = session.result();
         OfflineOutcome {
             default_config: default_cfg,
-            default_cost: default_run.exec_time,
+            default_cost,
             tuning_time,
+            store_hits,
             result,
         }
     }
@@ -150,8 +198,11 @@ pub struct OfflineOutcome {
     pub default_config: Configuration,
     /// Measured cost of the default configuration.
     pub default_cost: f64,
-    /// Total wall-clock spent tuning (all runs + overheads).
+    /// Total wall-clock spent tuning (all runs + overheads). Evaluations
+    /// served from the performance store charge nothing here.
     pub tuning_time: f64,
+    /// Evaluations answered by the performance store (0 without a store).
+    pub store_hits: usize,
     /// The session result (best configuration, history, stop reason).
     pub result: TuningResult,
 }
@@ -282,6 +333,48 @@ mod tests {
         let without = without_tuner.tune(&mut app2, Box::new(NelderMead::default()));
         assert!(with.tuning_time > without.tuning_time);
         assert_eq!(with.result.best_cost, without.result.best_cost);
+    }
+
+    #[test]
+    fn store_backed_retune_serves_everything_and_charges_nothing() {
+        let dir = std::env::temp_dir().join(format!("ah-offline-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("retune.store");
+        let _ = std::fs::remove_file(&path);
+        let store = SharedStore::open(&path).unwrap();
+        let opts = SessionOptions {
+            max_evaluations: 30,
+            seed: 21,
+            ..Default::default()
+        };
+        let mut app1 = FakeApp { runs: 0 };
+        let cold = OfflineTuner::new(opts.clone())
+            .with_store(store.clone(), "fake")
+            .tune(&mut app1, Box::new(NelderMead::default()));
+        assert_eq!(cold.store_hits, 0);
+        assert!(app1.runs > 0 && cold.tuning_time > 0.0);
+
+        let mut app2 = FakeApp { runs: 0 };
+        let warm = OfflineTuner::new(opts)
+            .with_store(store, "fake")
+            .tune(&mut app2, Box::new(NelderMead::default()));
+        // Nothing re-ran: no short runs, no restarts, zero tuning time, and
+        // the campaign lands on the bit-identical result.
+        assert_eq!(app2.runs, 0, "warm campaign re-ran the application");
+        assert_eq!(warm.tuning_time, 0.0);
+        assert_eq!(warm.store_hits, warm.result.evaluations + 1);
+        assert_eq!(cold.result.evaluations, warm.result.evaluations);
+        assert_eq!(
+            cold.result.best_cost.to_bits(),
+            warm.result.best_cost.to_bits()
+        );
+        assert_eq!(cold.default_cost.to_bits(), warm.default_cost.to_bits());
+        assert!(warm
+            .result
+            .history
+            .evaluations()
+            .iter()
+            .all(|e| e.cached && e.cumulative_time == 0.0));
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! database remembers good configurations from earlier, related tuning
 //! sessions and turns them into (a) an initial simplex seed and (b) a
 //! narrowed search range around the historically good region.
+//!
+//! Since the persistent performance database landed, [`PriorRunDb`] is the
+//! in-memory *query layer* over it rather than a storage format of its own:
+//! [`PerfStore::priors`](crate::store::PerfStore::priors) /
+//! [`priors_for`](crate::store::PerfStore::priors_for) materialize one from
+//! the store's live records, and the warm-start surfaces
+//! ([`PerfStore::seed_for`](crate::store::PerfStore::seed_for),
+//! [`PerfStore::narrowed_space`](crate::store::PerfStore::narrowed_space))
+//! delegate through it. Hand-built databases (e.g. from a [`History`]
+//! (crate::history::History) via [`PriorRunDb::record_history`]) keep
+//! working unchanged.
 
 use crate::space::{Configuration, SearchSpace};
 use crate::strategy::StartPoint;

@@ -39,6 +39,7 @@ pub use tcp::{TcpClientOptions, TcpHarmonyClient, TcpHarmonyServer};
 use crate::error::{HarmonyError, Result};
 use crate::session::{Trial, TuningSession};
 use crate::space::SearchSpaceBuilder;
+use crate::store::{space_fingerprint, SharedStore, StoreRecord};
 use crate::telemetry::{Counter, Latency, Telemetry, TrialStage};
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
@@ -68,7 +69,20 @@ pub struct ServerConfig {
     /// Telemetry handle every shard records onto (disabled by default —
     /// recording costs nothing until a caller passes an enabled handle).
     pub telemetry: Telemetry,
+    /// Shared performance store ([`crate::store`]). When set, every shard
+    /// consults it before dispatching a trial — a configuration whose cost
+    /// is already on record is answered server-side
+    /// ([`TuningSession::report_stored`]) without a round trip to any
+    /// client — and records every fresh measurement into it.
+    pub store: Option<SharedStore>,
 }
+
+/// Upper bound on store-served trials resolved inside one fetch request.
+/// A warm store plus a generous evaluation budget could otherwise keep one
+/// request serving cached costs for the session's whole remaining budget
+/// while the client waits; past the cap the trial is handed to the client
+/// even on a hit, which is always correct (merely slower).
+const MAX_SERVED_PER_REQUEST: usize = 1024;
 
 /// One member of a session.
 struct Member {
@@ -83,6 +97,9 @@ struct OutstandingTrial {
     owner: u64,
     /// When the current owner received it (deadline eviction clock).
     issued: Instant,
+    /// The trial was requeued by fault handling at least once; recorded as
+    /// provenance when its measurement reaches the performance store.
+    requeued: bool,
 }
 
 /// Declaration-vs-tuning phase of a session.
@@ -98,13 +115,15 @@ enum SessionPhase {
         /// token at or below it is a stale duplicate (the trial was
         /// requeued, re-measured, and already applied) and is ignored.
         issued_high: usize,
+        /// [`space_fingerprint`] of the sealed space, the session's store
+        /// key alongside the application label.
+        fingerprint: u64,
     },
 }
 
 /// One tuning session shared by its founder and any attached members.
 struct SessionState {
-    /// Application label, kept for diagnostics.
-    #[allow(dead_code)]
+    /// Application label: diagnostics, and the performance-store key.
     app: String,
     phase: SessionPhase,
     /// Live members by client id.
@@ -378,6 +397,7 @@ impl HarmonyServer {
                     Some(cause),
                 );
                 t.owner = 0;
+                t.requeued = true;
             }
         }
     }
@@ -435,7 +455,7 @@ impl HarmonyServer {
                     return Reply::Ok;
                 }
                 Self::sweep(clients, state, cfg, now);
-                Self::handle_for_session(state, cfg, client, other, now)
+                Self::handle_for_session(state, cfg, client, session_id, other, now)
             }
         }
     }
@@ -444,6 +464,7 @@ impl HarmonyServer {
         state: &mut SessionState,
         cfg: &ServerConfig,
         client: u64,
+        session_id: u64,
         req: Request,
         now: Instant,
     ) -> Reply {
@@ -451,7 +472,10 @@ impl HarmonyServer {
         if matches!(req, Request::Heartbeat) {
             return Reply::Ok; // last_seen already refreshed by the caller
         }
-        match (&mut state.phase, req) {
+        // Disjoint borrows: the store key (`app`) is read while `phase` is
+        // borrowed mutably by the match below.
+        let SessionState { app, phase, .. } = state;
+        match (&mut *phase, req) {
             (SessionPhase::Building { builder }, Request::AddParam { param }) => {
                 if let Err(e) = param.validate() {
                     return Reply::err(e.to_string());
@@ -469,12 +493,14 @@ impl HarmonyServer {
                 let b = builder.take().expect("builder present while building");
                 match b.build() {
                     Ok(space) => {
+                        let fingerprint = space_fingerprint(&space);
                         let mut session = TuningSession::new(space, strategy.build(), options);
                         session.set_telemetry(telemetry.clone());
-                        state.phase = SessionPhase::Tuning {
+                        *phase = SessionPhase::Tuning {
                             session: Box::new(session),
                             outstanding: VecDeque::new(),
                             issued_high: 0,
+                            fingerprint,
                         };
                         Reply::Ok
                     }
@@ -486,6 +512,7 @@ impl HarmonyServer {
                     session,
                     outstanding,
                     issued_high,
+                    fingerprint,
                 },
                 Request::Fetch,
             ) => {
@@ -529,35 +556,57 @@ impl HarmonyServer {
                         finished: false,
                     };
                 }
-                match session.suggest_batch(1).pop() {
-                    Some(trial) => {
-                        *issued_high = (*issued_high).max(trial.iteration);
-                        telemetry.inc(Counter::TrialsFetched);
-                        telemetry.event(TrialStage::Fetched, trial.iteration, client, None);
-                        let reply = Reply::Config {
-                            config: trial.config.clone(),
-                            iteration: trial.iteration,
-                            finished: false,
-                        };
-                        outstanding.push_back(OutstandingTrial {
-                            trial,
-                            owner: client,
-                            issued: now,
-                        });
-                        reply
+                // Proposals whose cost is already on record are answered
+                // from the store without leaving the server; the loop runs
+                // until a proposal actually needs measuring (or the budget
+                // runs out under the served costs).
+                let mut served = 0usize;
+                loop {
+                    match session.suggest_batch(1).pop() {
+                        Some(trial) => {
+                            *issued_high = (*issued_high).max(trial.iteration);
+                            if served < MAX_SERVED_PER_REQUEST {
+                                if let Some(hit) = cfg.store.as_ref().and_then(|s| {
+                                    s.lookup(app, *fingerprint, &trial.config.cache_key())
+                                }) {
+                                    served += 1;
+                                    let _ = session.report_stored(trial, hit.cost);
+                                    continue;
+                                }
+                            }
+                            telemetry.inc(Counter::TrialsFetched);
+                            telemetry.event(TrialStage::Fetched, trial.iteration, client, None);
+                            let reply = Reply::Config {
+                                config: trial.config.clone(),
+                                iteration: trial.iteration,
+                                finished: false,
+                            };
+                            outstanding.push_back(OutstandingTrial {
+                                trial,
+                                owner: client,
+                                issued: now,
+                                requeued: false,
+                            });
+                            break reply;
+                        }
+                        None if session.stop_reason().is_some() => {
+                            outstanding.clear();
+                            break Self::finished_reply(session);
+                        }
+                        // The strategy is waiting on another member's report.
+                        None => {
+                            break Reply::busy(
+                                "no trial available until outstanding reports arrive",
+                            )
+                        }
                     }
-                    None if session.stop_reason().is_some() => {
-                        outstanding.clear();
-                        Self::finished_reply(session)
-                    }
-                    // The strategy is waiting on another member's report.
-                    None => Reply::busy("no trial available until outstanding reports arrive"),
                 }
             }
             (
                 SessionPhase::Tuning {
                     session,
                     outstanding,
+                    fingerprint,
                     ..
                 },
                 Request::Report { cost, wall_time },
@@ -570,8 +619,27 @@ impl HarmonyServer {
                 if clamped {
                     telemetry.inc(Counter::NonFiniteCostsSanitized);
                 }
+                let config = cfg.store.as_ref().map(|_| t.trial.config.clone());
+                let iteration = t.trial.iteration;
                 match session.report_timed(t.trial, cost, wall_time) {
-                    Ok(()) => Reply::Ok,
+                    Ok(()) => {
+                        // Advisory write: a full disk must not fail the
+                        // report the session already accepted.
+                        if let (Some(store), Some(config)) = (&cfg.store, config) {
+                            let _ = store.insert(
+                                StoreRecord::new(
+                                    app.clone(),
+                                    *fingerprint,
+                                    config,
+                                    cost,
+                                    wall_time,
+                                )
+                                .with_provenance(session_id, iteration)
+                                .with_flags(t.requeued, false),
+                            );
+                        }
+                        Reply::Ok
+                    }
                     Err(e) => Reply::err(e.to_string()),
                 }
             }
@@ -580,6 +648,7 @@ impl HarmonyServer {
                     session,
                     outstanding,
                     issued_high,
+                    fingerprint,
                 },
                 Request::FetchBatch { max },
             ) => {
@@ -625,9 +694,30 @@ impl HarmonyServer {
                         iteration: t.trial.iteration,
                     });
                 }
-                if trials.len() < max {
-                    for trial in session.suggest_batch(max - trials.len()) {
+                // Top up with fresh proposals, resolving store-known ones
+                // server-side. Each served cost may unlock further
+                // proposals, so keep asking while the store keeps
+                // progressing the search; without a store this degenerates
+                // to the old single `suggest_batch` pass.
+                let mut served = 0usize;
+                while trials.len() < max {
+                    let batch = session.suggest_batch(max - trials.len());
+                    if batch.is_empty() {
+                        break;
+                    }
+                    let mut progressed = false;
+                    for trial in batch {
                         *issued_high = (*issued_high).max(trial.iteration);
+                        if served < MAX_SERVED_PER_REQUEST {
+                            if let Some(hit) = cfg.store.as_ref().and_then(|s| {
+                                s.lookup(app, *fingerprint, &trial.config.cache_key())
+                            }) {
+                                served += 1;
+                                progressed = true;
+                                let _ = session.report_stored(trial, hit.cost);
+                                continue;
+                            }
+                        }
                         telemetry.inc(Counter::TrialsFetched);
                         telemetry.event(TrialStage::Fetched, trial.iteration, client, None);
                         trials.push(FetchedTrial {
@@ -638,7 +728,11 @@ impl HarmonyServer {
                             trial,
                             owner: client,
                             issued: now,
+                            requeued: false,
                         });
+                    }
+                    if !progressed {
+                        break;
                     }
                 }
                 let finished = trials.is_empty() && session.stop_reason().is_some();
@@ -652,9 +746,14 @@ impl HarmonyServer {
                     session,
                     outstanding,
                     issued_high,
+                    fingerprint,
                 },
                 Request::ReportBatch { reports },
             ) => {
+                // Accumulated store writes for the whole batch: one locked
+                // append instead of one per trial, so attaching a store
+                // does not un-amortize what batching bought.
+                let mut recorded: Vec<StoreRecord> = Vec::new();
                 for r in reports {
                     if session.stop_reason().is_some() {
                         // Stopped mid-batch: the remaining results belong
@@ -672,8 +771,23 @@ impl HarmonyServer {
                             if clamped {
                                 telemetry.inc(Counter::NonFiniteCostsSanitized);
                             }
+                            let config = cfg.store.as_ref().map(|_| t.trial.config.clone());
+                            let iteration = t.trial.iteration;
                             if let Err(e) = session.report_timed(t.trial, cost, wall_time) {
                                 return Reply::err(e.to_string());
+                            }
+                            if let Some(config) = config {
+                                recorded.push(
+                                    StoreRecord::new(
+                                        app.clone(),
+                                        *fingerprint,
+                                        config,
+                                        cost,
+                                        wall_time,
+                                    )
+                                    .with_provenance(session_id, iteration)
+                                    .with_flags(t.requeued, false),
+                                );
                             }
                         }
                         // Stale duplicate: the trial was requeued after an
@@ -694,6 +808,11 @@ impl HarmonyServer {
                             )
                         }
                     }
+                }
+                if let (Some(store), false) = (&cfg.store, recorded.is_empty()) {
+                    // Advisory, like the serial path: a full disk must not
+                    // fail reports the session already accepted.
+                    let _ = store.insert_batch(recorded);
                 }
                 if session.stop_reason().is_some() {
                     outstanding.clear();
@@ -1079,6 +1198,165 @@ mod tests {
         let f = founder.fetch().unwrap();
         assert_ne!(f.iteration, held[0].iteration);
         server.shutdown();
+    }
+
+    #[test]
+    fn warm_store_serves_a_second_run_without_remeasurement() {
+        let dir = std::env::temp_dir().join(format!("ah-server-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.store");
+        let _ = std::fs::remove_file(&path);
+        let cost_of = |cfg: &crate::space::Configuration| {
+            let x = cfg.int("x").unwrap() as f64;
+            let y = cfg.int("y").unwrap() as f64;
+            (x - 42.0).powi(2) + (y - 13.0).powi(2)
+        };
+        let connect = |store: &SharedStore| {
+            let server = HarmonyServer::start_with_config(ServerConfig {
+                shards: 2,
+                store: Some(store.clone()),
+                ..Default::default()
+            });
+            let client = server.connect("warm").unwrap();
+            client.add_param(Param::int("x", 0, 80, 1)).unwrap();
+            client.add_param(Param::int("y", 0, 80, 1)).unwrap();
+            client
+                .seal(
+                    SessionOptions {
+                        max_evaluations: 60,
+                        seed: 11,
+                        ..Default::default()
+                    },
+                    StrategyKind::NelderMead,
+                )
+                .unwrap();
+            (server, client)
+        };
+
+        // Cold run: every trial is dispatched and measured by the client.
+        let store = SharedStore::open(&path).unwrap();
+        let (server, client) = connect(&store);
+        let mut measured = 0usize;
+        loop {
+            let (trials, finished) = client.fetch_batch(4).unwrap();
+            if finished {
+                break;
+            }
+            let reports = trials
+                .iter()
+                .map(|t| {
+                    measured += 1;
+                    TrialReport {
+                        iteration: t.iteration,
+                        cost: cost_of(&t.config),
+                        wall_time: 1.0,
+                    }
+                })
+                .collect();
+            client.report_batch(reports).unwrap();
+        }
+        let (cold, _) = client.history().unwrap();
+        server.shutdown();
+        store.flush().unwrap();
+        assert_eq!(measured, 60, "cold run measures its whole budget");
+        assert_eq!(store.stats().live_configs, 60);
+        drop(store);
+
+        // Warm run against the same store file: the server resolves every
+        // proposal internally and the very first fetch reports `finished`.
+        let store = SharedStore::open(&path).unwrap();
+        let (server, client) = connect(&store);
+        let first = client.fetch().unwrap();
+        assert!(first.finished, "warm run must finish without dispatching");
+        let (warm, finished) = client.history().unwrap();
+        assert!(finished);
+        server.shutdown();
+
+        // Bit-identical trajectory, every warm row served from the store.
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.evaluations().iter().zip(warm.evaluations()) {
+            assert_eq!(c.iteration, w.iteration);
+            assert_eq!(c.config.cache_key(), w.config.cache_key());
+            assert_eq!(c.cost.to_bits(), w.cost.to_bits());
+        }
+        assert!(warm.evaluations().iter().all(|e| e.cached));
+        // The warm run re-recorded nothing: bit-identical costs dedup away.
+        assert_eq!(store.stats().records, 60);
+    }
+
+    #[test]
+    fn store_backed_batches_interleave_hits_and_fresh_trials() {
+        // Pre-populate the store with only *some* of the configurations a
+        // run will visit, via a half-budget cold run; the full-budget run
+        // must then mix server-side hits with dispatched trials and still
+        // match a storeless full run bit-for-bit.
+        let dir = std::env::temp_dir().join(format!("ah-server-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partial.store");
+        let _ = std::fs::remove_file(&path);
+        let cost_of = |cfg: &crate::space::Configuration| {
+            let x = cfg.int("x").unwrap() as f64;
+            (x - 33.0).powi(2)
+        };
+        let run = |store: Option<SharedStore>, evals: usize| {
+            let server = HarmonyServer::start_with_config(ServerConfig {
+                shards: 1,
+                store,
+                ..Default::default()
+            });
+            let client = server.connect("partial").unwrap();
+            client.add_param(Param::int("x", 0, 200, 1)).unwrap();
+            client
+                .seal(
+                    SessionOptions {
+                        max_evaluations: evals,
+                        seed: 7,
+                        ..Default::default()
+                    },
+                    StrategyKind::NelderMead,
+                )
+                .unwrap();
+            let mut measured = 0usize;
+            loop {
+                let (trials, finished) = client.fetch_batch(3).unwrap();
+                if finished {
+                    break;
+                }
+                let reports = trials
+                    .iter()
+                    .map(|t| {
+                        measured += 1;
+                        TrialReport {
+                            iteration: t.iteration,
+                            cost: cost_of(&t.config),
+                            wall_time: 1.0,
+                        }
+                    })
+                    .collect();
+                client.report_batch(reports).unwrap();
+            }
+            let (h, _) = client.history().unwrap();
+            server.shutdown();
+            (measured, h)
+        };
+        let store = SharedStore::open(&path).unwrap();
+        let (m_half, _) = run(Some(store.clone()), 25);
+        assert_eq!(m_half, 25);
+        store.flush().unwrap();
+
+        let (m_none, reference) = run(None, 50);
+        assert_eq!(m_none, 50);
+        let (m_mixed, mixed) = run(Some(store), 50);
+        assert!(
+            m_mixed < 50 && m_mixed > 0,
+            "expected a mix of hits and fresh trials, measured {m_mixed}"
+        );
+        assert_eq!(reference.len(), mixed.len());
+        for (a, b) in reference.evaluations().iter().zip(mixed.evaluations()) {
+            assert_eq!(a.config.cache_key(), b.config.cache_key());
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+        assert!(mixed.evaluations().iter().any(|e| e.cached));
     }
 
     #[test]

@@ -94,6 +94,11 @@ struct PendingTrial {
     kind: PendingKind,
     /// `(cost, wall_time)` once reported; `Fresh` entries only.
     outcome: Option<(f64, f64)>,
+    /// The outcome came from the persistent performance store, not a live
+    /// measurement: the history row is flagged `cached` and no wall time is
+    /// charged, but budget/best/feedback bookkeeping is identical to a
+    /// fresh measurement (pure memoization).
+    from_store: bool,
 }
 
 /// Final outcome of a completed session.
@@ -317,6 +322,7 @@ impl TuningSession {
                     iteration,
                     kind: PendingKind::Replay,
                     outcome: None,
+                    from_store: false,
                 });
                 self.flush_pending();
                 continue;
@@ -335,6 +341,7 @@ impl TuningSession {
                 iteration,
                 kind: PendingKind::Fresh,
                 outcome: None,
+                from_store: false,
             });
         }
         out
@@ -358,6 +365,34 @@ impl TuningSession {
         self.telemetry.inc(Counter::TrialsMeasured);
         self.telemetry
             .event(TrialStage::Measured, trial.iteration, 0, None);
+        self.flush_pending();
+        Ok(())
+    }
+
+    /// Resolve an outstanding trial with a cost served from the persistent
+    /// performance store instead of a live measurement.
+    ///
+    /// The flush applies the cost exactly like a fresh report — budget,
+    /// cache, best tracking, strategy feedback and stop checks all advance
+    /// identically, which is what keeps a warm (store-backed) run's
+    /// trajectory bit-identical to the cold run that populated the store —
+    /// except that the history row is flagged `cached` and no wall time is
+    /// charged to the cumulative tuning time (nothing actually ran).
+    pub fn report_stored(&mut self, trial: Trial, cost: f64) -> Result<()> {
+        if self.stopped.is_some() {
+            return Err(HarmonyError::SessionFinished);
+        }
+        let Some(entry) = self.pending.iter_mut().find(|e| {
+            e.kind == PendingKind::Fresh && e.outcome.is_none() && e.iteration == trial.iteration
+        }) else {
+            return Err(HarmonyError::Protocol(
+                "report_stored() without an outstanding trial".into(),
+            ));
+        };
+        entry.outcome = Some((cost, 0.0));
+        entry.from_store = true;
+        self.telemetry
+            .event(TrialStage::Replayed, trial.iteration, 0, Some("store"));
         self.flush_pending();
         Ok(())
     }
@@ -395,7 +430,12 @@ impl TuningSession {
                     } else {
                         f64::INFINITY
                     };
-                    self.cumulative_time += wall_time;
+                    // A store-served outcome charges no wall time (nothing
+                    // ran) and lands a `cached` row; every other state
+                    // transition below is identical to a live measurement.
+                    if !e.from_store {
+                        self.cumulative_time += wall_time;
+                    }
                     self.cache.insert(e.key, cost);
                     self.fresh_evals += 1;
                     self.consecutive_cached = 0;
@@ -403,12 +443,14 @@ impl TuningSession {
                         iteration: e.iteration,
                         config: e.config.clone(),
                         cost,
-                        cached: false,
+                        cached: e.from_store,
                         cumulative_time: self.cumulative_time,
                     });
-                    self.telemetry.inc(Counter::TrialsReported);
-                    self.telemetry
-                        .event(TrialStage::Reported, e.iteration, 0, None);
+                    if !e.from_store {
+                        self.telemetry.inc(Counter::TrialsReported);
+                        self.telemetry
+                            .event(TrialStage::Reported, e.iteration, 0, None);
+                    }
                     let improved = self.update_best(&e.config, cost);
                     if improved {
                         self.since_improvement = 0;
@@ -935,6 +977,95 @@ mod tests {
             s.report(t, 2.0).unwrap();
         }
         assert_eq!(s.history().len(), 8);
+    }
+
+    #[test]
+    fn store_served_run_matches_cold_trajectory_with_cached_rows() {
+        let opts = SessionOptions {
+            max_evaluations: 40,
+            seed: 17,
+            ..Default::default()
+        };
+        let mut cold = TuningSession::new(space(), Box::new(NelderMead::default()), opts.clone());
+        let a = cold.run(bowl);
+        // Warm run: every fresh trial is resolved from "the store" with the
+        // exact cost the cold run measured.
+        let mut warm = TuningSession::new(space(), Box::new(NelderMead::default()), opts.clone());
+        while let Some(t) = warm.suggest() {
+            let cost = bowl(&t.config);
+            warm.report_stored(t, cost).unwrap();
+        }
+        let b = warm.result();
+        // Identical search trajectory: same stops, same budget consumption,
+        // same per-iteration costs, bit-identical best.
+        assert_eq!(a.stop_reason, b.stop_reason);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best_config.cache_key(), b.best_config.cache_key());
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.evaluations().iter().zip(b.history.evaluations()) {
+            assert_eq!(x.iteration, y.iteration);
+            assert_eq!(x.config.cache_key(), y.config.cache_key());
+            assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+        }
+        // But the warm run measured nothing: every row is cached and no
+        // wall time was ever charged.
+        assert!(b.history.evaluations().iter().all(|e| e.cached));
+        assert!(b
+            .history
+            .evaluations()
+            .iter()
+            .all(|e| e.cumulative_time == 0.0));
+        assert!(a.history.evaluations().iter().any(|e| !e.cached));
+    }
+
+    #[test]
+    fn report_stored_without_trial_is_an_error() {
+        let sp = space();
+        let mut s = TuningSession::new(
+            sp.clone(),
+            Box::new(RandomSearch::new()),
+            SessionOptions::default(),
+        );
+        let trial = Trial {
+            config: sp.center(),
+            iteration: 1,
+        };
+        assert!(matches!(
+            s.report_stored(trial, 1.0),
+            Err(HarmonyError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_store_and_fresh_reports_interleave() {
+        // Serving some trials from the store and measuring the rest must
+        // still walk the exact cold trajectory (costs are functions of the
+        // configuration, so the source of a cost cannot matter).
+        let opts = SessionOptions {
+            max_evaluations: 30,
+            seed: 23,
+            ..Default::default()
+        };
+        let mut cold = TuningSession::new(space(), Box::new(NelderMead::default()), opts.clone());
+        let a = cold.run(bowl);
+        let mut mixed = TuningSession::new(space(), Box::new(NelderMead::default()), opts.clone());
+        let mut n = 0;
+        while let Some(t) = mixed.suggest() {
+            let cost = bowl(&t.config);
+            n += 1;
+            if n % 2 == 0 {
+                mixed.report_stored(t, cost).unwrap();
+            } else {
+                mixed.report(t, cost).unwrap();
+            }
+        }
+        let b = mixed.result();
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        for (x, y) in a.history.evaluations().iter().zip(b.history.evaluations()) {
+            assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,1313 @@
+//! Persistent cross-session performance database (the paper's §II
+//! "database of past performance results").
+//!
+//! The Harmony server in the paper never re-measures a configuration it has
+//! already seen: measured costs go into a performance database that outlives
+//! any single tuning session, and new sessions are seeded from it (the SC'04
+//! prior-run technique). [`PerfStore`] is that database. It is keyed by
+//! `(application label, search-space fingerprint, configuration)` and
+//! records every measured cost together with its provenance — which session
+//! measured it, at which iteration, and whether the trial had been requeued
+//! by fault handling on the way.
+//!
+//! # On-disk format
+//!
+//! JSON lines, like the [WAL](crate::wal). Line 1 is a [`StoreHeader`]
+//! (`kind` + format version); each following line is one [`StoreRecord`].
+//! Costs are stored as `u64` bit patterns (`f64::to_bits`), so a cost served
+//! from the store is *exactly* the one measured — bit-identical memoization,
+//! no decimal round-trip.
+//!
+//! # Crash safety and fsync policy
+//!
+//! Open-time recovery is the WAL's: a single scan tracks the byte offset
+//! just past the last parseable record; a torn final line (crash mid-append)
+//! is truncated off disk ([`Counter::StoreTornTails`]), while an unreadable
+//! record *followed by* readable ones is real corruption and surfaces as
+//! [`HarmonyError::StoreCorrupt`].
+//!
+//! The append path deliberately diverges from the WAL: the WAL is a
+//! correctness log (losing a record means losing search state), so it pays
+//! one fsync per record. The store is a cache — losing the unsynced tail
+//! merely means a few configurations get re-measured next run — so appends
+//! go to the file immediately (they reach the OS page cache, surviving
+//! `abort()`/SIGKILL) but `sync_data` is deferred. A bare [`PerfStore`]
+//! syncs inline every [`PerfStore::sync_every`] records; under the server,
+//! [`SharedStore`] disables the inline sync entirely and a background
+//! flusher group-commits whenever the append path goes quiet, so no report
+//! ever waits on an fsync. Both paths sync on [`PerfStore::flush`] / drop.
+//! That keeps store-enabled serving inside the bench regression tolerance.
+//!
+//! # Compaction
+//!
+//! The log is append-only; re-measurements of a known configuration under a
+//! noisy objective append rather than rewrite. [`PerfStore::compact`]
+//! snapshots the live (first-recorded) records to a temp file and atomically
+//! renames it over the log, so the file cannot grow without bound;
+//! [`PerfStore::gc`] is compaction filtered to one application's records.
+//!
+//! # Cache semantics
+//!
+//! Lookup is *first write wins*: the first recorded cost for a key is the
+//! one served forever after, which is what makes a warm run against the
+//! store replay the cold run's trajectory bit-identically (see
+//! [`TuningSession::report_stored`](crate::session::TuningSession::report_stored)).
+
+use crate::error::{HarmonyError, Result};
+use crate::priors::PriorRunDb;
+use crate::space::{Configuration, SearchSpace};
+use crate::telemetry::{Counter, Latency, Telemetry};
+use crate::value::ParamValue;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Current store format version (line 1 of every store file).
+pub const STORE_VERSION: u32 = 1;
+
+/// File-type marker in the header, so a store file can never be confused
+/// with a WAL (both are JSON lines).
+pub const STORE_KIND: &str = "ah-store";
+
+/// Default number of appends between `sync_data` calls.
+///
+/// Sized for the hot path, not for durability: a `sync_data` costs
+/// hundreds of microseconds while an appended line costs well under one,
+/// so at 32 the fsync cadence would dominate every store-backed report.
+/// The window only matters for power loss — records reach the OS page
+/// cache on append, surviving `abort()`/SIGKILL — and losing a window of
+/// cache entries merely means re-measuring them, so the cadence errs
+/// toward throughput. [`PerfStore::flush`] (called on drop and on server
+/// shutdown) always syncs the tail.
+pub const DEFAULT_SYNC_EVERY: usize = 512;
+
+/// First line of every store file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreHeader {
+    /// Always [`STORE_KIND`]; refuses WAL or foreign JSON-lines files.
+    pub kind: String,
+    /// Format version ([`STORE_VERSION`]).
+    pub version: u32,
+}
+
+/// One measured cost with its provenance. Serialized as one JSON line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreRecord {
+    /// Application label the measurement belongs to.
+    pub app: String,
+    /// Fingerprint of the search space it was measured in
+    /// ([`space_fingerprint`]); disambiguates identical cache keys from
+    /// different spaces under one label.
+    pub fingerprint: u64,
+    /// The measured configuration.
+    pub config: Configuration,
+    /// `f64::to_bits` of the measured cost.
+    pub cost_bits: u64,
+    /// `f64::to_bits` of the measurement's wall-clock time.
+    pub wall_bits: u64,
+    /// Session that measured it (0 = off-line / standalone tuner).
+    pub session: u64,
+    /// Iteration token within that session (0 = preload/baseline).
+    pub iteration: usize,
+    /// The trial had been requeued by fault handling before its report.
+    pub requeued: bool,
+    /// The cost came from a replay (WAL resume), not a live measurement.
+    pub replayed: bool,
+}
+
+impl StoreRecord {
+    /// A record with zeroed provenance; chain [`with_provenance`]
+    /// (Self::with_provenance) and [`with_flags`](Self::with_flags) to fill
+    /// it in.
+    pub fn new(
+        app: impl Into<String>,
+        fingerprint: u64,
+        config: Configuration,
+        cost: f64,
+        wall_time: f64,
+    ) -> Self {
+        StoreRecord {
+            app: app.into(),
+            fingerprint,
+            config,
+            cost_bits: cost.to_bits(),
+            wall_bits: wall_time.to_bits(),
+            session: 0,
+            iteration: 0,
+            requeued: false,
+            replayed: false,
+        }
+    }
+
+    /// Stamp the measuring session and iteration.
+    pub fn with_provenance(mut self, session: u64, iteration: usize) -> Self {
+        self.session = session;
+        self.iteration = iteration;
+        self
+    }
+
+    /// Stamp the fault/replay flags.
+    pub fn with_flags(mut self, requeued: bool, replayed: bool) -> Self {
+        self.requeued = requeued;
+        self.replayed = replayed;
+        self
+    }
+
+    /// The measured cost.
+    pub fn cost(&self) -> f64 {
+        f64::from_bits(self.cost_bits)
+    }
+
+    /// The measurement's wall-clock time.
+    pub fn wall_time(&self) -> f64 {
+        f64::from_bits(self.wall_bits)
+    }
+}
+
+/// A cost served from the store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredCost {
+    /// The first-recorded cost for the key.
+    pub cost: f64,
+    /// The wall-clock time of the original measurement.
+    pub wall_time: f64,
+}
+
+/// Per-application summary inside [`StoreStats`].
+#[derive(Debug, Clone, Serialize)]
+pub struct AppStats {
+    /// Application label.
+    pub app: String,
+    /// Unique live configurations recorded for it.
+    pub configs: usize,
+}
+
+/// Snapshot of a store's size and composition.
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreStats {
+    /// Backing file path.
+    pub path: String,
+    /// Backing file size in bytes.
+    pub file_bytes: u64,
+    /// Total log records, superseded duplicates included.
+    pub records: usize,
+    /// Unique live `(app, fingerprint, configuration)` keys.
+    pub live_configs: usize,
+    /// Per-application live config counts, sorted by label.
+    pub apps: Vec<AppStats>,
+    /// A torn trailing record was truncated when this store was opened.
+    pub torn_tail_truncated: bool,
+}
+
+/// Outcome of a [`PerfStore::compact`] or [`PerfStore::gc`].
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CompactionStats {
+    /// Log records before.
+    pub records_before: usize,
+    /// Log records after (= live records kept).
+    pub records_after: usize,
+    /// File bytes before.
+    pub bytes_before: u64,
+    /// File bytes after.
+    pub bytes_after: u64,
+}
+
+/// Stable 64-bit fingerprint of a search space's parameter declarations.
+///
+/// FNV-1a over the serde_json encoding of the parameter list — hand-rolled
+/// and version-stable, unlike `DefaultHasher`. Constraints are deliberately
+/// excluded: a cost is a function of the *configuration* alone, and the
+/// fingerprint only has to disambiguate cache-key collisions between
+/// different spaces sharing an application label.
+pub fn space_fingerprint(space: &SearchSpace) -> u64 {
+    let blob = serde_json::to_string(&space.params()).expect("params serialize");
+    fnv1a(blob.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> HarmonyError {
+    HarmonyError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+fn encode_line<T: Serialize>(value: &T) -> Result<String> {
+    let mut line = serde_json::to_string(value).map_err(|e| HarmonyError::Io(e.to_string()))?;
+    line.push('\n');
+    Ok(line)
+}
+
+fn push_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let before = out.len();
+        let _ = write!(out, "{f}");
+        if !out[before..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Encode one [`StoreRecord`] straight into `out`, byte-identical to
+/// `encode_line(&record)`. The generic path builds a full `Value` tree
+/// (one boxed node and one key `String` per field) before writing; at one
+/// insert per report this was the single largest term of the store's
+/// per-evaluation cost, so the hot path formats directly instead.
+/// `encode_matches_the_generic_serializer` pins the two encodings to each
+/// other.
+fn push_record_line(rec: &StoreRecord, out: &mut String) {
+    out.push_str("{\"app\":");
+    push_json_str(&rec.app, out);
+    let _ = write!(out, ",\"fingerprint\":{}", rec.fingerprint);
+    out.push_str(",\"config\":{\"names\":[");
+    for (i, name) in rec.config.names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(name, out);
+    }
+    out.push_str("],\"values\":[");
+    for (i, value) in rec.config.values().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match value {
+            ParamValue::Int(x) => {
+                let _ = write!(out, "{{\"Int\":{x}}}");
+            }
+            ParamValue::Real(x) => {
+                out.push_str("{\"Real\":");
+                push_json_f64(*x, out);
+                out.push('}');
+            }
+            ParamValue::Enum { index, label } => {
+                let _ = write!(out, "{{\"Enum\":{{\"index\":{index},\"label\":");
+                push_json_str(label, out);
+                out.push_str("}}");
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "]}},\"cost_bits\":{},\"wall_bits\":{},\"session\":{},\"iteration\":{},\"requeued\":{},\"replayed\":{}}}",
+        rec.cost_bits, rec.wall_bits, rec.session, rec.iteration, rec.requeued, rec.replayed
+    );
+    out.push('\n');
+}
+
+/// The durable performance database: an append-only JSON-lines log plus an
+/// in-memory first-write-wins index. See the [module docs](self) for format,
+/// fsync policy, and cache semantics.
+pub struct PerfStore {
+    path: PathBuf,
+    file: File,
+    telemetry: Telemetry,
+    /// Every log record in file order (compaction rewrites this).
+    records: Vec<StoreRecord>,
+    /// `app → fingerprint → cache_key → position in `records`` of the
+    /// first (live) record for that key. Nested (rather than keyed by an
+    /// `(app, fingerprint)` tuple) so the per-proposal hot path can probe
+    /// with a borrowed `&str` instead of allocating a composite key.
+    index: HashMap<String, HashMap<u64, HashMap<Vec<i64>, usize>>>,
+    /// Appends since the last `sync_data`; see [`Self::sync_every`].
+    unsynced: usize,
+    /// When the last append hit the file. [`SharedStore`]'s flusher only
+    /// syncs a store that has gone quiet: an fsync on the inode being
+    /// appended to serializes with the appender at the filesystem level,
+    /// so syncing mid-burst would stall the serving path (lock held)
+    /// for the full fsync.
+    last_append: Instant,
+    /// `sync_data` cadence in appends (≥1). The store is a cache, not a
+    /// correctness log: an unsynced tail lost to a crash just gets
+    /// re-measured.
+    pub sync_every: usize,
+    torn_tail_truncated: bool,
+}
+
+impl std::fmt::Debug for PerfStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerfStore")
+            .field("path", &self.path)
+            .field("records", &self.records.len())
+            .field("live_configs", &self.live_configs())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PerfStore {
+    /// Open the store at `path`, creating it (with a header line) if absent
+    /// or empty. An existing file is scanned WAL-style: a torn trailing
+    /// record is truncated away, anything else unreadable is
+    /// [`HarmonyError::StoreCorrupt`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(path, Telemetry::disabled())
+    }
+
+    /// [`open`](Self::open) recording hits/misses/inserts/compactions and
+    /// lookup / append+fsync latencies on `telemetry`.
+    pub fn open_with(path: impl AsRef<Path>, telemetry: Telemetry) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let exists = std::fs::metadata(&path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false);
+        if !exists {
+            let mut file = File::create(&path).map_err(|e| io_err("create", &path, e))?;
+            let line = encode_line(&StoreHeader {
+                kind: STORE_KIND.into(),
+                version: STORE_VERSION,
+            })?;
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.sync_data())
+                .map_err(|e| io_err("write header to", &path, e))?;
+            return Ok(PerfStore {
+                path,
+                file,
+                telemetry,
+                records: Vec::new(),
+                index: HashMap::new(),
+                unsynced: 0,
+                last_append: Instant::now(),
+                sync_every: DEFAULT_SYNC_EVERY,
+                torn_tail_truncated: false,
+            });
+        }
+
+        let blob = std::fs::read_to_string(&path).map_err(|e| io_err("read", &path, e))?;
+        // Same single-pass recovery scan as the WAL: `good_end` is the byte
+        // offset just past the last parseable record; a bad record is held
+        // until we know whether readable lines follow it (torn tail vs.
+        // mid-file corruption).
+        let mut records: Vec<StoreRecord> = Vec::new();
+        let mut pending_bad: Option<(usize, String)> = None;
+        let mut good_end = 0usize;
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        for chunk in blob.split_inclusive('\n') {
+            line_no += 1;
+            offset += chunk.len();
+            let line = chunk.trim_end();
+            if line_no == 1 {
+                let h: StoreHeader = serde_json::from_str(line).map_err(|e| {
+                    HarmonyError::StoreCorrupt(format!("{}: bad header: {e}", path.display()))
+                })?;
+                if h.kind != STORE_KIND {
+                    return Err(HarmonyError::StoreCorrupt(format!(
+                        "{}: not a performance store (kind {:?})",
+                        path.display(),
+                        h.kind
+                    )));
+                }
+                if h.version != STORE_VERSION {
+                    return Err(HarmonyError::StoreCorrupt(format!(
+                        "{}: store version {} (this build reads {STORE_VERSION})",
+                        path.display(),
+                        h.version
+                    )));
+                }
+                good_end = offset;
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((bad_line, e)) = pending_bad.take() {
+                return Err(HarmonyError::StoreCorrupt(format!(
+                    "{}: unreadable record at line {bad_line}: {e}",
+                    path.display()
+                )));
+            }
+            match serde_json::from_str::<StoreRecord>(line) {
+                Ok(r) => {
+                    records.push(r);
+                    good_end = offset;
+                }
+                Err(e) => pending_bad = Some((line_no, e.to_string())),
+            }
+        }
+        if line_no == 0 {
+            return Err(HarmonyError::StoreCorrupt(format!(
+                "{}: empty store has no header",
+                path.display()
+            )));
+        }
+        let torn = pending_bad.is_some();
+
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("reopen", &path, e))?;
+        if good_end < blob.len() {
+            file.set_len(good_end as u64)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| io_err("truncate torn tail of", &path, e))?;
+            if torn {
+                telemetry.inc(Counter::StoreTornTails);
+            }
+        }
+
+        let index = Self::build_index(&records);
+        Ok(PerfStore {
+            path,
+            file,
+            telemetry,
+            records,
+            index,
+            unsynced: 0,
+            last_append: Instant::now(),
+            sync_every: DEFAULT_SYNC_EVERY,
+            torn_tail_truncated: torn,
+        })
+    }
+
+    fn build_index(
+        records: &[StoreRecord],
+    ) -> HashMap<String, HashMap<u64, HashMap<Vec<i64>, usize>>> {
+        let mut index: HashMap<String, HashMap<u64, HashMap<Vec<i64>, usize>>> = HashMap::new();
+        for (pos, rec) in records.iter().enumerate() {
+            index
+                .entry(rec.app.clone())
+                .or_default()
+                .entry(rec.fingerprint)
+                .or_default()
+                .entry(rec.config.cache_key())
+                .or_insert(pos);
+        }
+        index
+    }
+
+    /// Backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total log records, superseded duplicates included.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no record has ever been appended.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Unique live `(app, fingerprint, configuration)` keys.
+    pub fn live_configs(&self) -> usize {
+        self.index
+            .values()
+            .flat_map(|by_fp| by_fp.values())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Look up the first-recorded cost for a configuration. Counts a
+    /// [`Counter::StoreHits`] or [`Counter::StoreMisses`] and observes
+    /// [`Latency::StoreLookup`].
+    pub fn lookup(&self, app: &str, fingerprint: u64, key: &[i64]) -> Option<StoredCost> {
+        let started = Instant::now();
+        let hit = self.live_pos(app, fingerprint, key).map(|pos| {
+            let rec = &self.records[pos];
+            StoredCost {
+                cost: rec.cost(),
+                wall_time: rec.wall_time(),
+            }
+        });
+        self.telemetry
+            .observe(Latency::StoreLookup, started.elapsed());
+        self.telemetry.inc(if hit.is_some() {
+            Counter::StoreHits
+        } else {
+            Counter::StoreMisses
+        });
+        hit
+    }
+
+    /// Position of the live (first-recorded) record for a key, if any.
+    /// Alloc-free: every level of the index probes with a borrow.
+    fn live_pos(&self, app: &str, fingerprint: u64, key: &[i64]) -> Option<usize> {
+        self.index
+            .get(app)
+            .and_then(|by_fp| by_fp.get(&fingerprint))
+            .and_then(|m| m.get(key))
+            .copied()
+    }
+
+    /// Append one measured record. Returns `Ok(true)` when the record was
+    /// written, `Ok(false)` when it duplicated the live entry bit-for-bit
+    /// and was skipped (two deterministic runs produce identical costs — the
+    /// dedup is what keeps a warm re-run from growing the log at all).
+    /// A re-measurement with a *different* cost is appended for provenance,
+    /// but the index still serves the first-recorded cost.
+    pub fn insert(&mut self, record: StoreRecord) -> Result<bool> {
+        self.insert_batch(vec![record]).map(|written| written > 0)
+    }
+
+    /// Batched [`insert`](Self::insert): every novel record of the batch is
+    /// encoded into one buffer and appended with a single write, so a whole
+    /// `ReportBatch` costs one store lock and one syscall instead of one
+    /// per trial. Dedup semantics are identical to serial inserts — a
+    /// bit-for-bit duplicate of the live entry (including one earlier in
+    /// this same batch) is skipped. Returns how many records were written.
+    pub fn insert_batch(&mut self, records: Vec<StoreRecord>) -> Result<usize> {
+        use std::collections::hash_map::Entry;
+        let mut blob = String::with_capacity(records.len() * 192);
+        let before = self.records.len();
+        for record in records {
+            let key = record.config.cache_key();
+            // One `entry` probe decides dedup *and* performs the index
+            // insert — the key (a `Vec<i64>`) is hashed exactly once per
+            // record, and a duplicate earlier in this same batch is
+            // caught by the same probe because the index is updated as
+            // we go. (`HashMap::entry` on the outer map would demand an
+            // owned `String` even in the steady state where the app is
+            // already indexed; probe borrowed first and clone only for
+            // a genuinely new label.)
+            if !self.index.contains_key(record.app.as_str()) {
+                self.index.insert(record.app.clone(), HashMap::new());
+            }
+            let by_key = self
+                .index
+                .get_mut(record.app.as_str())
+                .expect("app entry ensured above")
+                .entry(record.fingerprint)
+                .or_default();
+            match by_key.entry(key) {
+                Entry::Occupied(live) => {
+                    // Same key, same cost: a true duplicate, skipped.
+                    // Same key, new cost (noisy objective): appended to
+                    // the log for provenance, but the index keeps
+                    // serving the first-recorded cost.
+                    if self.records[*live.get()].cost_bits == record.cost_bits {
+                        continue;
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(self.records.len());
+                }
+            }
+            push_record_line(&record, &mut blob);
+            self.telemetry.inc(Counter::StoreInserts);
+            self.records.push(record);
+        }
+        let written = self.records.len() - before;
+        if written == 0 {
+            return Ok(0);
+        }
+        // Memory is updated before the append hits disk: if the write
+        // errors, this process still serves the records (consistent with
+        // what it measured) and only the next open loses them — cache
+        // semantics, they would simply be re-measured.
+        let started = Instant::now();
+        self.file
+            .write_all(blob.as_bytes())
+            .map_err(|e| io_err("append to", &self.path, e))?;
+        self.last_append = started;
+        self.unsynced += written;
+        if self.unsynced >= self.sync_every.max(1) {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("sync", &self.path, e))?;
+            self.unsynced = 0;
+            self.telemetry
+                .observe(Latency::StoreAppendFsync, started.elapsed());
+        }
+        Ok(written)
+    }
+
+    /// Force `sync_data` on any unsynced appends.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.unsynced > 0 {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("sync", &self.path, e))?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Appends not yet covered by a `sync_data` — group-commit
+    /// bookkeeping for [`SharedStore`]'s background flusher.
+    pub fn unsynced(&self) -> usize {
+        self.unsynced
+    }
+
+    /// How long since the last append hit the file — the flusher's
+    /// quiescence probe.
+    pub fn idle_for(&self) -> std::time::Duration {
+        self.last_append.elapsed()
+    }
+
+    /// Duplicate the log's file descriptor so a flusher can `sync_data`
+    /// *without holding the store lock*. A descriptor cloned just before
+    /// a compaction points at the replaced file; syncing it is harmless
+    /// (the compaction path fsyncs its own snapshot).
+    pub fn sync_fd(&self) -> std::io::Result<File> {
+        self.file.try_clone()
+    }
+
+    /// Credit `n` appends as synced. Saturating, because a compaction
+    /// (which resets the counter) may have run while the flusher was
+    /// syncing on its cloned descriptor.
+    pub fn mark_synced(&mut self, n: usize) {
+        self.unsynced = self.unsynced.saturating_sub(n);
+    }
+
+    /// The telemetry handle measurements are recorded on.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Positions of the live records, in first-occurrence (file) order.
+    fn live_positions(&self) -> Vec<usize> {
+        let mut live: Vec<usize> = self
+            .index
+            .values()
+            .flat_map(|by_fp| by_fp.values())
+            .flat_map(|m| m.values().copied())
+            .collect();
+        live.sort_unstable();
+        live
+    }
+
+    /// Rewrite the log keeping only records for which `keep` returns true
+    /// among the live set, via temp file + fsync + atomic rename.
+    fn rewrite(&mut self, keep: impl Fn(&StoreRecord) -> bool) -> Result<CompactionStats> {
+        let bytes_before = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        let records_before = self.records.len();
+        let kept: Vec<StoreRecord> = self
+            .live_positions()
+            .into_iter()
+            .map(|pos| self.records[pos].clone())
+            .filter(|r| keep(r))
+            .collect();
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            let mut blob = encode_line(&StoreHeader {
+                kind: STORE_KIND.into(),
+                version: STORE_VERSION,
+            })?;
+            for rec in &kept {
+                blob.push_str(&encode_line(rec)?);
+            }
+            f.write_all(blob.as_bytes())
+                .and_then(|()| f.sync_data())
+                .map_err(|e| io_err("write", &tmp, e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("rename over", &self.path, e))?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err("reopen", &self.path, e))?;
+        self.unsynced = 0;
+        self.index = Self::build_index(&kept);
+        self.records = kept;
+        self.telemetry.inc(Counter::StoreCompactions);
+        let bytes_after = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        Ok(CompactionStats {
+            records_before,
+            records_after: self.records.len(),
+            bytes_before,
+            bytes_after,
+        })
+    }
+
+    /// Snapshot the live records to a fresh log (temp file + atomic
+    /// rename), dropping superseded duplicates. Lookups are unchanged.
+    pub fn compact(&mut self) -> Result<CompactionStats> {
+        self.rewrite(|_| true)
+    }
+
+    /// Compaction that additionally drops every record not belonging to
+    /// `keep_app` (`None` keeps all applications — plain compaction).
+    pub fn gc(&mut self, keep_app: Option<&str>) -> Result<CompactionStats> {
+        match keep_app {
+            None => self.compact(),
+            Some(app) => {
+                let app = app.to_string();
+                self.rewrite(move |r| r.app == app)
+            }
+        }
+    }
+
+    /// Size and composition snapshot (serializable for `repro store stats`).
+    pub fn stats(&self) -> StoreStats {
+        let mut per_app: HashMap<&str, usize> = HashMap::new();
+        for (app, by_fp) in self.index.iter() {
+            *per_app.entry(app.as_str()).or_default() +=
+                by_fp.values().map(|m| m.len()).sum::<usize>();
+        }
+        let mut apps: Vec<AppStats> = per_app
+            .into_iter()
+            .map(|(app, configs)| AppStats {
+                app: app.to_string(),
+                configs,
+            })
+            .collect();
+        apps.sort_by(|a, b| a.app.cmp(&b.app));
+        StoreStats {
+            path: self.path.display().to_string(),
+            file_bytes: std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0),
+            records: self.records.len(),
+            live_configs: self.live_configs(),
+            apps,
+            torn_tail_truncated: self.torn_tail_truncated,
+        }
+    }
+
+    /// The live records, in file order (inspection / `repro store inspect`).
+    pub fn live_records(&self) -> Vec<&StoreRecord> {
+        self.live_positions()
+            .into_iter()
+            .map(|pos| &self.records[pos])
+            .collect()
+    }
+
+    /// Materialize the in-memory prior-run view over every live record
+    /// (see [`PriorRunDb`] — since the store subsumed it, that type is the
+    /// query layer and this is its constructor).
+    pub fn priors(&self) -> PriorRunDb {
+        let mut db = PriorRunDb::new();
+        for rec in self.live_records() {
+            db.record(rec.app.clone(), rec.config.clone(), rec.cost());
+        }
+        db
+    }
+
+    /// [`priors`](Self::priors) filtered to one application label.
+    pub fn priors_for(&self, app: &str) -> PriorRunDb {
+        let mut db = PriorRunDb::new();
+        for rec in self.live_records() {
+            if rec.app == app {
+                db.record(rec.app.clone(), rec.config.clone(), rec.cost());
+            }
+        }
+        db
+    }
+
+    /// Warm-start simplex seed for `app` in `space`, from stored best
+    /// points (`StartPoint::Center` when the store knows nothing).
+    pub fn seed_for(&self, app: &str, space: &SearchSpace) -> crate::strategy::StartPoint {
+        self.priors_for(app).seed_for(app, space)
+    }
+
+    /// Warm-start narrowed space for `app` around the stored best point.
+    pub fn narrowed_space(
+        &self,
+        app: &str,
+        space: &SearchSpace,
+        margin: f64,
+    ) -> Result<SearchSpace> {
+        self.priors_for(app).narrowed_space(app, space, margin)
+    }
+}
+
+impl Drop for PerfStore {
+    fn drop(&mut self) {
+        // Best-effort: push any unsynced tail to disk. Failure is fine —
+        // the records are a cache and get re-measured if lost.
+        let _ = self.flush();
+    }
+}
+
+/// How often [`SharedStore`]'s background flusher polls for unsynced
+/// appends.
+const FLUSH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// How long the append path must have been quiet before the flusher
+/// syncs. An `fsync` serializes with concurrent appends to the same
+/// inode, so a sync issued mid-burst stalls the serving path (which
+/// holds the store lock across its `write`) for the full fsync — on slow
+/// filesystems that is longer than an entire quick bench scenario.
+/// Waiting for a gap makes the group commit free: it runs between
+/// measurement bursts, and process exit still syncs the tail via
+/// `PerfStore`'s `Drop`.
+const FLUSH_QUIESCENCE: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// State behind a [`SharedStore`] handle: the store itself, which is
+/// also the liveness anchor for the background flusher (the flusher
+/// holds a `Weak` to this and exits once every handle is gone).
+struct StoreInner {
+    store: Mutex<PerfStore>,
+}
+
+/// Cheap cloneable handle sharing one [`PerfStore`] across server shards
+/// and driver threads.
+///
+/// Unlike a bare `PerfStore`, a `SharedStore` never runs `sync_data`
+/// inline on the append path: `sync_data` can cost a millisecond or
+/// more, and paying it while holding the store lock stalls every
+/// shard's report path (visible as p99 spikes and throughput collapse
+/// in the bench regression gate). Instead a background flusher thread
+/// polls every [`FLUSH_INTERVAL`] and group-commits once the append
+/// path has been quiet for [`FLUSH_QUIESCENCE`], syncing on a cloned
+/// file descriptor *outside* the lock. When the last handle drops,
+/// [`PerfStore`]'s `Drop` still flushes the tail synchronously.
+#[derive(Clone)]
+pub struct SharedStore(Arc<StoreInner>);
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.store.lock().fmt(f)
+    }
+}
+
+impl SharedStore {
+    /// Wrap an opened store and start its background flusher.
+    pub fn new(mut store: PerfStore) -> Self {
+        // The inline count-based fsync must never fire under the
+        // server; the flusher owns sync cadence from here on.
+        store.sync_every = usize::MAX;
+        let inner = Arc::new(StoreInner {
+            store: Mutex::new(store),
+        });
+        Self::spawn_flusher(Arc::downgrade(&inner));
+        SharedStore(inner)
+    }
+
+    /// Periodic group-commit loop. Holds only a `Weak`, so the store's
+    /// lifetime is governed by the handles: once they are gone the
+    /// upgrade fails and the thread exits (and `PerfStore::drop` has
+    /// already flushed the tail). Spawn failure is tolerated — the
+    /// store then just syncs on drop, never mid-run.
+    fn spawn_flusher(weak: std::sync::Weak<StoreInner>) {
+        let _ = std::thread::Builder::new()
+            .name("ah-store-flusher".into())
+            .spawn(move || loop {
+                std::thread::sleep(FLUSH_INTERVAL);
+                let Some(inner) = weak.upgrade() else { break };
+                // Briefly lock to snapshot the unsynced count and clone
+                // the fd, then sync with the lock *released* so reports
+                // and lookups keep flowing during the fsync.
+                let pending = {
+                    let store = inner.store.lock();
+                    match store.unsynced() {
+                        0 => None,
+                        _ if store.idle_for() < FLUSH_QUIESCENCE => None,
+                        n => store
+                            .sync_fd()
+                            .ok()
+                            .map(|fd| (n, fd, store.telemetry().clone())),
+                    }
+                };
+                if let Some((n, fd, telemetry)) = pending {
+                    let started = Instant::now();
+                    if fd.sync_data().is_ok() {
+                        telemetry.observe(Latency::StoreAppendFsync, started.elapsed());
+                        inner.store.lock().mark_synced(n);
+                    }
+                }
+            });
+    }
+
+    /// Open (or create) the store at `path`; see [`PerfStore::open`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(Self::new(PerfStore::open(path)?))
+    }
+
+    /// Open with a telemetry handle; see [`PerfStore::open_with`].
+    pub fn open_with(path: impl AsRef<Path>, telemetry: Telemetry) -> Result<Self> {
+        Ok(Self::new(PerfStore::open_with(path, telemetry)?))
+    }
+
+    /// Locked [`PerfStore::lookup`].
+    pub fn lookup(&self, app: &str, fingerprint: u64, key: &[i64]) -> Option<StoredCost> {
+        self.0.store.lock().lookup(app, fingerprint, key)
+    }
+
+    /// Locked [`PerfStore::insert`].
+    pub fn insert(&self, record: StoreRecord) -> Result<bool> {
+        self.0.store.lock().insert(record)
+    }
+
+    /// Locked [`PerfStore::insert_batch`].
+    pub fn insert_batch(&self, records: Vec<StoreRecord>) -> Result<usize> {
+        self.0.store.lock().insert_batch(records)
+    }
+
+    /// Locked [`PerfStore::flush`].
+    pub fn flush(&self) -> Result<()> {
+        self.0.store.lock().flush()
+    }
+
+    /// Locked [`PerfStore::stats`].
+    pub fn stats(&self) -> StoreStats {
+        self.0.store.lock().stats()
+    }
+
+    /// Run `f` under the store lock (compaction, priors queries, …).
+    pub fn with<R>(&self, f: impl FnOnce(&mut PerfStore) -> R) -> R {
+        f(&mut self.0.store.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StartPoint;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ah-store-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.store"))
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::builder()
+            .int("x", 0, 100, 1)
+            .int("y", 0, 100, 1)
+            .build()
+            .unwrap()
+    }
+
+    fn rec(app: &str, fp: u64, x: f64, y: f64, cost: f64) -> StoreRecord {
+        StoreRecord::new(app, fp, space().project(&[x, y]), cost, cost)
+    }
+
+    #[test]
+    fn encode_matches_the_generic_serializer() {
+        // The hot-path encoder must stay byte-identical to the derive-based
+        // one: recovery, compaction, and old store files all go through the
+        // generic path. Exercise every `ParamValue` shape, float formatting
+        // corner cases (integral, negative zero, exponent, non-finite), and
+        // string escaping.
+        let sp = SearchSpace::builder()
+            .int("tile", 1, 128, 1)
+            .real("tol", 1e-12, 1.0)
+            .enumeration("layout", ["row \"major\"", "col\nmajor", "z\u{1}order"])
+            .build()
+            .unwrap();
+        let fp = space_fingerprint(&sp);
+        let configs = [
+            sp.project(&[1.0, 0.5, 0.0]),
+            sp.project(&[128.0, 1e-12, 2.0]),
+            sp.project(&[64.0, 2.0, 1.0]),
+            // Non-finite and negative-zero reals can't come out of a
+            // projection; build them by hand to pin the `null`/`-0.0` rules.
+            Configuration::new(
+                vec!["a".into(), "b".into(), "c".into()],
+                vec![
+                    ParamValue::Real(f64::NAN),
+                    ParamValue::Real(-0.0),
+                    ParamValue::Real(f64::NEG_INFINITY),
+                ],
+            ),
+        ];
+        let costs = [0.25, -0.0, 1e300, 2.0, f64::NAN, f64::INFINITY];
+        for (i, config) in configs.iter().enumerate() {
+            for (j, &cost) in costs.iter().enumerate() {
+                let record = StoreRecord::new("app \"x\"\n\u{7}", fp, config.clone(), cost, -cost)
+                    .with_provenance(u64::MAX, usize::MAX)
+                    .with_flags(i % 2 == 0, j % 2 == 1);
+                let mut fast = String::new();
+                push_record_line(&record, &mut fast);
+                assert_eq!(
+                    fast,
+                    encode_line(&record).unwrap(),
+                    "config {i} cost {cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_insert_reopen_lookup() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let sp = space();
+        let fp = space_fingerprint(&sp);
+        {
+            let mut store = PerfStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            assert!(store.insert(rec("app", fp, 3.0, 4.0, 25.0)).unwrap());
+            assert!(store.insert(rec("app", fp, 5.0, 6.0, 61.0)).unwrap());
+        }
+        let store = PerfStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.live_configs(), 2);
+        let key = sp.project(&[3.0, 4.0]).cache_key();
+        let hit = store.lookup("app", fp, &key).unwrap();
+        assert_eq!(hit.cost.to_bits(), 25.0f64.to_bits());
+        assert!(store.lookup("other-app", fp, &key).is_none());
+        assert!(store.lookup("app", fp ^ 1, &key).is_none());
+    }
+
+    #[test]
+    fn identical_duplicate_is_skipped_different_cost_appends() {
+        let path = temp_path("dedup");
+        let _ = std::fs::remove_file(&path);
+        let fp = 7;
+        let mut store = PerfStore::open(&path).unwrap();
+        assert!(store.insert(rec("a", fp, 1.0, 1.0, 9.0)).unwrap());
+        // Bit-identical re-measurement: skipped, log does not grow.
+        assert!(!store.insert(rec("a", fp, 1.0, 1.0, 9.0)).unwrap());
+        assert_eq!(store.len(), 1);
+        // Noisy re-measurement: appended for provenance, but the live
+        // (served) cost stays the first-recorded one.
+        assert!(store.insert(rec("a", fp, 1.0, 1.0, 9.5)).unwrap());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.live_configs(), 1);
+        let key = space().project(&[1.0, 1.0]).cache_key();
+        assert_eq!(store.lookup("a", fp, &key).unwrap().cost, 9.0);
+    }
+
+    #[test]
+    fn first_write_wins_survives_reopen() {
+        let path = temp_path("first-wins");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = PerfStore::open(&path).unwrap();
+            store.insert(rec("a", 1, 2.0, 2.0, 5.0)).unwrap();
+            store.insert(rec("a", 1, 2.0, 2.0, 7.0)).unwrap();
+        }
+        let store = PerfStore::open(&path).unwrap();
+        let key = space().project(&[2.0, 2.0]).cache_key();
+        assert_eq!(store.lookup("a", 1, &key).unwrap().cost, 5.0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = PerfStore::open(&path).unwrap();
+            for i in 0..5 {
+                store.insert(rec("a", 1, i as f64, 0.0, i as f64)).unwrap();
+            }
+        }
+        let torn_bytes = b"{\"app\":\"torn-marker\",\"finger";
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(torn_bytes).unwrap();
+        }
+        let t = Telemetry::enabled();
+        let mut store = PerfStore::open_with(&path, t.clone()).unwrap();
+        assert_eq!(store.len(), 5);
+        assert_eq!(t.counter(Counter::StoreTornTails), 1);
+        // The torn bytes are gone from disk: append + second reopen work.
+        store.insert(rec("a", 1, 9.0, 9.0, 99.0)).unwrap();
+        drop(store);
+        let blob = std::fs::read(&path).unwrap();
+        assert!(!blob
+            .windows(torn_bytes.len())
+            .any(|w| w == torn_bytes.as_slice()));
+        let store = PerfStore::open(&path).unwrap();
+        assert_eq!(store.len(), 6);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = PerfStore::open(&path).unwrap();
+            for i in 0..4 {
+                store.insert(rec("a", 1, i as f64, 0.0, i as f64)).unwrap();
+            }
+        }
+        let blob = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = blob.lines().collect();
+        lines[2] = "garbage in the middle";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        match PerfStore::open(&path) {
+            Err(HarmonyError::StoreCorrupt(msg)) => assert!(msg.contains("line 3"), "{msg}"),
+            other => panic!("expected StoreCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_kind_and_version_are_corruption() {
+        let path = temp_path("kind");
+        std::fs::write(&path, "{\"kind\":\"ah-wal\",\"version\":1}\n").unwrap();
+        assert!(matches!(
+            PerfStore::open(&path),
+            Err(HarmonyError::StoreCorrupt(_))
+        ));
+        std::fs::write(&path, "{\"kind\":\"ah-store\",\"version\":99}\n").unwrap();
+        assert!(matches!(
+            PerfStore::open(&path),
+            Err(HarmonyError::StoreCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_shrinks() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut store = PerfStore::open(&path).unwrap();
+        store.sync_every = 1;
+        for i in 0..10 {
+            store.insert(rec("a", 1, i as f64, 0.0, i as f64)).unwrap();
+        }
+        // Superseded duplicates with different costs bloat the log.
+        for i in 0..10 {
+            store
+                .insert(rec("a", 1, i as f64, 0.0, i as f64 + 0.5))
+                .unwrap();
+        }
+        assert_eq!(store.len(), 20);
+        let before: Vec<(Vec<i64>, u64)> = store
+            .live_records()
+            .iter()
+            .map(|r| (r.config.cache_key(), r.cost_bits))
+            .collect();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.records_before, 20);
+        assert_eq!(stats.records_after, 10);
+        assert!(stats.bytes_after < stats.bytes_before);
+        drop(store);
+        // Round-trip: reopen serves the identical live set.
+        let store = PerfStore::open(&path).unwrap();
+        assert_eq!(store.len(), 10);
+        let after: Vec<(Vec<i64>, u64)> = store
+            .live_records()
+            .iter()
+            .map(|r| (r.config.cache_key(), r.cost_bits))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn gc_keeps_only_one_app() {
+        let path = temp_path("gc");
+        let _ = std::fs::remove_file(&path);
+        let mut store = PerfStore::open(&path).unwrap();
+        store.insert(rec("keep", 1, 1.0, 0.0, 1.0)).unwrap();
+        store.insert(rec("drop", 1, 2.0, 0.0, 2.0)).unwrap();
+        store.insert(rec("keep", 1, 3.0, 0.0, 3.0)).unwrap();
+        store.gc(Some("keep")).unwrap();
+        assert_eq!(store.len(), 2);
+        let stats = store.stats();
+        assert_eq!(stats.apps.len(), 1);
+        assert_eq!(stats.apps[0].app, "keep");
+        let key = space().project(&[2.0, 0.0]).cache_key();
+        assert!(store.lookup("drop", 1, &key).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_spaces() {
+        let a = space_fingerprint(&space());
+        let b = space_fingerprint(&space());
+        assert_eq!(a, b, "same declarations must fingerprint identically");
+        let other = SearchSpace::builder()
+            .int("x", 0, 100, 1)
+            .int("y", 0, 101, 1)
+            .build()
+            .unwrap();
+        assert_ne!(a, space_fingerprint(&other));
+        let renamed = SearchSpace::builder()
+            .int("x", 0, 100, 1)
+            .int("z", 0, 100, 1)
+            .build()
+            .unwrap();
+        assert_ne!(a, space_fingerprint(&renamed));
+        // Pinned value: the fingerprint is part of the on-disk format, so a
+        // refactor that silently changes it would orphan every existing
+        // store. Update this constant only with a version bump.
+        let one = SearchSpace::builder().int("x", 0, 1, 1).build().unwrap();
+        assert_eq!(
+            space_fingerprint(&one),
+            fnv1a(serde_json::to_string(&one.params()).unwrap().as_bytes())
+        );
+    }
+
+    #[test]
+    fn priors_view_matches_a_hand_built_db() {
+        let path = temp_path("priors");
+        let _ = std::fs::remove_file(&path);
+        let sp = space();
+        let fp = space_fingerprint(&sp);
+        let mut store = PerfStore::open(&path).unwrap();
+        let mut by_hand = PriorRunDb::new();
+        for (x, y, cost) in [(10.0, 20.0, 1.0), (12.0, 22.0, 2.0), (50.0, 50.0, 9.0)] {
+            let cfg = sp.project(&[x, y]);
+            store
+                .insert(StoreRecord::new("gs2", fp, cfg.clone(), cost, cost))
+                .unwrap();
+            by_hand.record("gs2", cfg, cost);
+        }
+        let view = store.priors_for("gs2");
+        assert_eq!(view.len(), by_hand.len());
+        assert_eq!(
+            view.best_for("gs2", 3)
+                .iter()
+                .map(|r| r.cost.to_bits())
+                .collect::<Vec<_>>(),
+            by_hand
+                .best_for("gs2", 3)
+                .iter()
+                .map(|r| r.cost.to_bits())
+                .collect::<Vec<_>>()
+        );
+        // The warm-start surfaces delegate through the same view.
+        match store.seed_for("gs2", &sp) {
+            StartPoint::Simplex(points) => assert_eq!(points[0], vec![10.0, 20.0]),
+            other => panic!("expected simplex seed, got {other:?}"),
+        }
+        let narrowed = store.narrowed_space("gs2", &sp, 0.1).unwrap();
+        assert!(narrowed.cardinality().unwrap() < sp.cardinality().unwrap());
+        assert!(matches!(store.seed_for("unknown", &sp), StartPoint::Center));
+    }
+
+    #[test]
+    fn shared_store_is_usable_across_clones() {
+        let path = temp_path("shared");
+        let _ = std::fs::remove_file(&path);
+        let shared = SharedStore::open(&path).unwrap();
+        let clone = shared.clone();
+        clone.insert(rec("a", 1, 4.0, 4.0, 32.0)).unwrap();
+        let key = space().project(&[4.0, 4.0]).cache_key();
+        assert_eq!(shared.lookup("a", 1, &key).unwrap().cost, 32.0);
+        assert_eq!(shared.stats().live_configs, 1);
+        shared.with(|s| s.compact()).unwrap();
+    }
+
+    #[test]
+    fn telemetry_counts_hits_misses_inserts() {
+        let path = temp_path("telemetry");
+        let _ = std::fs::remove_file(&path);
+        let t = Telemetry::enabled();
+        let mut store = PerfStore::open_with(&path, t.clone()).unwrap();
+        store.insert(rec("a", 1, 1.0, 1.0, 2.0)).unwrap();
+        let key = space().project(&[1.0, 1.0]).cache_key();
+        assert!(store.lookup("a", 1, &key).is_some());
+        assert!(store.lookup("a", 1, &[999, 999]).is_none());
+        store.compact().unwrap();
+        assert_eq!(t.counter(Counter::StoreInserts), 1);
+        assert_eq!(t.counter(Counter::StoreHits), 1);
+        assert_eq!(t.counter(Counter::StoreMisses), 1);
+        assert_eq!(t.counter(Counter::StoreCompactions), 1);
+    }
+}

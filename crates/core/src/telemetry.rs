@@ -130,10 +130,20 @@ pub enum Counter {
     WalReplayed,
     /// Torn trailing records truncated away on WAL resume.
     WalTornTails,
+    /// Performance-store lookups that found a stored cost.
+    StoreHits,
+    /// Performance-store lookups that found nothing.
+    StoreMisses,
+    /// Records appended to a performance store.
+    StoreInserts,
+    /// Performance-store compactions (gc included).
+    StoreCompactions,
+    /// Torn trailing records truncated away on store open.
+    StoreTornTails,
 }
 
 /// Number of [`Counter`] variants (size of the per-handle counter array).
-const COUNTER_COUNT: usize = 16;
+const COUNTER_COUNT: usize = 21;
 
 impl Counter {
     /// Every counter, in rendering order.
@@ -154,6 +164,11 @@ impl Counter {
         Counter::WalAppends,
         Counter::WalReplayed,
         Counter::WalTornTails,
+        Counter::StoreHits,
+        Counter::StoreMisses,
+        Counter::StoreInserts,
+        Counter::StoreCompactions,
+        Counter::StoreTornTails,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -176,6 +191,11 @@ impl Counter {
             Counter::WalAppends => "wal_appends",
             Counter::WalReplayed => "wal_replayed",
             Counter::WalTornTails => "wal_torn_tails",
+            Counter::StoreHits => "store_hits",
+            Counter::StoreMisses => "store_misses",
+            Counter::StoreInserts => "store_inserts",
+            Counter::StoreCompactions => "store_compactions",
+            Counter::StoreTornTails => "store_torn_tails",
         }
     }
 
@@ -201,10 +221,15 @@ pub enum Latency {
     RetryBackoffSleep,
     /// WAL record append + flush + fsync.
     WalAppendFsync,
+    /// Performance-store index lookup.
+    StoreLookup,
+    /// Performance-store record append + fsync (observed on syncing
+    /// appends only — the store batches its fsyncs).
+    StoreAppendFsync,
 }
 
 /// Number of [`Latency`] variants (size of the per-handle histogram array).
-const LATENCY_COUNT: usize = 5;
+const LATENCY_COUNT: usize = 7;
 
 /// Log2 bucket count per histogram: upper bounds 1µs, 2µs, … 2^24µs
 /// (~16.8s), plus a +Inf overflow bucket.
@@ -218,6 +243,8 @@ impl Latency {
         Latency::ReportBatchRtt,
         Latency::RetryBackoffSleep,
         Latency::WalAppendFsync,
+        Latency::StoreLookup,
+        Latency::StoreAppendFsync,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -229,6 +256,8 @@ impl Latency {
             Latency::ReportBatchRtt => "report_batch_rtt",
             Latency::RetryBackoffSleep => "retry_backoff_sleep",
             Latency::WalAppendFsync => "wal_append_fsync",
+            Latency::StoreLookup => "store_lookup",
+            Latency::StoreAppendFsync => "store_append_fsync",
         }
     }
 

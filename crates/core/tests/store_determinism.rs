@@ -1,0 +1,266 @@
+//! Property tests: a warm-started run answered from the persistent
+//! performance store is bit-identical to the cold run that populated it —
+//! even when the cold run was measured by a *faulty* worker pool.
+//!
+//! This is the store's correctness contract: a stored cost is
+//! indistinguishable from a fresh measurement of the same configuration,
+//! so serving from the database can change how long a campaign takes but
+//! never what it explores or concludes. The fault half matters because the
+//! store records first-reported costs under requeues, duplicates, and
+//! stragglers; whatever mess produced the database, replaying it must
+//! reproduce the fault-free trajectory.
+
+use ah_clustersim::{FaultKind, FaultPlan};
+use ah_core::prelude::*;
+use ah_core::server::protocol::TrialReport;
+use ah_core::server::{HarmonyClient, ServerConfig};
+use ah_core::store::SharedStore;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_store(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "ah-store-det-{}-{}-{tag}.store",
+        std::process::id(),
+        STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn declare(c: &HarmonyClient) {
+    c.add_param(Param::int("x", 0, 80, 1)).unwrap();
+    c.add_param(Param::int("y", -30, 30, 1)).unwrap();
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    let x = cfg.int("x").expect("x") as f64;
+    let y = cfg.int("y").expect("y") as f64;
+    (x - 52.0).powi(2) * 0.5 + (y - 7.0).powi(2)
+}
+
+fn options(seed: u64) -> SessionOptions {
+    SessionOptions {
+        max_evaluations: 40,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn store_server(store: &SharedStore) -> HarmonyServer {
+    HarmonyServer::start_with_config(ServerConfig {
+        shards: 2,
+        store: Some(store.clone()),
+        ..Default::default()
+    })
+}
+
+/// What determinism means here: the cost sequence in proposal order plus
+/// the best point. Deliberately *not* the serialized `History` — cached
+/// flags and cumulative time are supposed to differ between a measured and
+/// a served run; the search trajectory is not.
+type Trajectory = (Vec<(usize, u64)>, Vec<i64>, u64);
+
+fn trajectory(c: &HarmonyClient) -> Trajectory {
+    let (h, finished) = c.history().unwrap();
+    assert!(finished);
+    let (best_config, best_cost) = c.best().unwrap().expect("nonempty");
+    (
+        h.evaluations()
+            .iter()
+            .map(|e| (e.iteration, e.cost.to_bits()))
+            .collect(),
+        best_config.cache_key(),
+        best_cost.to_bits(),
+    )
+}
+
+/// Ground truth: one client, no faults, no store.
+fn serial_reference(strategy: StrategyKind, seed: u64) -> Trajectory {
+    let server = HarmonyServer::start_with(1);
+    let c = server.connect("det").unwrap();
+    declare(&c);
+    c.seal(options(seed), strategy).unwrap();
+    loop {
+        let f = c.fetch().unwrap();
+        if f.finished {
+            break;
+        }
+        c.report(objective(&f.config)).unwrap();
+    }
+    let t = trajectory(&c);
+    server.shutdown();
+    t
+}
+
+/// A store-backed run driven serially; returns the trajectory and whether
+/// every history row was served from the store.
+fn store_run(strategy: StrategyKind, seed: u64, store: &SharedStore) -> (Trajectory, bool) {
+    let server = store_server(store);
+    let c = server.connect("det").unwrap();
+    declare(&c);
+    c.seal(options(seed), strategy).unwrap();
+    loop {
+        let f = c.fetch().unwrap();
+        if f.finished {
+            break;
+        }
+        c.report(objective(&f.config)).unwrap();
+    }
+    let (h, _) = c.history().unwrap();
+    let all_cached = h.evaluations().iter().all(|e| e.cached);
+    let t = trajectory(&c);
+    server.shutdown();
+    store.flush().unwrap();
+    (t, all_cached)
+}
+
+/// A straggler's report, parked until `ticks` driver rounds have passed.
+struct Held {
+    ticks: u32,
+    report: TrialReport,
+}
+
+/// The cold run at its worst: a faulty worker pool (crashes, lost reports,
+/// stragglers — same driver as the fault-tolerance suite) measuring into
+/// the store.
+fn faulty_store_run(
+    strategy: StrategyKind,
+    seed: u64,
+    plan: &FaultPlan,
+    workers: usize,
+    store: &SharedStore,
+) -> Trajectory {
+    let server = store_server(store);
+    let founder = server.connect("det").unwrap();
+    declare(&founder);
+    founder.seal(options(seed), strategy).unwrap();
+    let session = founder.session_id();
+    let mut members: Vec<HarmonyClient> = (0..workers)
+        .map(|_| server.attach(session).unwrap())
+        .collect();
+
+    let mut held: Vec<Held> = Vec::new();
+    let mut faulted: HashSet<usize> = HashSet::new();
+    let mut finished = false;
+    let mut rounds = 0u32;
+    while !finished {
+        rounds += 1;
+        assert!(rounds < 10_000, "faulty driver is not converging");
+        for h in held.iter_mut() {
+            h.ticks -= 1;
+        }
+        let mut due = Vec::new();
+        held.retain_mut(|h| {
+            if h.ticks == 0 {
+                due.push(h.report.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if !due.is_empty() {
+            founder.report_batch(due).unwrap();
+        }
+        for member in members.iter_mut() {
+            let (trials, fin) = member.fetch_batch(1).unwrap();
+            if fin {
+                finished = true;
+                break;
+            }
+            let Some(t) = trials.into_iter().next() else {
+                continue;
+            };
+            if held.iter().any(|h| h.report.iteration == t.iteration) {
+                continue;
+            }
+            let report = TrialReport {
+                iteration: t.iteration,
+                cost: objective(&t.config),
+                wall_time: objective(&t.config),
+            };
+            let fault = if faulted.insert(t.iteration) {
+                plan.at(t.iteration as u64)
+            } else {
+                FaultKind::None
+            };
+            match fault {
+                FaultKind::None => member.report_batch(vec![report]).unwrap(),
+                FaultKind::Crash => {
+                    member.leave().unwrap();
+                    *member = server.attach(session).unwrap();
+                }
+                FaultKind::LostReport => {
+                    held.push(Held { ticks: 4, report });
+                    member.leave().unwrap();
+                    *member = server.attach(session).unwrap();
+                }
+                FaultKind::Straggler { factor } => {
+                    held.push(Held {
+                        ticks: (factor as u32).clamp(2, 8),
+                        report,
+                    });
+                }
+            }
+        }
+    }
+    let t = trajectory(&founder);
+    server.shutdown();
+    store.flush().unwrap();
+    t
+}
+
+fn check(strategy: StrategyKind, seed: u64, fault_seed: u64) {
+    let want = serial_reference(strategy.clone(), seed);
+    let path = temp_store("prop");
+    let store = SharedStore::open(&path).unwrap();
+
+    // Cold, store-backed, measured by a faulty pool: same trajectory.
+    let plan = FaultPlan::new(fault_seed, 0.15, 0.10, 0.20);
+    let cold = faulty_store_run(strategy.clone(), seed, &plan, 3, &store);
+    assert_eq!(cold, want, "{strategy:?} cold store run diverged");
+
+    // Warm: the whole campaign is answered from the database the faulty
+    // run left behind, and the trajectory is still bit-identical.
+    let (warm, all_cached) = store_run(strategy.clone(), seed, &store);
+    assert_eq!(warm, want, "{strategy:?} warm run diverged");
+    assert!(all_cached, "{strategy:?} warm run re-measured something");
+
+    // And a *reopened* store (fresh process state, recovery scan) serves
+    // the identical run again.
+    drop(store);
+    let reopened = SharedStore::open(&path).unwrap();
+    let (rewarm, all_cached) = store_run(strategy.clone(), seed, &reopened);
+    assert_eq!(rewarm, want, "{strategy:?} reopened-store run diverged");
+    assert!(all_cached, "{strategy:?} reopened store missed lookups");
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn warm_runs_replay_cold_runs_for_random(
+        seed in 0u64..1_000_000, fs in 0u64..1_000_000
+    ) {
+        check(StrategyKind::Random, seed, fs);
+    }
+
+    #[test]
+    fn warm_runs_replay_cold_runs_for_nelder_mead(
+        seed in 0u64..1_000_000, fs in 0u64..1_000_000
+    ) {
+        check(StrategyKind::NelderMead, seed, fs);
+    }
+
+    #[test]
+    fn warm_runs_replay_cold_runs_for_pro(
+        seed in 0u64..1_000_000, fs in 0u64..1_000_000
+    ) {
+        check(StrategyKind::Pro, seed, fs);
+    }
+}

@@ -14,15 +14,27 @@ use ah_core::server::protocol::{StrategyKind, TrialReport};
 use ah_core::server::tcp::{TcpClientOptions, DEFAULT_MAX_CONNECTIONS};
 use ah_core::server::{HarmonyServer, ServerConfig, TcpHarmonyClient, TcpHarmonyServer};
 use ah_core::session::SessionOptions;
+use ah_core::store::SharedStore;
 use ah_core::telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How many trials a batched client asks for per round-trip.
 pub const BATCH: usize = 16;
 
+/// Process-global nonce so every scenario gets fresh application labels.
+/// The throughput scenarios run unbounded sessions; re-using a label
+/// against a warm store would turn them into infinite server-side serve
+/// loops instead of benchmarks, so each run tunes apps nobody has seen.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn run_nonce() -> u64 {
+    RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Knobs of one `bench-server` run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchConfig {
     /// Concurrent client threads.
     pub clients: usize,
@@ -33,6 +45,11 @@ pub struct BenchConfig {
     /// overhead-neutral: the same tolerance that catches real throughput
     /// collapses must not fire merely because recording was turned on.
     pub telemetry: bool,
+    /// Attach a performance store at this path to every scenario's server.
+    /// The gate run with this on proves store-enabled serving (cold-path
+    /// inserts + fsync cadence) stays inside the same regression tolerance,
+    /// and enables the warm-vs-cold cache demo section of the report.
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchConfig {
@@ -41,6 +58,7 @@ impl Default for BenchConfig {
             clients: 16,
             iters: 200,
             telemetry: false,
+            store: None,
         }
     }
 }
@@ -53,6 +71,7 @@ impl BenchConfig {
             clients: 4,
             iters: 60,
             telemetry: false,
+            store: None,
         }
     }
 
@@ -155,10 +174,17 @@ fn drive_batched(client: &ah_core::server::HarmonyClient, iters: usize) -> Vec<f
     lat
 }
 
-fn run_inproc(cfg: BenchConfig, shards: usize, batched: bool) -> Scenario {
+fn run_inproc(
+    cfg: &BenchConfig,
+    shards: usize,
+    batched: bool,
+    store: Option<&SharedStore>,
+) -> Scenario {
+    let nonce = run_nonce();
     let server = HarmonyServer::start_with_config(ServerConfig {
         shards,
         telemetry: cfg.server_telemetry(),
+        store: store.cloned(),
         ..Default::default()
     });
     let barrier = Barrier::new(cfg.clients + 1);
@@ -166,7 +192,9 @@ fn run_inproc(cfg: BenchConfig, shards: usize, batched: bool) -> Scenario {
     let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|i| {
-                let client = server.connect(format!("bench-{i}")).expect("connect");
+                let client = server
+                    .connect(format!("bench-{nonce}-{i}"))
+                    .expect("connect");
                 client
                     .add_param(Param::int("x", 0, 1_000_000, 1))
                     .expect("param");
@@ -203,12 +231,14 @@ fn run_inproc(cfg: BenchConfig, shards: usize, batched: bool) -> Scenario {
     )
 }
 
-fn run_tcp(cfg: BenchConfig, batched: bool) -> Scenario {
+fn run_tcp(cfg: &BenchConfig, batched: bool, store: Option<&SharedStore>) -> Scenario {
+    let nonce = run_nonce();
     let server = TcpHarmonyServer::bind_with(
         "127.0.0.1:0",
         DEFAULT_MAX_CONNECTIONS,
         ServerConfig {
             telemetry: cfg.server_telemetry(),
+            store: store.cloned(),
             ..Default::default()
         },
     )
@@ -227,7 +257,7 @@ fn run_tcp(cfg: BenchConfig, batched: bool) -> Scenario {
                 let opts = client_opts.clone();
                 s.spawn(move || {
                     let mut client =
-                        TcpHarmonyClient::connect_with(addr, &format!("bench-{i}"), opts)
+                        TcpHarmonyClient::connect_with(addr, &format!("bench-{nonce}-{i}"), opts)
                             .expect("connect");
                     client
                         .add_param(Param::int("x", 0, 1_000_000, 1))
@@ -291,26 +321,102 @@ fn run_tcp(cfg: BenchConfig, batched: bool) -> Scenario {
     )
 }
 
+/// Warm-vs-cold cache demo: one bounded tuning session run twice under the
+/// same application label with a deliberately slow (~50µs spin) objective.
+/// The cold pass measures everything; the warm pass is answered from the
+/// store without the objective ever running, which is the point of the
+/// subsystem — serving a hit beats re-measurement by orders of magnitude.
+fn store_cache_demo(cfg: &BenchConfig, store: &SharedStore) -> serde_json::Value {
+    let evals = cfg.iters;
+    let label = format!("store-demo-{}", run_nonce());
+    let pass = |tag: &str| -> (f64, usize) {
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 2,
+            telemetry: cfg.server_telemetry(),
+            store: Some(store.clone()),
+            ..Default::default()
+        });
+        let client = server.connect(label.clone()).expect("connect");
+        client
+            .add_param(Param::int("x", 0, 1_000_000, 1))
+            .expect("param");
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: evals,
+                    seed: 4242,
+                    ..Default::default()
+                },
+                StrategyKind::Random,
+            )
+            .expect("seal");
+        let t0 = Instant::now();
+        let mut measured = 0usize;
+        loop {
+            let (trials, finished) = client.fetch_batch(BATCH).expect("fetch_batch");
+            if finished {
+                break;
+            }
+            let reports: Vec<TrialReport> = trials
+                .iter()
+                .map(|t| {
+                    measured += 1;
+                    let spin = Instant::now();
+                    while spin.elapsed() < Duration::from_micros(50) {}
+                    TrialReport {
+                        iteration: t.iteration,
+                        cost: (t.config.int("x").expect("x") % 1000) as f64,
+                        wall_time: 0.0,
+                    }
+                })
+                .collect();
+            client.report_batch(reports).expect("report_batch");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        server.shutdown();
+        eprintln!("store demo {tag}: {measured}/{evals} measured in {wall:.3}s");
+        (wall, measured)
+    };
+    let (cold_secs, cold_measured) = pass("cold");
+    let (warm_secs, warm_measured) = pass("warm");
+    serde_json::json!({
+        "evaluations": evals,
+        "cold_secs": cold_secs,
+        "cold_measured": cold_measured,
+        "warm_secs": warm_secs,
+        "warm_measured": warm_measured,
+        "warm_speedup": cold_secs / warm_secs.max(1e-9),
+    })
+}
+
 /// Run the full scenario matrix and return the machine-readable report.
-pub fn run(cfg: BenchConfig) -> serde_json::Value {
+pub fn run(cfg: &BenchConfig) -> serde_json::Value {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let sharded = host_cores.clamp(2, 8);
     eprintln!(
-        "bench-server: {} clients x {} evaluations, host cores: {host_cores}, telemetry: {}",
+        "bench-server: {} clients x {} evaluations, host cores: {host_cores}, telemetry: {}, store: {}",
         cfg.clients,
         cfg.iters,
-        if cfg.telemetry { "on" } else { "off" }
+        if cfg.telemetry { "on" } else { "off" },
+        cfg.store
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".into()),
     );
+    let store = cfg
+        .store
+        .as_deref()
+        .map(|p| SharedStore::open(p).expect("open bench store"));
 
     let scenarios = vec![
-        run_inproc(cfg, 1, false),
-        run_inproc(cfg, sharded, false),
-        run_inproc(cfg, 1, true),
-        run_inproc(cfg, sharded, true),
-        run_tcp(cfg, false),
-        run_tcp(cfg, true),
+        run_inproc(cfg, 1, false, store.as_ref()),
+        run_inproc(cfg, sharded, false, store.as_ref()),
+        run_inproc(cfg, 1, true, store.as_ref()),
+        run_inproc(cfg, sharded, true, store.as_ref()),
+        run_tcp(cfg, false, store.as_ref()),
+        run_tcp(cfg, true, store.as_ref()),
     ];
 
     println!(
@@ -353,7 +459,7 @@ pub fn run(cfg: BenchConfig) -> serde_json::Value {
         );
     }
 
-    serde_json::json!({
+    let mut report = serde_json::json!({
         "host_cores": host_cores,
         "clients": cfg.clients,
         "iterations_per_client": cfg.iters,
@@ -369,7 +475,15 @@ pub fn run(cfg: BenchConfig) -> serde_json::Value {
         })).collect::<Vec<_>>(),
         "speedup_sharded_vs_single_dispatcher": speedup_sharded,
         "speedup_sharded_batched_vs_single_serial": speedup_batched,
-    })
+    });
+    if let Some(store) = &store {
+        let demo = store_cache_demo(cfg, store);
+        let _ = store.flush();
+        if let serde_json::Value::Object(entries) = &mut report {
+            entries.push(("store".to_string(), demo));
+        }
+    }
+    report
 }
 
 /// Fold the host-dependent shard count out of a scenario name so reports
@@ -463,8 +577,9 @@ mod tests {
             clients: 3,
             iters: 20,
             telemetry: true,
+            store: None,
         };
-        let report = run(cfg);
+        let report = run(&cfg);
         assert_eq!(report["clients"].as_u64(), Some(3));
         let scenarios = report["scenarios"].as_array().unwrap();
         assert_eq!(scenarios.len(), 6);
@@ -473,6 +588,28 @@ mod tests {
             assert!(s["ops_per_sec"].as_f64().unwrap() > 0.0);
             assert!(s["p99_us"].as_f64().unwrap() >= s["p50_us"].as_f64().unwrap());
         }
+        assert!(report.get("store").is_none());
+    }
+
+    #[test]
+    fn store_enabled_bench_reports_a_warm_demo() {
+        let dir = std::env::temp_dir().join(format!("ah-bench-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.store");
+        let _ = std::fs::remove_file(&path);
+        let cfg = BenchConfig {
+            clients: 2,
+            iters: 25,
+            telemetry: false,
+            store: Some(path),
+        };
+        let report = run(&cfg);
+        assert_eq!(report["scenarios"].as_array().unwrap().len(), 6);
+        let demo = &report["store"];
+        assert_eq!(demo["cold_measured"].as_u64(), Some(25));
+        // The warm pass is answered from the store: (almost) nothing runs.
+        assert!(demo["warm_measured"].as_u64().unwrap() <= 2, "{demo:?}");
+        assert!(demo["warm_speedup"].as_f64().unwrap() > 1.0, "{demo:?}");
     }
 
     #[test]

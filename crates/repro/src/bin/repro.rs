@@ -8,9 +8,14 @@
 //! repro fault-wal            # crash-safe tuning run through the WAL
 //! repro metrics              # Prometheus metrics of a faulted tuning run
 //! repro trace                # per-trial JSON event timeline of the same run
+//! repro store <sub>          # persistent performance DB:
+//!                            #   stats | inspect | compact | gc | demo
 //! options:
 //!   --quick            shrink workloads (smoke-test mode)
 //!   --json PATH        also dump machine-readable results
+//!   --store PATH       performance database; experiments that support
+//!                      warm-starting reuse it, bench-server adds a cache
+//!                      demo, repro store requires it
 //!   --clients N        bench-server: concurrent clients (default 16)
 //!   --iters N          bench-server: evaluations per client (default 200)
 //!   --check PATH       bench-server: fail on regression vs this baseline
@@ -18,14 +23,18 @@
 //!   --attempts N       bench-server: gate retries before failing (default 3)
 //!   --telemetry        bench-server: run with telemetry recording enabled
 //!   --wal PATH         fault-wal: write-ahead log location (required)
-//!   --out PATH         fault-wal: results JSON location (required);
-//!                      metrics/trace: output file (default stdout)
+//!   --out PATH         fault-wal / store demo: results JSON (required for
+//!                      fault-wal); metrics/trace: output (default stdout)
+//!   --cache-out PATH   store demo: cache-accounting JSON
+//!   --app LABEL        store inspect/gc: application label filter
+//!   --limit N          store inspect: max records shown (default 20)
 //!   --resume           fault-wal: resume from an existing log
-//!   --crash-after N    fault-wal: abort() after N evaluations
-//!   --eval-delay-ms N  fault-wal: sleep per evaluation (for SIGKILL tests)
+//!   --crash-after N    fault-wal / store demo: abort() after N evaluations
+//!   --eval-delay-ms N  fault-wal / store demo: sleep per evaluation
+//!                      (for SIGKILL tests)
 //! ```
 
-use ah_repro::{all_experiments, Experiment};
+use ah_repro::{all_experiments, Experiment, RunCtx};
 use std::io::Write;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -56,6 +65,7 @@ fn bench_server(args: &[String], json_path: Option<String>, quick: bool) {
         clients: parse_usize(args, "--clients", defaults.clients).max(1),
         iters: parse_usize(args, "--iters", defaults.iters).max(1),
         telemetry: args.iter().any(|a| a == "--telemetry"),
+        store: flag_value(args, "--store").map(Into::into),
     };
     // Regression gate: compare against a committed baseline instead of
     // overwriting it (a checking run must never move its own goalposts).
@@ -85,7 +95,7 @@ fn bench_server(args: &[String], json_path: Option<String>, quick: bool) {
         // genuine regression fails every attempt while noise does not.
         let mut failures = Vec::new();
         for attempt in 1..=attempts {
-            let report = ah_repro::bench_server::run(cfg);
+            let report = ah_repro::bench_server::run(&cfg);
             failures = ah_repro::bench_server::check_regression(&report, &baseline, tolerance);
             if failures.is_empty() {
                 println!(
@@ -110,7 +120,7 @@ fn bench_server(args: &[String], json_path: Option<String>, quick: bool) {
         }
         std::process::exit(1);
     }
-    let report = ah_repro::bench_server::run(cfg);
+    let report = ah_repro::bench_server::run(&cfg);
     let path = json_path.unwrap_or_else(|| "BENCH_server.json".into());
     write_json(&path, &report);
 }
@@ -159,6 +169,10 @@ fn main() {
         "--attempts",
         "--wal",
         "--out",
+        "--cache-out",
+        "--store",
+        "--app",
+        "--limit",
         "--crash-after",
         "--eval-delay-ms",
     ]
@@ -178,6 +192,10 @@ fn main() {
 
     if selectors.iter().any(|s| s.as_str() == "fault-wal") {
         std::process::exit(fault_wal(&args, quick));
+    }
+
+    if selectors.first().map(|s| s.as_str()) == Some("store") {
+        std::process::exit(ah_repro::store_cli::run(&args, quick));
     }
 
     let out = flag_value(&args, "--out");
@@ -217,12 +235,16 @@ fn main() {
         "# Active Harmony (HPDC'06) reproduction — {} mode\n",
         if quick { "quick" } else { "full" }
     );
+    let ctx = RunCtx {
+        quick,
+        store: flag_value(&args, "--store").map(Into::into),
+    };
     let mut reports = Vec::new();
     let mut failures = 0;
     for e in experiments {
         eprintln!("running {} ...", e.id());
         let start = std::time::Instant::now();
-        let report = e.run(quick);
+        let report = e.run(&ctx);
         let elapsed = start.elapsed();
         println!("{}", report.render());
         println!("(completed in {:.1}s)\n", elapsed.as_secs_f64());

@@ -98,15 +98,35 @@ impl ExpReport {
     }
 }
 
+/// Per-invocation context handed to every experiment.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtx {
+    /// Shrink workloads for smoke tests while keeping every code path; the
+    /// full run regenerates the paper shape.
+    pub quick: bool,
+    /// Performance-store path (the CLI's `--store`). Experiments that
+    /// support cross-session warm-starting open it; the rest ignore it.
+    pub store: Option<std::path::PathBuf>,
+}
+
+impl RunCtx {
+    /// A context with only the quick flag set.
+    pub fn quick(quick: bool) -> Self {
+        RunCtx {
+            quick,
+            ..Default::default()
+        }
+    }
+}
+
 /// A reproducible paper experiment.
 pub trait Experiment {
     /// Stable id used on the CLI and in bench names.
     fn id(&self) -> &'static str;
     /// Human title (paper artifact it regenerates).
     fn title(&self) -> &'static str;
-    /// Run the experiment. `quick` shrinks workloads for smoke tests while
-    /// keeping every code path; the full run regenerates the paper shape.
-    fn run(&self, quick: bool) -> ExpReport;
+    /// Run the experiment under the given context.
+    fn run(&self, ctx: &RunCtx) -> ExpReport;
 }
 
 /// Every experiment, in paper order.
@@ -126,6 +146,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::experiments::table4::Table4),
         Box::new(crate::experiments::fig6::Fig6),
         Box::new(crate::experiments::fault::Fault),
+        Box::new(crate::experiments::warmstart::Warmstart),
     ]
 }
 
@@ -141,11 +162,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_complete() {
         let all = all_experiments();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 15);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14, "duplicate experiment ids");
+        assert_eq!(ids.len(), 15, "duplicate experiment ids");
         assert!(by_id("fig4").is_some());
         assert!(by_id("nope").is_none());
     }

@@ -10,7 +10,7 @@
 //! flushed in proposal order, so who measures a trial — or how many times —
 //! cannot change what the search explores.
 
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_clustersim::{FaultKind, FaultPlan};
 use ah_core::prelude::*;
@@ -179,7 +179,8 @@ impl Experiment for Fault {
         "Fault tolerance: faulty worker pools keep the exact search trajectory"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let evals = if quick { 40 } else { 120 };
         let workers = 3;
         let plan = FaultPlan::new(2026, 0.12, 0.08, 0.18);
@@ -330,7 +331,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Fault.run(true);
+        let r = Fault.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

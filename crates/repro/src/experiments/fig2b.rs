@@ -7,7 +7,7 @@
 //! tuning, together with per-partition loads and communication volumes.
 
 use super::common::{nm_from, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_clustersim::{Machine, NetworkModel};
 use ah_petsc::tunable::partition_from_config;
@@ -31,7 +31,8 @@ impl Experiment for Fig2b {
         "Figure 2(b): PETSc SLES matrix decomposition, 4 processors"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let parts = 4;
         let a = clustered_blocks(&BLOCKS, 0.85, 20);
         let n = a.rows();
@@ -117,7 +118,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Fig2b.run(true);
+        let r = Fig2b.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
         assert!(r.data["improvement_pct"].as_f64().unwrap() > 0.0);
     }

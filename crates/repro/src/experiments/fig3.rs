@@ -6,7 +6,7 @@
 //! fast (Pentium 4) nodes on the heterogeneous cluster.
 
 use super::common::{nm_from, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_clustersim::machines::{hetero_p4_p2, homo_p4};
 use ah_petsc::tunable::partition_from_config;
@@ -24,7 +24,8 @@ impl Experiment for Fig3 {
         "Figure 3: SNES driven cavity distribution, homogeneous vs heterogeneous"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         // 2,500 grid points = 50×50; one strip of grid rows per node.
         let (nx, ny) = (50, 50);
         let evals = if quick { 50 } else { 150 };
@@ -127,7 +128,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Fig3.run(true);
+        let r = Fig3.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

@@ -7,7 +7,7 @@
 //! single block size is best for all topologies.
 
 use super::common::{nm_from, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::{chart, table};
 use ah_clustersim::machines::sp3_seaborg;
 use ah_pop::{OceanGrid, PopBlockApp};
@@ -25,7 +25,8 @@ impl Experiment for Fig4 {
         "Figure 4: POP block-size tuning, 480 processors, six topologies"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let (grid, topologies, evals): (OceanGrid, Vec<(usize, usize)>, usize) = if quick {
             (
                 OceanGrid::synthetic(360, 240),
@@ -144,7 +145,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Fig4.run(true);
+        let r = Fig4.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

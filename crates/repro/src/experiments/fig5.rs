@@ -6,7 +6,7 @@
 //! the default `lxyes` significantly.
 
 use super::common::tune;
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::{chart, table};
 use ah_core::strategy::NelderMead;
 use ah_gs2::{CollisionModel, Gs2Config, Gs2LayoutApp, Gs2Model, Layout};
@@ -23,7 +23,8 @@ impl Experiment for Fig5 {
         "Figure 5: GS2 layout tuning in different environments"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         // (label, model, nodes used)
         let environments: Vec<(&str, Gs2Model, usize)> = vec![
             ("seaborg 16x8", Gs2Model::on_seaborg(8, 16), 16),
@@ -166,7 +167,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Fig5.run(true);
+        let r = Fig5.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

@@ -7,7 +7,7 @@
 //! configuration lands within the top 5% of the sampled distribution.
 
 use super::common::{nm_from, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::{chart, table};
 use ah_core::report::{histogram, percentile_rank};
 use ah_core::session::{SessionOptions, TuningSession};
@@ -77,7 +77,8 @@ impl Experiment for Fig6 {
         "Figure 6: GS2 configuration-space distribution vs Harmony's result"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let model = if quick {
             let mut m = Gs2Model::on_linux_cluster(16);
             m.nx = 16;
@@ -209,7 +210,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Fig6.run(true);
+        let r = Fig6.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
         assert!(r.data["samples"].as_u64().unwrap() > 100);
     }

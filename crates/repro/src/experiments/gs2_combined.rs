@@ -7,7 +7,7 @@
 //! machine) and compare the combined speedup against each technique alone.
 
 use super::common::{in_band, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_core::strategy::NelderMead;
 use ah_gs2::{CollisionModel, Gs2CombinedApp, Gs2Config, Gs2LayoutApp, Gs2Model, Gs2ResolutionApp};
@@ -24,7 +24,8 @@ impl Experiment for Gs2Combined {
         "GS2 combined: layout + parameter tuning together (5.1x)"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let model = if quick {
             let mut m = Gs2Model::on_seaborg(16, 8);
             m.nx = 16;
@@ -133,7 +134,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Gs2Combined.run(true);
+        let r = Gs2Combined.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

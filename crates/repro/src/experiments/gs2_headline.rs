@@ -6,7 +6,7 @@
 //! benchmarking run of 10 time steps.
 
 use super::common::{in_band, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_core::strategy::NelderMead;
 use ah_gs2::{CollisionModel, Gs2Config, Gs2LayoutApp, Gs2Model};
@@ -23,7 +23,8 @@ impl Experiment for Gs2Headline {
         "GS2 headline: layout tuning, 128 processors, with/without collisions"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let model = if quick {
             let mut m = Gs2Model::on_seaborg(16, 8);
             m.nx = 16;
@@ -122,7 +123,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Gs2Headline.run(true);
+        let r = Gs2Headline.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

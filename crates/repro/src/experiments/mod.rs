@@ -15,3 +15,4 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod warmstart;

@@ -6,7 +6,7 @@
 //!   15–20% improvement within ≈120 iterations.
 
 use super::common::{in_band, nm_from, nm_simplex, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_clustersim::{Machine, NetworkModel};
 use ah_core::offline::ShortRunApp;
@@ -81,7 +81,8 @@ impl Experiment for PetscSlesLarge {
         "PETSc SLES at scale: 21,025^2 (18%) and 90,601^2 with prior-run seeding"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let parts = 32;
         let (n_small, n_large, clusters, evals_small, evals_large) = if quick {
             (2102, 4204, 16, 80, 60)
@@ -228,7 +229,7 @@ mod tests {
 
     #[test]
     fn quick_run_improves_both_problems() {
-        let r = PetscSlesLarge.run(true);
+        let r = PetscSlesLarge.run(&RunCtx::quick(true));
         let small = r.data["small"]["improvement_pct"].as_f64().unwrap();
         let large = r.data["large"]["improvement_pct"].as_f64().unwrap();
         assert!(small > 0.0, "{}", r.render());

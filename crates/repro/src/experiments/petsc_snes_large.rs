@@ -3,7 +3,7 @@
 //! partitioning.
 
 use super::common::{in_band, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_clustersim::{Machine, NetworkModel, NodeSpec};
 use ah_petsc::{CavityDistributionApp, DrivenCavity};
@@ -34,7 +34,8 @@ impl Experiment for PetscSnesLarge {
         "PETSc SNES at scale: 40,000 grid points, 32 processors (11.5%)"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         // 40,000 points = 20×2,000: strips are split along the long axis so
         // the distribution is fine-grained (~62 rows per processor) — the
         // paper tunes the distribution of grid *points*, not coarse blocks.
@@ -117,7 +118,7 @@ mod tests {
 
     #[test]
     fn quick_run_improves() {
-        let r = PetscSnesLarge.run(true);
+        let r = PetscSnesLarge.run(&RunCtx::quick(true));
         assert!(
             r.data["improvement_pct"].as_f64().unwrap() > 0.0,
             "{}",

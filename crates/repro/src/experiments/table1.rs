@@ -8,7 +8,7 @@
 //! at each improvement step.
 
 use super::common::{nm_from, tune};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_clustersim::machines::hockney;
 use ah_core::offline::OfflineOutcome;
@@ -40,7 +40,8 @@ impl Experiment for Table1 {
         "Table I: POP parameter changes through iterations (32 processors)"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let (out, _app) = param_campaign(quick);
         // Table I semantics (paper footnote): each row shows the parameters
         // whose values changed relative to the previous iteration's
@@ -111,7 +112,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Table1.run(true);
+        let r = Table1.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

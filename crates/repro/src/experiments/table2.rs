@@ -3,7 +3,7 @@
 
 use super::common::in_band;
 use super::table1::param_campaign;
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_core::offline::ShortRunApp;
 
@@ -19,7 +19,8 @@ impl Experiment for Table2 {
         "Table II: POP parameter values, default vs after 27 iterations"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let (out, app) = param_campaign(quick);
         let default_cfg = app.default_config();
         let best = &out.result.best_config;
@@ -77,7 +78,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Table2.run(true);
+        let r = Table2.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

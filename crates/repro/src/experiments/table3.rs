@@ -7,7 +7,7 @@
 //! (9.8%, 9 iterations).
 
 use super::common::{in_band, nm_from, tune_with};
-use crate::experiment::{ExpReport, Experiment, Finding};
+use crate::experiment::{ExpReport, Experiment, Finding, RunCtx};
 use crate::table;
 use ah_core::offline::OfflineOutcome;
 use ah_core::session::SessionOptions;
@@ -109,7 +109,8 @@ impl Experiment for Table3 {
         "Table III: GS2 tuning result for benchmarking run (10 steps)"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let (out_lx, _) = resolution_campaign("lxyes", 10, quick, 331);
         let (out_yx, _) = resolution_campaign("yxles", 10, quick, 332);
         let narrative = render_rows(&[("lxyes", &out_lx), ("yxles", &out_yx)]);
@@ -162,7 +163,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Table3.run(true);
+        let r = Table3.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

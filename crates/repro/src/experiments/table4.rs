@@ -7,7 +7,7 @@
 
 use super::common::in_band;
 use super::table3::{render_rows, resolution_campaign};
-use crate::experiment::{ExpReport, Finding};
+use crate::experiment::{ExpReport, Finding, RunCtx};
 use crate::table;
 
 /// The experiment.
@@ -22,7 +22,8 @@ impl crate::experiment::Experiment for Table4 {
         "Table IV: GS2 tuning result for production run (1000 steps)"
     }
 
-    fn run(&self, quick: bool) -> ExpReport {
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let quick = ctx.quick;
         let steps = 1000;
         let (out_lx, _) = resolution_campaign("lxyes", steps, quick, 441);
         let (out_yx, _) = resolution_campaign("yxles", steps, quick, 442);
@@ -96,7 +97,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_paper_shape() {
-        let r = Table4.run(true);
+        let r = Table4.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
     }
 }

@@ -16,7 +16,8 @@ pub mod chart;
 pub mod experiment;
 pub mod experiments;
 pub mod fault_wal;
+pub mod store_cli;
 pub mod table;
 pub mod telemetry_cli;
 
-pub use experiment::{all_experiments, ExpReport, Experiment, Finding};
+pub use experiment::{all_experiments, ExpReport, Experiment, Finding, RunCtx};

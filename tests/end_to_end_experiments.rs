@@ -6,12 +6,12 @@
 //! here we assert that every experiment runs, renders, and produces
 //! structurally sane reports.
 
-use ah_repro::all_experiments;
+use ah_repro::{all_experiments, RunCtx};
 
 #[test]
 fn every_experiment_runs_in_quick_mode_and_renders() {
     for e in all_experiments() {
-        let report = e.run(true);
+        let report = e.run(&RunCtx::quick(true));
         assert_eq!(report.id, e.id());
         assert!(!report.narrative.is_empty(), "{} has no narrative", e.id());
         assert!(!report.findings.is_empty(), "{} has no findings", e.id());
@@ -45,6 +45,8 @@ fn experiment_registry_covers_every_paper_artifact() {
         "table3",
         "table4",
         "fig6",
+        "fault",
+        "warmstart",
     ] {
         assert!(ids.contains(&required), "missing experiment {required}");
     }
@@ -53,8 +55,9 @@ fn experiment_registry_covers_every_paper_artifact() {
 #[test]
 fn experiments_are_deterministic() {
     // Same seed-driven pipeline ⇒ identical JSON payloads run-to-run.
-    let a = ah_repro::experiment::by_id("fig2b").unwrap().run(true);
-    let b = ah_repro::experiment::by_id("fig2b").unwrap().run(true);
+    let ctx = RunCtx::quick(true);
+    let a = ah_repro::experiment::by_id("fig2b").unwrap().run(&ctx);
+    let b = ah_repro::experiment::by_id("fig2b").unwrap().run(&ctx);
     assert_eq!(
         serde_json::to_string(&a.data).unwrap(),
         serde_json::to_string(&b.data).unwrap()

@@ -1,0 +1,142 @@
+//! Durability acceptance tests for the persistent performance store: a
+//! `repro store demo` campaign killed mid-run leaves a database that, on
+//! reopen, (a) recovers — truncating any torn trailing record — and
+//! (b) serves a re-run to the byte-identical result of an uninterrupted
+//! campaign, with the surviving measurements answered from the store.
+//!
+//! Same two kill mechanisms as the WAL suite: cooperative
+//! `--crash-after N` (`std::process::abort()` — no unwinding, no Drop
+//! flush) and an external SIGKILL landing at an arbitrary point of a
+//! slowed-down run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-store-durable-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Uninterrupted reference demo against a fresh store; returns the
+/// deterministic result bytes.
+fn clean_run(dir: &Path) -> Vec<u8> {
+    let out = dir.join("clean.json");
+    let status = repro()
+        .args(["store", "demo", "--quick"])
+        .arg("--store")
+        .arg(dir.join("clean.store"))
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "clean demo failed: {status}");
+    std::fs::read(&out).expect("clean results")
+}
+
+/// Re-run the demo against a crashed store and assert recovery: exit 0,
+/// byte-identical result, and the surviving records answered as hits.
+fn recover_and_check(dir: &Path, store: &Path, want: &[u8]) {
+    let out = dir.join("recovered.json");
+    let cache = dir.join("recovered-cache.json");
+    let status = repro()
+        .args(["store", "demo", "--quick"])
+        .arg("--store")
+        .arg(store)
+        .arg("--out")
+        .arg(&out)
+        .arg("--cache-out")
+        .arg(&cache)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "recovery demo failed: {status}");
+    let got = std::fs::read(&out).expect("recovered results");
+    assert_eq!(
+        got, want,
+        "post-crash results differ from uninterrupted run"
+    );
+    let accounting: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&cache).expect("cache accounting")).unwrap();
+    assert!(
+        accounting["store_hits"].as_u64().unwrap() > 0,
+        "recovery run got no store hits: {accounting:?}"
+    );
+}
+
+#[test]
+fn abort_mid_campaign_then_reopen_serves_the_survivors() {
+    let dir = tmp_dir("abort");
+    let want = clean_run(&dir);
+
+    let store = dir.join("crash.store");
+    let out = dir.join("crash.json");
+    let status = repro()
+        .args(["store", "demo", "--quick", "--crash-after", "20"])
+        .arg("--store")
+        .arg(&store)
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(!status.success(), "crash-after run must die, got {status}");
+    assert!(!out.exists(), "crashed run must not have written results");
+    assert!(store.exists(), "crashed run left no store behind");
+
+    recover_and_check(&dir, &store, &want);
+
+    // Once recovered and fully populated, a compaction must not change
+    // what the store serves: compact, re-run, byte-identical again.
+    let status = repro()
+        .args(["store", "compact"])
+        .arg("--store")
+        .arg(&store)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "compaction failed: {status}");
+    recover_and_check(&dir, &store, &want);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_campaign_then_reopen_serves_the_survivors() {
+    let dir = tmp_dir("sigkill");
+    let want = clean_run(&dir);
+
+    let store = dir.join("killed.store");
+    // Slow each evaluation down so the kill lands mid-campaign, then
+    // SIGKILL (`Child::kill` on unix: no handler, no cleanup, possibly a
+    // torn half-written record at the store's tail).
+    let mut child = repro()
+        .args(["store", "demo", "--quick", "--eval-delay-ms", "25"])
+        .arg("--store")
+        .arg(&store)
+        .arg("--out")
+        .arg(dir.join("killed.json"))
+        .spawn()
+        .expect("spawn repro");
+    let mut saw_progress = false;
+    for _ in 0..200 {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        if let Ok(blob) = std::fs::read_to_string(&store) {
+            if blob.lines().count() >= 4 {
+                saw_progress = true;
+                break;
+            }
+        }
+    }
+    child.kill().expect("kill repro");
+    let status = child.wait().expect("wait repro");
+    assert!(!status.success(), "killed run must not exit cleanly");
+    assert!(
+        saw_progress,
+        "run never appended store records before the kill"
+    );
+
+    recover_and_check(&dir, &store, &want);
+    std::fs::remove_dir_all(&dir).ok();
+}
