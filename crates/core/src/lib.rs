@@ -81,16 +81,19 @@ pub mod prelude {
     pub use crate::retry::RetryPolicy;
     pub use crate::server::protocol::StrategyKind;
     pub use crate::server::{HarmonyClient, HarmonyServer, ServerConfig};
-    pub use crate::session::{SessionOptions, TuningResult, TuningSession};
+    pub use crate::session::{SearchSnapshot, SessionOptions, TuningResult, TuningSession};
     pub use crate::space::{Configuration, SearchSpace};
     pub use crate::store::{
         space_fingerprint, PerfStore, SharedStore, StoreRecord, StoreStats, StoredCost,
     };
     pub use crate::strategy::{
         Exhaustive, GreedyFrom, GreedyOneParam, GreedyOptions, GridSearch, NelderMead,
-        NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy, StartPoint,
+        NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy,
+        SimplexSnapshot, StartPoint, StrategySnapshot,
     };
-    pub use crate::telemetry::{Counter, Latency, Telemetry, TrialEvent, TrialStage};
+    pub use crate::telemetry::{
+        Counter, Latency, SpanEvent, SpanKind, SpanToken, Telemetry, TrialEvent, TrialStage,
+    };
     pub use crate::value::ParamValue;
     pub use crate::wal::{WalHeader, WalSession};
 }

@@ -30,17 +30,19 @@
 //! trajectory: the history stays bit-identical to a fault-free serial run.
 
 pub mod client;
+pub mod observe;
 pub mod protocol;
 pub mod tcp;
 
 pub use client::HarmonyClient;
+pub use observe::ObserveHandle;
 pub use tcp::{TcpClientOptions, TcpHarmonyClient, TcpHarmonyServer};
 
 use crate::error::{HarmonyError, Result};
 use crate::session::{Trial, TuningSession};
 use crate::space::SearchSpaceBuilder;
 use crate::store::{space_fingerprint, SharedStore, StoreRecord};
-use crate::telemetry::{Counter, Latency, Telemetry, TrialStage};
+use crate::telemetry::{Counter, Latency, SpanKind, Telemetry, TrialStage};
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
 use protocol::{sanitize_measurement, Envelope, FetchedTrial, Reply, Request};
@@ -145,6 +147,10 @@ struct ShardTable {
 struct Shard {
     tx: Sender<Envelope>,
     table: Arc<Mutex<ShardTable>>,
+    /// Envelopes sent but not yet picked up by the worker — the live queue
+    /// depth the observability plane reports per shard. (The vendored
+    /// channel has no `len()`; one relaxed counter is cheaper anyway.)
+    depth: Arc<AtomicU64>,
 }
 
 /// Cheap, cloneable route to the shard workers (used by every client
@@ -188,7 +194,20 @@ impl ServerBus {
             _ => {}
         }
         let shard = self.shard_of(env.client);
-        self.shards[shard].tx.send(env)
+        self.shards[shard].depth.fetch_add(1, Ordering::Relaxed);
+        let sent = self.shards[shard].tx.send(env);
+        if sent.is_err() {
+            self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        sent
+    }
+
+    /// Per-shard queue depths, for the observability plane.
+    pub(crate) fn queue_depths(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Total live members across all shards.
@@ -204,6 +223,7 @@ impl ServerBus {
 pub struct HarmonyServer {
     bus: ServerBus,
     handles: Vec<JoinHandle<()>>,
+    config: ServerConfig,
 }
 
 impl HarmonyServer {
@@ -238,13 +258,15 @@ impl HarmonyServer {
         for i in 0..n {
             let (tx, rx) = unbounded::<Envelope>();
             let table = Arc::new(Mutex::new(ShardTable::default()));
+            let depth = Arc::new(AtomicU64::new(0));
             let worker_table = Arc::clone(&table);
+            let worker_depth = Arc::clone(&depth);
             let cfg = config.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("harmony-shard-{i}"))
-                .spawn(move || Self::worker_loop(rx, worker_table, cfg))
+                .spawn(move || Self::worker_loop(i, rx, worker_table, worker_depth, cfg))
                 .expect("spawn harmony shard worker");
-            pool.push(Shard { tx, table });
+            pool.push(Shard { tx, table, depth });
             handles.push(handle);
         }
         HarmonyServer {
@@ -253,11 +275,19 @@ impl HarmonyServer {
                 next_seq: Arc::new(AtomicU64::new(0)),
             },
             handles,
+            config,
         }
     }
 
-    fn worker_loop(rx: Receiver<Envelope>, table: Arc<Mutex<ShardTable>>, cfg: ServerConfig) {
+    fn worker_loop(
+        shard: usize,
+        rx: Receiver<Envelope>,
+        table: Arc<Mutex<ShardTable>>,
+        depth: Arc<AtomicU64>,
+        cfg: ServerConfig,
+    ) {
         for env in rx.iter() {
+            depth.fetch_sub(1, Ordering::Relaxed);
             cfg.telemetry
                 .observe(Latency::ShardQueueWait, env.queued_at.elapsed());
             let Envelope {
@@ -267,10 +297,14 @@ impl HarmonyServer {
                 let _ = reply.send(Reply::Ok);
                 break;
             }
+            let span = cfg
+                .telemetry
+                .span_begin(SpanKind::ShardHandle, 0, "shard", shard as u64);
             let out = {
                 let mut table = table.lock();
                 Self::handle(&mut table, &cfg, client, req)
             };
+            cfg.telemetry.span_end(span);
             let _ = reply.send(out);
         }
     }
@@ -288,6 +322,20 @@ impl HarmonyServer {
     /// The routing bus (used by [`HarmonyClient`] and the TCP front-end).
     pub(crate) fn bus(&self) -> ServerBus {
         self.bus.clone()
+    }
+
+    /// The configuration this server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Start the observability plane: an HTTP responder on `addr` serving
+    /// `/metrics`, `/status`, `/trials` and `/spans` from a dedicated thread.
+    /// Snapshots take each shard lock only briefly; the tuning hot path is
+    /// untouched. Bind to port 0 to let the OS pick; the bound address is on
+    /// the returned [`ObserveHandle`].
+    pub fn observe(&self, addr: &str) -> std::io::Result<ObserveHandle> {
+        observe::start(addr, self.bus.clone(), self.config.clone())
     }
 
     /// Connect a new client application (founds a fresh session).
@@ -314,12 +362,15 @@ impl HarmonyServer {
         let mut acks = Vec::with_capacity(self.bus.shards.len());
         for shard in self.bus.shards.iter() {
             let (tx, rx) = crossbeam::channel::bounded(1);
+            shard.depth.fetch_add(1, Ordering::Relaxed);
             if shard
                 .tx
                 .send(Envelope::new(0, Request::Shutdown, tx))
                 .is_ok()
             {
                 acks.push(rx);
+            } else {
+                shard.depth.fetch_sub(1, Ordering::Relaxed);
             }
         }
         for rx in acks {

@@ -1,0 +1,568 @@
+//! The observability plane: a tiny embedded HTTP/1.1 responder serving
+//! live metrics and search-state introspection for a running
+//! [`HarmonyServer`](super::HarmonyServer).
+//!
+//! Started with [`HarmonyServer::observe`](super::HarmonyServer::observe),
+//! the responder runs on its own thread and answers:
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of every
+//!   telemetry counter and latency histogram, plus per-shard queue-depth
+//!   gauges.
+//! * `GET /status` — JSON: per-session strategy, best-so-far cost and
+//!   configuration, simplex vertex costs and spread, evaluations done,
+//!   pending/outstanding/requeued trial counts, per-shard queue depths,
+//!   store hit rate and WAL position.
+//! * `GET /trials?n=K` — the last `K` trial lifecycle events from the
+//!   telemetry ring (all of them without `n`).
+//! * `GET /spans?n=K` — the last `K` completed timing spans.
+//! * `GET /trace` — the completed spans as Chrome trace-event JSON,
+//!   loadable in Perfetto (`repro trace --from <addr>` pulls this).
+//! * `GET /` — an index of the routes above.
+//!
+//! Everything stays off the tuning hot path: building a response takes each
+//! shard lock only long enough to copy a [`SearchSnapshot`] out, and the
+//! shard workers never block on the responder. The implementation is
+//! hand-rolled over [`std::net::TcpListener`] — the repo builds offline
+//! against vendored crates only, so no HTTP dependency is available, and
+//! two GET routes do not justify one.
+//!
+//! [`SearchSnapshot`]: crate::session::SearchSnapshot
+
+use super::{ServerBus, ServerConfig, SessionPhase, SessionState};
+use crate::telemetry::Counter;
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a single request may dribble in before the responder gives up
+/// on the connection. One slow client must not wedge the plane.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle to a running observability responder. Dropping it (or calling
+/// [`stop`](ObserveHandle::stop)) shuts the responder thread down.
+pub struct ObserveHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObserveHandle {
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the responder thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.do_stop();
+    }
+
+    fn do_stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop the same way TcpHarmonyServer does: a
+        // throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObserveHandle {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.do_stop();
+        }
+    }
+}
+
+/// Bind `addr` and start the responder thread.
+pub(crate) fn start(
+    addr: &str,
+    bus: ServerBus,
+    cfg: ServerConfig,
+) -> std::io::Result<ObserveHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("harmony-observe".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Requests are served inline, one at a time: every route is
+                // a snapshot-and-format, so there is nothing to parallelise
+                // and nothing for a second connection to wait long for.
+                if let Ok(stream) = conn {
+                    let _ = serve_connection(stream, &bus, &cfg);
+                }
+            }
+        })?;
+    Ok(ObserveHandle {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Read one request, write one response, close.
+fn serve_connection(stream: TcpStream, bus: &ServerBus, cfg: &ServerConfig) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; GET requests carry no body we care about.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/" => respond(&mut stream, 200, "application/json", &render(index_json())),
+        "/metrics" => {
+            let mut body = cfg.telemetry.prometheus();
+            body.push_str(&queue_depth_exposition(bus));
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/status" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &render(status_json(bus, cfg)),
+        ),
+        "/trials" => {
+            let events = tail(cfg.telemetry.events(), parse_n(query));
+            let body = serde_json::to_string(&events).unwrap_or_else(|_| "[]".into());
+            respond(&mut stream, 200, "application/json", &format!("{body}\n"))
+        }
+        "/spans" => {
+            let spans = tail(cfg.telemetry.spans(), parse_n(query));
+            let body = serde_json::to_string(&spans).unwrap_or_else(|_| "[]".into());
+            respond(&mut stream, 200, "application/json", &format!("{body}\n"))
+        }
+        "/trace" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &render(cfg.telemetry.chrome_trace()),
+        ),
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// A JSON document as a newline-terminated response body.
+fn render(v: Value) -> String {
+    let mut body = serde_json::to_string(&v).unwrap_or_else(|_| "null".into());
+    body.push('\n');
+    body
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The `n` value of a `n=K` query string, if present and numeric.
+fn parse_n(query: &str) -> Option<usize> {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("n="))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Keep the last `n` items (all of them when `n` is `None`).
+fn tail<T>(mut items: Vec<T>, n: Option<usize>) -> Vec<T> {
+    if let Some(n) = n {
+        let cut = items.len().saturating_sub(n);
+        items.drain(..cut);
+    }
+    items
+}
+
+fn index_json() -> Value {
+    json!({
+        "endpoints": [
+            "/metrics",
+            "/status",
+            "/trials?n=K",
+            "/spans?n=K",
+            "/trace",
+        ],
+    })
+}
+
+/// Per-shard queue depth as a Prometheus gauge, appended to the telemetry
+/// exposition (the depths live on the bus, not in the telemetry handle).
+fn queue_depth_exposition(bus: &ServerBus) -> String {
+    let mut out = String::from(
+        "# HELP ah_shard_queue_depth Envelopes queued per shard, not yet picked up.\n\
+         # TYPE ah_shard_queue_depth gauge\n",
+    );
+    for (i, depth) in bus.queue_depths().iter().enumerate() {
+        out.push_str(&format!("ah_shard_queue_depth{{shard=\"{i}\"}} {depth}\n"));
+    }
+    out
+}
+
+/// The `/status` document. Takes each shard lock once, briefly.
+fn status_json(bus: &ServerBus, cfg: &ServerConfig) -> Value {
+    let mut sessions: Vec<(u64, Value)> = Vec::new();
+    for (shard_idx, shard) in bus.shards.iter().enumerate() {
+        let table = shard.table.lock();
+        for (&id, state) in table.sessions.iter() {
+            sessions.push((id, session_json(shard_idx, id, state)));
+        }
+    }
+    // Shard iteration order is arbitrary; keep the document stable.
+    sessions.sort_by_key(|(id, _)| *id);
+    let sessions: Vec<Value> = sessions.into_iter().map(|(_, v)| v).collect();
+
+    let t = &cfg.telemetry;
+    let hits = t.counter(Counter::StoreHits);
+    let misses = t.counter(Counter::StoreMisses);
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        f64::NAN // serialises as null: no lookups yet
+    };
+    json!({
+        "server": {
+            "shards": bus.shards.len(),
+            "clients": bus.client_count(),
+            "queue_depths": bus.queue_depths(),
+        },
+        "sessions": Value::Array(sessions),
+        "store": {
+            "attached": cfg.store.is_some(),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hit_rate,
+            "inserts": t.counter(Counter::StoreInserts),
+            "torn_tails": t.counter(Counter::StoreTornTails),
+        },
+        "wal": {
+            "appends": t.counter(Counter::WalAppends),
+            "replayed": t.counter(Counter::WalReplayed),
+            "torn_tails": t.counter(Counter::WalTornTails),
+        },
+        "telemetry": {
+            "enabled": t.is_enabled(),
+            "events_dropped": t.dropped_events(),
+            "spans_open": t.open_spans(),
+            "spans_dropped": t.dropped_spans(),
+        },
+    })
+}
+
+fn session_json(shard: usize, id: u64, state: &SessionState) -> Value {
+    match &state.phase {
+        SessionPhase::Building { .. } => json!({
+            "session": id,
+            "app": state.app.clone(),
+            "shard": shard,
+            "members": state.members.len(),
+            "phase": "building",
+        }),
+        SessionPhase::Tuning {
+            session,
+            outstanding,
+            issued_high,
+            fingerprint,
+        } => {
+            let snap = session.search_snapshot();
+            let unclaimed = outstanding.iter().filter(|t| t.owner == 0).count();
+            let requeued = outstanding.iter().filter(|t| t.requeued).count();
+            json!({
+                "session": id,
+                "app": state.app.clone(),
+                "shard": shard,
+                "members": state.members.len(),
+                "phase": "tuning",
+                "strategy": snap.strategy,
+                "evaluations": snap.evaluations,
+                "best_cost": snap.best_cost,
+                "best_config": snap.best_config,
+                "stop_reason": snap.stop_reason.map(|r| r.name()),
+                "pending": snap.pending,
+                "awaiting_report": snap.awaiting_report,
+                "outstanding": outstanding.len(),
+                "requeued": requeued,
+                "unclaimed": unclaimed,
+                "issued_high": *issued_high,
+                "fingerprint": format!("{fingerprint:016x}"),
+                "search": snap.search,
+            })
+        }
+    }
+}
+
+/// Minimal HTTP GET against an observability responder: returns
+/// `(status code, body)`. Shared by `repro watch`, `repro trace --from`,
+/// and the integration tests — none of which want an HTTP client
+/// dependency any more than the server wants a framework.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+    })?;
+    let code = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "missing status"))?;
+    Ok((code, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::HarmonyServer;
+    use super::*;
+    use crate::param::Param;
+    use crate::server::protocol::StrategyKind;
+    use crate::session::SessionOptions;
+    use crate::telemetry::Telemetry;
+
+    fn observed_server() -> (HarmonyServer, ObserveHandle) {
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 2,
+            telemetry: Telemetry::enabled(),
+            ..Default::default()
+        });
+        let observe = server.observe("127.0.0.1:0").expect("bind observer");
+        (server, observe)
+    }
+
+    #[test]
+    fn endpoints_serve_metrics_status_trials_and_trace() {
+        let (server, observe) = observed_server();
+        let addr = observe.addr().to_string();
+
+        let client = server.connect("observe-app").unwrap();
+        client.add_param(Param::int("x", 0, 60, 1)).unwrap();
+        client.add_param(Param::int("y", 0, 60, 1)).unwrap();
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: 40,
+                    seed: 27,
+                    ..Default::default()
+                },
+                StrategyKind::NelderMead,
+            )
+            .unwrap();
+        for _ in 0..30 {
+            let fetch = client.fetch().unwrap();
+            if fetch.finished {
+                break;
+            }
+            let x = fetch.config.int("x").unwrap() as f64;
+            let y = fetch.config.int("y").unwrap() as f64;
+            client
+                .report((x - 42.0).powi(2) + (y - 13.0).powi(2))
+                .unwrap();
+        }
+
+        let (code, body) = http_get(&addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("ah_trials_reported_total"), "{body}");
+        assert!(
+            body.contains("ah_shard_queue_depth{shard=\"0\"} "),
+            "{body}"
+        );
+        assert!(
+            body.contains("ah_shard_queue_depth{shard=\"1\"} "),
+            "{body}"
+        );
+
+        let (code, body) = http_get(&addr, "/status").unwrap();
+        assert_eq!(code, 200);
+        let doc: Value = serde_json::parse(&body).expect("status is valid JSON");
+        let sessions = doc.get("sessions").and_then(Value::as_array).unwrap();
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert_eq!(s.get("phase").and_then(Value::as_str), Some("tuning"));
+        assert_eq!(
+            s.get("strategy").and_then(Value::as_str),
+            Some("nelder-mead")
+        );
+        assert!(s.get("evaluations").and_then(Value::as_u64).unwrap() > 0);
+        assert!(s.get("best_cost").and_then(Value::as_f64).is_some());
+        let simplex = s.get("search").and_then(|v| v.get("simplex")).unwrap();
+        assert!(!simplex
+            .get("vertex_costs")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
+        let depths = doc
+            .get("server")
+            .and_then(|v| v.get("queue_depths"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(depths.len(), 2);
+
+        let (code, body) = http_get(&addr, "/trials?n=5").unwrap();
+        assert_eq!(code, 200);
+        let trials: Value = serde_json::parse(&body).unwrap();
+        let trials = trials.as_array().unwrap();
+        assert!(!trials.is_empty() && trials.len() <= 5, "{}", trials.len());
+
+        let (code, body) = http_get(&addr, "/spans?n=3").unwrap();
+        assert_eq!(code, 200);
+        let spans: Value = serde_json::parse(&body).unwrap();
+        assert!(spans.as_array().unwrap().len() <= 3);
+
+        let (code, body) = http_get(&addr, "/trace").unwrap();
+        assert_eq!(code, 200);
+        let trace: Value = serde_json::parse(&body).unwrap();
+        let events = trace
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("trace has traceEvents");
+        // The shard workers produced ShardHandle spans for every request.
+        assert!(events
+            .iter()
+            .any(|e| { e.get("name").and_then(Value::as_str) == Some("shard_handle") }));
+
+        let (code, _) = http_get(&addr, "/nope").unwrap();
+        assert_eq!(code, 404);
+
+        observe.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn status_reflects_a_converging_simplex() {
+        let (server, observe) = observed_server();
+        let addr = observe.addr().to_string();
+
+        let spread_at = |label: &str| -> f64 {
+            let (code, body) = http_get(&addr, "/status").expect("GET /status");
+            assert_eq!(code, 200, "{label}");
+            let doc: Value = serde_json::parse(&body).unwrap();
+            let sessions = doc.get("sessions").and_then(Value::as_array).unwrap();
+            sessions[0]
+                .get("search")
+                .and_then(|s| s.get("simplex"))
+                .and_then(|s| s.get("spread"))
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::INFINITY)
+        };
+
+        let client = server.connect("converge-app").unwrap();
+        client.add_param(Param::int("x", 0, 80, 1)).unwrap();
+        client.add_param(Param::int("y", 0, 80, 1)).unwrap();
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: 150,
+                    seed: 9,
+                    ..Default::default()
+                },
+                StrategyKind::NelderMead,
+            )
+            .unwrap();
+        // Probe /status after every report: the live spread trace must show
+        // the simplex tightening. (It is not monotone — a collapse restart
+        // re-spreads the simplex — so compare early against the best seen.)
+        let mut spreads = Vec::new();
+        loop {
+            let fetch = client.fetch().unwrap();
+            if fetch.finished {
+                break;
+            }
+            let x = fetch.config.int("x").unwrap() as f64;
+            let y = fetch.config.int("y").unwrap() as f64;
+            client
+                .report((x - 9.0).powi(2) + (y - 44.0).powi(2))
+                .unwrap();
+            spreads.push(spread_at("mid-campaign"));
+        }
+        let early = spreads
+            .iter()
+            .copied()
+            .find(|s| s.is_finite() && *s > 0.0)
+            .expect("a live simplex was visible mid-campaign");
+        let tightest = spreads.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            tightest < early / 10.0,
+            "spread should shrink as the simplex converges: \
+             early={early} tightest={tightest}"
+        );
+
+        observe.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_methods_and_disabled_telemetry_are_handled() {
+        let server = HarmonyServer::start_with(1);
+        let observe = server.observe("127.0.0.1:0").unwrap();
+        let addr = observe.addr().to_string();
+
+        // Disabled telemetry still yields a well-formed (all-zero) exposition.
+        let (code, body) = http_get(&addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("ah_trials_proposed_total 0"), "{body}");
+
+        // Non-GET is refused, and the index lists the routes.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let (code, body) = http_get(&addr, "/").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("/status"), "{body}");
+
+        observe.stop();
+        server.shutdown();
+    }
+}

@@ -36,7 +36,7 @@ use crate::param::Param;
 use crate::retry::RetryPolicy;
 use crate::session::SessionOptions;
 use crate::space::Configuration;
-use crate::telemetry::{Counter, Latency, Telemetry};
+use crate::telemetry::{Counter, Latency, SpanKind, Telemetry};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -146,6 +146,15 @@ impl TcpHarmonyServer {
     /// The bound address (with the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Start the observability plane on `addr` (see
+    /// [`HarmonyServer::observe`]).
+    pub fn observe(&self, addr: &str) -> std::io::Result<super::ObserveHandle> {
+        self.inner
+            .as_ref()
+            .expect("server not shut down")
+            .observe(addr)
     }
 
     /// Stop accepting connections and shut the adaptation controller down.
@@ -602,7 +611,16 @@ impl TcpHarmonyClient {
     /// frame out, one reply frame back. Returns `(trials, finished)`.
     pub fn fetch_batch(&mut self, max: usize) -> Result<(Vec<FetchedTrial>, bool)> {
         let started = Instant::now();
-        let reply = self.call_retrying(Request::FetchBatch { max })?;
+        let span = self
+            .opts
+            .telemetry
+            .span_begin(SpanKind::Fetch, 0, "client", self.client_id);
+        let reply = self.call_retrying(Request::FetchBatch { max });
+        match &reply {
+            Ok(_) => self.opts.telemetry.span_end(span),
+            Err(_) => self.opts.telemetry.span_fault(span, "rpc_failed"),
+        }
+        let reply = reply?;
         self.opts
             .telemetry
             .observe(Latency::FetchBatchRtt, started.elapsed());
@@ -619,7 +637,15 @@ impl TcpHarmonyClient {
     /// dropped by iteration token on the server.
     pub fn report_batch(&mut self, reports: Vec<TrialReport>) -> Result<()> {
         let started = Instant::now();
+        let span = self
+            .opts
+            .telemetry
+            .span_begin(SpanKind::Report, 0, "client", self.client_id);
         let reply = self.call_retrying(Request::ReportBatch { reports });
+        match &reply {
+            Ok(_) => self.opts.telemetry.span_end(span),
+            Err(_) => self.opts.telemetry.span_fault(span, "rpc_failed"),
+        }
         self.opts
             .telemetry
             .observe(Latency::ReportBatchRtt, started.elapsed());

@@ -13,7 +13,7 @@
 use crate::error::{HarmonyError, Result};
 use crate::history::{Evaluation, History};
 use crate::space::{Configuration, SearchSpace};
-use crate::strategy::SearchStrategy;
+use crate::strategy::{SearchStrategy, StrategySnapshot};
 use crate::telemetry::{Counter, Telemetry, TrialStage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +32,19 @@ pub enum StopReason {
     Converged,
     /// A configuration reached the user's target cost.
     TargetReached,
+}
+
+impl StopReason {
+    /// Stable lowercase name (used in JSON status dumps).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StopReason::MaxEvaluations => "max_evaluations",
+            StopReason::NoImprovement => "no_improvement",
+            StopReason::StrategyExhausted => "strategy_exhausted",
+            StopReason::Converged => "converged",
+            StopReason::TargetReached => "target_reached",
+        }
+    }
 }
 
 /// Session stopping criteria and seeding.
@@ -99,6 +112,33 @@ struct PendingTrial {
     /// charged, but budget/best/feedback bookkeeping is identical to a
     /// fresh measurement (pure memoization).
     from_store: bool,
+}
+
+/// Live introspection snapshot of a session, for the observability plane.
+///
+/// A lock-brief copy: [`TuningSession::search_snapshot`] clones the small
+/// pieces (best configuration, simplex vertex costs) and nothing else, so
+/// it is safe to call from an observer thread while the session is being
+/// driven.
+#[derive(Debug, Clone)]
+pub struct SearchSnapshot {
+    /// Name of the strategy driving the search.
+    pub strategy: &'static str,
+    /// Fresh evaluations performed so far.
+    pub evaluations: usize,
+    /// Best cost found so far.
+    pub best_cost: Option<f64>,
+    /// Best configuration found so far.
+    pub best_config: Option<Configuration>,
+    /// Why the session stopped, if it has.
+    pub stop_reason: Option<StopReason>,
+    /// Proposals queued for the in-order flush (fresh awaiting a report
+    /// plus replays awaiting their turn).
+    pub pending: usize,
+    /// Pending proposals still awaiting a measured cost.
+    pub awaiting_report: usize,
+    /// The strategy's own internal state (phase, simplex geometry).
+    pub search: StrategySnapshot,
 }
 
 /// Final outcome of a completed session.
@@ -214,6 +254,26 @@ impl TuningSession {
     /// Why the session stopped, if it has.
     pub fn stop_reason(&self) -> Option<StopReason> {
         self.stopped
+    }
+
+    /// Lock-brief introspection snapshot for the observability plane: the
+    /// strategy's live search state (simplex geometry, move counts,
+    /// convergence spread) plus the session's own progress bookkeeping.
+    pub fn search_snapshot(&self) -> SearchSnapshot {
+        SearchSnapshot {
+            strategy: self.strategy.name(),
+            evaluations: self.fresh_evals,
+            best_cost: self.best.as_ref().map(|(_, c)| *c),
+            best_config: self.best.as_ref().map(|(c, _)| c.clone()),
+            stop_reason: self.stopped,
+            pending: self.pending.len(),
+            awaiting_report: self
+                .pending
+                .iter()
+                .filter(|p| p.kind == PendingKind::Fresh && p.outcome.is_none())
+                .count(),
+            search: self.strategy.snapshot(),
+        }
     }
 
     /// Pre-load a known measurement (e.g. the default configuration's cost

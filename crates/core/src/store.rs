@@ -56,7 +56,7 @@
 use crate::error::{HarmonyError, Result};
 use crate::priors::PriorRunDb;
 use crate::space::{Configuration, SearchSpace};
-use crate::telemetry::{Counter, Latency, Telemetry};
+use crate::telemetry::{Counter, Latency, SpanKind, Telemetry};
 use crate::value::ParamValue;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -537,6 +537,9 @@ impl PerfStore {
     /// [`Latency::StoreLookup`].
     pub fn lookup(&self, app: &str, fingerprint: u64, key: &[i64]) -> Option<StoredCost> {
         let started = Instant::now();
+        let span = self
+            .telemetry
+            .span_begin(SpanKind::StoreLookup, 0, "store", 0);
         let hit = self.live_pos(app, fingerprint, key).map(|pos| {
             let rec = &self.records[pos];
             StoredCost {
@@ -544,6 +547,7 @@ impl PerfStore {
                 wall_time: rec.wall_time(),
             }
         });
+        self.telemetry.span_end(span);
         self.telemetry
             .observe(Latency::StoreLookup, started.elapsed());
         self.telemetry.inc(if hit.is_some() {

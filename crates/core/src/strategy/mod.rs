@@ -29,6 +29,48 @@ pub use random::RandomSearch;
 
 use crate::space::SearchSpace;
 use rand::rngs::StdRng;
+use serde::Serialize;
+
+/// Live snapshot of a simplex-family strategy's geometry and move history.
+///
+/// Exposed through [`SearchStrategy::snapshot`] for the observability
+/// plane (`/status`, `repro watch`): the paper's authors steer their tuning
+/// runs by watching how the simplex moves, and this is that signal, live.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SimplexSnapshot {
+    /// Cost at every simplex vertex, sorted best-first. Vertices not yet
+    /// evaluated are absent.
+    pub vertex_costs: Vec<f64>,
+    /// Convergence diagnostic: `(worst - best) / max(|best|, 1)` over the
+    /// evaluated vertices — the relative cost spread the collapse test
+    /// compares against its threshold. `0.0` until two vertices exist.
+    pub spread: f64,
+    /// Accepted reflection moves.
+    pub reflections: usize,
+    /// Accepted expansion moves.
+    pub expansions: usize,
+    /// Accepted contraction moves (outside and inside).
+    pub contractions: usize,
+    /// Shrink steps (every vertex pulled toward the best).
+    pub shrinks: usize,
+    /// Simplex restarts after a collapse.
+    pub restarts: usize,
+    /// Completed proposal rounds (PRO) — 0 for sequential simplexes.
+    pub rounds: usize,
+}
+
+/// What a strategy reports about its internal search state.
+///
+/// The default ([`StrategySnapshot::default`]) is what non-simplex
+/// strategies return: a phase label and nothing else.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StrategySnapshot {
+    /// Human-readable label of the strategy's current internal phase
+    /// (e.g. `"init"`, `"reflect"`, `"shrink"`, `"search"`).
+    pub phase: &'static str,
+    /// Simplex geometry and move counts, for simplex-family strategies.
+    pub simplex: Option<SimplexSnapshot>,
+}
 
 /// Ask–tell interface implemented by every tuning algorithm.
 pub trait SearchStrategy: Send {
@@ -68,6 +110,32 @@ pub trait SearchStrategy: Send {
     fn can_propose_unanswered(&self, unanswered: usize) -> bool {
         unanswered == 0
     }
+
+    /// Introspection snapshot of the strategy's internal state (optional).
+    ///
+    /// Must be cheap — the observability plane calls it while a session
+    /// lock is held. The default reports a bare `"search"` phase with no
+    /// simplex; simplex-family strategies override it.
+    fn snapshot(&self) -> StrategySnapshot {
+        StrategySnapshot {
+            phase: "search",
+            simplex: None,
+        }
+    }
+}
+
+/// Relative cost spread of a set of evaluated vertex costs:
+/// `(worst - best) / max(|best|, 1)`, the convergence diagnostic simplex
+/// collapse tests use. Non-finite costs are ignored; fewer than two finite
+/// costs give `0.0`.
+pub(crate) fn cost_spread(costs: &[f64]) -> f64 {
+    let finite: Vec<f64> = costs.iter().copied().filter(|c| c.is_finite()).collect();
+    if finite.len() < 2 {
+        return 0.0;
+    }
+    let best = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (worst - best) / best.abs().max(1.0)
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //!   is re-seeded with fresh random vertices around the best point, since a
 //!   discrete space offers no infinitesimal steps.
 
-use super::SearchStrategy;
+use super::{cost_spread, SearchStrategy, SimplexSnapshot, StrategySnapshot};
 use crate::space::SearchSpace;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -100,6 +100,13 @@ pub struct NelderMead {
     reflected: Option<Vertex>,
     pending: Option<Vec<f64>>,
     restarts: usize,
+    // Accepted-move counts, surfaced by `snapshot()` for the observability
+    // plane: which rules actually drive the search is the paper's own
+    // debugging signal.
+    reflections: usize,
+    expansions: usize,
+    contractions: usize,
+    shrinks: usize,
 }
 
 impl Default for NelderMead {
@@ -118,6 +125,10 @@ impl NelderMead {
             reflected: None,
             pending: None,
             restarts: 0,
+            reflections: 0,
+            expansions: 0,
+            contractions: 0,
+            shrinks: 0,
         }
     }
 
@@ -366,6 +377,7 @@ impl SearchStrategy for NelderMead {
                     self.reflected = Some(reflected);
                     self.phase = Phase::Expand;
                 } else if cost < second_worst {
+                    self.reflections += 1;
                     self.vertices[n - 1] = reflected;
                     self.order();
                     self.phase = Phase::Reflect;
@@ -381,11 +393,13 @@ impl SearchStrategy for NelderMead {
                 let n = self.vertices.len();
                 let refl = self.reflected.take().expect("expand follows reflect");
                 if cost < refl.cost {
+                    self.expansions += 1;
                     self.vertices[n - 1] = Vertex {
                         coords: coords.to_vec(),
                         cost,
                     };
                 } else {
+                    self.reflections += 1;
                     self.vertices[n - 1] = refl;
                 }
                 self.order();
@@ -395,6 +409,7 @@ impl SearchStrategy for NelderMead {
                 let n = self.vertices.len();
                 let refl = self.reflected.take().expect("contract follows reflect");
                 if cost <= refl.cost {
+                    self.contractions += 1;
                     self.vertices[n - 1] = Vertex {
                         coords: coords.to_vec(),
                         cost,
@@ -410,6 +425,7 @@ impl SearchStrategy for NelderMead {
                 let worst = self.vertices[n - 1].cost;
                 self.reflected = None;
                 if cost < worst {
+                    self.contractions += 1;
                     self.vertices[n - 1] = Vertex {
                         coords: coords.to_vec(),
                         cost,
@@ -435,10 +451,42 @@ impl SearchStrategy for NelderMead {
         // with their own stopping criteria.
         false
     }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        let mut vertex_costs: Vec<f64> = self
+            .vertices
+            .iter()
+            .map(|v| v.cost)
+            .filter(|c| c.is_finite())
+            .collect();
+        vertex_costs.sort_by(|a, b| a.total_cmp(b));
+        let spread = cost_spread(&vertex_costs);
+        StrategySnapshot {
+            phase: match self.phase {
+                Phase::InitEval(_) => "init",
+                Phase::Reflect => "reflect",
+                Phase::Expand => "expand",
+                Phase::ContractOutside => "contract_outside",
+                Phase::ContractInside => "contract_inside",
+                Phase::Shrink(_) => "shrink",
+            },
+            simplex: Some(SimplexSnapshot {
+                vertex_costs,
+                spread,
+                reflections: self.reflections,
+                expansions: self.expansions,
+                contractions: self.contractions,
+                shrinks: self.shrinks,
+                restarts: self.restarts,
+                rounds: 0,
+            }),
+        }
+    }
 }
 
 impl NelderMead {
     fn begin_shrink(&mut self) {
+        self.shrinks += 1;
         let best = self.vertices[0].coords.clone();
         let delta = self.opts.delta;
         for v in self.vertices.iter_mut().skip(1) {
@@ -535,6 +583,48 @@ mod tests {
             (x - 17.0).powi(2) + 2.0 * (y + 23.0).powi(2)
         });
         assert!(best <= 2.0, "best={best}");
+    }
+
+    #[test]
+    fn snapshot_reports_converging_simplex() {
+        let space = quadratic_space();
+        let mut nm = NelderMead::default();
+        let mut rng = rand::SeedableRng::seed_from_u64(5);
+        nm.init(&space, &mut rng);
+        let mut spreads = Vec::new();
+        for _ in 0..120 {
+            let coords = nm.propose(&space, &mut rng).unwrap();
+            let cfg = space.project(&coords);
+            let x = cfg.int("x").unwrap() as f64;
+            let y = cfg.int("y").unwrap() as f64;
+            nm.feedback(
+                &coords,
+                (x - 9.0).powi(2) + (y - 4.0).powi(2),
+                &space,
+                &mut rng,
+            );
+            let snap = nm.snapshot();
+            let simplex = snap.simplex.expect("nelder-mead exposes its simplex");
+            spreads.push(simplex.spread);
+            assert!(simplex.vertex_costs.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let snap = nm.snapshot();
+        let simplex = snap.simplex.unwrap();
+        // Mid-restart only the carried-over best vertex has a cost, so
+        // between 1 and k+1 vertices are visible at any instant.
+        assert!((1..=3).contains(&simplex.vertex_costs.len()), "{simplex:?}");
+        assert!(
+            simplex.reflections + simplex.expansions + simplex.contractions + simplex.shrinks > 0,
+            "{simplex:?}"
+        );
+        // The simplex converges: the spread collapses well below where the
+        // early iterations started.
+        let early = spreads[..10].iter().copied().fold(0.0_f64, f64::max);
+        assert!(
+            simplex.spread < early || simplex.spread == 0.0,
+            "spread {} never fell below early max {early}",
+            simplex.spread
+        );
     }
 
     #[test]

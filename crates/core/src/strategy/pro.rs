@@ -15,7 +15,7 @@
 //! usable anywhere Nelder–Mead is) and [`tune_parallel`], which evaluates
 //! each round's batch on crossbeam scoped threads.
 
-use super::{SearchStrategy, StartPoint};
+use super::{cost_spread, SearchStrategy, SimplexSnapshot, StartPoint, StrategySnapshot};
 use crate::history::{Evaluation, History};
 use crate::session::TuningResult;
 use crate::space::SearchSpace;
@@ -90,6 +90,11 @@ pub struct ParallelRankOrder {
     /// reflect→contract cycle is fully deterministic, so two failures in a
     /// row mean the simplex is in a limit cycle and needs a respread.
     stagnant: usize,
+    // Per-kind round counts and respread count, surfaced by `snapshot()`.
+    reflect_rounds: usize,
+    expand_rounds: usize,
+    contract_rounds: usize,
+    respreads: usize,
 }
 
 impl Default for ParallelRankOrder {
@@ -114,6 +119,10 @@ impl ParallelRankOrder {
             answered: 0,
             rounds: 0,
             stagnant: 0,
+            reflect_rounds: 0,
+            expand_rounds: 0,
+            contract_rounds: 0,
+            respreads: 0,
         }
     }
 
@@ -220,6 +229,12 @@ impl ParallelRankOrder {
     /// Build the next round's batch after all answers arrived.
     fn advance_round(&mut self, space: &SearchSpace, rng: &mut StdRng) {
         self.rounds += 1;
+        match self.phase {
+            Phase::Init => {}
+            Phase::Reflect => self.reflect_rounds += 1,
+            Phase::Expand => self.expand_rounds += 1,
+            Phase::Contract => self.contract_rounds += 1,
+        }
         match self.phase {
             Phase::Init => {
                 for (slot, &target) in self.batch_targets.iter().enumerate() {
@@ -328,6 +343,7 @@ impl ParallelRankOrder {
             .all(|p| space.project(p).cache_key() == best_key);
         if collapsed || self.stagnant >= 2 {
             self.stagnant = 0;
+            self.respreads += 1;
             let best_coords = self.points[self.best_index()].coords.clone();
             for p in &mut self.batch {
                 for (d, param) in space.params().iter().enumerate() {
@@ -387,6 +403,35 @@ impl SearchStrategy for ParallelRankOrder {
     /// the simplex must wait for all answers to build the next batch.
     fn can_propose_unanswered(&self, _unanswered: usize) -> bool {
         self.proposed < self.batch.len()
+    }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        let mut vertex_costs: Vec<f64> = self
+            .points
+            .iter()
+            .map(|v| v.cost)
+            .filter(|c| c.is_finite())
+            .collect();
+        vertex_costs.sort_by(|a, b| a.total_cmp(b));
+        let spread = cost_spread(&vertex_costs);
+        StrategySnapshot {
+            phase: match self.phase {
+                Phase::Init => "init",
+                Phase::Reflect => "reflect",
+                Phase::Expand => "expand",
+                Phase::Contract => "contract",
+            },
+            simplex: Some(SimplexSnapshot {
+                vertex_costs,
+                spread,
+                reflections: self.reflect_rounds,
+                expansions: self.expand_rounds,
+                contractions: self.contract_rounds,
+                shrinks: 0,
+                restarts: self.respreads,
+                rounds: self.rounds,
+            }),
+        }
     }
 }
 

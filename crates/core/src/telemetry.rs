@@ -21,6 +21,13 @@
 //! * **Latency histograms** — log2-bucketed microsecond histograms
 //!   ([`Latency`]) for shard-queue wait, batch round-trips, backoff sleeps
 //!   and WAL append+fsync.
+//! * **Spans** — paired begin/end intervals ([`SpanEvent`]) around the
+//!   phases of a trial (fetch round-trip, measurement, report round-trip)
+//!   and the durable-state operations (WAL append, store lookup), each on
+//!   a named track (`client`, `worker`, `shard`, `wal`, `store`).
+//!   [`Telemetry::chrome_trace`] exports them as Chrome trace-event JSON
+//!   loadable in Perfetto, reconstructing the distributed timeline the
+//!   paper's per-iteration cost breakdown implies.
 //!
 //! # Overhead
 //!
@@ -42,7 +49,7 @@
 
 use parking_lot::Mutex;
 use serde::Serialize;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -299,6 +306,92 @@ impl TrialEvent {
     }
 }
 
+/// What a span measures. Each renders as one named slice on its track in
+/// the Chrome trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SpanKind {
+    /// Client-side fetch/`FetchBatch` round-trip.
+    Fetch,
+    /// One trial's measurement (objective run) on a worker.
+    Measure,
+    /// Client-side report/`ReportBatch` round-trip.
+    Report,
+    /// A shard worker handling one envelope.
+    ShardHandle,
+    /// WAL record append + flush + fsync.
+    WalAppend,
+    /// Performance-store index lookup.
+    StoreLookup,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (used as the event name in trace exports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Fetch => "fetch",
+            SpanKind::Measure => "measure",
+            SpanKind::Report => "report",
+            SpanKind::ShardHandle => "shard_handle",
+            SpanKind::WalAppend => "wal_append",
+            SpanKind::StoreLookup => "store_lookup",
+        }
+    }
+}
+
+/// One completed (or fault-terminated) span. Begin/end pairing is enforced
+/// by construction: a [`SpanEvent`] only exists once its
+/// [`SpanToken`] was closed by [`Telemetry::span_end`] or
+/// [`Telemetry::span_fault`]; unclosed spans stay in the open table and are
+/// countable via [`Telemetry::open_spans`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanEvent {
+    /// Unique span id (monotonic, 1-based; 0 is the disabled token).
+    pub id: u64,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Iteration token of the trial involved (0 for batch- or
+    /// member-level spans).
+    pub iteration: usize,
+    /// Track family the span belongs to (`client`, `worker`, `shard`,
+    /// `wal`, `store`). One Chrome-trace thread per `(track, track_id)`.
+    pub track: &'static str,
+    /// Which member of the track family (client id, worker index, shard
+    /// index; 0 for singleton tracks).
+    pub track_id: u64,
+    /// Microseconds since the handle was created.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Set when the span was terminated by [`Telemetry::span_fault`]
+    /// (cause: `crash`, `lost_report`, `straggler`, ...) instead of a
+    /// normal end.
+    pub cause: Option<&'static str>,
+}
+
+/// Handle returned by [`Telemetry::span_begin`], closed by
+/// [`Telemetry::span_end`] or [`Telemetry::span_fault`]. The zero token is
+/// the disabled no-op (returned by a disabled handle); closing it does
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a span token should be closed with span_end or span_fault"]
+pub struct SpanToken(u64);
+
+impl SpanToken {
+    /// The no-op token of a disabled handle.
+    pub fn disabled() -> Self {
+        SpanToken(0)
+    }
+}
+
+/// A begun-but-not-ended span, keyed by its token id.
+struct OpenSpan {
+    kind: SpanKind,
+    iteration: usize,
+    track: &'static str,
+    track_id: u64,
+    start_us: u64,
+}
+
 /// One log2-bucketed latency histogram (microsecond resolution).
 struct Histo {
     buckets: [AtomicU64; HISTO_BUCKETS],
@@ -336,6 +429,11 @@ struct Inner {
     counters: [AtomicU64; COUNTER_COUNT],
     latencies: [Histo; LATENCY_COUNT],
     ring: Mutex<VecDeque<TrialEvent>>,
+    // Span ids start at 1 so token 0 can stay the disabled no-op.
+    span_seq: AtomicU64,
+    span_dropped: AtomicU64,
+    open_spans: Mutex<HashMap<u64, OpenSpan>>,
+    spans: Mutex<VecDeque<SpanEvent>>,
 }
 
 /// A cheap, cloneable recording handle. See the [module docs](self) for
@@ -380,6 +478,10 @@ impl Telemetry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             latencies: std::array::from_fn(|_| Histo::new()),
             ring: Mutex::new(VecDeque::new()),
+            span_seq: AtomicU64::new(1),
+            span_dropped: AtomicU64::new(0),
+            open_spans: Mutex::new(HashMap::new()),
+            spans: Mutex::new(VecDeque::new()),
         })))
     }
 
@@ -472,6 +574,119 @@ impl Telemetry {
         }
     }
 
+    /// Begin a span (no-op token when disabled). Close the returned token
+    /// with [`span_end`](Self::span_end) or
+    /// [`span_fault`](Self::span_fault) on any clone of this handle.
+    pub fn span_begin(
+        &self,
+        kind: SpanKind,
+        iteration: usize,
+        track: &'static str,
+        track_id: u64,
+    ) -> SpanToken {
+        let Some(inner) = &self.0 else {
+            return SpanToken(0);
+        };
+        let id = inner.span_seq.fetch_add(1, Ordering::Relaxed);
+        let start_us = u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        inner.open_spans.lock().insert(
+            id,
+            OpenSpan {
+                kind,
+                iteration,
+                track,
+                track_id,
+                start_us,
+            },
+        );
+        SpanToken(id)
+    }
+
+    /// End a span normally (no-op for the disabled/unknown token).
+    pub fn span_end(&self, token: SpanToken) {
+        self.close_span(token, None);
+    }
+
+    /// End a span because a fault decided its fate; `cause` lands in the
+    /// span record and the trace export.
+    pub fn span_fault(&self, token: SpanToken, cause: &'static str) {
+        self.close_span(token, Some(cause));
+    }
+
+    fn close_span(&self, token: SpanToken, cause: Option<&'static str>) {
+        let Some(inner) = &self.0 else { return };
+        if token.0 == 0 {
+            return;
+        }
+        let Some(open) = inner.open_spans.lock().remove(&token.0) else {
+            return;
+        };
+        let now_us = u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ev = SpanEvent {
+            id: token.0,
+            kind: open.kind,
+            iteration: open.iteration,
+            track: open.track,
+            track_id: open.track_id,
+            start_us: open.start_us,
+            dur_us: now_us.saturating_sub(open.start_us),
+            cause,
+        };
+        let mut spans = inner.spans.lock();
+        if spans.len() >= inner.capacity {
+            spans.pop_front();
+            inner.span_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        spans.push_back(ev);
+    }
+
+    /// Snapshot of the completed-span ring, in completion order (empty when
+    /// disabled).
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        match &self.0 {
+            Some(inner) => inner.spans.lock().iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of begun-but-not-closed spans. Zero after a well-paired run:
+    /// every begin had an end or a fault cause.
+    pub fn open_spans(&self) -> usize {
+        match &self.0 {
+            Some(inner) => inner.open_spans.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// Completed spans evicted from the bounded ring.
+    pub fn dropped_spans(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.span_dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Every counter as one JSON object `{name: value, ...}` in stable
+    /// order — the single serialization all CLI surfaces (`metrics`,
+    /// `trace`, `/status`, the fault experiment) share. Built by hand
+    /// because the vendored serde has no map `Serialize` impl for
+    /// `&'static str` keys.
+    pub fn counters_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(
+            self.counters()
+                .into_iter()
+                .map(|(name, value)| (name.to_string(), serde_json::Value::UInt(value)))
+                .collect(),
+        )
+    }
+
+    /// Export the completed spans as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object form, loadable in Perfetto or
+    /// `chrome://tracing`). See [`chrome_trace`] for the format.
+    pub fn chrome_trace(&self) -> serde_json::Value {
+        chrome_trace(&self.spans())
+    }
+
     /// Render every counter and histogram in the Prometheus text exposition
     /// format (version 0.0.4): `# HELP`/`# TYPE` comments, counters as
     /// `ah_<name>_total`, histograms as `ah_<name>_seconds` with cumulative
@@ -492,6 +707,18 @@ impl Telemetry {
              # TYPE ah_events_dropped_total counter\n\
              ah_events_dropped_total {}\n",
             self.dropped_events()
+        ));
+        out.push_str(&format!(
+            "# HELP ah_spans_dropped_total Completed spans evicted from the bounded ring.\n\
+             # TYPE ah_spans_dropped_total counter\n\
+             ah_spans_dropped_total {}\n",
+            self.dropped_spans()
+        ));
+        out.push_str(&format!(
+            "# HELP ah_spans_open Spans begun but not yet ended.\n\
+             # TYPE ah_spans_open gauge\n\
+             ah_spans_open {}\n",
+            self.open_spans()
         ));
         for l in Latency::ALL.iter() {
             let name = l.name();
@@ -533,6 +760,69 @@ impl Telemetry {
         }
         out
     }
+}
+
+/// Build a Chrome trace-event JSON document from a set of spans.
+///
+/// Output is the object form `{"traceEvents": [...], "displayTimeUnit":
+/// "ms"}` accepted by Perfetto and `chrome://tracing`. Every span becomes a
+/// complete event (`"ph": "X"`, `ts`/`dur` in microseconds) on a thread
+/// derived from its `(track, track_id)` pair; thread-name metadata events
+/// (`"ph": "M"`) label each track. Events are sorted by start time, so
+/// timestamps are monotone globally and therefore per track. Fault-closed
+/// spans carry their cause in `args`.
+pub fn chrome_trace(spans: &[SpanEvent]) -> serde_json::Value {
+    use serde_json::Value;
+    let mut sorted: Vec<&SpanEvent> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start_us, s.id));
+    // Stable small thread ids per (track, track_id), in order of first
+    // appearance on the sorted timeline.
+    let mut tids: Vec<(&'static str, u64)> = Vec::new();
+    for s in &sorted {
+        if !tids.contains(&(s.track, s.track_id)) {
+            tids.push((s.track, s.track_id));
+        }
+    }
+    let tid_of = |s: &SpanEvent| -> u64 {
+        tids.iter()
+            .position(|t| *t == (s.track, s.track_id))
+            .expect("every span's track is registered") as u64
+            + 1
+    };
+    let mut events = Vec::with_capacity(sorted.len() + tids.len() + 1);
+    events.push(serde_json::json!({
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": "active-harmony"},
+    }));
+    for (i, (track, track_id)) in tids.iter().enumerate() {
+        events.push(serde_json::json!({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": i as u64 + 1,
+            "args": {"name": format!("{track}/{track_id}")},
+        }));
+    }
+    for s in sorted {
+        let mut args = vec![
+            ("iteration".to_string(), Value::UInt(s.iteration as u64)),
+            ("span_id".to_string(), Value::UInt(s.id)),
+        ];
+        if let Some(cause) = s.cause {
+            args.push(("cause".to_string(), Value::String(cause.to_string())));
+        }
+        events.push(serde_json::json!({
+            "name": s.kind.name(),
+            "cat": s.track,
+            "ph": "X",
+            "ts": s.start_us,
+            "dur": s.dur_us,
+            "pid": 0,
+            "tid": tid_of(s),
+            "args": Value::Object(args),
+        }));
+    }
+    serde_json::json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms",
+    })
 }
 
 #[cfg(test)]
@@ -635,5 +925,199 @@ mod tests {
         let u = t.clone();
         u.inc(Counter::WalAppends);
         assert_eq!(t.counter(Counter::WalAppends), 1);
+    }
+
+    #[test]
+    fn spans_pair_begin_with_end_or_fault() {
+        let t = Telemetry::enabled();
+        let a = t.span_begin(SpanKind::Fetch, 3, "client", 7);
+        let b = t.span_begin(SpanKind::Measure, 3, "worker", 1);
+        assert_eq!(t.open_spans(), 2);
+        t.span_end(a);
+        t.span_fault(b, "crash");
+        assert_eq!(t.open_spans(), 0);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::Fetch);
+        assert_eq!(spans[0].cause, None);
+        assert_eq!(spans[1].kind, SpanKind::Measure);
+        assert_eq!(spans[1].cause, Some("crash"));
+        assert!(spans.iter().all(|s| s.start_us <= s.start_us + s.dur_us));
+        // Closing a token twice (or a bogus one) is a no-op.
+        t.span_end(a);
+        t.span_end(SpanToken::disabled());
+        assert_eq!(t.spans().len(), 2);
+    }
+
+    #[test]
+    fn disabled_handle_spans_are_noops() {
+        let t = Telemetry::disabled();
+        let tok = t.span_begin(SpanKind::Report, 1, "client", 1);
+        assert_eq!(tok, SpanToken::disabled());
+        t.span_end(tok);
+        assert_eq!(t.open_spans(), 0);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn span_ring_is_bounded_and_counts_drops() {
+        let t = Telemetry::with_capacity(3);
+        for i in 0..8 {
+            let tok = t.span_begin(SpanKind::Measure, i, "worker", 0);
+            t.span_end(tok);
+        }
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.dropped_spans(), 5);
+        let text = t.prometheus();
+        assert!(text.contains("ah_spans_dropped_total 5"), "{text}");
+        assert!(text.contains("ah_spans_open 0"), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_monotone_tracks() {
+        let t = Telemetry::enabled();
+        for i in 0..4 {
+            let tok = t.span_begin(SpanKind::Measure, i, "worker", (i % 2) as u64);
+            std::thread::sleep(Duration::from_micros(50));
+            if i == 2 {
+                t.span_fault(tok, "lost_report");
+            } else {
+                t.span_end(tok);
+            }
+        }
+        let trace = t.chrome_trace();
+        // Valid JSON round-trip.
+        let text = serde_json::to_string(&trace).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // Process + two thread metadata events + four complete events.
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 3, "{text}");
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 4);
+        // Per-track timestamps are monotone.
+        let mut last_ts: HashMap<u64, u64> = HashMap::new();
+        for e in &slices {
+            let tid = e["tid"].as_u64().unwrap();
+            let ts = e["ts"].as_u64().unwrap();
+            assert!(*last_ts.get(&tid).unwrap_or(&0) <= ts, "{text}");
+            last_ts.insert(tid, ts);
+            assert!(e["dur"].as_u64().is_some());
+        }
+        // The faulted span carries its cause.
+        assert!(
+            slices
+                .iter()
+                .any(|e| e["args"]["cause"].as_str() == Some("lost_report")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn counters_json_matches_counter_order() {
+        let t = Telemetry::enabled();
+        t.add(Counter::TrialsProposed, 5);
+        t.inc(Counter::StoreHits);
+        let v = t.counters_json();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), Counter::ALL.len());
+        for ((key, val), c) in obj.iter().zip(Counter::ALL.iter()) {
+            assert_eq!(key, c.name());
+            assert_eq!(val.as_u64(), Some(t.counter(*c)));
+        }
+        assert_eq!(v["trials_proposed"].as_u64(), Some(5));
+        assert_eq!(v["store_hits"].as_u64(), Some(1));
+    }
+
+    /// Exposition conformance: every `# TYPE` line is matched by samples of
+    /// the declared kind, histogram `+Inf` buckets equal `_count`, and no
+    /// metric is declared twice.
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        let t = Telemetry::enabled();
+        t.inc(Counter::StoreHits);
+        t.inc(Counter::StoreMisses);
+        t.inc(Counter::StoreTornTails);
+        t.observe(Latency::StoreLookup, Duration::from_micros(12));
+        t.observe(Latency::WalAppendFsync, Duration::from_secs(120));
+        let tok = t.span_begin(SpanKind::Fetch, 1, "client", 1);
+        t.span_end(tok);
+        let text = t.prometheus();
+
+        let mut declared: Vec<(String, String)> = Vec::new();
+        let mut samples: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has a kind");
+                assert!(
+                    !declared.iter().any(|(n, _)| n == name),
+                    "duplicate TYPE for {name}"
+                );
+                declared.push((name.to_string(), kind.to_string()));
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let (key, value) = line.rsplit_once(' ').expect("sample line");
+                let value: f64 = value.parse().expect("sample value parses");
+                let base = key.split('{').next().unwrap();
+                let family = base
+                    .strip_suffix("_bucket")
+                    .or_else(|| base.strip_suffix("_sum"))
+                    .or_else(|| base.strip_suffix("_count"))
+                    .filter(|f| declared.iter().any(|(n, k)| n == f && k == "histogram"))
+                    .unwrap_or(base);
+                samples
+                    .entry(family.to_string())
+                    .or_default()
+                    .push((key.to_string(), value));
+            }
+        }
+        // dropped-events/spans/open metrics plus one family per counter and
+        // histogram.
+        assert_eq!(
+            declared.len(),
+            Counter::ALL.len() + Latency::ALL.len() + 3,
+            "{declared:?}"
+        );
+        for (name, kind) in &declared {
+            let got = samples.get(name).unwrap_or_else(|| {
+                panic!("TYPE {name} declared but no samples emitted");
+            });
+            match kind.as_str() {
+                "counter" | "gauge" => {
+                    assert_eq!(got.len(), 1, "{name} should have one sample");
+                    assert_eq!(&got[0].0, name);
+                }
+                "histogram" => {
+                    let inf = got
+                        .iter()
+                        .find(|(k, _)| k.contains("le=\"+Inf\""))
+                        .unwrap_or_else(|| panic!("{name} lacks a +Inf bucket"));
+                    let count = got
+                        .iter()
+                        .find(|(k, _)| k == &format!("{name}_count"))
+                        .unwrap_or_else(|| panic!("{name} lacks _count"));
+                    assert_eq!(inf.1, count.1, "{name}: +Inf bucket != _count");
+                    assert!(
+                        got.iter().any(|(k, _)| k == &format!("{name}_sum")),
+                        "{name} lacks _sum"
+                    );
+                }
+                other => panic!("unexpected metric kind {other} for {name}"),
+            }
+        }
+        // Store hit/miss/torn-tail and ring-drop counters are present.
+        for needle in [
+            "ah_store_hits_total 1",
+            "ah_store_misses_total 1",
+            "ah_store_torn_tails_total 1",
+            "ah_events_dropped_total 0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 }

@@ -49,7 +49,7 @@ use crate::param::Param;
 use crate::server::protocol::StrategyKind;
 use crate::session::{SessionOptions, Trial, TuningResult, TuningSession};
 use crate::space::SearchSpace;
-use crate::telemetry::{Counter, Latency, Telemetry, TrialStage};
+use crate::telemetry::{Counter, Latency, SpanKind, Telemetry, TrialStage};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -410,11 +410,20 @@ impl WalSession {
         let mut line = serde_json::to_string(&rec).map_err(|e| HarmonyError::Io(e.to_string()))?;
         line.push('\n');
         let started = Instant::now();
-        self.file
+        let span = self
+            .telemetry
+            .span_begin(SpanKind::WalAppend, trial.iteration, "wal", 0);
+        let wrote = self
+            .file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
-            .and_then(|()| self.file.sync_data())
-            .map_err(|e| io_err("append to", &self.path, e))?;
+            .and_then(|()| self.file.sync_data());
+        if wrote.is_err() {
+            self.telemetry.span_fault(span, "io_error");
+        } else {
+            self.telemetry.span_end(span);
+        }
+        wrote.map_err(|e| io_err("append to", &self.path, e))?;
         self.telemetry
             .observe(Latency::WalAppendFsync, started.elapsed());
         self.telemetry.inc(Counter::WalAppends);

@@ -12,7 +12,9 @@
 use ah_core::param::Param;
 use ah_core::server::protocol::{StrategyKind, TrialReport};
 use ah_core::server::tcp::{TcpClientOptions, DEFAULT_MAX_CONNECTIONS};
-use ah_core::server::{HarmonyServer, ServerConfig, TcpHarmonyClient, TcpHarmonyServer};
+use ah_core::server::{
+    HarmonyServer, ObserveHandle, ServerConfig, TcpHarmonyClient, TcpHarmonyServer,
+};
 use ah_core::session::SessionOptions;
 use ah_core::store::SharedStore;
 use ah_core::telemetry::Telemetry;
@@ -50,6 +52,12 @@ pub struct BenchConfig {
     /// inserts + fsync cadence) stays inside the same regression tolerance,
     /// and enables the warm-vs-cold cache demo section of the report.
     pub store: Option<std::path::PathBuf>,
+    /// Serve the observability plane (`/metrics`, `/status`) on this
+    /// address while each scenario runs. The gate run with this on proves
+    /// the endpoint stays off the hot path: the same tolerance that
+    /// catches real regressions must not fire with an observer attached.
+    /// Scenarios run sequentially, so one fixed address works for all.
+    pub observe: Option<String>,
 }
 
 impl Default for BenchConfig {
@@ -59,6 +67,7 @@ impl Default for BenchConfig {
             iters: 200,
             telemetry: false,
             store: None,
+            observe: None,
         }
     }
 }
@@ -72,6 +81,7 @@ impl BenchConfig {
             iters: 60,
             telemetry: false,
             store: None,
+            observe: None,
         }
     }
 
@@ -82,6 +92,19 @@ impl BenchConfig {
             Telemetry::disabled()
         }
     }
+}
+
+/// Attach the observability endpoint to a scenario's server when the run
+/// asks for one.
+fn observer_for(
+    cfg: &BenchConfig,
+    observe: impl FnOnce(&str) -> std::io::Result<ObserveHandle>,
+) -> Option<ObserveHandle> {
+    cfg.observe.as_deref().map(|addr| {
+        let handle = observe(addr).expect("bind bench observer");
+        eprintln!("bench-server: observing on http://{}", handle.addr());
+        handle
+    })
 }
 
 /// Measured outcome of one scenario.
@@ -187,6 +210,7 @@ fn run_inproc(
         store: store.cloned(),
         ..Default::default()
     });
+    let observer = observer_for(cfg, |addr| server.observe(addr));
     let barrier = Barrier::new(cfg.clients + 1);
     let mut wall_secs = 0.0;
     let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
@@ -222,6 +246,9 @@ fn run_inproc(
         wall_secs = t0.elapsed().as_secs_f64();
         out
     });
+    if let Some(handle) = observer {
+        handle.stop();
+    }
     server.shutdown();
     let mode = if batched { "batched" } else { "serial" };
     summarize(
@@ -243,6 +270,7 @@ fn run_tcp(cfg: &BenchConfig, batched: bool, store: Option<&SharedStore>) -> Sce
         },
     )
     .expect("bind");
+    let observer = observer_for(cfg, |a| server.observe(a));
     let addr = server.local_addr();
     let client_opts = TcpClientOptions {
         telemetry: cfg.server_telemetry(),
@@ -312,6 +340,9 @@ fn run_tcp(cfg: &BenchConfig, batched: bool, store: Option<&SharedStore>) -> Sce
         wall_secs = t0.elapsed().as_secs_f64();
         out
     });
+    if let Some(handle) = observer {
+        handle.stop();
+    }
     server.shutdown();
     let mode = if batched { "batched" } else { "serial" };
     summarize(
@@ -578,6 +609,9 @@ mod tests {
             iters: 20,
             telemetry: true,
             store: None,
+            // Exercise the observer across every scenario: each run binds,
+            // serves, and tears down the endpoint without skewing numbers.
+            observe: Some("127.0.0.1:0".into()),
         };
         let report = run(&cfg);
         assert_eq!(report["clients"].as_u64(), Some(3));
@@ -602,6 +636,7 @@ mod tests {
             iters: 25,
             telemetry: false,
             store: Some(path),
+            observe: None,
         };
         let report = run(&cfg);
         assert_eq!(report["scenarios"].as_array().unwrap().len(), 6);

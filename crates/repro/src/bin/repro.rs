@@ -8,6 +8,8 @@
 //! repro fault-wal            # crash-safe tuning run through the WAL
 //! repro metrics              # Prometheus metrics of a faulted tuning run
 //! repro trace                # per-trial JSON event timeline of the same run
+//! repro observe              # same faulted run with a live HTTP endpoint
+//! repro watch                # poll a live server's /status, line per tick
 //! repro store <sub>          # persistent performance DB:
 //!                            #   stats | inspect | compact | gc | demo
 //! options:
@@ -22,6 +24,8 @@
 //!   --tolerance F      bench-server: allowed relative drop (default 0.25)
 //!   --attempts N       bench-server: gate retries before failing (default 3)
 //!   --telemetry        bench-server: run with telemetry recording enabled
+//!   --observe ADDR     bench-server / observe: serve /metrics and /status
+//!                      on ADDR while running (observe default 127.0.0.1:0)
 //!   --wal PATH         fault-wal: write-ahead log location (required)
 //!   --out PATH         fault-wal / store demo: results JSON (required for
 //!                      fault-wal); metrics/trace: output (default stdout)
@@ -32,6 +36,17 @@
 //!   --crash-after N    fault-wal / store demo: abort() after N evaluations
 //!   --eval-delay-ms N  fault-wal / store demo: sleep per evaluation
 //!                      (for SIGKILL tests)
+//!   --format F         trace: `events` (default) or `chrome` (Perfetto-
+//!                      loadable trace-event JSON of the run's spans)
+//!   --from ADDR        metrics/trace: pull from a live server's endpoint
+//!                      instead of running a campaign; watch: the server
+//!                      to poll (required)
+//!   --delay-ms N       observe: sleep per campaign tick (default 25)
+//!   --linger-ms N      observe: keep the endpoint up after the campaign
+//!                      finishes (default 2000)
+//!   --interval-ms N    watch: poll interval (default 1000)
+//!   --ticks N          watch: stop after N polls (default 0 = poll until
+//!                      every session reports a stop reason)
 //! ```
 
 use ah_repro::{all_experiments, Experiment, RunCtx};
@@ -66,6 +81,7 @@ fn bench_server(args: &[String], json_path: Option<String>, quick: bool) {
         iters: parse_usize(args, "--iters", defaults.iters).max(1),
         telemetry: args.iter().any(|a| a == "--telemetry"),
         store: flag_value(args, "--store").map(Into::into),
+        observe: flag_value(args, "--observe"),
     };
     // Regression gate: compare against a committed baseline instead of
     // overwriting it (a checking run must never move its own goalposts).
@@ -175,6 +191,13 @@ fn main() {
         "--limit",
         "--crash-after",
         "--eval-delay-ms",
+        "--observe",
+        "--format",
+        "--from",
+        "--delay-ms",
+        "--linger-ms",
+        "--interval-ms",
+        "--ticks",
     ]
     .iter()
     .map(|f| flag_value(&args, f))
@@ -199,12 +222,40 @@ fn main() {
     }
 
     let out = flag_value(&args, "--out");
+    let from = flag_value(&args, "--from");
     if selectors.iter().any(|s| s.as_str() == "metrics") {
-        std::process::exit(ah_repro::telemetry_cli::metrics(quick, out.as_deref()));
+        std::process::exit(ah_repro::telemetry_cli::metrics(
+            quick,
+            out.as_deref(),
+            from.as_deref(),
+        ));
     }
 
     if selectors.iter().any(|s| s.as_str() == "trace") {
-        std::process::exit(ah_repro::telemetry_cli::trace(quick, out.as_deref()));
+        let format = flag_value(&args, "--format").unwrap_or_else(|| "events".into());
+        std::process::exit(ah_repro::telemetry_cli::trace(
+            quick,
+            out.as_deref(),
+            &format,
+            from.as_deref(),
+        ));
+    }
+
+    if selectors.iter().any(|s| s.as_str() == "observe") {
+        let addr = flag_value(&args, "--observe").unwrap_or_else(|| "127.0.0.1:0".into());
+        let delay = parse_usize(&args, "--delay-ms", 25) as u64;
+        let linger = parse_usize(&args, "--linger-ms", 2000) as u64;
+        std::process::exit(ah_repro::observe_cli::serve(quick, &addr, delay, linger));
+    }
+
+    if selectors.iter().any(|s| s.as_str() == "watch") {
+        let Some(addr) = from else {
+            eprintln!("watch requires --from ADDR (the live server's observe address)");
+            std::process::exit(2);
+        };
+        let interval = parse_usize(&args, "--interval-ms", 1000) as u64;
+        let ticks = parse_usize(&args, "--ticks", 0);
+        std::process::exit(ah_repro::observe_cli::watch(&addr, interval, ticks));
     }
 
     if selectors.iter().any(|s| s.as_str() == "list") {

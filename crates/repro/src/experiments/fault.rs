@@ -16,7 +16,7 @@ use ah_clustersim::{FaultKind, FaultPlan};
 use ah_core::prelude::*;
 use ah_core::server::protocol::TrialReport;
 use ah_core::server::{HarmonyClient, ServerConfig};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// The experiment.
 pub struct Fault;
@@ -69,6 +69,17 @@ pub(crate) struct FaultyOutcome {
     pub(crate) telemetry: Telemetry,
 }
 
+/// Live-observation knobs for [`faulty_history_with`]: where to serve the
+/// observability endpoint, how long to stall between ticks (stretches the
+/// campaign so an external poller can watch it mid-flight), and how long to
+/// keep serving after the search finishes.
+#[derive(Default)]
+pub(crate) struct ObserveOpts {
+    pub(crate) addr: Option<String>,
+    pub(crate) tick_delay: Option<std::time::Duration>,
+    pub(crate) linger: Option<std::time::Duration>,
+}
+
 pub(crate) fn faulty_history(
     strategy: StrategyKind,
     evals: usize,
@@ -76,11 +87,39 @@ pub(crate) fn faulty_history(
     plan: &FaultPlan,
     workers: usize,
 ) -> FaultyOutcome {
+    faulty_history_with(
+        strategy,
+        evals,
+        seed,
+        plan,
+        workers,
+        &ObserveOpts::default(),
+    )
+}
+
+pub(crate) fn faulty_history_with(
+    strategy: StrategyKind,
+    evals: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    workers: usize,
+    observe: &ObserveOpts,
+) -> FaultyOutcome {
     let telemetry = Telemetry::enabled();
     let server = HarmonyServer::start_with_config(ServerConfig {
         shards: 2,
         telemetry: telemetry.clone(),
         ..Default::default()
+    });
+    let observer = observe.addr.as_deref().map(|addr| {
+        let handle = server.observe(addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind observer on {addr}: {e}");
+            std::process::exit(2);
+        });
+        // The bound address on stdout is the contract with pollers
+        // (`repro watch`, the CI smoke job): port 0 resolves here.
+        println!("observe: http://{}", handle.addr());
+        handle
     });
     let founder = server.connect("fault-pool").unwrap();
     declare(&founder);
@@ -92,9 +131,17 @@ pub(crate) fn faulty_history(
 
     let mut held: Vec<(u32, TrialReport)> = Vec::new();
     let mut faulted: HashSet<usize> = HashSet::new();
+    // Measure spans, one per in-flight trial, keyed by iteration token:
+    // begun on fetch, ended on report, faulted on crash/lost-report. The
+    // Chrome trace of the campaign shows every measurement slice per
+    // worker track, faults annotated.
+    let mut measuring: HashMap<usize, SpanToken> = HashMap::new();
     let (mut crashes, mut lost, mut stragglers, mut rejoins) = (0, 0, 0, 0);
     let mut finished = false;
     while !finished {
+        if let Some(delay) = observe.tick_delay {
+            std::thread::sleep(delay);
+        }
         for h in held.iter_mut() {
             h.0 -= 1;
         }
@@ -108,9 +155,14 @@ pub(crate) fn faulty_history(
             }
         });
         if !due.is_empty() {
+            for r in &due {
+                if let Some(span) = measuring.remove(&r.iteration) {
+                    telemetry.span_end(span);
+                }
+            }
             founder.report_batch(due).unwrap();
         }
-        for member in members.iter_mut() {
+        for (worker, member) in members.iter_mut().enumerate() {
             let (trials, fin) = member.fetch_batch(1).unwrap();
             if fin {
                 finished = true;
@@ -122,6 +174,9 @@ pub(crate) fn faulty_history(
             if held.iter().any(|(_, r)| r.iteration == t.iteration) {
                 continue; // still "measuring" its straggling trial
             }
+            measuring.entry(t.iteration).or_insert_with(|| {
+                telemetry.span_begin(SpanKind::Measure, t.iteration, "worker", worker as u64)
+            });
             let report = TrialReport {
                 iteration: t.iteration,
                 cost: objective(&t.config),
@@ -133,16 +188,27 @@ pub(crate) fn faulty_history(
                 FaultKind::None
             };
             match fault {
-                FaultKind::None => member.report_batch(vec![report]).unwrap(),
+                FaultKind::None => {
+                    if let Some(span) = measuring.remove(&t.iteration) {
+                        telemetry.span_end(span);
+                    }
+                    member.report_batch(vec![report]).unwrap();
+                }
                 FaultKind::Crash => {
                     crashes += 1;
                     rejoins += 1;
+                    if let Some(span) = measuring.remove(&t.iteration) {
+                        telemetry.span_fault(span, "crash");
+                    }
                     member.leave().unwrap();
                     *member = server.attach(session).unwrap();
                 }
                 FaultKind::LostReport => {
                     lost += 1;
                     rejoins += 1;
+                    if let Some(span) = measuring.remove(&t.iteration) {
+                        telemetry.span_fault(span, "lost_report");
+                    }
                     held.push((4, report));
                     member.leave().unwrap();
                     *member = server.attach(session).unwrap();
@@ -154,7 +220,20 @@ pub(crate) fn faulty_history(
             }
         }
     }
+    // The session can finish while stragglers still hold reports the
+    // search no longer needs; their measurements never complete.
+    for (_, span) in measuring.drain() {
+        telemetry.span_fault(span, "campaign_finished");
+    }
     let (history, _) = founder.history().unwrap();
+    if let Some(handle) = observer {
+        // Final /status (stop reason, converged simplex) stays available
+        // for a grace period before the plane goes away.
+        if let Some(linger) = observe.linger {
+            std::thread::sleep(linger);
+        }
+        handle.stop();
+    }
     server.shutdown();
     FaultyOutcome {
         history,
@@ -247,7 +326,7 @@ impl Experiment for Fault {
                 "stragglers": got.stragglers,
                 "rejoins": got.rejoins,
                 "trajectory_identical": same,
-                "telemetry_counters": crate::telemetry_cli::counters_json(t),
+                "telemetry_counters": t.counters_json(),
             }));
         }
 
@@ -328,10 +407,74 @@ impl Experiment for Fault {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use serde_json::Value;
 
     #[test]
     fn quick_run_matches_paper_shape() {
         let r = Fault.run(&RunCtx::quick(true));
         assert!(r.all_ok(), "{}", r.render());
+    }
+
+    proptest! {
+        // Each case is a whole multi-worker campaign; a handful of seeded
+        // schedules is plenty to exercise every fault arm.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Span pairing is total under any fault schedule: every begun
+        /// span ends exactly once (normally or with a fault cause), and
+        /// the Chrome export round-trips as JSON with per-track monotonic
+        /// timestamps.
+        #[test]
+        fn span_pairing_survives_any_fault_schedule(
+            seed in 1u64..10_000,
+            crash in 0.0..0.25f64,
+            lost in 0.0..0.2f64,
+            straggler in 0.0..0.3f64,
+        ) {
+            let plan = FaultPlan::new(seed, crash, lost, straggler);
+            let got = faulty_history(StrategyKind::NelderMead, 25, seed, &plan, 3);
+            let t = &got.telemetry;
+
+            // Every begin was closed, and closed exactly once (unique ids).
+            prop_assert_eq!(t.open_spans(), 0);
+            let spans = t.spans();
+            let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), spans.len());
+            // Faulted measurements carry their cause.
+            for s in &spans {
+                if let Some(cause) = s.cause {
+                    prop_assert!(
+                        ["crash", "lost_report", "campaign_finished"].contains(&cause),
+                        "unexpected fault cause {cause}"
+                    );
+                }
+            }
+
+            // Chrome export round-trips and is per-track monotonic.
+            let text = serde_json::to_string(&t.chrome_trace()).unwrap();
+            let doc: Value = serde_json::parse(&text).unwrap();
+            let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+            let mut last_ts: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            let mut slices = 0usize;
+            for e in events {
+                if e.get("ph").and_then(Value::as_str) != Some("X") {
+                    continue;
+                }
+                slices += 1;
+                let tid = e.get("tid").and_then(Value::as_u64).unwrap();
+                let ts = e.get("ts").and_then(Value::as_u64).unwrap();
+                if let Some(prev) = last_ts.insert(tid, ts) {
+                    prop_assert!(
+                        ts >= prev,
+                        "track {tid} went backwards: {prev} -> {ts}"
+                    );
+                }
+            }
+            prop_assert_eq!(slices, spans.len());
+        }
     }
 }

@@ -16,6 +16,7 @@ pub mod chart;
 pub mod experiment;
 pub mod experiments;
 pub mod fault_wal;
+pub mod observe_cli;
 pub mod store_cli;
 pub mod table;
 pub mod telemetry_cli;

@@ -1,0 +1,202 @@
+//! `repro observe` / `repro watch`: the live side of the observability
+//! plane.
+//!
+//! * `observe` runs the same faulted Nelder–Mead campaign as
+//!   `repro metrics`/`repro trace`, but with the HTTP observability
+//!   endpoint attached to the tuning server and the campaign stretched in
+//!   time, so an external poller (a human with `curl`, `repro watch`, the
+//!   CI smoke job) can inspect `/metrics` and `/status` *mid-campaign*.
+//!   The bound address is printed to stdout as `observe: http://<addr>`.
+//! * `watch` polls a live server's `/status` once per interval and prints
+//!   a one-line progress view per tick: evaluations, best cost, strategy
+//!   phase, simplex spread, pending trials, and per-shard queue depths.
+//!
+//! Both speak plain HTTP/1.1 over [`ah_core::server::observe::http_get`] —
+//! no client dependency, same as the server side.
+
+use crate::experiments::fault::{self, ObserveOpts};
+use ah_clustersim::FaultPlan;
+use ah_core::prelude::*;
+use ah_core::server::observe::http_get;
+use serde_json::Value;
+use std::time::Duration;
+
+/// `repro observe`: run the observed fault campaign with a live endpoint.
+pub fn serve(quick: bool, addr: &str, tick_delay_ms: u64, linger_ms: u64) -> i32 {
+    let evals = if quick { 40 } else { 120 };
+    let plan = FaultPlan::new(2026, 0.12, 0.08, 0.18);
+    let opts = ObserveOpts {
+        addr: Some(addr.to_string()),
+        tick_delay: (tick_delay_ms > 0).then(|| Duration::from_millis(tick_delay_ms)),
+        linger: (linger_ms > 0).then(|| Duration::from_millis(linger_ms)),
+    };
+    let outcome = fault::faulty_history_with(StrategyKind::NelderMead, evals, 62, &plan, 3, &opts);
+    eprintln!(
+        "observed fault run: {} evaluations, {} crashes, {} lost reports, {} stragglers",
+        outcome.history.len(),
+        outcome.crashes,
+        outcome.lost,
+        outcome.stragglers
+    );
+    0
+}
+
+/// Pull `path` from a live observability endpoint, exiting with a message
+/// on connection failure. Shared by `watch` and the `--from` flags of
+/// `trace`/`metrics`.
+pub(crate) fn pull(addr: &str, path: &str) -> Result<String, String> {
+    match http_get(addr, path) {
+        Ok((200, body)) => Ok(body),
+        Ok((code, _)) => Err(format!("GET {path} from {addr}: HTTP {code}")),
+        Err(e) => Err(format!("GET {path} from {addr}: {e}")),
+    }
+}
+
+/// One `/status` document rendered as a single progress line. Multiple
+/// tuning sessions produce one line each.
+fn progress_lines(doc: &Value) -> Vec<String> {
+    let depths: Vec<String> = doc
+        .get("server")
+        .and_then(|s| s.get("queue_depths"))
+        .and_then(Value::as_array)
+        .map(|a| {
+            a.iter()
+                .map(|d| d.as_u64().unwrap_or(0).to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    let sessions = doc.get("sessions").and_then(Value::as_array).unwrap_or(&[]);
+    if sessions.is_empty() {
+        return vec![format!(
+            "no sessions yet; shard queues [{}]",
+            depths.join(",")
+        )];
+    }
+    sessions
+        .iter()
+        .map(|s| {
+            let app = s.get("app").and_then(Value::as_str).unwrap_or("?");
+            if s.get("phase").and_then(Value::as_str) != Some("tuning") {
+                return format!("{app}: declaring parameters");
+            }
+            let evals = s.get("evaluations").and_then(Value::as_u64).unwrap_or(0);
+            let best = s
+                .get("best_cost")
+                .and_then(Value::as_f64)
+                .map(|c| format!("{c:.4}"))
+                .unwrap_or_else(|| "-".into());
+            let phase = s
+                .get("search")
+                .and_then(|v| v.get("phase"))
+                .and_then(Value::as_str)
+                .unwrap_or("?");
+            let spread = s
+                .get("search")
+                .and_then(|v| v.get("simplex"))
+                .and_then(|v| v.get("spread"))
+                .and_then(Value::as_f64)
+                .map(|sp| format!(" spread={sp:.4}"))
+                .unwrap_or_default();
+            let pending = s.get("pending").and_then(Value::as_u64).unwrap_or(0);
+            let outstanding = s.get("outstanding").and_then(Value::as_u64).unwrap_or(0);
+            let stopped = s
+                .get("stop_reason")
+                .and_then(Value::as_str)
+                .map(|r| format!(" stopped={r}"))
+                .unwrap_or_default();
+            format!(
+                "{app}: evals={evals} best={best} phase={phase}{spread} \
+                 pending={pending} outstanding={outstanding} \
+                 queues=[{}]{stopped}",
+                depths.join(",")
+            )
+        })
+        .collect()
+}
+
+/// `repro watch`: poll `/status` and print one progress line per tick.
+/// Stops after `ticks` polls (0 = until every session reports a stop
+/// reason), or as soon as the server becomes unreachable.
+pub fn watch(addr: &str, interval_ms: u64, ticks: usize) -> i32 {
+    let mut polled = 0usize;
+    loop {
+        let body = match pull(addr, "/status") {
+            Ok(b) => b,
+            Err(e) => {
+                // Unreachable after at least one good poll usually means
+                // the campaign ended and took the endpoint down: that is a
+                // clean exit for a watcher, not an error.
+                eprintln!("watch: {e}");
+                return if polled > 0 { 0 } else { 2 };
+            }
+        };
+        let Ok(doc) = serde_json::parse(&body) else {
+            eprintln!("watch: /status returned invalid JSON");
+            return 2;
+        };
+        for line in progress_lines(&doc) {
+            println!("{line}");
+        }
+        polled += 1;
+        if ticks > 0 && polled >= ticks {
+            return 0;
+        }
+        if ticks == 0 {
+            let sessions = doc.get("sessions").and_then(Value::as_array).unwrap_or(&[]);
+            let all_stopped = !sessions.is_empty()
+                && sessions
+                    .iter()
+                    .all(|s| s.get("stop_reason").map(|r| *r != Value::Null) == Some(true));
+            if all_stopped {
+                return 0;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end over a real socket: serve the quick campaign from one
+    /// thread, watch and pull from another, mid-campaign.
+    #[test]
+    fn watch_and_pull_see_a_live_campaign() {
+        // Fixed loopback port: port 0 would print the resolved address to
+        // stdout where this test cannot read it back.
+        let addr = "127.0.0.1:47717";
+        let server = std::thread::spawn(move || {
+            // Slow ticks stretch the campaign; linger keeps the endpoint
+            // up long enough for the final assertions.
+            serve(true, addr, 5, 1500)
+        });
+        // Wait for the endpoint to come up.
+        let mut status = None;
+        for _ in 0..200 {
+            if let Ok(body) = pull(addr, "/status") {
+                status = Some(body);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let status = status.expect("observability endpoint never came up");
+        let doc: Value = serde_json::parse(&status).unwrap();
+        assert!(doc.get("sessions").is_some(), "{status}");
+
+        // A watcher bounded by ticks terminates and reports progress.
+        let code = watch(addr, 20, 3);
+        assert_eq!(code, 0);
+
+        // The exposition is live on the same endpoint.
+        let metrics = pull(addr, "/metrics").expect("metrics");
+        assert!(metrics.contains("ah_trials_proposed_total"), "{metrics}");
+
+        // And the Chrome trace endpoint serves span slices of the run.
+        let trace = pull(addr, "/trace").expect("trace");
+        let trace: Value = serde_json::parse(&trace).unwrap();
+        assert!(trace.get("traceEvents").is_some());
+
+        assert_eq!(server.join().unwrap(), 0);
+    }
+}

@@ -16,22 +16,20 @@
 //! `trace` also *verifies* completeness: every proposed trial must have a
 //! reported event, and every requeue/eviction/fault must carry a cause.
 //! A hole in the trace is an exit-code failure, not a shrug.
+//!
+//! With `--format chrome`, `trace` instead exports the run's timing spans
+//! as Chrome trace-event JSON (loadable in Perfetto or `chrome://tracing`)
+//! and fails if any span was left unpaired. With `--from <addr>`, both
+//! subcommands pull from a live server's observability endpoint instead of
+//! running a campaign: `metrics` fetches `/metrics`, `trace` fetches
+//! `/trials` (the raw event ring) or `/trace` (Chrome format). Remote
+//! pulls skip the completeness gate — a live campaign legitimately has
+//! trials in flight.
 
 use crate::experiments::fault;
+use crate::observe_cli;
 use ah_clustersim::FaultPlan;
 use ah_core::prelude::*;
-
-/// Counter totals as a JSON object (the vendored serde has no map
-/// `Serialize` impl for `&'static str` keys, so build the object by hand).
-pub(crate) fn counters_json(telemetry: &Telemetry) -> serde_json::Value {
-    serde_json::Value::Object(
-        telemetry
-            .counters()
-            .into_iter()
-            .map(|(name, value)| (name.to_string(), serde_json::Value::UInt(value)))
-            .collect(),
-    )
-}
 
 /// The instrumented campaign both subcommands observe: same workload,
 /// seeds, and fault probabilities as the `fault` experiment's Nelder–Mead
@@ -64,10 +62,20 @@ fn emit(blob: &str, out: Option<&str>) {
     }
 }
 
-/// `repro metrics`: Prometheus text exposition of the observed run.
-pub fn metrics(quick: bool, out: Option<&str>) -> i32 {
-    let telemetry = observed_run(quick);
-    emit(&telemetry.prometheus(), out);
+/// `repro metrics`: Prometheus text exposition of the observed run, or of
+/// a live server when `from` is given.
+pub fn metrics(quick: bool, out: Option<&str>, from: Option<&str>) -> i32 {
+    let blob = match from {
+        Some(addr) => match observe_cli::pull(addr, "/metrics") {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("metrics: {e}");
+                return 2;
+            }
+        },
+        None => observed_run(quick).prometheus(),
+    };
+    emit(&blob, out);
     0
 }
 
@@ -91,8 +99,51 @@ fn trial_timeline(iteration: usize, events: &[TrialEvent]) -> serde_json::Value 
 
 /// `repro trace`: JSON event dump of the observed run, grouped per trial,
 /// plus counters. Returns nonzero if any trial's lifecycle is incomplete.
-pub fn trace(quick: bool, out: Option<&str>) -> i32 {
+///
+/// `format` selects `"events"` (the lifecycle dump) or `"chrome"` (span
+/// slices as Chrome trace-event JSON); `from` pulls from a live server
+/// instead of running a campaign.
+pub fn trace(quick: bool, out: Option<&str>, format: &str, from: Option<&str>) -> i32 {
+    match format {
+        "events" | "chrome" => {}
+        other => {
+            eprintln!("trace: unknown --format {other:?} (expected events|chrome)");
+            return 2;
+        }
+    }
+    if let Some(addr) = from {
+        let path = if format == "chrome" {
+            "/trace"
+        } else {
+            "/trials"
+        };
+        return match observe_cli::pull(addr, path) {
+            Ok(body) => {
+                emit(&body, out);
+                0
+            }
+            Err(e) => {
+                eprintln!("trace: {e}");
+                2
+            }
+        };
+    }
     let telemetry = observed_run(quick);
+    if format == "chrome" {
+        let blob = serde_json::to_string_pretty(&telemetry.chrome_trace())
+            .expect("chrome trace serializes");
+        emit(&blob, out);
+        let open = telemetry.open_spans();
+        if open > 0 {
+            eprintln!("trace: {open} span(s) begun but never ended or faulted");
+            return 1;
+        }
+        eprintln!(
+            "trace: {} spans, all paired (begin → end/fault)",
+            telemetry.spans().len()
+        );
+        return 0;
+    }
     let events = telemetry.events();
 
     // Group by iteration token; iteration 0 carries member-level events
@@ -121,7 +172,7 @@ pub fn trace(quick: bool, out: Option<&str>) -> i32 {
             })
         })
         .collect();
-    let counters = counters_json(&telemetry);
+    let counters = telemetry.counters_json();
 
     // Completeness check: a trial that was proposed (or replayed into
     // existence) must end its life reported; causal stages must say why.
