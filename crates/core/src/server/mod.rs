@@ -30,13 +30,16 @@
 //! trajectory: the history stays bit-identical to a fault-free serial run.
 
 pub mod client;
+pub mod event_loop;
 pub mod observe;
+pub mod poll;
 pub mod protocol;
 pub mod tcp;
 
 pub use client::HarmonyClient;
+pub use event_loop::EventLoopConfig;
 pub use observe::ObserveHandle;
-pub use tcp::{TcpClientOptions, TcpHarmonyClient, TcpHarmonyServer};
+pub use tcp::{TcpClientOptions, TcpHarmonyClient, TcpHarmonyServer, TcpTransport};
 
 use crate::error::{HarmonyError, Result};
 use crate::session::{Trial, TuningSession};
@@ -294,7 +297,7 @@ impl HarmonyServer {
                 client, req, reply, ..
             } = env;
             if matches!(req, Request::Shutdown) {
-                let _ = reply.send(Reply::Ok);
+                reply.deliver(Reply::Ok);
                 break;
             }
             let span = cfg
@@ -305,7 +308,7 @@ impl HarmonyServer {
                 Self::handle(&mut table, &cfg, client, req)
             };
             cfg.telemetry.span_end(span);
-            let _ = reply.send(out);
+            reply.deliver(out);
         }
     }
 

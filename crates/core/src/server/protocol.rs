@@ -233,7 +233,62 @@ impl Reply {
     }
 }
 
-/// One request in flight, with its reply channel (not serialized — the
+/// Where a shard worker delivers its reply. Blocking callers (the
+/// in-process client, the thread-per-connection transport) hand over a
+/// channel and park on its receiving end; the event loop cannot park, so
+/// it hands over a [`CompletionSink`] that enqueues the reply and wakes the
+/// owning loop thread instead.
+pub enum ReplySink {
+    /// Deliver into a bounded channel a blocked caller is `recv()`ing on.
+    Channel(Sender<Reply>),
+    /// Deliver into an event loop's completion queue, tagged with the
+    /// connection token the loop uses to route it.
+    Completion {
+        /// The loop-owned queue (plus waker) to complete into.
+        sink: std::sync::Arc<dyn CompletionSink>,
+        /// Connection token echoed back with the reply.
+        token: u64,
+    },
+    /// Nobody is waiting (synthesised `Leave` for a connection that is
+    /// already gone).
+    Discard,
+}
+
+/// A queue replies can be completed into without blocking the shard worker.
+pub trait CompletionSink: Send + Sync {
+    /// Enqueue `reply` for the connection identified by `token` and wake
+    /// the consumer. Must not block.
+    fn complete(&self, token: u64, reply: Reply);
+}
+
+impl ReplySink {
+    /// Deliver the reply, consuming the sink. Delivery failure (receiver
+    /// gone) is ignored — the requester vanished, which the caller already
+    /// handles through its own disconnect path.
+    pub fn deliver(self, reply: Reply) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Completion { sink, token } => sink.complete(token, reply),
+            ReplySink::Discard => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplySink::Channel(_) => f.write_str("ReplySink::Channel"),
+            ReplySink::Completion { token, .. } => {
+                write!(f, "ReplySink::Completion({token})")
+            }
+            ReplySink::Discard => f.write_str("ReplySink::Discard"),
+        }
+    }
+}
+
+/// One request in flight, with its reply path (not serialized — the
 /// envelope is the in-process framing around the serializable payload).
 #[derive(Debug)]
 pub struct Envelope {
@@ -242,15 +297,21 @@ pub struct Envelope {
     /// The request payload.
     pub req: Request,
     /// Where to deliver the reply.
-    pub reply: Sender<Reply>,
+    pub reply: ReplySink,
     /// When the envelope entered its shard queue (feeds the
     /// `shard_queue_wait` latency histogram).
     pub queued_at: std::time::Instant,
 }
 
 impl Envelope {
-    /// Build an envelope stamped with the current instant.
+    /// Build an envelope stamped with the current instant, replying into a
+    /// channel (the blocking callers' path).
     pub fn new(client: u64, req: Request, reply: Sender<Reply>) -> Self {
+        Envelope::with_sink(client, req, ReplySink::Channel(reply))
+    }
+
+    /// Build an envelope with an explicit [`ReplySink`].
+    pub fn with_sink(client: u64, req: Request, reply: ReplySink) -> Self {
         Envelope {
             client,
             req,
@@ -260,9 +321,225 @@ impl Envelope {
     }
 }
 
+/// Ceiling on one wire frame (one newline-terminated JSON line) accepted by
+/// the nonblocking front-end. Generous: a `ReportBatch` entry is tens of
+/// bytes, so this covers batches tens of thousands of trials deep. The cap
+/// exists so a peer streaming garbage (or a length-prefix-style binary
+/// blob) without ever sending `\n` produces a clean protocol error instead
+/// of growing a buffer forever.
+pub const MAX_FRAME_LEN: usize = 4 << 20;
+
+/// Incremental newline-frame decoder: the nonblocking transport's
+/// equivalent of `BufRead::read_line`. Bytes arrive in arbitrary chunks
+/// ([`extend`](Self::extend)); complete frames come out of
+/// [`next_frame`](Self::next_frame) exactly as the blocking reader would
+/// have produced them (split on `\n`, trailing `\r` stripped), regardless
+/// of where the chunk boundaries fell.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes before this offset were consumed by returned frames; the
+    /// prefix is compacted away lazily to keep `extend` amortized O(n).
+    pos: usize,
+    max_frame: usize,
+    poisoned: bool,
+}
+
+/// A frame exceeded the decoder's cap without a terminating newline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameTooLong {
+    /// The configured ceiling, for the error message sent to the peer.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for FrameTooLong {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame exceeds {} bytes without a newline", self.limit)
+    }
+}
+
+impl FrameDecoder {
+    /// Decoder enforcing `max_frame` bytes per line ([`MAX_FRAME_LEN`] is
+    /// the transport's default).
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame: max_frame.max(1),
+            poisoned: false,
+        }
+    }
+
+    /// Feed a chunk of received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, or `None` when more bytes are needed.
+    /// Returns `Err` once the unterminated tail outgrows the cap; the
+    /// decoder stays poisoned afterwards (the stream has no recoverable
+    /// framing), so the owner must error out and close.
+    pub fn next_frame(&mut self) -> std::result::Result<Option<String>, FrameTooLong> {
+        if self.poisoned {
+            return Err(FrameTooLong {
+                limit: self.max_frame,
+            });
+        }
+        let tail = &self.buf[self.pos..];
+        match tail.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let mut end = nl;
+                if end > 0 && tail[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                if end > self.max_frame {
+                    self.poisoned = true;
+                    return Err(FrameTooLong {
+                        limit: self.max_frame,
+                    });
+                }
+                let frame = String::from_utf8_lossy(&tail[..end]).into_owned();
+                self.pos += nl + 1;
+                Ok(Some(frame))
+            }
+            None if tail.len() > self.max_frame => {
+                self.poisoned = true;
+                Err(FrameTooLong {
+                    limit: self.max_frame,
+                })
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The unterminated remainder at EOF, exactly as `BufRead::lines`
+    /// yields a final line with no trailing newline. Empty tail → `None`.
+    pub fn finish(&mut self) -> Option<String> {
+        if self.poisoned || self.pos >= self.buf.len() {
+            return None;
+        }
+        // No `\r` stripping here: `BufRead::lines` only strips a CR that
+        // precedes the terminating LF, and this tail has no LF.
+        let tail = &self.buf[self.pos..];
+        let frame = String::from_utf8_lossy(tail).into_owned();
+        self.pos = self.buf.len();
+        Some(frame)
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// What the blocking transport's reader produces for `bytes`: the
+    /// ground truth the incremental decoder must reproduce byte for byte.
+    fn blocking_lines(bytes: &[u8]) -> Vec<String> {
+        use std::io::BufRead;
+        std::io::BufReader::new(bytes)
+            .lines()
+            .map(|l| l.expect("in-memory read"))
+            .collect()
+    }
+
+    /// Run `bytes` through the decoder, cutting the stream at `splits`
+    /// (arbitrary chunk boundaries, as TCP would).
+    fn decoded_frames(bytes: &[u8], splits: &[usize]) -> Vec<String> {
+        let mut dec = FrameDecoder::new(MAX_FRAME_LEN);
+        let mut frames = Vec::new();
+        let mut cuts: Vec<usize> = splits.iter().map(|s| s % (bytes.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(bytes.len());
+        cuts.sort_unstable();
+        for pair in cuts.windows(2) {
+            dec.extend(&bytes[pair[0]..pair[1]]);
+            while let Some(frame) = dec.next_frame().expect("under the cap") {
+                frames.push(frame);
+            }
+        }
+        frames.extend(dec.finish());
+        frames
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any frame sequence split at arbitrary byte boundaries decodes
+        /// identically to the blocking `BufRead::lines` reader.
+        #[test]
+        fn decoder_matches_blocking_reader_under_any_split(
+            lens in proptest::collection::vec(0usize..40, 0..8),
+            splits in proptest::collection::vec(0usize..512, 0..6),
+            style in 0u8..4,
+        ) {
+            // Build a stream of frames in several framing styles: plain LF,
+            // CRLF, empty lines, and an unterminated tail.
+            let mut bytes = Vec::new();
+            for (i, len) in lens.iter().enumerate() {
+                let payload: String = (0..*len)
+                    .map(|j| char::from(b'!' + ((i * 7 + j * 13) % 90) as u8))
+                    .collect();
+                bytes.extend_from_slice(payload.as_bytes());
+                match (style + i as u8) % 3 {
+                    0 => bytes.push(b'\n'),
+                    1 => bytes.extend_from_slice(b"\r\n"),
+                    _ => bytes.extend_from_slice(b"\n\n"), // plus an empty frame
+                }
+            }
+            if style == 3 {
+                bytes.extend_from_slice(b"unterminated tail");
+            }
+            prop_assert_eq!(decoded_frames(&bytes, &splits), blocking_lines(&bytes));
+        }
+
+        /// Oversized frames (no newline inside the cap — garbage, or a
+        /// binary length-prefix protocol pointed at the wrong port) produce
+        /// a clean error as soon as the cap is crossed, never a hang or an
+        /// unbounded buffer, and the decoder stays poisoned.
+        #[test]
+        fn oversized_frames_error_cleanly(cap in 8usize..64, chunk in 1usize..17) {
+            let mut dec = FrameDecoder::new(cap);
+            let garbage = vec![0x7fu8; cap * 3];
+            let mut fed = 0;
+            let mut failed = false;
+            for piece in garbage.chunks(chunk) {
+                dec.extend(piece);
+                fed += piece.len();
+                match dec.next_frame() {
+                    Ok(None) => prop_assert!(fed <= cap + chunk, "cap not enforced"),
+                    Ok(Some(f)) => prop_assert!(false, "decoded garbage frame {f:?}"),
+                    Err(e) => {
+                        prop_assert_eq!(e.limit, cap);
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            prop_assert!(failed, "oversized stream must error");
+            // Poisoned: even a valid frame afterwards keeps erroring.
+            dec.extend(b"{}\n");
+            prop_assert!(dec.next_frame().is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_terminated_frame_is_rejected_too() {
+        // A newline does arrive, but the line before it is over the cap:
+        // still a protocol error (the peer can craft arbitrarily large
+        // frames otherwise).
+        let mut dec = FrameDecoder::new(8);
+        dec.extend(b"0123456789ABCDEF\n");
+        assert!(dec.next_frame().is_err());
+    }
 
     #[test]
     fn requests_roundtrip_through_json() {

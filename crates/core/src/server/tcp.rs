@@ -7,6 +7,14 @@
 //! [`HarmonyServer`](super::HarmonyServer) remains the adaptation
 //! controller; connections are bridged onto its sharded message bus.
 //!
+//! Two front-ends do the bridging, selected by [`TcpTransport`]: the
+//! default nonblocking readiness [`event loop`](super::event_loop), which
+//! multiplexes thousands of connections over a few loop threads, and the
+//! legacy thread-per-connection mode kept as the semantic baseline the
+//! event loop is property-tested against. Both produce bit-identical
+//! tuning trajectories; they differ only in how many clients they scale
+//! to.
+//!
 //! A whole batch (`FetchBatch` request, `Configs` reply, `ReportBatch`
 //! request) is one serde frame — one line, one write — so a PRO round of
 //! candidates costs a single round-trip. Sockets run with `TCP_NODELAY`
@@ -28,6 +36,7 @@
 //! surviving members.
 
 use super::client::reply_error;
+use super::event_loop::{EventLoopConfig, EventLoopPool};
 use super::protocol::{FetchedTrial, Reply, Request, StrategyKind, TrialReport};
 use super::{HarmonyServer, ServerBus};
 use crate::error::{HarmonyError, Result};
@@ -46,8 +55,29 @@ use std::time::{Duration, Instant};
 
 /// Default cap on simultaneously served connections; beyond it new
 /// connections are refused with a retryable error reply instead of
-/// degrading every established tuning loop.
-pub const DEFAULT_MAX_CONNECTIONS: usize = 128;
+/// degrading every established tuning loop. The readiness event loop
+/// multiplexes connections instead of spawning threads, so the default
+/// ceiling is sized by file descriptors and per-connection buffers, not by
+/// thread stacks.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
+
+/// Which front-end bridges sockets onto the in-process message bus.
+#[derive(Debug, Clone)]
+pub enum TcpTransport {
+    /// Nonblocking readiness event loop (the default): a few loop threads
+    /// multiplex every connection (see [`super::event_loop`]).
+    EventLoop(EventLoopConfig),
+    /// Legacy thread-per-connection serving. Kept as the semantic baseline
+    /// the event loop is property-tested against; caps out around a few
+    /// hundred clients.
+    Threaded,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport::EventLoop(EventLoopConfig::default())
+    }
+}
 
 /// Decrements the live-connection count when a connection ends, however it
 /// ends (clean goodbye, I/O error, handler panic).
@@ -65,11 +95,13 @@ pub struct TcpHarmonyServer {
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     inner: Option<HarmonyServer>,
+    pool: Option<EventLoopPool>,
+    active: Arc<AtomicUsize>,
 }
 
 impl TcpHarmonyServer {
-    /// Bind and start serving with [`DEFAULT_MAX_CONNECTIONS`]. Use
-    /// `"127.0.0.1:0"` to pick a free port.
+    /// Bind and start serving with [`DEFAULT_MAX_CONNECTIONS`] over the
+    /// default [`TcpTransport`]. Use `"127.0.0.1:0"` to pick a free port.
     pub fn bind(addr: &str) -> std::io::Result<Self> {
         Self::bind_with_limit(addr, DEFAULT_MAX_CONNECTIONS)
     }
@@ -88,64 +120,125 @@ impl TcpHarmonyServer {
         max_connections: usize,
         config: super::ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_with_transport(addr, max_connections, config, TcpTransport::default())
+    }
+
+    /// Bind with the legacy thread-per-connection front-end.
+    pub fn bind_threaded(
+        addr: &str,
+        max_connections: usize,
+        config: super::ServerConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_with_transport(addr, max_connections, config, TcpTransport::Threaded)
+    }
+
+    /// Bind with full control over cap, inner-server policy, and the
+    /// socket front-end.
+    pub fn bind_with_transport(
+        addr: &str,
+        max_connections: usize,
+        config: super::ServerConfig,
+        transport: TcpTransport,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let telemetry = config.telemetry.clone();
         let inner = HarmonyServer::start_with_config(config);
         let bus = inner.bus();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
         let max_connections = max_connections.max(1);
-        let accept_handle = std::thread::Builder::new()
-            .name("harmony-tcp-accept".into())
-            .spawn(move || {
-                let active = Arc::new(AtomicUsize::new(0));
-                let mut conn_seq: u64 = 0;
-                for conn in listener.incoming() {
-                    if stop_accept.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
-                        active.fetch_sub(1, Ordering::SeqCst);
-                        conn_seq += 1;
-                        // Refusals answer the client's first request, which
-                        // may take a blocking read — do not stall the accept
-                        // loop for it.
-                        let spawned = std::thread::Builder::new()
-                            .name(format!("harmony-tcp-refuse-{conn_seq}"))
-                            .spawn(move || refuse_connection(stream, max_connections));
-                        if let Err(e) = spawned {
-                            eprintln!("harmony-tcp: could not spawn refusal thread: {e}");
+        let active = Arc::new(AtomicUsize::new(0));
+        let (pool, accept_handle) = match transport {
+            TcpTransport::EventLoop(cfg) => {
+                let pool = EventLoopPool::start(
+                    bus,
+                    cfg,
+                    max_connections,
+                    telemetry,
+                    Arc::clone(&active),
+                )?;
+                let dispatcher = pool.dispatcher();
+                // The accept thread only hands sockets over; every read,
+                // write, and refusal happens on the loop threads.
+                let handle = std::thread::Builder::new()
+                    .name("harmony-tcp-accept".into())
+                    .spawn(move || {
+                        for conn in listener.incoming() {
+                            if stop_accept.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = conn else { continue };
+                            dispatcher.dispatch(stream);
                         }
-                        continue;
-                    }
-                    let slot = ConnectionSlot(Arc::clone(&active));
-                    let bus = bus.clone();
-                    conn_seq += 1;
-                    let spawned = std::thread::Builder::new()
-                        .name(format!("harmony-tcp-conn-{conn_seq}"))
-                        .spawn(move || {
-                            let _slot = slot;
-                            serve_connection(stream, bus);
-                        });
-                    if let Err(e) = spawned {
-                        // The slot was moved into the failed closure and
-                        // dropped with it, releasing the count.
-                        eprintln!("harmony-tcp: could not spawn connection thread: {e}");
-                    }
-                }
-            })?;
+                    })?;
+                (Some(pool), handle)
+            }
+            TcpTransport::Threaded => {
+                let accept_active = Arc::clone(&active);
+                let handle = std::thread::Builder::new()
+                    .name("harmony-tcp-accept".into())
+                    .spawn(move || {
+                        let active = accept_active;
+                        let mut conn_seq: u64 = 0;
+                        for conn in listener.incoming() {
+                            if stop_accept.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = conn else { continue };
+                            // One spawn site for both outcomes: an
+                            // over-cap connection's thread refuses it (the
+                            // refusal must still read the first request,
+                            // which may block) instead of a dedicated
+                            // refusal thread.
+                            let slot = if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
+                                active.fetch_sub(1, Ordering::SeqCst);
+                                None
+                            } else {
+                                Some(ConnectionSlot(Arc::clone(&active)))
+                            };
+                            let bus = bus.clone();
+                            let telemetry = telemetry.clone();
+                            conn_seq += 1;
+                            let spawned = std::thread::Builder::new()
+                                .name(format!("harmony-tcp-conn-{conn_seq}"))
+                                .spawn(move || match slot {
+                                    Some(slot) => {
+                                        let _slot = slot;
+                                        telemetry.inc(Counter::ConnectionsAccepted);
+                                        serve_connection(stream, bus, &telemetry);
+                                    }
+                                    None => refuse_connection(stream, max_connections, &telemetry),
+                                });
+                            if let Err(e) = spawned {
+                                // The slot was moved into the failed closure
+                                // and dropped with it, releasing the count.
+                                eprintln!("harmony-tcp: could not spawn connection thread: {e}");
+                            }
+                        }
+                    })?;
+                (None, handle)
+            }
+        };
         Ok(TcpHarmonyServer {
             addr: local,
             stop,
             accept_handle: Some(accept_handle),
             inner: Some(inner),
+            pool,
+            active,
         })
     }
 
     /// The bound address (with the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// How many connections currently hold a slot of the connection
+    /// ceiling.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
     }
 
     /// Start the observability plane on `addr` (see
@@ -169,6 +262,9 @@ impl TcpHarmonyServer {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
         if let Some(inner) = self.inner.take() {
             inner.shutdown();
         }
@@ -191,7 +287,8 @@ impl Drop for TcpHarmonyServer {
 /// with RST, and the buffered error frame is discarded, so the client sees
 /// a bare EOF instead of the reason. Reading first means the client is
 /// already blocked on its reply when the error frame goes out.
-fn refuse_connection(stream: TcpStream, limit: usize) {
+fn refuse_connection(stream: TcpStream, limit: usize, telemetry: &Telemetry) {
+    telemetry.inc(Counter::ConnectionsRefused);
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -217,7 +314,7 @@ fn refuse_connection(stream: TcpStream, limit: usize) {
 /// by the first `Register`/`Attach` and reused for every later request.
 /// However the connection ends — clean goodbye, EOF, I/O error — a `Leave`
 /// is synthesised for its client so outstanding trials are requeued.
-fn serve_connection(stream: TcpStream, bus: ServerBus) {
+fn serve_connection(stream: TcpStream, bus: ServerBus, telemetry: &Telemetry) {
     let _ = stream.set_nodelay(true);
     let writer_stream = match stream.try_clone() {
         Ok(w) => w,
@@ -268,6 +365,7 @@ fn serve_connection(stream: TcpStream, bus: ServerBus) {
             break;
         }
     }
+    telemetry.inc(Counter::ConnectionsClosedByPeer);
     if client_id != 0 && !departed {
         // The connection died with the client still a member: requeue its
         // outstanding trials for the survivors.
@@ -760,6 +858,39 @@ mod tests {
         let results: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!((results[0] - 10).abs() <= 2, "{results:?}");
         assert!((results[1] - 64).abs() <= 2, "{results:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_transport_still_tunes_end_to_end() {
+        let server = TcpHarmonyServer::bind_threaded(
+            "127.0.0.1:0",
+            DEFAULT_MAX_CONNECTIONS,
+            crate::server::ServerConfig::default(),
+        )
+        .expect("bind");
+        let mut client = TcpHarmonyClient::connect(server.local_addr(), "legacy").unwrap();
+        client.add_param(Param::int("x", 0, 40, 1)).unwrap();
+        client
+            .seal(
+                SessionOptions {
+                    max_evaluations: 40,
+                    seed: 3,
+                    ..Default::default()
+                },
+                StrategyKind::Random,
+            )
+            .unwrap();
+        loop {
+            let (cfg, finished) = client.fetch().unwrap();
+            if finished {
+                break;
+            }
+            let x = cfg.int("x").unwrap() as f64;
+            client.report((x - 7.0).abs()).unwrap();
+        }
+        assert!(client.best().unwrap().is_some());
+        client.close();
         server.shutdown();
     }
 

@@ -147,10 +147,18 @@ pub enum Counter {
     StoreCompactions,
     /// Torn trailing records truncated away on store open.
     StoreTornTails,
+    /// TCP connections admitted by the front-end (both transports).
+    ConnectionsAccepted,
+    /// TCP connections refused at the connection ceiling.
+    ConnectionsRefused,
+    /// Connections reaped by the event loop's idle timeout.
+    ConnectionsEvictedIdle,
+    /// Connections the peer closed (EOF or I/O error), goodbyes included.
+    ConnectionsClosedByPeer,
 }
 
 /// Number of [`Counter`] variants (size of the per-handle counter array).
-const COUNTER_COUNT: usize = 21;
+const COUNTER_COUNT: usize = 25;
 
 impl Counter {
     /// Every counter, in rendering order.
@@ -176,6 +184,10 @@ impl Counter {
         Counter::StoreInserts,
         Counter::StoreCompactions,
         Counter::StoreTornTails,
+        Counter::ConnectionsAccepted,
+        Counter::ConnectionsRefused,
+        Counter::ConnectionsEvictedIdle,
+        Counter::ConnectionsClosedByPeer,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -203,6 +215,10 @@ impl Counter {
             Counter::StoreInserts => "store_inserts",
             Counter::StoreCompactions => "store_compactions",
             Counter::StoreTornTails => "store_torn_tails",
+            Counter::ConnectionsAccepted => "connections_accepted",
+            Counter::ConnectionsRefused => "connections_refused",
+            Counter::ConnectionsEvictedIdle => "connections_evicted_idle",
+            Counter::ConnectionsClosedByPeer => "connections_closed_by_peer",
         }
     }
 
@@ -233,10 +249,15 @@ pub enum Latency {
     /// Performance-store record append + fsync (observed on syncing
     /// appends only — the store batches its fsyncs).
     StoreAppendFsync,
+    /// One readiness-loop iteration's work: everything between a `poll`
+    /// return and the next `poll` entry (I/O, framing, dispatch — the wait
+    /// itself is excluded). The tail of this histogram is the latency every
+    /// multiplexed connection shares.
+    EventLoopIteration,
 }
 
 /// Number of [`Latency`] variants (size of the per-handle histogram array).
-const LATENCY_COUNT: usize = 7;
+const LATENCY_COUNT: usize = 8;
 
 /// Log2 bucket count per histogram: upper bounds 1µs, 2µs, … 2^24µs
 /// (~16.8s), plus a +Inf overflow bucket.
@@ -252,6 +273,7 @@ impl Latency {
         Latency::WalAppendFsync,
         Latency::StoreLookup,
         Latency::StoreAppendFsync,
+        Latency::EventLoopIteration,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -265,6 +287,7 @@ impl Latency {
             Latency::WalAppendFsync => "wal_append_fsync",
             Latency::StoreLookup => "store_lookup",
             Latency::StoreAppendFsync => "store_append_fsync",
+            Latency::EventLoopIteration => "event_loop_iteration",
         }
     }
 
@@ -1044,8 +1067,13 @@ mod tests {
         t.inc(Counter::StoreHits);
         t.inc(Counter::StoreMisses);
         t.inc(Counter::StoreTornTails);
+        t.inc(Counter::ConnectionsAccepted);
+        t.inc(Counter::ConnectionsRefused);
+        t.inc(Counter::ConnectionsEvictedIdle);
+        t.inc(Counter::ConnectionsClosedByPeer);
         t.observe(Latency::StoreLookup, Duration::from_micros(12));
         t.observe(Latency::WalAppendFsync, Duration::from_secs(120));
+        t.observe(Latency::EventLoopIteration, Duration::from_micros(180));
         let tok = t.span_begin(SpanKind::Fetch, 1, "client", 1);
         t.span_end(tok);
         let text = t.prometheus();
@@ -1110,12 +1138,18 @@ mod tests {
                 other => panic!("unexpected metric kind {other} for {name}"),
             }
         }
-        // Store hit/miss/torn-tail and ring-drop counters are present.
+        // Store hit/miss/torn-tail, ring-drop, and connection-churn
+        // counters plus the readiness-loop histogram are present.
         for needle in [
             "ah_store_hits_total 1",
             "ah_store_misses_total 1",
             "ah_store_torn_tails_total 1",
             "ah_events_dropped_total 0",
+            "ah_connections_accepted_total 1",
+            "ah_connections_refused_total 1",
+            "ah_connections_evicted_idle_total 1",
+            "ah_connections_closed_by_peer_total 1",
+            "ah_event_loop_iteration_seconds_count 1",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

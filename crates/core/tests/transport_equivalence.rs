@@ -1,0 +1,166 @@
+//! Property tests: the nonblocking readiness event loop and the legacy
+//! thread-per-connection front-end are *semantically interchangeable* —
+//! the same seeded campaign, driven through either transport under the
+//! same fault schedule (worker sockets dying mid-iteration, replacements
+//! attaching back in), produces the bit-identical tuning trajectory, and
+//! both match a fault-free serial in-process run.
+//!
+//! This is the contract that let the event loop replace the threaded
+//! transport as the default: multiplexing is a throughput optimisation,
+//! never a behavioural change.
+
+use ah_clustersim::{FaultKind, FaultPlan};
+use ah_core::prelude::*;
+use ah_core::server::protocol::TrialReport;
+use ah_core::server::{ServerConfig, TcpHarmonyClient, TcpHarmonyServer, TcpTransport};
+use proptest::prelude::*;
+
+fn objective(cfg: &Configuration) -> f64 {
+    let x = cfg.int("x").expect("x") as f64;
+    let y = cfg.int("y").expect("y") as f64;
+    (x - 52.0).powi(2) * 0.5 + (y - 7.0).powi(2)
+}
+
+fn options(seed: u64) -> SessionOptions {
+    SessionOptions {
+        max_evaluations: 30,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Ground truth: one in-process client, no sockets, no faults.
+fn serial_history(strategy: StrategyKind, seed: u64) -> String {
+    let server = HarmonyServer::start_with(1);
+    let c = server.connect("serial").unwrap();
+    c.add_param(Param::int("x", 0, 80, 1)).unwrap();
+    c.add_param(Param::int("y", -30, 30, 1)).unwrap();
+    c.seal(options(seed), strategy).unwrap();
+    loop {
+        let f = c.fetch().unwrap();
+        if f.finished {
+            break;
+        }
+        c.report(objective(&f.config)).unwrap();
+    }
+    let (h, finished) = c.history().unwrap();
+    assert!(finished);
+    server.shutdown();
+    serde_json::to_string(&h).unwrap()
+}
+
+/// The same campaign over TCP: a founder plus three workers fetching one
+/// trial at a time. The fault plan picks iterations whose worker *crashes*
+/// — the socket is dropped with no goodbye, the server front-end notices
+/// the dead connection and synthesises the `Leave` that requeues the held
+/// trial, and a replacement worker attaches to the session.
+fn tcp_history(
+    transport: TcpTransport,
+    strategy: StrategyKind,
+    seed: u64,
+    plan: &FaultPlan,
+) -> String {
+    let server = TcpHarmonyServer::bind_with_transport(
+        "127.0.0.1:0",
+        64,
+        ServerConfig::default(),
+        transport,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let mut founder = TcpHarmonyClient::connect(addr, "equiv").unwrap();
+    founder.add_param(Param::int("x", 0, 80, 1)).unwrap();
+    founder.add_param(Param::int("y", -30, 30, 1)).unwrap();
+    founder.seal(options(seed), strategy).unwrap();
+    let session = founder.session_id();
+    let mut workers: Vec<TcpHarmonyClient> = (0..3)
+        .map(|_| TcpHarmonyClient::attach(addr, session).unwrap())
+        .collect();
+
+    let mut crashed = std::collections::HashSet::new();
+    let mut finished = false;
+    let mut rounds = 0u32;
+    while !finished {
+        rounds += 1;
+        assert!(rounds < 10_000, "tcp driver is not converging");
+        for worker in workers.iter_mut() {
+            let (trials, fin) = worker.fetch_batch(1).unwrap();
+            if fin {
+                finished = true;
+                break;
+            }
+            let Some(t) = trials.into_iter().next() else {
+                continue; // strategy waiting on an outstanding report
+            };
+            // Only the *first* attempt at an iteration can crash; the
+            // requeued trial is re-measured normally.
+            let crash = matches!(plan.at(t.iteration as u64), FaultKind::Crash)
+                && crashed.insert(t.iteration);
+            if crash {
+                // Dead socket, no goodbye: the transport must synthesise
+                // the Leave and requeue the held trial.
+                let dead =
+                    std::mem::replace(worker, TcpHarmonyClient::attach(addr, session).unwrap());
+                drop(dead);
+            } else {
+                worker
+                    .report_batch(vec![TrialReport {
+                        iteration: t.iteration,
+                        cost: objective(&t.config),
+                        wall_time: objective(&t.config),
+                    }])
+                    .unwrap();
+            }
+        }
+    }
+    let (h, fin) = founder.history().unwrap();
+    assert!(fin);
+    founder.close();
+    for w in workers {
+        w.close();
+    }
+    server.shutdown();
+    serde_json::to_string(&h).unwrap()
+}
+
+fn check(strategy: StrategyKind, seed: u64, fault_seed: u64) {
+    let plan = FaultPlan::new(fault_seed, 0.2, 0.0, 0.0);
+    let want = serial_history(strategy.clone(), seed);
+    let event_loop = tcp_history(TcpTransport::default(), strategy.clone(), seed, &plan);
+    let threaded = tcp_history(TcpTransport::Threaded, strategy.clone(), seed, &plan);
+    assert_eq!(
+        event_loop, threaded,
+        "{strategy:?} trajectory differs between transports"
+    );
+    assert_eq!(
+        event_loop, want,
+        "{strategy:?} TCP trajectory diverged from the serial run"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn random_is_transport_invariant(seed in 0u64..1_000_000, fs in 0u64..1_000_000) {
+        check(StrategyKind::Random, seed, fs);
+    }
+
+    #[test]
+    fn nelder_mead_is_transport_invariant(seed in 0u64..1_000_000, fs in 0u64..1_000_000) {
+        check(StrategyKind::NelderMead, seed, fs);
+    }
+}
+
+#[test]
+fn pro_batches_are_transport_invariant() {
+    // PRO serves whole rounds through FetchBatch — the largest frames the
+    // protocol produces, a good workout for the incremental decoder and
+    // the event loop's write buffering.
+    let want = serial_history(StrategyKind::Pro, 4242);
+    let plan = FaultPlan::new(99, 0.2, 0.0, 0.0);
+    let event_loop = tcp_history(TcpTransport::default(), StrategyKind::Pro, 4242, &plan);
+    let threaded = tcp_history(TcpTransport::Threaded, StrategyKind::Pro, 4242, &plan);
+    assert_eq!(event_loop, threaded);
+    assert_eq!(event_loop, want);
+}
