@@ -50,6 +50,14 @@ pub enum HarmonyError {
     Timeout(String),
     /// The server refused service because it is at capacity; retry later.
     ServerBusy(String),
+    /// A tenant hit one of its configured quotas (sessions or in-flight
+    /// trials). Transient like [`ServerBusy`](Self::ServerBusy) — capacity
+    /// frees up as the tenant's other work completes — but typed, so
+    /// callers can tell a per-tenant refusal from global backpressure.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+    },
     /// A filesystem or socket operation failed (WAL append, frame write).
     Io(String),
     /// A write-ahead log could not be replayed (truncated mid-record is
@@ -69,9 +77,10 @@ impl HarmonyError {
     /// Coarse classification used by retry loops.
     pub fn class(&self) -> ErrorClass {
         match self {
-            HarmonyError::Disconnected | HarmonyError::Timeout(_) | HarmonyError::ServerBusy(_) => {
-                ErrorClass::Retryable
-            }
+            HarmonyError::Disconnected
+            | HarmonyError::Timeout(_)
+            | HarmonyError::ServerBusy(_)
+            | HarmonyError::QuotaExceeded { .. } => ErrorClass::Retryable,
             _ => ErrorClass::Fatal,
         }
     }
@@ -100,6 +109,9 @@ impl fmt::Display for HarmonyError {
             HarmonyError::Disconnected => write!(f, "harmony server/client channel disconnected"),
             HarmonyError::Timeout(what) => write!(f, "timed out: {what}"),
             HarmonyError::ServerBusy(msg) => write!(f, "server busy: {msg}"),
+            HarmonyError::QuotaExceeded { tenant } => {
+                write!(f, "tenant `{tenant}` is at its quota; retry with backoff")
+            }
             HarmonyError::Io(msg) => write!(f, "i/o error: {msg}"),
             HarmonyError::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
             HarmonyError::StoreCorrupt(msg) => write!(f, "performance store corrupt: {msg}"),
@@ -143,6 +155,10 @@ mod tests {
         assert!(HarmonyError::Disconnected.is_retryable());
         assert!(HarmonyError::Timeout("read".into()).is_retryable());
         assert!(HarmonyError::ServerBusy("capacity".into()).is_retryable());
+        assert!(HarmonyError::QuotaExceeded {
+            tenant: "team-a".into()
+        }
+        .is_retryable());
         assert!(!HarmonyError::Protocol("bad".into()).is_retryable());
         assert!(!HarmonyError::SessionFinished.is_retryable());
         assert!(!HarmonyError::Io("disk".into()).is_retryable());

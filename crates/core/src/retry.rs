@@ -180,6 +180,27 @@ mod tests {
     }
 
     #[test]
+    fn quota_exceeded_is_retried_like_server_busy() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let out: Result<u32> = p.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(HarmonyError::QuotaExceeded { tenant: "t".into() })
+            } else {
+                Ok(1)
+            }
+        });
+        assert_eq!(out.unwrap(), 1);
+        assert_eq!(calls, 3, "quota refusals back off and retry");
+    }
+
+    #[test]
     fn run_stops_on_fatal_error() {
         let p = RetryPolicy::default();
         let mut calls = 0;

@@ -62,8 +62,15 @@ pub(crate) fn reply_error(message: String, retryable: bool) -> HarmonyError {
 }
 
 impl HarmonyClient {
-    pub(crate) fn register(bus: ServerBus, app: String) -> Result<Self> {
-        let reply = Self::call_raw(&bus, 0, Request::Register { app: app.clone() })?;
+    pub(crate) fn register(bus: ServerBus, app: String, tenant: String) -> Result<Self> {
+        let reply = Self::call_raw(
+            &bus,
+            0,
+            Request::Register {
+                app: app.clone(),
+                tenant,
+            },
+        )?;
         match reply {
             Reply::Registered { client_id, session } => Ok(HarmonyClient {
                 id: client_id,
@@ -71,13 +78,14 @@ impl HarmonyClient {
                 app,
                 bus,
             }),
+            Reply::QuotaExceeded { tenant } => Err(HarmonyError::QuotaExceeded { tenant }),
             Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
             _ => Err(HarmonyError::Protocol("unexpected reply".into())),
         }
     }
 
-    pub(crate) fn attach(bus: ServerBus, session: u64) -> Result<Self> {
-        let reply = Self::call_raw(&bus, 0, Request::Attach { session })?;
+    pub(crate) fn attach(bus: ServerBus, session: u64, tenant: String) -> Result<Self> {
+        let reply = Self::call_raw(&bus, 0, Request::Attach { session, tenant })?;
         match reply {
             Reply::Registered { client_id, session } => Ok(HarmonyClient {
                 id: client_id,
@@ -85,6 +93,7 @@ impl HarmonyClient {
                 app: String::new(),
                 bus,
             }),
+            Reply::QuotaExceeded { tenant } => Err(HarmonyError::QuotaExceeded { tenant }),
             Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
             _ => Err(HarmonyError::Protocol("unexpected reply".into())),
         }
@@ -99,6 +108,7 @@ impl HarmonyClient {
 
     fn call(&self, req: Request) -> Result<Reply> {
         match Self::call_raw(&self.bus, self.id, req)? {
+            Reply::QuotaExceeded { tenant } => Err(HarmonyError::QuotaExceeded { tenant }),
             Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
             ok => Ok(ok),
         }

@@ -28,6 +28,29 @@
 //! reports strictly in proposal order and costs are functions of the
 //! configuration alone, requeue + re-measure cannot perturb the search
 //! trajectory: the history stays bit-identical to a fault-free serial run.
+//!
+//! # Tenancy and federation
+//!
+//! Every `Register`/`Attach` may carry a *tenant* label (empty means the
+//! `"default"` tenant). Shard workers dispatch envelopes with deficit
+//! round-robin across tenants ([`DRR_QUANTUM`] messages per turn), so a
+//! thousand-client swarm from one team cannot starve another team's
+//! two-client session, and [`ServerConfig::tenant_max_sessions`] /
+//! [`ServerConfig::tenant_max_inflight`] bound what any one tenant can hold
+//! open — refusals are the typed [`Reply::QuotaExceeded`], which clients
+//! treat as retryable backpressure. Per-tenant accounting lives in the
+//! shared [`TenantRegistry`] the observability plane snapshots for
+//! `/status`.
+//!
+//! Servers federate through their performance stores: with
+//! [`ServerConfig::sync_peers`] set, a background anti-entropy thread
+//! periodically pulls each peer's record log over the observer HTTP plane
+//! (`GET /store/log?from=SEQ`) and merges it into the local store
+//! ([`crate::store::PerfStore::merge_records`]: first write wins, so the
+//! pull is idempotent and peers may sync each other in any order). Merged
+//! records feed the same read-through cache as local measurements, which is
+//! what makes fleet-wide warm starts work: a server can answer a
+//! configuration it never measured itself.
 
 pub mod client;
 pub mod event_loop;
@@ -48,14 +71,85 @@ use crate::store::{space_fingerprint, SharedStore, StoreRecord};
 use crate::telemetry::{Counter, Latency, SpanKind, Telemetry, TrialStage};
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
-use protocol::{sanitize_measurement, Envelope, FetchedTrial, Reply, Request};
+use protocol::{sanitize_measurement, Envelope, FetchedTrial, Reply, ReplySink, Request};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Liveness and deadline policy of a running server.
+/// The tenant label members get when they declare none.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Messages one tenant may consume per deficit-round-robin turn of a shard
+/// worker before the turn passes to the next tenant with queued work.
+pub const DRR_QUANTUM: u64 = 8;
+
+/// Anti-entropy pull period used when [`ServerConfig::sync_interval`] is
+/// left at `Duration::ZERO`.
+const DEFAULT_SYNC_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Map an empty (wire-default) tenant label to [`DEFAULT_TENANT`].
+fn canonical_tenant(tenant: &str) -> &str {
+    if tenant.is_empty() {
+        DEFAULT_TENANT
+    } else {
+        tenant
+    }
+}
+
+/// Live accounting for one tenant, shared between shard workers, quota
+/// checks, and the observability plane. All counters are relaxed: they
+/// gate admission and feed `/status`, neither of which needs ordering.
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    /// Sessions with at least one live member.
+    pub sessions: AtomicU64,
+    /// Fetched-but-unreported trials across the tenant's sessions.
+    pub inflight: AtomicU64,
+    /// Envelopes waiting in shard dispatch queues.
+    pub queued: AtomicU64,
+    /// Envelopes handled to completion since the server started.
+    pub served: AtomicU64,
+}
+
+/// Registry of per-tenant stats, cloned into every shard worker and the
+/// observability plane. The mutex guards only the name→stats map; the
+/// stats themselves are lock-free atomics.
+#[derive(Debug, Clone, Default)]
+pub struct TenantRegistry {
+    inner: Arc<Mutex<HashMap<String, Arc<TenantStats>>>>,
+}
+
+impl TenantRegistry {
+    /// The stats cell for `tenant`, created on first use.
+    pub fn stats(&self, tenant: &str) -> Arc<TenantStats> {
+        Arc::clone(self.inner.lock().entry(tenant.to_string()).or_default())
+    }
+
+    /// Snapshot of every tenant ever seen, sorted by name:
+    /// `(name, sessions, inflight, queued, served)`.
+    pub fn snapshot(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        let mut rows: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    s.sessions.load(Ordering::Relaxed),
+                    s.inflight.load(Ordering::Relaxed),
+                    s.queued.load(Ordering::Relaxed),
+                    s.served.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// Liveness, quota, and federation policy of a running server.
 #[derive(Debug, Clone, Default)]
 pub struct ServerConfig {
     /// Shard worker threads; `0` means one per available core (capped at 8 —
@@ -80,6 +174,27 @@ pub struct ServerConfig {
     /// ([`TuningSession::report_stored`]) without a round trip to any
     /// client — and records every fresh measurement into it.
     pub store: Option<SharedStore>,
+    /// Most sessions one tenant may hold open at once; a `Register` past
+    /// the cap is refused with [`Reply::QuotaExceeded`]. `None` (default)
+    /// leaves founding unbounded.
+    pub tenant_max_sessions: Option<usize>,
+    /// Most fetched-but-unreported trials one tenant may hold across its
+    /// sessions. A `Fetch` that would issue a fresh trial past the cap is
+    /// refused with [`Reply::QuotaExceeded`]; a `FetchBatch` has its fresh
+    /// top-up clamped and is refused only when it gathered nothing at all.
+    /// Re-fetches and requeue claims are always exempt — they never grow
+    /// the tenant's holdings. `None` (default) leaves issuance unbounded.
+    pub tenant_max_inflight: Option<usize>,
+    /// Per-tenant accounting, shared by shards and the observability
+    /// plane. The default (empty) registry fills in lazily as tenants
+    /// appear.
+    pub tenants: TenantRegistry,
+    /// Observer-plane addresses (`host:port`) of peer servers whose store
+    /// logs this server should pull and merge on an anti-entropy interval.
+    /// Requires [`store`](Self::store); empty (default) disables syncing.
+    pub sync_peers: Vec<String>,
+    /// Anti-entropy pull period; `Duration::ZERO` (default) means 500 ms.
+    pub sync_interval: Duration,
 }
 
 /// Upper bound on store-served trials resolved inside one fetch request.
@@ -133,6 +248,105 @@ struct SessionState {
     phase: SessionPhase,
     /// Live members by client id.
     members: HashMap<u64, Member>,
+    /// Tenant the founder registered under; attached members inherit it for
+    /// quota accounting regardless of the label they attached with.
+    tenant: String,
+    /// The tenant's shared accounting cell, resolved once at founding.
+    tenant_stats: Arc<TenantStats>,
+}
+
+/// Per-tenant FIFO queues a shard worker serves in deficit-round-robin
+/// order: each tenant with queued work gets [`DRR_QUANTUM`] credits per
+/// turn (plus any carried deficit), so one tenant's flood waits behind at
+/// most a quantum of every other tenant's traffic instead of the whole
+/// backlog. Invariant: a tenant is in `ring` iff its queue is nonempty.
+#[derive(Default)]
+struct DrrQueues {
+    queues: HashMap<String, VecDeque<Envelope>>,
+    ring: VecDeque<String>,
+    deficit: HashMap<String, u64>,
+    pending: usize,
+}
+
+impl DrrQueues {
+    fn enqueue(&mut self, tenant: String, env: Envelope) {
+        let q = self.queues.entry(tenant.clone()).or_default();
+        if q.is_empty() {
+            self.ring.push_back(tenant);
+        }
+        q.push_back(env);
+        self.pending += 1;
+    }
+
+    /// Take the next tenant's turn: up to quantum-plus-deficit envelopes
+    /// from the head of the ring. `None` when nothing is queued.
+    fn take_turn(&mut self) -> Option<(String, Vec<Envelope>)> {
+        let tenant = self.ring.pop_front()?;
+        let credit = self.deficit.remove(&tenant).unwrap_or(0) + DRR_QUANTUM;
+        let q = self
+            .queues
+            .get_mut(&tenant)
+            .expect("ring tenants have a queue");
+        let take = (credit as usize).min(q.len());
+        let batch: Vec<Envelope> = q.drain(..take).collect();
+        self.pending -= batch.len();
+        if q.is_empty() {
+            // Classic DRR: an emptied queue forfeits unused credit.
+            self.queues.remove(&tenant);
+        } else {
+            self.deficit.insert(tenant.clone(), credit - take as u64);
+            self.ring.push_back(tenant.clone());
+        }
+        Some((tenant, batch))
+    }
+}
+
+/// Worker-local dispatch state: the DRR queues plus the client→tenant map
+/// used to classify envelopes that don't carry a tenant label themselves.
+#[derive(Default)]
+struct ShardDispatch {
+    drr: DrrQueues,
+    client_tenants: HashMap<u64, String>,
+    stats: HashMap<String, Arc<TenantStats>>,
+}
+
+impl ShardDispatch {
+    /// Classify and enqueue one envelope; a `Shutdown` is intercepted and
+    /// its reply sink returned instead.
+    fn intake(&mut self, env: Envelope, registry: &TenantRegistry) -> Option<ReplySink> {
+        if matches!(env.req, Request::Shutdown) {
+            return Some(env.reply);
+        }
+        let tenant = match &env.req {
+            Request::Register { tenant, .. } | Request::Attach { tenant, .. } => {
+                let t = canonical_tenant(tenant).to_string();
+                self.client_tenants.insert(env.client, t.clone());
+                t
+            }
+            Request::Leave => self
+                .client_tenants
+                .remove(&env.client)
+                .unwrap_or_else(|| DEFAULT_TENANT.to_string()),
+            _ => self
+                .client_tenants
+                .get(&env.client)
+                .cloned()
+                .unwrap_or_else(|| DEFAULT_TENANT.to_string()),
+        };
+        self.tenant_stats(&tenant, registry)
+            .queued
+            .fetch_add(1, Ordering::Relaxed);
+        self.drr.enqueue(tenant, env);
+        None
+    }
+
+    fn tenant_stats(&mut self, tenant: &str, registry: &TenantRegistry) -> Arc<TenantStats> {
+        Arc::clone(
+            self.stats
+                .entry(tenant.to_string())
+                .or_insert_with(|| registry.stats(tenant)),
+        )
+    }
 }
 
 /// The slice of server state one shard worker owns.
@@ -191,7 +405,7 @@ impl ServerBus {
                 let seq = self.next_seq.load(Ordering::Relaxed);
                 env.client = self.allocate(seq % n);
             }
-            Request::Attach { session } => {
+            Request::Attach { session, .. } => {
                 env.client = self.allocate(session % n);
             }
             _ => {}
@@ -222,10 +436,13 @@ impl ServerBus {
     }
 }
 
-/// Handle to a running Harmony server (a pool of shard worker threads).
+/// Handle to a running Harmony server (a pool of shard worker threads,
+/// plus one anti-entropy puller per [`ServerConfig::sync_peers`] entry).
 pub struct HarmonyServer {
     bus: ServerBus,
     handles: Vec<JoinHandle<()>>,
+    sync_stop: Arc<AtomicBool>,
+    sync_handles: Vec<JoinHandle<()>>,
     config: ServerConfig,
 }
 
@@ -272,16 +489,84 @@ impl HarmonyServer {
             pool.push(Shard { tx, table, depth });
             handles.push(handle);
         }
+        let sync_stop = Arc::new(AtomicBool::new(false));
+        let mut sync_handles = Vec::new();
+        if let Some(store) = config.store.clone() {
+            let interval = if config.sync_interval.is_zero() {
+                DEFAULT_SYNC_INTERVAL
+            } else {
+                config.sync_interval
+            };
+            for peer in config.sync_peers.iter().cloned() {
+                let store = store.clone();
+                let stop = Arc::clone(&sync_stop);
+                let handle = std::thread::Builder::new()
+                    .name(format!("harmony-sync-{peer}"))
+                    .spawn(move || Self::sync_loop(peer, store, interval, stop))
+                    .expect("spawn harmony sync puller");
+                sync_handles.push(handle);
+            }
+        }
         HarmonyServer {
             bus: ServerBus {
                 shards: Arc::new(pool),
                 next_seq: Arc::new(AtomicU64::new(0)),
             },
             handles,
+            sync_stop,
+            sync_handles,
             config,
         }
     }
 
+    /// Anti-entropy puller for one peer: fetch the peer's store log from
+    /// our high-water mark, merge it (first write wins, so re-pulls are
+    /// harmless), advance the mark to what actually parsed, sleep. A peer
+    /// that is down, speaks garbage, or compacted beneath our mark just
+    /// means a retry — the header's `start` re-anchors us after a
+    /// compaction, and an unparseable tail is refetched next round.
+    fn sync_loop(peer: String, store: SharedStore, interval: Duration, stop: Arc<AtomicBool>) {
+        let mut from = 0usize;
+        while !stop.load(Ordering::Relaxed) {
+            if let Ok((200, body)) = observe::http_get(&peer, &format!("/store/log?from={from}")) {
+                let mut lines = body.lines();
+                let header = lines
+                    .next()
+                    .and_then(|l| serde_json::from_str::<observe::StoreLogHeader>(l).ok())
+                    .filter(|h| h.kind == observe::STORE_LOG_KIND);
+                if let Some(h) = header {
+                    let mut records = Vec::new();
+                    for line in lines {
+                        if line.is_empty() {
+                            continue;
+                        }
+                        match serde_json::from_str::<StoreRecord>(line) {
+                            Ok(r) => records.push(r),
+                            Err(_) => break, // torn tail: refetch next round
+                        }
+                    }
+                    from = h.start + records.len();
+                    if !records.is_empty() {
+                        let _ = store.merge_records(records);
+                    }
+                }
+            }
+            // Sleep in short ticks so shutdown is never held hostage by a
+            // long interval.
+            let mut slept = Duration::ZERO;
+            while slept < interval && !stop.load(Ordering::Relaxed) {
+                let tick = Duration::from_millis(20).min(interval - slept);
+                std::thread::sleep(tick);
+                slept += tick;
+            }
+        }
+    }
+
+    /// Shard worker: pull envelopes off the channel into per-tenant DRR
+    /// queues, then serve one tenant turn at a time. A `Shutdown` stops
+    /// intake; queued envelopes are still served before the acknowledgement
+    /// (matching the old FIFO loop, where everything sent before the
+    /// shutdown was processed first).
     fn worker_loop(
         shard: usize,
         rx: Receiver<Envelope>,
@@ -289,26 +574,68 @@ impl HarmonyServer {
         depth: Arc<AtomicU64>,
         cfg: ServerConfig,
     ) {
-        for env in rx.iter() {
-            depth.fetch_sub(1, Ordering::Relaxed);
-            cfg.telemetry
-                .observe(Latency::ShardQueueWait, env.queued_at.elapsed());
-            let Envelope {
-                client, req, reply, ..
-            } = env;
-            if matches!(req, Request::Shutdown) {
-                reply.deliver(Reply::Ok);
-                break;
+        let mut dispatch = ShardDispatch::default();
+        let mut shutdown_ack: Option<ReplySink> = None;
+        'outer: loop {
+            if shutdown_ack.is_none() {
+                // Block only when idle; otherwise drain whatever is ready
+                // so fairness is decided over everything that has arrived.
+                if dispatch.drr.pending == 0 {
+                    match rx.recv() {
+                        Ok(env) => {
+                            if let Some(ack) = dispatch.intake(env, &cfg.tenants) {
+                                depth.fetch_sub(1, Ordering::Relaxed);
+                                shutdown_ack = Some(ack);
+                            }
+                        }
+                        Err(_) => break 'outer, // bus gone, nothing queued
+                    }
+                }
+                while shutdown_ack.is_none() {
+                    match rx.try_recv() {
+                        Ok(env) => {
+                            if let Some(ack) = dispatch.intake(env, &cfg.tenants) {
+                                depth.fetch_sub(1, Ordering::Relaxed);
+                                shutdown_ack = Some(ack);
+                            }
+                        }
+                        Err(_) => break, // empty or disconnected: serve what we have
+                    }
+                }
             }
-            let span = cfg
-                .telemetry
-                .span_begin(SpanKind::ShardHandle, 0, "shard", shard as u64);
-            let out = {
-                let mut table = table.lock();
-                Self::handle(&mut table, &cfg, client, req)
-            };
-            cfg.telemetry.span_end(span);
-            reply.deliver(out);
+            match dispatch.drr.take_turn() {
+                Some((tenant, batch)) => {
+                    let stats = dispatch.tenant_stats(&tenant, &cfg.tenants);
+                    for env in batch {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        stats.queued.fetch_sub(1, Ordering::Relaxed);
+                        stats.served.fetch_add(1, Ordering::Relaxed);
+                        cfg.telemetry
+                            .observe(Latency::ShardQueueWait, env.queued_at.elapsed());
+                        let Envelope {
+                            client, req, reply, ..
+                        } = env;
+                        let span = cfg.telemetry.span_begin(
+                            SpanKind::ShardHandle,
+                            0,
+                            "shard",
+                            shard as u64,
+                        );
+                        let out = {
+                            let mut table = table.lock();
+                            Self::handle(&mut table, &cfg, client, req)
+                        };
+                        cfg.telemetry.span_end(span);
+                        reply.deliver(out);
+                    }
+                }
+                None => {
+                    if let Some(ack) = shutdown_ack.take() {
+                        ack.deliver(Reply::Ok);
+                        break 'outer;
+                    }
+                }
+            }
         }
     }
 
@@ -341,16 +668,35 @@ impl HarmonyServer {
         observe::start(addr, self.bus.clone(), self.config.clone())
     }
 
-    /// Connect a new client application (founds a fresh session).
+    /// Connect a new client application (founds a fresh session) under the
+    /// default tenant.
     pub fn connect(&self, app: impl Into<String>) -> Result<HarmonyClient> {
-        HarmonyClient::register(self.bus(), app.into())
+        self.connect_as(app, "")
+    }
+
+    /// Connect a new client application under an explicit tenant label.
+    /// Refused with [`HarmonyError::QuotaExceeded`] when the tenant is at
+    /// its [`ServerConfig::tenant_max_sessions`] cap.
+    pub fn connect_as(
+        &self,
+        app: impl Into<String>,
+        tenant: impl Into<String>,
+    ) -> Result<HarmonyClient> {
+        HarmonyClient::register(self.bus(), app.into(), tenant.into())
     }
 
     /// Join an existing session as an additional member (worker pools,
     /// crash rejoin). The session id comes from the founder's
     /// [`HarmonyClient::session_id`].
     pub fn attach(&self, session: u64) -> Result<HarmonyClient> {
-        HarmonyClient::attach(self.bus(), session)
+        self.attach_as(session, "")
+    }
+
+    /// Join an existing session under an explicit tenant label; the label
+    /// scopes this member's dispatch fairness, while quota accounting
+    /// stays with the session's founding tenant.
+    pub fn attach_as(&self, session: u64, tenant: impl Into<String>) -> Result<HarmonyClient> {
+        HarmonyClient::attach(self.bus(), session, tenant.into())
     }
 
     /// Stop every shard worker. Subsequent client calls fail with
@@ -360,6 +706,12 @@ impl HarmonyServer {
     }
 
     fn do_shutdown(&mut self) {
+        // Stop the anti-entropy pullers first so nothing merges into the
+        // store while it is being flushed for the last time.
+        self.sync_stop.store(true, Ordering::Relaxed);
+        for h in self.sync_handles.drain(..) {
+            let _ = h.join();
+        }
         // Tell every shard to stop, then wait: collect acknowledgements
         // first so shards wind down in parallel.
         let mut acks = Vec::with_capacity(self.bus.shards.len());
@@ -427,6 +779,11 @@ impl HarmonyServer {
                 telemetry.event(TrialStage::Evicted, 0, id, Some("ttl_expired"));
                 evicted.insert(id);
             }
+            if !evicted.is_empty() && state.members.is_empty() {
+                // Eviction emptied the session: release its tenant slot
+                // (an Attach revival re-claims it).
+                state.tenant_stats.sessions.fetch_sub(1, Ordering::Relaxed);
+            }
         }
         for t in outstanding.iter_mut() {
             if t.owner == 0 {
@@ -460,9 +817,20 @@ impl HarmonyServer {
         let now = Instant::now();
         let ShardTable { sessions, clients } = table;
         match req {
-            Request::Register { app } => {
+            Request::Register { app, tenant } => {
                 // The id was allocated by the bus; it routed here, so this
                 // shard owns it. The new session's id is the founder's id.
+                let tenant = canonical_tenant(&tenant).to_string();
+                let stats = cfg.tenants.stats(&tenant);
+                // Claim-then-check keeps the cap exact when shards race.
+                let prior = stats.sessions.fetch_add(1, Ordering::Relaxed);
+                if let Some(max) = cfg.tenant_max_sessions {
+                    if prior >= max as u64 {
+                        stats.sessions.fetch_sub(1, Ordering::Relaxed);
+                        cfg.telemetry.inc(Counter::QuotaRefusals);
+                        return Reply::QuotaExceeded { tenant };
+                    }
+                }
                 sessions.insert(
                     client,
                     SessionState {
@@ -471,6 +839,8 @@ impl HarmonyServer {
                             builder: Some(SearchSpaceBuilder::default()),
                         },
                         members: HashMap::from([(client, Member { last_seen: now })]),
+                        tenant,
+                        tenant_stats: stats,
                     },
                 );
                 clients.insert(client, client);
@@ -479,10 +849,15 @@ impl HarmonyServer {
                     session: client,
                 }
             }
-            Request::Attach { session } => {
+            Request::Attach { session, tenant: _ } => {
                 let Some(state) = sessions.get_mut(&session) else {
                     return Reply::err(format!("unknown session {session}"));
                 };
+                if state.members.is_empty() {
+                    // Reviving an abandoned session counts against the
+                    // founding tenant again.
+                    state.tenant_stats.sessions.fetch_add(1, Ordering::Relaxed);
+                }
                 state.members.insert(client, Member { last_seen: now });
                 clients.insert(client, session);
                 Reply::Registered {
@@ -504,6 +879,9 @@ impl HarmonyServer {
                 if matches!(other, Request::Leave) {
                     clients.remove(&client);
                     state.members.remove(&client);
+                    if state.members.is_empty() {
+                        state.tenant_stats.sessions.fetch_sub(1, Ordering::Relaxed);
+                    }
                     // sweep() requeues the leaver's outstanding trials.
                     Self::sweep(clients, state, cfg, now);
                     return Reply::Ok;
@@ -512,6 +890,22 @@ impl HarmonyServer {
                 Self::handle_for_session(state, cfg, client, session_id, other, now)
             }
         }
+    }
+
+    /// Forget every outstanding trial, returning the tenant's in-flight
+    /// claim on them. Used wherever a finished session drops its queue.
+    fn drain_outstanding(outstanding: &mut VecDeque<OutstandingTrial>, stats: &TenantStats) {
+        stats
+            .inflight
+            .fetch_sub(outstanding.len() as u64, Ordering::Relaxed);
+        outstanding.clear();
+    }
+
+    /// True when issuing one more fresh trial would put the tenant past
+    /// its in-flight cap.
+    fn tenant_inflight_full(cfg: &ServerConfig, stats: &TenantStats) -> bool {
+        cfg.tenant_max_inflight
+            .is_some_and(|max| stats.inflight.load(Ordering::Relaxed) >= max as u64)
     }
 
     fn handle_for_session(
@@ -526,9 +920,15 @@ impl HarmonyServer {
         if matches!(req, Request::Heartbeat) {
             return Reply::Ok; // last_seen already refreshed by the caller
         }
-        // Disjoint borrows: the store key (`app`) is read while `phase` is
-        // borrowed mutably by the match below.
-        let SessionState { app, phase, .. } = state;
+        // Disjoint borrows: the store key (`app`) and tenant accounting are
+        // read while `phase` is borrowed mutably by the match below.
+        let SessionState {
+            app,
+            phase,
+            tenant,
+            tenant_stats,
+            ..
+        } = state;
         match (&mut *phase, req) {
             (SessionPhase::Building { builder }, Request::AddParam { param }) => {
                 if let Err(e) = param.validate() {
@@ -573,7 +973,7 @@ impl HarmonyServer {
                 if session.stop_reason().is_some() {
                     // Trials fetched before the stop were dropped by the
                     // session; forget them here too.
-                    outstanding.clear();
+                    Self::drain_outstanding(outstanding, tenant_stats);
                     return Self::finished_reply(session);
                 }
                 // Re-fetch without report: hand out this client's oldest
@@ -610,6 +1010,16 @@ impl HarmonyServer {
                         finished: false,
                     };
                 }
+                // Issuing a fresh trial grows the tenant's in-flight
+                // holdings; past the cap the fetch is refused with the
+                // typed retryable frame. (Re-fetch and requeue claims
+                // above never grow holdings and stay exempt.)
+                if Self::tenant_inflight_full(cfg, tenant_stats) {
+                    telemetry.inc(Counter::QuotaRefusals);
+                    return Reply::QuotaExceeded {
+                        tenant: tenant.clone(),
+                    };
+                }
                 // Proposals whose cost is already on record are answered
                 // from the store without leaving the server; the loop runs
                 // until a proposal actually needs measuring (or the budget
@@ -635,6 +1045,7 @@ impl HarmonyServer {
                                 iteration: trial.iteration,
                                 finished: false,
                             };
+                            tenant_stats.inflight.fetch_add(1, Ordering::Relaxed);
                             outstanding.push_back(OutstandingTrial {
                                 trial,
                                 owner: client,
@@ -644,7 +1055,7 @@ impl HarmonyServer {
                             break reply;
                         }
                         None if session.stop_reason().is_some() => {
-                            outstanding.clear();
+                            Self::drain_outstanding(outstanding, tenant_stats);
                             break Self::finished_reply(session);
                         }
                         // The strategy is waiting on another member's report.
@@ -669,6 +1080,7 @@ impl HarmonyServer {
                     return Reply::err("report without an outstanding fetch");
                 };
                 let t = outstanding.remove(pos).expect("position found above");
+                tenant_stats.inflight.fetch_sub(1, Ordering::Relaxed);
                 let (cost, wall_time, clamped) = sanitize_measurement(cost, wall_time);
                 if clamped {
                     telemetry.inc(Counter::NonFiniteCostsSanitized);
@@ -707,7 +1119,7 @@ impl HarmonyServer {
                 Request::FetchBatch { max },
             ) => {
                 if session.stop_reason().is_some() {
-                    outstanding.clear();
+                    Self::drain_outstanding(outstanding, tenant_stats);
                     return Reply::Configs {
                         trials: Vec::new(),
                         finished: true,
@@ -752,10 +1164,23 @@ impl HarmonyServer {
                 // server-side. Each served cost may unlock further
                 // proposals, so keep asking while the store keeps
                 // progressing the search; without a store this degenerates
-                // to the old single `suggest_batch` pass.
+                // to the old single `suggest_batch` pass. The tenant's
+                // in-flight cap clamps how many fresh trials may be issued
+                // (store-served hits complete immediately and don't count);
+                // suggestions are requested only up to the clamp so no
+                // proposal is ever pulled from the strategy and dropped.
+                let fresh_budget = cfg.tenant_max_inflight.map_or(usize::MAX, |cap| {
+                    (cap as u64).saturating_sub(tenant_stats.inflight.load(Ordering::Relaxed))
+                        as usize
+                });
                 let mut served = 0usize;
+                let mut fresh = 0usize;
                 while trials.len() < max {
-                    let batch = session.suggest_batch(max - trials.len());
+                    let want = (max - trials.len()).min(fresh_budget - fresh);
+                    if want == 0 {
+                        break;
+                    }
+                    let batch = session.suggest_batch(want);
                     if batch.is_empty() {
                         break;
                     }
@@ -778,6 +1203,8 @@ impl HarmonyServer {
                             config: trial.config.clone(),
                             iteration: trial.iteration,
                         });
+                        fresh += 1;
+                        tenant_stats.inflight.fetch_add(1, Ordering::Relaxed);
                         outstanding.push_back(OutstandingTrial {
                             trial,
                             owner: client,
@@ -791,7 +1218,13 @@ impl HarmonyServer {
                 }
                 let finished = trials.is_empty() && session.stop_reason().is_some();
                 if finished {
-                    outstanding.clear();
+                    Self::drain_outstanding(outstanding, tenant_stats);
+                }
+                if trials.is_empty() && !finished && fresh_budget == 0 {
+                    telemetry.inc(Counter::QuotaRefusals);
+                    return Reply::QuotaExceeded {
+                        tenant: tenant.clone(),
+                    };
                 }
                 Reply::Configs { trials, finished }
             }
@@ -820,6 +1253,7 @@ impl HarmonyServer {
                     {
                         Some(pos) => {
                             let t = outstanding.remove(pos).expect("position found above");
+                            tenant_stats.inflight.fetch_sub(1, Ordering::Relaxed);
                             let (cost, wall_time, clamped) =
                                 sanitize_measurement(r.cost, r.wall_time);
                             if clamped {
@@ -869,7 +1303,7 @@ impl HarmonyServer {
                     let _ = store.insert_batch(recorded);
                 }
                 if session.stop_reason().is_some() {
-                    outstanding.clear();
+                    Self::drain_outstanding(outstanding, tenant_stats);
                 }
                 Reply::Ok
             }
@@ -1419,6 +1853,182 @@ mod tests {
         let err = server.attach(999_999).unwrap_err();
         assert!(err.to_string().contains("unknown session"), "{err}");
         server.shutdown();
+    }
+
+    #[test]
+    fn session_quota_refuses_then_frees_on_leave() {
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 2,
+            tenant_max_sessions: Some(1),
+            ..Default::default()
+        });
+        let first = server.connect_as("a", "team-a").unwrap();
+        let err = server.connect_as("b", "team-a").unwrap_err();
+        assert_eq!(
+            err,
+            HarmonyError::QuotaExceeded {
+                tenant: "team-a".into()
+            }
+        );
+        // Another tenant's budget is untouched by team-a being full.
+        let other = server.connect_as("c", "team-b").unwrap();
+        // Attaching a worker joins the existing session; it does not found
+        // a new one, so it passes while the session quota is exhausted.
+        first.add_param(Param::int("x", 0, 10, 1)).unwrap();
+        first
+            .seal(SessionOptions::default(), StrategyKind::Random)
+            .unwrap();
+        let worker = server.attach_as(first.session_id(), "team-a").unwrap();
+        worker.leave().unwrap();
+        // Only the *last* member leaving frees the session slot.
+        first.leave().unwrap();
+        server.connect_as("d", "team-a").unwrap();
+        other.leave().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn inflight_quota_clamps_batches_and_refuses_empty_handed_fetches() {
+        let telemetry = Telemetry::enabled();
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 1,
+            tenant_max_inflight: Some(2),
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        });
+        let c = server.connect_as("q", "team").unwrap();
+        c.add_param(Param::int("x", 0, 1000, 1)).unwrap();
+        c.seal(
+            SessionOptions {
+                max_evaluations: 50,
+                seed: 1,
+                ..Default::default()
+            },
+            StrategyKind::Random,
+        )
+        .unwrap();
+        // A batch fetch is clamped to the tenant's in-flight budget.
+        let (trials, finished) = c.fetch_batch(10).unwrap();
+        assert!(!finished);
+        assert_eq!(trials.len(), 2);
+        // Re-fetching serves the same outstanding trials (refetch is exempt
+        // from the quota — it issues nothing new).
+        let (again, _) = c.fetch_batch(10).unwrap();
+        let iters: Vec<usize> = trials.iter().map(|t| t.iteration).collect();
+        let again_iters: Vec<usize> = again.iter().map(|t| t.iteration).collect();
+        assert_eq!(iters, again_iters);
+        // A second member with nothing to re-serve is refused, typed.
+        let w = server.attach_as(c.session_id(), "team").unwrap();
+        let quota_err = HarmonyError::QuotaExceeded {
+            tenant: "team".into(),
+        };
+        assert_eq!(w.fetch_batch(10).unwrap_err(), quota_err);
+        assert_eq!(w.fetch().unwrap_err(), quota_err);
+        assert!(telemetry.counter(Counter::QuotaRefusals) >= 2);
+        // Reporting frees the budget for the whole tenant.
+        c.report_batch(
+            trials
+                .iter()
+                .map(|t| TrialReport {
+                    iteration: t.iteration,
+                    cost: 1.0,
+                    wall_time: 0.0,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let (now, _) = w.fetch_batch(10).unwrap();
+        assert_eq!(now.len(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sync_peer_replicates_and_warm_starts_from_peer_records() {
+        let dir = std::env::temp_dir().join(format!("ah-server-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_a = dir.join("a.store");
+        let path_b = dir.join("b.store");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let cost_of = |cfg: &crate::space::Configuration| {
+            let x = cfg.int("x").unwrap() as f64;
+            (x - 21.0).powi(2)
+        };
+        let campaign = |server: &HarmonyServer| {
+            let client = server.connect("fed").unwrap();
+            client.add_param(Param::int("x", 0, 80, 1)).unwrap();
+            client
+                .seal(
+                    SessionOptions {
+                        max_evaluations: 30,
+                        seed: 13,
+                        ..Default::default()
+                    },
+                    StrategyKind::NelderMead,
+                )
+                .unwrap();
+            let mut measured = 0usize;
+            loop {
+                let (trials, finished) = client.fetch_batch(4).unwrap();
+                if finished {
+                    break;
+                }
+                let reports = trials
+                    .iter()
+                    .map(|t| {
+                        measured += 1;
+                        TrialReport {
+                            iteration: t.iteration,
+                            cost: cost_of(&t.config),
+                            wall_time: 1.0,
+                        }
+                    })
+                    .collect();
+                client.report_batch(reports).unwrap();
+            }
+            let (h, _) = client.history().unwrap();
+            (measured, h)
+        };
+
+        // Server A measures a campaign and exposes its log over /store/log.
+        let store_a = SharedStore::open(&path_a).unwrap();
+        let server_a = HarmonyServer::start_with_config(ServerConfig {
+            shards: 1,
+            store: Some(store_a.clone()),
+            ..Default::default()
+        });
+        let observe_a = server_a.observe("127.0.0.1:0").unwrap();
+        let (measured_a, hist_a) = campaign(&server_a);
+        assert_eq!(measured_a, 30);
+        store_a.flush().unwrap();
+
+        // Server B starts on an empty store with A as its anti-entropy peer.
+        let store_b = SharedStore::open(&path_b).unwrap();
+        let server_b = HarmonyServer::start_with_config(ServerConfig {
+            shards: 1,
+            store: Some(store_b.clone()),
+            sync_peers: vec![observe_a.addr().to_string()],
+            sync_interval: Duration::from_millis(25),
+            ..Default::default()
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while store_b.record_count() < store_a.record_count() {
+            assert!(Instant::now() < deadline, "replication did not converge");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // B never measured a trial of this app, yet it answers the whole
+        // campaign from records it pulled off A.
+        let (measured_b, hist_b) = campaign(&server_b);
+        assert_eq!(measured_b, 0, "warm start on B must re-measure nothing");
+        assert_eq!(hist_a.len(), hist_b.len());
+        for (a, b) in hist_a.evaluations().iter().zip(hist_b.evaluations()) {
+            assert_eq!(a.config.cache_key(), b.config.cache_key());
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+        assert!(hist_b.evaluations().iter().all(|e| e.cached));
+        server_b.shutdown();
+        observe_a.stop();
+        server_a.shutdown();
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! * `GET /spans?n=K` — the last `K` completed timing spans.
 //! * `GET /trace` — the completed spans as Chrome trace-event JSON,
 //!   loadable in Perfetto (`repro trace --from <addr>` pulls this).
+//! * `GET /store/log?from=SEQ` — the attached performance store's record
+//!   log from sequence `SEQ` on: a JSON header line
+//!   (`{"kind":"ah-store-log","start":S,"total":T}`) followed by one
+//!   record per line in the store's own on-disk encoding. This is the
+//!   replication feed peer servers pull on their anti-entropy interval
+//!   ([`ServerConfig::sync_peers`]); a `from` past the end re-serves the
+//!   whole log (the merge is idempotent, and it re-anchors a puller after
+//!   the peer compacted). 404 when no store is attached.
 //! * `GET /` — an index of the routes above.
 //!
 //! Everything stays off the tuning hot path: building a response takes each
@@ -30,6 +38,7 @@
 
 use super::{ServerBus, ServerConfig, SessionPhase, SessionState};
 use crate::telemetry::Counter;
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,6 +50,21 @@ use std::time::Duration;
 /// How long a single request may dribble in before the responder gives up
 /// on the connection. One slow client must not wedge the plane.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// `kind` value of the [`StoreLogHeader`] a `/store/log` response leads
+/// with, so a puller never mistakes an arbitrary HTTP body for a log.
+pub(crate) const STORE_LOG_KIND: &str = "ah-store-log";
+
+/// First line of a `/store/log` response: which slice of the peer's record
+/// log follows. `start` is where the slice begins (it may be less than the
+/// requested `from` after a compaction re-anchor) and `total` is the
+/// peer's record count, i.e. the next `from` to ask for.
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct StoreLogHeader {
+    pub kind: String,
+    pub start: usize,
+    pub total: usize,
+}
 
 /// Handle to a running observability responder. Dropping it (or calling
 /// [`stop`](ObserveHandle::stop)) shuts the responder thread down.
@@ -171,6 +195,26 @@ fn serve_connection(stream: TcpStream, bus: &ServerBus, cfg: &ServerConfig) -> s
             "application/json",
             &render(cfg.telemetry.chrome_trace()),
         ),
+        "/store/log" => match &cfg.store {
+            Some(store) => {
+                let from = parse_query(query, "from").unwrap_or(0);
+                let (start, blob) = store.encode_log_from(from);
+                let total = start + blob.lines().count();
+                let header = serde_json::to_string(&StoreLogHeader {
+                    kind: STORE_LOG_KIND.to_string(),
+                    start,
+                    total,
+                })
+                .expect("header serialises");
+                respond(
+                    &mut stream,
+                    200,
+                    "application/x-ndjson",
+                    &format!("{header}\n{blob}"),
+                )
+            }
+            None => respond(&mut stream, 404, "text/plain", "no store attached\n"),
+        },
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
 }
@@ -206,10 +250,15 @@ fn respond(
 
 /// The `n` value of a `n=K` query string, if present and numeric.
 fn parse_n(query: &str) -> Option<usize> {
+    parse_query(query, "n")
+}
+
+/// The numeric value of `key=K` in a query string, if present.
+fn parse_query(query: &str, key: &str) -> Option<usize> {
     query
         .split('&')
-        .find_map(|kv| kv.strip_prefix("n="))
-        .and_then(|v| v.parse().ok())
+        .filter_map(|kv| kv.split_once('='))
+        .find_map(|(k, v)| (k == key).then(|| v.parse().ok()).flatten())
 }
 
 /// Keep the last `n` items (all of them when `n` is `None`).
@@ -229,6 +278,7 @@ fn index_json() -> Value {
             "/trials?n=K",
             "/spans?n=K",
             "/trace",
+            "/store/log?from=SEQ",
         ],
     })
 }
@@ -267,6 +317,20 @@ fn status_json(bus: &ServerBus, cfg: &ServerConfig) -> Value {
     } else {
         f64::NAN // serialises as null: no lookups yet
     };
+    let tenants: Vec<Value> = cfg
+        .tenants
+        .snapshot()
+        .into_iter()
+        .map(|(name, sessions, inflight, queued, served)| {
+            json!({
+                "tenant": name,
+                "sessions": sessions,
+                "inflight": inflight,
+                "queued": queued,
+                "served": served,
+            })
+        })
+        .collect();
     json!({
         "server": {
             "shards": bus.shards.len(),
@@ -274,12 +338,21 @@ fn status_json(bus: &ServerBus, cfg: &ServerConfig) -> Value {
             "queue_depths": bus.queue_depths(),
         },
         "sessions": Value::Array(sessions),
+        "tenants": Value::Array(tenants),
+        "quotas": {
+            "max_sessions": cfg.tenant_max_sessions,
+            "max_inflight": cfg.tenant_max_inflight,
+            "refusals": t.counter(Counter::QuotaRefusals),
+        },
         "store": {
             "attached": cfg.store.is_some(),
+            "records": cfg.store.as_ref().map(|s| s.record_count()),
             "hits": hits,
             "misses": misses,
             "hit_rate": hit_rate,
             "inserts": t.counter(Counter::StoreInserts),
+            "merged_records": t.counter(Counter::StoreMergedRecords),
+            "merge_conflicts": t.counter(Counter::StoreMergeConflicts),
             "torn_tails": t.counter(Counter::StoreTornTails),
         },
         "wal": {
@@ -322,6 +395,7 @@ fn session_json(shard: usize, id: u64, state: &SessionState) -> Value {
                 "phase": "tuning",
                 "strategy": snap.strategy,
                 "evaluations": snap.evaluations,
+                "cached_evaluations": snap.cached_evaluations,
                 "best_cost": snap.best_cost,
                 "best_config": snap.best_config,
                 "stop_reason": snap.stop_reason.map(|r| r.name()),

@@ -49,6 +49,11 @@ pub enum Request {
     Register {
         /// Application label (for logs and prior-run keys).
         app: String,
+        /// Tenant the founded session is accounted to (quotas and
+        /// fair dispatch). Empty means the `"default"` tenant, so frames
+        /// from older clients stay wire-compatible.
+        #[serde(default)]
+        tenant: String,
     },
     /// Join an existing tuning session as an additional worker (or rejoin
     /// it after a crash). The session id is the one returned by
@@ -57,6 +62,11 @@ pub enum Request {
     Attach {
         /// Session to join.
         session: u64,
+        /// Tenant this worker acts for. Informational: the session keeps
+        /// its founder's tenant for quota/dispatch accounting. Empty means
+        /// `"default"` (wire-compatible with older clients).
+        #[serde(default)]
+        tenant: String,
     },
     /// Liveness signal: refreshes this client's `last_seen` so deadline
     /// eviction does not requeue its outstanding trials while a long
@@ -187,6 +197,15 @@ pub enum Reply {
         /// True when the condition is transient (e.g. the server is at its
         /// connection cap) and the client should retry with backoff.
         retryable: bool,
+    },
+    /// The request was refused because its tenant is at a configured
+    /// quota (sessions or in-flight trials). Distinct from the generic
+    /// retryable [`Reply::Error`] so clients can classify the refusal:
+    /// it is transient — capacity frees up as the tenant's other work
+    /// completes — and maps to `HarmonyError::QuotaExceeded`.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
     },
 }
 
@@ -544,8 +563,22 @@ mod tests {
     #[test]
     fn requests_roundtrip_through_json() {
         let msgs = vec![
-            Request::Register { app: "gs2".into() },
-            Request::Attach { session: 17 },
+            Request::Register {
+                app: "gs2".into(),
+                tenant: String::new(),
+            },
+            Request::Register {
+                app: "gs2".into(),
+                tenant: "team-a".into(),
+            },
+            Request::Attach {
+                session: 17,
+                tenant: String::new(),
+            },
+            Request::Attach {
+                session: 17,
+                tenant: "team-b".into(),
+            },
             Request::Heartbeat,
             Request::Leave,
             Request::QueryHistory,
@@ -592,6 +625,28 @@ mod tests {
     }
 
     #[test]
+    fn tenantless_frames_from_older_clients_still_parse() {
+        // PR-6-era clients send Register/Attach without a tenant field;
+        // `#[serde(default)]` must map that to the empty (default) tenant.
+        let req: Request = serde_json::from_str("{\"Register\":{\"app\":\"gs2\"}}").unwrap();
+        match req {
+            Request::Register { app, tenant } => {
+                assert_eq!(app, "gs2");
+                assert!(tenant.is_empty());
+            }
+            other => panic!("expected Register, got {other:?}"),
+        }
+        let req: Request = serde_json::from_str("{\"Attach\":{\"session\":5}}").unwrap();
+        match req {
+            Request::Attach { session, tenant } => {
+                assert_eq!(session, 5);
+                assert!(tenant.is_empty());
+            }
+            other => panic!("expected Attach, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn replies_roundtrip_through_json() {
         let space = crate::space::SearchSpace::builder()
             .int("x", 0, 5, 1)
@@ -634,6 +689,9 @@ mod tests {
                 best: Some((space.center(), 1.5)),
             },
             Reply::err("nope"),
+            Reply::QuotaExceeded {
+                tenant: "team-a".into(),
+            },
         ];
         for m in msgs {
             let s = serde_json::to_string(&m).unwrap();

@@ -402,6 +402,10 @@ pub struct TcpClientOptions {
     /// Telemetry handle recording batch round-trip latencies and retry
     /// backoffs on the client side (disabled by default).
     pub telemetry: Telemetry,
+    /// Tenant label sent with `Register`/`Attach`; empty (default) means
+    /// the server's `"default"` tenant. Quota refusals for this tenant come
+    /// back as the retryable [`HarmonyError::QuotaExceeded`].
+    pub tenant: String,
 }
 
 fn io_error(e: std::io::Error, what: &str) -> HarmonyError {
@@ -555,6 +559,7 @@ impl TcpHarmonyClient {
         let mut conn = Conn::open(self.addr, self.opts.io_timeout)?;
         match conn.call(&Request::Register {
             app: app.to_string(),
+            tenant: self.opts.tenant.clone(),
         })? {
             Reply::Registered { client_id, session } => {
                 self.client_id = client_id;
@@ -562,6 +567,7 @@ impl TcpHarmonyClient {
                 self.conn = Some(conn);
                 Ok(())
             }
+            Reply::QuotaExceeded { tenant } => Err(HarmonyError::QuotaExceeded { tenant }),
             Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
             _ => Err(HarmonyError::Protocol("unexpected reply".into())),
         }
@@ -578,12 +584,14 @@ impl TcpHarmonyClient {
         let mut conn = Conn::open(self.addr, self.opts.io_timeout)?;
         match conn.call(&Request::Attach {
             session: self.session,
+            tenant: self.opts.tenant.clone(),
         })? {
             Reply::Registered { client_id, .. } => {
                 self.client_id = client_id;
                 self.conn = Some(conn);
                 Ok(())
             }
+            Reply::QuotaExceeded { tenant } => Err(HarmonyError::QuotaExceeded { tenant }),
             Reply::Error { message, retryable } => Err(reply_error(message, retryable)),
             _ => Err(HarmonyError::Protocol("unexpected reply".into())),
         }
@@ -598,6 +606,7 @@ impl TcpHarmonyClient {
         }
         let conn = self.conn.as_mut().expect("connection opened above");
         match conn.call(req) {
+            Ok(Reply::QuotaExceeded { tenant }) => Err(HarmonyError::QuotaExceeded { tenant }),
             Ok(Reply::Error { message, retryable }) => Err(reply_error(message, retryable)),
             Ok(reply) => Ok(reply),
             Err(e) => {
@@ -824,6 +833,40 @@ mod tests {
     }
 
     #[test]
+    fn quota_refusal_over_tcp_is_typed_and_retryable() {
+        let server = TcpHarmonyServer::bind_with(
+            "127.0.0.1:0",
+            DEFAULT_MAX_CONNECTIONS,
+            crate::server::ServerConfig {
+                tenant_max_sessions: Some(1),
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let opts = || TcpClientOptions {
+            tenant: "team".into(),
+            retry: RetryPolicy::none(),
+            ..Default::default()
+        };
+        let mut first = TcpHarmonyClient::connect_with(server.local_addr(), "a", opts()).unwrap();
+        // The refusal travels the wire as its own frame, not a generic
+        // busy error, and classifies retryable for the backoff loop.
+        let err = TcpHarmonyClient::connect_with(server.local_addr(), "b", opts()).unwrap_err();
+        assert_eq!(
+            err,
+            HarmonyError::QuotaExceeded {
+                tenant: "team".into()
+            }
+        );
+        assert!(err.is_retryable(), "quota refusal must classify retryable");
+        // Once the founding member departs, the slot frees immediately.
+        first.leave().unwrap();
+        let second = TcpHarmonyClient::connect_with(server.local_addr(), "c", opts());
+        assert!(second.is_ok(), "{:?}", second.err());
+        server.shutdown();
+    }
+
+    #[test]
     fn two_tcp_clients_tune_concurrently() {
         let server = TcpHarmonyServer::bind("127.0.0.1:0").expect("bind");
         let addr = server.local_addr();
@@ -935,7 +978,10 @@ mod tests {
         };
         let frame = |req: &Request| serde_json::to_string(req).unwrap();
 
-        let reply = call(frame(&Request::Register { app: "nan".into() }));
+        let reply = call(frame(&Request::Register {
+            app: "nan".into(),
+            tenant: String::new(),
+        }));
         assert!(matches!(reply, Reply::Registered { .. }), "{reply:?}");
         call(frame(&Request::AddParam {
             param: Param::int("x", 0, 10, 1),

@@ -126,6 +126,10 @@ pub struct SearchSnapshot {
     pub strategy: &'static str,
     /// Fresh evaluations performed so far.
     pub evaluations: usize,
+    /// History rows answered without running the application: cache
+    /// replays plus store-served (possibly peer-replicated) outcomes. The
+    /// warm-start claim, as a live number.
+    pub cached_evaluations: usize,
     /// Best cost found so far.
     pub best_cost: Option<f64>,
     /// Best configuration found so far.
@@ -187,6 +191,7 @@ pub struct TuningSession {
     history: History,
     best: Option<(Configuration, f64)>,
     fresh_evals: usize,
+    cached_evals: usize,
     since_improvement: usize,
     consecutive_cached: usize,
     cumulative_time: f64,
@@ -218,6 +223,7 @@ impl TuningSession {
             history: History::new(),
             best: None,
             fresh_evals: 0,
+            cached_evals: 0,
             since_improvement: 0,
             consecutive_cached: 0,
             cumulative_time: 0.0,
@@ -263,6 +269,7 @@ impl TuningSession {
         SearchSnapshot {
             strategy: self.strategy.name(),
             evaluations: self.fresh_evals,
+            cached_evaluations: self.cached_evals,
             best_cost: self.best.as_ref().map(|(_, c)| *c),
             best_config: self.best.as_ref().map(|(c, _)| c.clone()),
             stop_reason: self.stopped,
@@ -498,6 +505,9 @@ impl TuningSession {
                     }
                     self.cache.insert(e.key, cost);
                     self.fresh_evals += 1;
+                    if e.from_store {
+                        self.cached_evals += 1;
+                    }
                     self.consecutive_cached = 0;
                     self.history.push(Evaluation {
                         iteration: e.iteration,
@@ -545,6 +555,7 @@ impl TuningSession {
                     self.telemetry
                         .event(TrialStage::Replayed, e.iteration, 0, Some("cache_hit"));
                     self.consecutive_cached += 1;
+                    self.cached_evals += 1;
                     self.history.push(Evaluation {
                         iteration: e.iteration,
                         config: e.config,

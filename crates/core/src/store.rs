@@ -205,6 +205,33 @@ pub struct StoreStats {
     pub torn_tail_truncated: bool,
 }
 
+/// Outcome of a federation merge ([`PerfStore::merge_records`] /
+/// [`PerfStore::merge_from`]).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MergeStats {
+    /// Peer records examined.
+    pub scanned: usize,
+    /// Novel records appended into the local log.
+    pub merged: usize,
+    /// Records skipped because the local store already serves their
+    /// `(app, fingerprint, key)`.
+    pub skipped: usize,
+    /// Skipped records whose cost differed from the locally served cost —
+    /// both sides measured the key independently and the local first
+    /// write won ([`Counter::StoreMergeConflicts`]).
+    pub conflicts: usize,
+}
+
+impl MergeStats {
+    /// Accumulate another merge outcome (chunked merges sum their stats).
+    pub fn absorb(&mut self, other: MergeStats) {
+        self.scanned += other.scanned;
+        self.merged += other.merged;
+        self.skipped += other.skipped;
+        self.conflicts += other.conflicts;
+    }
+}
+
 /// Outcome of a [`PerfStore::compact`] or [`PerfStore::gc`].
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct CompactionStats {
@@ -650,6 +677,115 @@ impl PerfStore {
         Ok(written)
     }
 
+    /// Merge peer records into this store (anti-entropy replication).
+    ///
+    /// Unlike [`insert_batch`](Self::insert_batch) — which appends a
+    /// re-measurement with a different cost for provenance — a merge is a
+    /// pure set union under first-write-wins: a record whose
+    /// `(app, fingerprint, key)` the local store already serves is
+    /// *skipped entirely*, whatever its cost. That makes the operation
+    /// idempotent (re-merging the same peer is a no-op), commutative, and
+    /// order-insensitive: every merge order converges on the same live
+    /// set, with each key served by whichever record reached this store
+    /// first. A skipped record whose cost differs from the local one is
+    /// counted as a conflict ([`Counter::StoreMergeConflicts`]).
+    pub fn merge_records(&mut self, records: Vec<StoreRecord>) -> Result<MergeStats> {
+        let mut stats = MergeStats::default();
+        let mut blob = String::with_capacity(records.len().min(4096) * 192);
+        for record in records {
+            stats.scanned += 1;
+            let key = record.config.cache_key();
+            if let Some(pos) = self.live_pos(&record.app, record.fingerprint, &key) {
+                stats.skipped += 1;
+                if self.records[pos].cost_bits != record.cost_bits {
+                    stats.conflicts += 1;
+                    self.telemetry.inc(Counter::StoreMergeConflicts);
+                }
+                continue;
+            }
+            // Same borrowed-probe discipline as `insert_batch`; the index
+            // is updated as we go, so a duplicate key later in this same
+            // batch resolves first-write-wins within the batch too.
+            if !self.index.contains_key(record.app.as_str()) {
+                self.index.insert(record.app.clone(), HashMap::new());
+            }
+            self.index
+                .get_mut(record.app.as_str())
+                .expect("app entry ensured above")
+                .entry(record.fingerprint)
+                .or_default()
+                .insert(key, self.records.len());
+            push_record_line(&record, &mut blob);
+            self.telemetry.inc(Counter::StoreMergedRecords);
+            stats.merged += 1;
+            self.records.push(record);
+        }
+        if stats.merged == 0 {
+            return Ok(stats);
+        }
+        let started = Instant::now();
+        self.file
+            .write_all(blob.as_bytes())
+            .map_err(|e| io_err("append to", &self.path, e))?;
+        self.last_append = started;
+        self.unsynced += stats.merged;
+        if self.unsynced >= self.sync_every.max(1) {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("sync", &self.path, e))?;
+            self.unsynced = 0;
+            self.telemetry
+                .observe(Latency::StoreAppendFsync, started.elapsed());
+        }
+        Ok(stats)
+    }
+
+    /// What [`merge_records`](Self::merge_records) *would* do, without
+    /// writing anything (`repro store merge --dry-run`).
+    pub fn merge_preview(&self, records: &[StoreRecord]) -> MergeStats {
+        let mut stats = MergeStats::default();
+        let mut fresh: std::collections::HashSet<(&str, u64, Vec<i64>)> =
+            std::collections::HashSet::new();
+        for record in records {
+            stats.scanned += 1;
+            let key = record.config.cache_key();
+            if let Some(pos) = self.live_pos(&record.app, record.fingerprint, &key) {
+                stats.skipped += 1;
+                if self.records[pos].cost_bits != record.cost_bits {
+                    stats.conflicts += 1;
+                }
+            } else if fresh.insert((record.app.as_str(), record.fingerprint, key)) {
+                stats.merged += 1;
+            } else {
+                stats.skipped += 1;
+            }
+        }
+        stats
+    }
+
+    /// Merge every live record of `peer` into this store; see
+    /// [`merge_records`](Self::merge_records) for the algebra.
+    pub fn merge_from(&mut self, peer: &PerfStore) -> Result<MergeStats> {
+        let records: Vec<StoreRecord> = peer.live_records().into_iter().cloned().collect();
+        self.merge_records(records)
+    }
+
+    /// Serialize the replication log from record position `from` onward,
+    /// in the byte-identical on-disk record encoding, for the
+    /// `/store/log` anti-entropy endpoint. Returns `(start, blob)`: when
+    /// `from` points past the end of the log (the peer compacted since
+    /// the puller's last pull), the whole log is re-served from 0 —
+    /// merges are idempotent, so over-serving is harmless and it
+    /// resynchronizes the puller's high-water mark.
+    pub fn encode_log_from(&self, from: usize) -> (usize, String) {
+        let start = if from <= self.records.len() { from } else { 0 };
+        let mut blob = String::with_capacity((self.records.len() - start) * 192);
+        for rec in &self.records[start..] {
+            push_record_line(rec, &mut blob);
+        }
+        (start, blob)
+    }
+
     /// Force `sync_data` on any unsynced appends.
     pub fn flush(&mut self) -> Result<()> {
         if self.unsynced > 0 {
@@ -959,6 +1095,22 @@ impl SharedStore {
     /// Locked [`PerfStore::insert_batch`].
     pub fn insert_batch(&self, records: Vec<StoreRecord>) -> Result<usize> {
         self.0.store.lock().insert_batch(records)
+    }
+
+    /// Locked [`PerfStore::merge_records`].
+    pub fn merge_records(&self, records: Vec<StoreRecord>) -> Result<MergeStats> {
+        self.0.store.lock().merge_records(records)
+    }
+
+    /// Locked [`PerfStore::encode_log_from`].
+    pub fn encode_log_from(&self, from: usize) -> (usize, String) {
+        self.0.store.lock().encode_log_from(from)
+    }
+
+    /// Locked [`PerfStore::len`] — total log records, for replication
+    /// high-water marks and `/status`.
+    pub fn record_count(&self) -> usize {
+        self.0.store.lock().len()
     }
 
     /// Locked [`PerfStore::flush`].
@@ -1296,6 +1448,90 @@ mod tests {
         assert_eq!(shared.lookup("a", 1, &key).unwrap().cost, 32.0);
         assert_eq!(shared.stats().live_configs, 1);
         shared.with(|s| s.compact()).unwrap();
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_first_write_wins() {
+        let path_a = temp_path("merge-a");
+        let path_b = temp_path("merge-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let t = Telemetry::enabled();
+        let mut a = PerfStore::open_with(&path_a, t.clone()).unwrap();
+        let mut b = PerfStore::open(&path_b).unwrap();
+        a.insert(rec("app", 1, 1.0, 1.0, 10.0)).unwrap();
+        a.insert(rec("app", 1, 2.0, 2.0, 20.0)).unwrap();
+        b.insert(rec("app", 1, 2.0, 2.0, 99.0)).unwrap(); // conflicting cost
+        b.insert(rec("app", 1, 3.0, 3.0, 30.0)).unwrap();
+        // Dry run predicts exactly what the real merge does.
+        let peer: Vec<StoreRecord> = b.live_records().into_iter().cloned().collect();
+        let preview = a.merge_preview(&peer);
+        let stats = a.merge_from(&b).unwrap();
+        assert_eq!(stats.scanned, 2);
+        assert_eq!(stats.merged, 1);
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(stats.conflicts, 1);
+        assert_eq!(
+            (preview.merged, preview.skipped, preview.conflicts),
+            (stats.merged, stats.skipped, stats.conflicts)
+        );
+        assert_eq!(t.counter(Counter::StoreMergedRecords), 1);
+        assert_eq!(t.counter(Counter::StoreMergeConflicts), 1);
+        // First write wins: the conflicting key still serves a's cost.
+        let key = space().project(&[2.0, 2.0]).cache_key();
+        assert_eq!(a.lookup("app", 1, &key).unwrap().cost, 20.0);
+        // Idempotent: merging the same peer again changes nothing.
+        let len = a.len();
+        let again = a.merge_from(&b).unwrap();
+        assert_eq!(again.merged, 0);
+        assert_eq!(a.len(), len);
+        // And the merged store survives reopen with the same live set.
+        drop(a);
+        let a = PerfStore::open(&path_a).unwrap();
+        assert_eq!(a.live_configs(), 3);
+        assert_eq!(a.lookup("app", 1, &key).unwrap().cost, 20.0);
+    }
+
+    #[test]
+    fn replication_log_roundtrips_into_an_equal_store() {
+        let src_path = temp_path("log-src");
+        let dst_path = temp_path("log-dst");
+        let _ = std::fs::remove_file(&src_path);
+        let _ = std::fs::remove_file(&dst_path);
+        let mut src = PerfStore::open(&src_path).unwrap();
+        for i in 0..6 {
+            src.insert(rec("app", 1, i as f64, 0.0, i as f64 + 0.5))
+                .unwrap();
+        }
+        // Pull in two increments, like the SyncPeers task does.
+        let mut dst = PerfStore::open(&dst_path).unwrap();
+        let mut from = 0;
+        for _ in 0..2 {
+            let (start, blob) = src.encode_log_from(from);
+            assert_eq!(start, from);
+            let records: Vec<StoreRecord> = blob
+                .lines()
+                .map(|l| serde_json::from_str(l).unwrap())
+                .collect();
+            from = start + records.len();
+            dst.merge_records(records).unwrap();
+        }
+        assert_eq!(from, src.len());
+        let live_src: Vec<(Vec<i64>, u64)> = src
+            .live_records()
+            .iter()
+            .map(|r| (r.config.cache_key(), r.cost_bits))
+            .collect();
+        let live_dst: Vec<(Vec<i64>, u64)> = dst
+            .live_records()
+            .iter()
+            .map(|r| (r.config.cache_key(), r.cost_bits))
+            .collect();
+        assert_eq!(live_src, live_dst);
+        // A high-water mark past the end (peer compacted) re-serves from 0.
+        let (start, blob) = src.encode_log_from(from + 10);
+        assert_eq!(start, 0);
+        assert_eq!(blob.lines().count(), src.len());
     }
 
     #[test]

@@ -155,10 +155,18 @@ pub enum Counter {
     ConnectionsEvictedIdle,
     /// Connections the peer closed (EOF or I/O error), goodbyes included.
     ConnectionsClosedByPeer,
+    /// Requests refused because a tenant hit its session or in-flight
+    /// trial quota.
+    QuotaRefusals,
+    /// Peer records appended into the local store by a federation merge.
+    StoreMergedRecords,
+    /// Merge collisions on `(app, fingerprint, key)` where the peer's cost
+    /// differed; the local first write won.
+    StoreMergeConflicts,
 }
 
 /// Number of [`Counter`] variants (size of the per-handle counter array).
-const COUNTER_COUNT: usize = 25;
+const COUNTER_COUNT: usize = 28;
 
 impl Counter {
     /// Every counter, in rendering order.
@@ -188,6 +196,9 @@ impl Counter {
         Counter::ConnectionsRefused,
         Counter::ConnectionsEvictedIdle,
         Counter::ConnectionsClosedByPeer,
+        Counter::QuotaRefusals,
+        Counter::StoreMergedRecords,
+        Counter::StoreMergeConflicts,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -219,6 +230,9 @@ impl Counter {
             Counter::ConnectionsRefused => "connections_refused",
             Counter::ConnectionsEvictedIdle => "connections_evicted_idle",
             Counter::ConnectionsClosedByPeer => "connections_closed_by_peer",
+            Counter::QuotaRefusals => "quota_refusals",
+            Counter::StoreMergedRecords => "store_merged_records",
+            Counter::StoreMergeConflicts => "store_merge_conflicts",
         }
     }
 

@@ -1,0 +1,204 @@
+//! Property tests for the federation merge algebra.
+//!
+//! Anti-entropy only converges if merging is a semilattice join: merging
+//! the same peer twice must be a no-op (idempotent), the order two fleets
+//! sync in must not matter (commutative/associative), and a peer's log
+//! arriving in shuffled or torn batches must land on the same live store
+//! as one clean pull. Where two servers measured the same
+//! `(app, fingerprint, key)` independently, the local first write wins —
+//! deterministically, so replaying any merge order keeps a server's
+//! answers stable.
+
+use ah_core::space::SearchSpace;
+use ah_core::store::{PerfStore, StoreRecord};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_store(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "ah-merge-prop-{}-{}-{tag}.store",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn space() -> SearchSpace {
+    SearchSpace::builder()
+        .int("x", 0, 63, 1)
+        .int("y", 0, 63, 1)
+        .build()
+        .unwrap()
+}
+
+/// Deterministic cost, a pure function of the key: two servers that both
+/// measured a configuration agree, so merges in any order must commute.
+fn cost_of(key: (i64, i64)) -> f64 {
+    (key.0 * 100 + key.1) as f64 + 0.25
+}
+
+fn record(key: (i64, i64), cost: f64) -> StoreRecord {
+    let cfg = space().project(&[key.0 as f64, key.1 as f64]);
+    StoreRecord::new("merge-prop", 7, cfg, cost, cost)
+}
+
+fn store_with(tag: &str, keys: &[(i64, i64)]) -> PerfStore {
+    let mut s = PerfStore::open(temp_store(tag)).unwrap();
+    for &k in keys {
+        s.insert(record(k, cost_of(k))).unwrap();
+    }
+    s
+}
+
+/// The live mapping a store serves: cache key → first-recorded cost bits.
+fn live_map(store: &PerfStore) -> BTreeMap<Vec<i64>, u64> {
+    store
+        .live_records()
+        .iter()
+        .map(|r| (r.config.cache_key(), r.cost_bits))
+        .collect()
+}
+
+/// Keys packed as `x * 64 + y` so the vendored strategy surface (plain
+/// integer ranges) can generate them; [`unpack`] splits them back out.
+fn key_strategy() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(0i64..4096, 0..40)
+}
+
+fn unpack(packed: &[i64]) -> Vec<(i64, i64)> {
+    packed.iter().map(|&k| (k / 64, k % 64)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn merge_is_idempotent(a in key_strategy(), b in key_strategy()) {
+        let (a, b) = (unpack(&a), unpack(&b));
+        let mut dst = store_with("idem-dst", &a);
+        let peer = store_with("idem-peer", &b);
+        dst.merge_from(&peer).unwrap();
+        let once = live_map(&dst);
+        let len_once = dst.len();
+        let again = dst.merge_from(&peer).unwrap();
+        // A re-merge must append nothing.
+        prop_assert_eq!(again.merged, 0);
+        prop_assert_eq!(dst.len(), len_once);
+        prop_assert_eq!(live_map(&dst), once);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in key_strategy(),
+        b in key_strategy(),
+        c in key_strategy(),
+    ) {
+        let (a, b, c) = (unpack(&a), unpack(&b), unpack(&c));
+        // With agreeing costs, every grouping and order of the three
+        // fleets' stores converges to the identical live mapping.
+        let orders: Vec<[&[(i64, i64)]; 3]> = vec![
+            [&a, &b, &c],
+            [&c, &b, &a],
+            [&b, &a, &c],
+        ];
+        let mut maps = Vec::new();
+        for (i, order) in orders.iter().enumerate() {
+            let mut dst = store_with(&format!("comm-{i}"), order[0]);
+            dst.merge_from(&store_with(&format!("comm-{i}-1"), order[1])).unwrap();
+            dst.merge_from(&store_with(&format!("comm-{i}-2"), order[2])).unwrap();
+            maps.push(live_map(&dst));
+        }
+        // Associativity: pre-merge (b ⊕ c), then fold into a.
+        let mut bc = store_with("assoc-bc", &b);
+        bc.merge_from(&store_with("assoc-c", &c)).unwrap();
+        let mut grouped = store_with("assoc-a", &a);
+        grouped.merge_from(&bc).unwrap();
+        maps.push(live_map(&grouped));
+        for m in &maps[1..] {
+            prop_assert_eq!(m, &maps[0]);
+        }
+    }
+
+    #[test]
+    fn shuffled_batches_converge_to_one_clean_pull(
+        keys in key_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let keys = unpack(&keys);
+        let mut records: Vec<StoreRecord> =
+            keys.iter().map(|&k| record(k, cost_of(k))).collect();
+        // Deterministic Fisher-Yates off a splitmix-style stream.
+        let mut state = seed | 1;
+        for i in (1..records.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            records.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut clean = PerfStore::open(temp_store("shuffle-clean")).unwrap();
+        clean
+            .merge_records(keys.iter().map(|&k| record(k, cost_of(k))).collect())
+            .unwrap();
+        let mut chunked = PerfStore::open(temp_store("shuffle-chunked")).unwrap();
+        for chunk in records.chunks(3) {
+            chunked.merge_records(chunk.to_vec()).unwrap();
+        }
+        prop_assert_eq!(live_map(&chunked), live_map(&clean));
+    }
+
+    #[test]
+    fn conflicting_costs_resolve_first_write_wins(
+        keys in key_strategy(),
+        delta in 1.0f64..100.0,
+    ) {
+        let keys = unpack(&keys);
+        let mut dst = store_with("fww-dst", &keys);
+        let mut peer = PerfStore::open(temp_store("fww-peer")).unwrap();
+        for &k in &keys {
+            peer.insert(record(k, cost_of(k) + delta)).unwrap();
+        }
+        let before = live_map(&dst);
+        let unique = before.len();
+        let stats = dst.merge_from(&peer).unwrap();
+        // Every peer record collides; the local first write survives.
+        prop_assert_eq!(stats.merged, 0);
+        prop_assert_eq!(stats.conflicts, unique);
+        prop_assert_eq!(live_map(&dst), before.clone());
+        // The losing side is deterministic in the other direction too: a
+        // store built from the peer keeps the *peer's* costs when dst's
+        // records arrive second.
+        let mut other = PerfStore::open(temp_store("fww-other")).unwrap();
+        other.merge_from(&peer).unwrap();
+        let peer_view = live_map(&other);
+        other.merge_from(&dst).unwrap();
+        prop_assert_eq!(live_map(&other), peer_view);
+    }
+}
+
+#[test]
+fn torn_tail_peer_merges_its_intact_prefix() {
+    let path = temp_store("torn-peer");
+    let mut peer = PerfStore::open(&path).unwrap();
+    for i in 0..5 {
+        peer.insert(record((i, i), cost_of((i, i)))).unwrap();
+    }
+    peer.flush().unwrap();
+    drop(peer);
+    // Tear the trailing record mid-line, like a crash during replication.
+    let blob = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &blob[..blob.len() - 7]).unwrap();
+    let peer = PerfStore::open(&path).unwrap();
+    assert_eq!(peer.live_configs(), 4, "torn tail truncates one record");
+    let mut dst = PerfStore::open(temp_store("torn-dst")).unwrap();
+    let stats = dst.merge_from(&peer).unwrap();
+    assert_eq!(stats.merged, 4);
+    assert_eq!(live_map(&dst).len(), 4);
+    // The re-measured tail arrives on a later pull and merges cleanly.
+    let mut again = PerfStore::open(temp_store("torn-again")).unwrap();
+    again.insert(record((4, 4), cost_of((4, 4)))).unwrap();
+    dst.merge_from(&again).unwrap();
+    assert_eq!(live_map(&dst).len(), 5);
+}

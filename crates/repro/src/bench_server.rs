@@ -67,6 +67,14 @@ pub struct BenchConfig {
     pub swarm_iters: usize,
     /// Event-loop threads of the TCP scenarios' servers (`0` = auto).
     pub loop_threads: usize,
+    /// Run the multi-tenant fair-dispatch scenario with this many tenants
+    /// (`0` = skip it). Each tenant drives its own session over TCP under
+    /// its own tenant id, so the deficit-round-robin dispatcher — not the
+    /// connection order — decides who gets served; the report records
+    /// overall throughput plus per-tenant p99 fetch latency. Like the
+    /// swarm, the scenario is recorded but exempt from the relative gate
+    /// (its shape depends on the tenant count, not on regressions).
+    pub tenants: usize,
 }
 
 impl Default for BenchConfig {
@@ -80,6 +88,7 @@ impl Default for BenchConfig {
             swarm_clients: 1000,
             swarm_iters: 8,
             loop_threads: 0,
+            tenants: 0,
         }
     }
 }
@@ -105,6 +114,7 @@ impl BenchConfig {
             swarm_clients: 200,
             swarm_iters: 4,
             loop_threads: 0,
+            tenants: 0,
         }
     }
 
@@ -454,6 +464,116 @@ fn run_swarm(cfg: &BenchConfig, store: Option<&SharedStore>) -> Scenario {
     summarize("tcp/swarm".to_string(), latencies, wall_secs)
 }
 
+/// Multi-tenant fair-dispatch scenario: `cfg.tenants` clients, each under
+/// its own tenant id, tune concurrently over TCP. Deficit-round-robin
+/// dispatch on the shards is what keeps any one tenant from starving the
+/// rest, so besides the aggregate throughput the interesting number is the
+/// *spread* of per-tenant p99 fetch latencies — reported alongside the
+/// scenario row. Exempt from the relative gate for the same reason as the
+/// swarm: the shape depends on the tenant count the run simulated.
+fn run_tenants(cfg: &BenchConfig, store: Option<&SharedStore>) -> (Scenario, serde_json::Value) {
+    let nonce = run_nonce();
+    let server = TcpHarmonyServer::bind_with_transport(
+        "127.0.0.1:0",
+        DEFAULT_MAX_CONNECTIONS.max(cfg.tenants + 16),
+        ServerConfig {
+            telemetry: cfg.server_telemetry(),
+            store: store.cloned(),
+            ..Default::default()
+        },
+        cfg.event_loop_transport(),
+    )
+    .expect("bind");
+    let observer = observer_for(cfg, |a| server.observe(a));
+    let addr = server.local_addr();
+    let barrier = Barrier::new(cfg.tenants + 1);
+    let mut wall_secs = 0.0;
+    let per_tenant: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.tenants)
+            .map(|i| {
+                let barrier = &barrier;
+                let opts = TcpClientOptions {
+                    tenant: format!("tenant-{i}"),
+                    telemetry: cfg.server_telemetry(),
+                    ..Default::default()
+                };
+                s.spawn(move || {
+                    let mut client =
+                        TcpHarmonyClient::connect_with(addr, &format!("tenant-{nonce}-{i}"), opts)
+                            .expect("connect");
+                    client
+                        .add_param(Param::int("x", 0, 1_000_000, 1))
+                        .expect("param");
+                    client
+                        .seal(session_options(i as u64 + 1), StrategyKind::Random)
+                        .expect("seal");
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(cfg.iters);
+                    let mut done = 0usize;
+                    while done < cfg.iters {
+                        let want = BATCH.min(cfg.iters - done);
+                        let t0 = Instant::now();
+                        let (trials, finished) = client.fetch_batch(want).expect("fetch_batch");
+                        assert!(!finished && !trials.is_empty());
+                        let reports: Vec<TrialReport> = trials
+                            .iter()
+                            .map(|t| TrialReport {
+                                iteration: t.iteration,
+                                cost: t.config.int("x").expect("x") as f64,
+                                wall_time: 0.0,
+                            })
+                            .collect();
+                        let n = reports.len();
+                        client.report_batch(reports).expect("report_batch");
+                        let per_eval = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+                        lat.extend(std::iter::repeat_n(per_eval, n));
+                        done += n;
+                    }
+                    client.close();
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let out = handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect();
+        wall_secs = t0.elapsed().as_secs_f64();
+        out
+    });
+    if let Some(handle) = observer {
+        handle.stop();
+    }
+    server.shutdown();
+    let p99s: Vec<f64> = per_tenant
+        .iter()
+        .map(|lat| {
+            let mut sorted = lat.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            percentile(&sorted, 0.99)
+        })
+        .collect();
+    let worst = p99s.iter().cloned().fold(0.0f64, f64::max);
+    let best = p99s.iter().cloned().fold(f64::INFINITY, f64::min);
+    let fairness = serde_json::json!({
+        "tenants": cfg.tenants,
+        "per_tenant_p99_us": p99s,
+        "worst_p99_us": worst,
+        "best_p99_us": best,
+        // Worst-over-best per-tenant p99: 1.0 is perfectly fair dispatch;
+        // a starved tenant shows up as a large ratio.
+        "p99_spread": if best > 0.0 { worst / best } else { 0.0 },
+    });
+    let scenario = summarize(
+        "tcp/tenants".to_string(),
+        per_tenant.into_iter().flatten().collect(),
+        wall_secs,
+    );
+    (scenario, fairness)
+}
+
 /// Warm-vs-cold cache demo: one bounded tuning session run twice under the
 /// same application label with a deliberately slow (~50µs spin) objective.
 /// The cold pass measures everything; the warm pass is answered from the
@@ -543,7 +663,7 @@ pub fn run(cfg: &BenchConfig) -> serde_json::Value {
         .as_deref()
         .map(|p| SharedStore::open(p).expect("open bench store"));
 
-    let scenarios = vec![
+    let mut scenarios = vec![
         run_inproc(cfg, 1, false, store.as_ref()),
         run_inproc(cfg, sharded, false, store.as_ref()),
         run_inproc(cfg, 1, true, store.as_ref()),
@@ -552,6 +672,11 @@ pub fn run(cfg: &BenchConfig) -> serde_json::Value {
         run_tcp(cfg, true, store.as_ref()),
         run_swarm(cfg, store.as_ref()),
     ];
+    let fairness = (cfg.tenants > 0).then(|| {
+        let (scenario, fairness) = run_tenants(cfg, store.as_ref());
+        scenarios.push(scenario);
+        fairness
+    });
 
     println!(
         "{:<28} {:>12} {:>12} {:>12}",
@@ -611,6 +736,11 @@ pub fn run(cfg: &BenchConfig) -> serde_json::Value {
         "speedup_sharded_vs_single_dispatcher": speedup_sharded,
         "speedup_sharded_batched_vs_single_serial": speedup_batched,
     });
+    if let Some(fairness) = fairness {
+        if let serde_json::Value::Object(entries) = &mut report {
+            entries.push(("tenants".to_string(), fairness));
+        }
+    }
     if let Some(store) = &store {
         let demo = store_cache_demo(cfg, store);
         let _ = store.flush();
@@ -648,12 +778,14 @@ fn relative_throughput(report: &serde_json::Value) -> Option<Vec<(String, f64)>>
     let mut out = Vec::new();
     for s in scenarios {
         let name = canonical_name(s.get("name")?.as_str()?);
-        if name == "tcp/swarm" {
+        if name == "tcp/swarm" || name == "tcp/tenants" {
             // The swarm's ratio depends on how many clients it simulated,
             // and full runs (1000) and quick gate runs (200) deliberately
             // differ — comparing the ratios would gate on client count,
             // not on regressions. Its guarantee (sustaining the swarm at
-            // all) is asserted inside `run_swarm` instead.
+            // all) is asserted inside `run_swarm` instead. The tenants
+            // scenario is optional (`--tenants N`) and likewise shaped by
+            // its count, so it is recorded but never gated.
             continue;
         }
         let ops = s.get("ops_per_sec")?.as_f64()?;
@@ -749,6 +881,7 @@ mod tests {
             swarm_clients: 24,
             swarm_iters: 4,
             loop_threads: 2,
+            tenants: 0,
         };
         let report = run(&cfg);
         assert_eq!(report["clients"].as_u64(), Some(3));
@@ -782,6 +915,7 @@ mod tests {
             swarm_clients: 8,
             swarm_iters: 2,
             loop_threads: 0,
+            tenants: 0,
         };
         let report = run(&cfg);
         assert_eq!(report["scenarios"].as_array().unwrap().len(), 7);
@@ -790,6 +924,45 @@ mod tests {
         // The warm pass is answered from the store: (almost) nothing runs.
         assert!(demo["warm_measured"].as_u64().unwrap() <= 2, "{demo:?}");
         assert!(demo["warm_speedup"].as_f64().unwrap() > 1.0, "{demo:?}");
+    }
+
+    #[test]
+    fn tenant_scenario_reports_fairness_and_stays_ungated() {
+        let cfg = BenchConfig {
+            clients: 2,
+            iters: 20,
+            telemetry: false,
+            store: None,
+            observe: None,
+            swarm_clients: 6,
+            swarm_iters: 2,
+            loop_threads: 0,
+            tenants: 3,
+        };
+        let report = run(&cfg);
+        let scenarios = report["scenarios"].as_array().unwrap();
+        assert_eq!(scenarios.len(), 8);
+        let tenants = scenarios
+            .iter()
+            .find(|s| s["name"].as_str() == Some("tcp/tenants"))
+            .expect("tcp/tenants scenario");
+        assert_eq!(tenants["total_evals"].as_u64(), Some(3 * 20));
+        let fairness = &report["tenants"];
+        assert_eq!(fairness["tenants"].as_u64(), Some(3));
+        assert_eq!(fairness["per_tenant_p99_us"].as_array().unwrap().len(), 3);
+        assert!(fairness["p99_spread"].as_f64().unwrap() >= 1.0);
+        // Exempt from the relative gate: a baseline without the scenario
+        // neither fails nor reports it missing.
+        let base = serde_json::json!({
+            "scenarios": [{"name": "inproc/serial/1-shard", "ops_per_sec": 1000.0}],
+        });
+        let cur = serde_json::json!({
+            "scenarios": [
+                {"name": "inproc/serial/1-shard", "ops_per_sec": 1000.0},
+                {"name": "tcp/tenants", "ops_per_sec": 50.0},
+            ],
+        });
+        assert!(check_regression(&cur, &base, 0.25).is_empty());
     }
 
     #[test]

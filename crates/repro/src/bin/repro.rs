@@ -11,7 +11,8 @@
 //! repro observe              # same faulted run with a live HTTP endpoint
 //! repro watch                # poll a live server's /status, line per tick
 //! repro store <sub>          # persistent performance DB:
-//!                            #   stats | inspect | compact | gc | demo
+//!                            #   stats | inspect | compact | gc | merge | demo
+//! repro serve                # long-running federated TCP tuning server
 //! options:
 //!   --quick            shrink workloads (smoke-test mode)
 //!   --json PATH        also dump machine-readable results
@@ -55,6 +56,21 @@
 //!   --interval-ms N    watch: poll interval (default 1000)
 //!   --ticks N          watch: stop after N polls (default 0 = poll until
 //!                      every session reports a stop reason)
+//!   --from PATH        store merge: the peer database folded into --store
+//!   --dry-run          store merge: report what would merge, write nothing
+//!   --connect ADDR     store demo: drive the campaign over TCP against a
+//!                      live server instead of an in-process one
+//!   --listen ADDR      serve: TCP client address (default 127.0.0.1:0)
+//!   --sync-peer ADDRS  serve: comma-separated peer observe addresses to
+//!                      pull /store/log from (anti-entropy)
+//!   --sync-interval-ms N  serve: anti-entropy pull period (default 500)
+//!   --shards N         serve: shard workers (default 2)
+//!   --tenant-max-sessions N  serve: per-tenant concurrent session cap
+//!   --tenant-max-inflight N  serve: per-tenant in-flight trial cap
+//!   --run-for-ms N     serve: exit cleanly after N ms (default 0 = run
+//!                      until killed)
+//!   --tenants N        bench-server: add the fair-dispatch scenario with
+//!                      N competing tenants (default 0 = off)
 //! ```
 
 use ah_repro::{all_experiments, Experiment, RunCtx};
@@ -93,6 +109,7 @@ fn bench_server(args: &[String], json_path: Option<String>, quick: bool) {
         swarm_clients: parse_usize(args, "--swarm", defaults.swarm_clients).max(1),
         swarm_iters: parse_usize(args, "--swarm-iters", defaults.swarm_iters).max(1),
         loop_threads: parse_usize(args, "--loop-threads", defaults.loop_threads),
+        tenants: parse_usize(args, "--tenants", defaults.tenants),
     };
     // Regression gate: compare against a committed baseline instead of
     // overwriting it (a checking run must never move its own goalposts).
@@ -219,6 +236,15 @@ fn main() {
         "--linger-ms",
         "--interval-ms",
         "--ticks",
+        "--connect",
+        "--listen",
+        "--sync-peer",
+        "--sync-interval-ms",
+        "--shards",
+        "--tenant-max-sessions",
+        "--tenant-max-inflight",
+        "--run-for-ms",
+        "--tenants",
     ]
     .iter()
     .map(|f| flag_value(&args, f))
@@ -240,6 +266,45 @@ fn main() {
 
     if selectors.first().map(|s| s.as_str()) == Some("store") {
         std::process::exit(ah_repro::store_cli::run(&args, quick));
+    }
+
+    if selectors.first().map(|s| s.as_str()) == Some("serve") {
+        let store = flag_value(&args, "--store").unwrap_or_else(|| {
+            eprintln!("repro serve requires --store PATH");
+            std::process::exit(2);
+        });
+        let cap = |flag: &str| {
+            flag_value(&args, flag).map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("{flag} expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                })
+            })
+        };
+        let cfg = ah_repro::serve_cli::ServeConfig {
+            store: store.into(),
+            listen: flag_value(&args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into()),
+            observe: flag_value(&args, "--observe").unwrap_or_else(|| "127.0.0.1:0".into()),
+            sync_peers: flag_value(&args, "--sync-peer")
+                .map(|v| {
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            sync_interval: std::time::Duration::from_millis(parse_usize(
+                &args,
+                "--sync-interval-ms",
+                0,
+            ) as u64),
+            shards: parse_usize(&args, "--shards", 2),
+            tenant_max_sessions: cap("--tenant-max-sessions"),
+            tenant_max_inflight: cap("--tenant-max-inflight"),
+            run_for: std::time::Duration::from_millis(parse_usize(&args, "--run-for-ms", 0) as u64),
+        };
+        std::process::exit(ah_repro::serve_cli::run(&cfg));
     }
 
     let out = flag_value(&args, "--out");

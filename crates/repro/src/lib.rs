@@ -17,6 +17,7 @@ pub mod experiment;
 pub mod experiments;
 pub mod fault_wal;
 pub mod observe_cli;
+pub mod serve_cli;
 pub mod store_cli;
 pub mod swarm;
 pub mod table;

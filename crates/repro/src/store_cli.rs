@@ -5,8 +5,10 @@
 //! repro store inspect --store PATH [--app LABEL] [--limit N]
 //! repro store compact --store PATH
 //! repro store gc      --store PATH --app LABEL
+//! repro store merge   --store DST --from SRC [--dry-run] [--crash-after N]
 //! repro store demo    --store PATH [--out PATH] [--cache-out PATH]
 //!                     [--crash-after N] [--eval-delay-ms N]
+//! repro store demo    --connect ADDR [--out PATH]
 //! ```
 //!
 //! `demo` runs a deterministic store-backed tuning campaign against a
@@ -14,18 +16,27 @@
 //! twice against one `--store` and the second invocation is served from
 //! the database instead of being re-measured; `--crash-after`/SIGKILL in
 //! the middle, then a clean re-run, must still produce the byte-identical
-//! `--out` result (CI does exactly this).
+//! `--out` result (CI does exactly this). With `--connect ADDR` the same
+//! campaign is driven over TCP against a live `repro serve` process
+//! instead of an in-process server — the federation smoke runs it against
+//! two servers and diffs the `--out` files.
+//!
+//! `merge` folds a peer database into `--store` with the federation
+//! first-write-wins algebra; `--dry-run` prints what would happen without
+//! writing, `--crash-after N` aborts mid-merge after N records for the
+//! crash-durability tests.
 //!
 //! `--out` holds only run-deterministic data (trajectory and best point as
 //! cost bits and cache keys); the volatile cache accounting (hits, misses,
 //! served fraction, store stats) goes to `--cache-out`.
 
 use ah_core::param::Param;
-use ah_core::server::protocol::{StrategyKind, TrialReport};
-use ah_core::server::{HarmonyServer, ServerConfig};
+use ah_core::server::protocol::{FetchedTrial, StrategyKind, TrialReport};
+use ah_core::server::tcp::{TcpClientOptions, TcpHarmonyClient};
+use ah_core::server::{HarmonyClient, HarmonyServer, ServerConfig};
 use ah_core::session::SessionOptions;
 use ah_core::space::Configuration;
-use ah_core::store::{PerfStore, SharedStore};
+use ah_core::store::{MergeStats, PerfStore, SharedStore, StoreRecord};
 use ah_core::telemetry::{Counter, Telemetry};
 use std::path::PathBuf;
 
@@ -143,6 +154,78 @@ fn compact(args: &[String], keep_app: Option<&str>) -> i32 {
     0
 }
 
+/// `repro store merge --store DST --from SRC [--dry-run] [--crash-after N]`.
+fn merge(args: &[String]) -> i32 {
+    let dst_path = store_path(args);
+    let src_path: PathBuf = flag_value(args, "--from")
+        .unwrap_or_else(|| {
+            eprintln!("repro store merge requires --from SRC (the peer database)");
+            std::process::exit(2);
+        })
+        .into();
+    let src = PerfStore::open(&src_path).unwrap_or_else(|e| {
+        eprintln!("cannot open peer store {}: {e}", src_path.display());
+        std::process::exit(2);
+    });
+    let mut dst = PerfStore::open(&dst_path).unwrap_or_else(|e| {
+        eprintln!("cannot open store {}: {e}", dst_path.display());
+        std::process::exit(2);
+    });
+    let report = |verb: &str, s: &MergeStats| {
+        println!(
+            "{verb} {} <- {}: scanned {} merged {} skipped {} conflicts {}",
+            dst_path.display(),
+            src_path.display(),
+            s.scanned,
+            s.merged,
+            s.skipped,
+            s.conflicts,
+        );
+    };
+    if args.iter().any(|a| a == "--dry-run") {
+        let peer: Vec<StoreRecord> = src.live_records().into_iter().cloned().collect();
+        let stats = dst.merge_preview(&peer);
+        report("would merge", &stats);
+        return 0;
+    }
+    let crash_after: Option<usize> = flag_value(args, "--crash-after").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--crash-after expects a positive integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+    let stats = if let Some(n) = crash_after {
+        // Record-at-a-time with a flush per record, so the abort leaves a
+        // genuinely partial (possibly torn) log for the durability tests.
+        let peer: Vec<StoreRecord> = src.live_records().into_iter().cloned().collect();
+        let mut total = MergeStats::default();
+        for (done, rec) in peer.into_iter().enumerate() {
+            if done >= n {
+                eprintln!("store merge: simulated crash after {done} records");
+                std::process::abort();
+            }
+            let step = dst.merge_records(vec![rec]).unwrap_or_else(|e| {
+                eprintln!("merge failed: {e}");
+                std::process::exit(2);
+            });
+            total.absorb(step);
+            dst.flush().ok();
+        }
+        total
+    } else {
+        dst.merge_from(&src).unwrap_or_else(|e| {
+            eprintln!("merge failed: {e}");
+            std::process::exit(2);
+        })
+    };
+    if let Err(e) = dst.flush() {
+        eprintln!("flush failed: {e}");
+        return 2;
+    }
+    report("merged", &stats);
+    0
+}
+
 /// Deterministic synthetic objective for the demo campaign.
 fn demo_cost(cfg: &Configuration) -> f64 {
     let tile = cfg.int("tile").unwrap() as f64;
@@ -152,8 +235,12 @@ fn demo_cost(cfg: &Configuration) -> f64 {
 
 /// Settings for one demo campaign (exposed for the durability tests).
 pub struct DemoConfig {
-    /// Database location.
+    /// Database location (ignored when [`connect`](Self::connect) is set —
+    /// the remote server owns the store).
     pub store: PathBuf,
+    /// Drive the campaign over TCP against this live server instead of an
+    /// in-process one.
+    pub connect: Option<String>,
     /// Deterministic result JSON (`--out`).
     pub out: Option<String>,
     /// Volatile cache-accounting JSON (`--cache-out`).
@@ -166,20 +253,89 @@ pub struct DemoConfig {
     pub quick: bool,
 }
 
+/// The demo campaign's client, in-process or over TCP; the campaign loop
+/// is identical either way, which is what makes the two modes' `--out`
+/// files diffable.
+enum DemoClient {
+    Local(HarmonyClient),
+    Remote(Box<TcpHarmonyClient>),
+}
+
+impl DemoClient {
+    fn add_param(&mut self, p: Param) -> ah_core::error::Result<()> {
+        match self {
+            DemoClient::Local(c) => c.add_param(p),
+            DemoClient::Remote(c) => c.add_param(p),
+        }
+    }
+
+    fn seal(&mut self, o: SessionOptions, s: StrategyKind) -> ah_core::error::Result<()> {
+        match self {
+            DemoClient::Local(c) => c.seal(o, s),
+            DemoClient::Remote(c) => c.seal(o, s),
+        }
+    }
+
+    fn fetch_batch(&mut self, max: usize) -> ah_core::error::Result<(Vec<FetchedTrial>, bool)> {
+        match self {
+            DemoClient::Local(c) => c.fetch_batch(max),
+            DemoClient::Remote(c) => c.fetch_batch(max),
+        }
+    }
+
+    fn report_batch(&mut self, reports: Vec<TrialReport>) -> ah_core::error::Result<()> {
+        match self {
+            DemoClient::Local(c) => c.report_batch(reports),
+            DemoClient::Remote(c) => c.report_batch(reports),
+        }
+    }
+
+    fn history(&mut self) -> ah_core::error::Result<(ah_core::history::History, bool)> {
+        match self {
+            DemoClient::Local(c) => c.history(),
+            DemoClient::Remote(c) => c.history(),
+        }
+    }
+
+    fn best(&mut self) -> ah_core::error::Result<Option<(Configuration, f64)>> {
+        match self {
+            DemoClient::Local(c) => c.best(),
+            DemoClient::Remote(c) => c.best(),
+        }
+    }
+}
+
 /// `repro store demo`: one store-backed campaign; see the module docs.
 pub fn demo(cfg: &DemoConfig) -> i32 {
     let evals = if cfg.quick { 60 } else { 200 };
     let telemetry = Telemetry::enabled();
-    let store = SharedStore::open_with(&cfg.store, telemetry.clone()).unwrap_or_else(|e| {
-        eprintln!("cannot open store {}: {e}", cfg.store.display());
-        std::process::exit(2);
-    });
-    let server = HarmonyServer::start_with_config(ServerConfig {
-        shards: 2,
-        store: Some(store.clone()),
-        ..Default::default()
-    });
-    let client = server.connect("store-demo").expect("connect");
+    // In remote mode the server at --connect owns the store; locally we
+    // boot a 2-shard server around the --store database.
+    let (mut client, server, store) = if let Some(addr) = &cfg.connect {
+        let addr: std::net::SocketAddr = addr.parse().unwrap_or_else(|_| {
+            eprintln!("--connect expects HOST:PORT, got `{addr}`");
+            std::process::exit(2);
+        });
+        let remote =
+            TcpHarmonyClient::connect_with(addr, "store-demo", TcpClientOptions::default())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot connect to {addr}: {e}");
+                    std::process::exit(2);
+                });
+        (DemoClient::Remote(Box::new(remote)), None, None)
+    } else {
+        let store = SharedStore::open_with(&cfg.store, telemetry.clone()).unwrap_or_else(|e| {
+            eprintln!("cannot open store {}: {e}", cfg.store.display());
+            std::process::exit(2);
+        });
+        let server = HarmonyServer::start_with_config(ServerConfig {
+            shards: 2,
+            store: Some(store.clone()),
+            ..Default::default()
+        });
+        let client = server.connect("store-demo").expect("connect");
+        (DemoClient::Local(client), Some(server), Some(store))
+    };
     client
         .add_param(Param::int("tile", 1, 128, 1))
         .expect("param");
@@ -228,18 +384,25 @@ pub fn demo(cfg: &DemoConfig) -> i32 {
 
     let (history, _) = client.history().expect("history");
     let (best_config, best_cost) = client.best().expect("best").expect("nonempty");
-    server.shutdown();
-    store.flush().expect("flush store");
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if let Some(store) = &store {
+        store.flush().expect("flush store");
+    }
 
     let rows = history.evaluations();
     let evaluations = rows.len();
     let served = rows.iter().filter(|e| e.cached).count();
     let hits = telemetry.counter(Counter::StoreHits);
     let misses = telemetry.counter(Counter::StoreMisses);
+    let source = cfg
+        .connect
+        .clone()
+        .unwrap_or_else(|| cfg.store.display().to_string());
     eprintln!(
         "store demo: {evaluations} evaluations, {measured} measured, {served} served \
-         from {} ({hits} hits / {misses} misses)",
-        cfg.store.display()
+         from {source} ({hits} hits / {misses} misses)"
     );
 
     if let Some(path) = &cfg.out {
@@ -260,14 +423,27 @@ pub fn demo(cfg: &DemoConfig) -> i32 {
         );
     }
     if let Some(path) = &cfg.cache_out {
-        let accounting = serde_json::json!({
-            "store_hits": hits,
-            "store_misses": misses,
-            "measured": measured,
-            "served": served,
-            "served_fraction": served as f64 / evaluations.max(1) as f64,
-            "stats": store.stats(),
-        });
+        // Store composition only exists in local mode; a remote server's
+        // accounting lives on its /status endpoint.
+        let served_fraction = served as f64 / evaluations.max(1) as f64;
+        let accounting = if let Some(store) = &store {
+            serde_json::json!({
+                "store_hits": hits,
+                "store_misses": misses,
+                "measured": measured,
+                "served": served,
+                "served_fraction": served_fraction,
+                "stats": store.stats(),
+            })
+        } else {
+            serde_json::json!({
+                "store_hits": hits,
+                "store_misses": misses,
+                "measured": measured,
+                "served": served,
+                "served_fraction": served_fraction,
+            })
+        };
         write_blob(
             path,
             &serde_json::to_string_pretty(&accounting).expect("accounting serializes"),
@@ -295,8 +471,14 @@ pub fn run(args: &[String], quick: bool) -> i32 {
             });
             compact(args, Some(&app))
         }
+        "merge" => merge(args),
         "demo" => demo(&DemoConfig {
-            store: store_path(args),
+            store: if flag_value(args, "--connect").is_some() {
+                flag_value(args, "--store").unwrap_or_default().into()
+            } else {
+                store_path(args)
+            },
+            connect: flag_value(args, "--connect"),
             out: flag_value(args, "--out"),
             cache_out: flag_value(args, "--cache-out"),
             crash_after: flag_value(args, "--crash-after").map(|v| {
@@ -313,7 +495,7 @@ pub fn run(args: &[String], quick: bool) -> i32 {
         other => {
             eprintln!(
                 "unknown store subcommand `{other}`; \
-                 expected stats | inspect | compact | gc | demo"
+                 expected stats | inspect | compact | gc | merge | demo"
             );
             2
         }
@@ -337,6 +519,7 @@ mod tests {
         let warm_cache = tmp("warm-cache.json");
         let base = DemoConfig {
             store: store.clone(),
+            connect: None,
             out: Some(cold_out.display().to_string()),
             cache_out: None,
             crash_after: None,
@@ -368,11 +551,71 @@ mod tests {
     }
 
     #[test]
+    fn merge_subcommand_is_predicted_by_dry_run_and_idempotent() {
+        let dst = tmp("merge-dst.store");
+        let src = tmp("merge-src.store");
+        for p in [&dst, &src] {
+            let _ = std::fs::remove_file(p);
+        }
+        let rec = |x: i64, cost: f64| {
+            let cfg = ah_core::space::SearchSpace::builder()
+                .int("x", 0, 64, 1)
+                .build()
+                .unwrap()
+                .project(&[x as f64]);
+            StoreRecord::new("merge-cli", 3, cfg, cost, cost)
+        };
+        let mut a = PerfStore::open(&dst).unwrap();
+        a.insert(rec(1, 10.0)).unwrap();
+        a.insert(rec(2, 20.0)).unwrap();
+        a.flush().unwrap();
+        let mut b = PerfStore::open(&src).unwrap();
+        b.insert(rec(2, 99.0)).unwrap(); // collides: first write (dst) wins
+        b.insert(rec(3, 30.0)).unwrap();
+        b.flush().unwrap();
+        drop((a, b));
+
+        let argv = |extra: &[&str]| -> Vec<String> {
+            let mut v = vec![
+                "store".to_string(),
+                "merge".to_string(),
+                "--store".to_string(),
+                dst.display().to_string(),
+                "--from".to_string(),
+                src.display().to_string(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        // Dry run must not write.
+        assert_eq!(run(&argv(&["--dry-run"]), true), 0);
+        assert_eq!(PerfStore::open(&dst).unwrap().live_configs(), 2);
+        // Real merge folds in the one novel record, keeps dst's x=2 cost.
+        assert_eq!(run(&argv(&[]), true), 0);
+        let merged = PerfStore::open(&dst).unwrap();
+        assert_eq!(merged.live_configs(), 3);
+        let x2 = merged
+            .live_records()
+            .into_iter()
+            .find(|r| r.config.int("x") == Some(2))
+            .unwrap();
+        assert_eq!(x2.cost(), 20.0, "first write wins on collision");
+        drop(merged);
+        // Re-merge is a no-op.
+        assert_eq!(run(&argv(&[]), true), 0);
+        assert_eq!(PerfStore::open(&dst).unwrap().live_configs(), 3);
+        for p in [&dst, &src] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
     fn stats_and_compact_subcommands_round_trip() {
         let store = tmp("ops.store");
         let _ = std::fs::remove_file(&store);
         let cfg = DemoConfig {
             store: store.clone(),
+            connect: None,
             out: None,
             cache_out: None,
             crash_after: None,

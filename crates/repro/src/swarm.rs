@@ -259,6 +259,7 @@ enum IndState {
 /// `Seal` → `iters` evaluations through `FetchBatch`/`ReportBatch`.
 pub struct IndependentScript {
     app: String,
+    tenant: String,
     seed: u64,
     iters: usize,
     batch: usize,
@@ -272,6 +273,7 @@ impl IndependentScript {
     pub fn new(app: String, seed: u64, iters: usize, batch: usize) -> Self {
         IndependentScript {
             app,
+            tenant: String::new(),
             seed,
             iters,
             batch: batch.max(1),
@@ -279,6 +281,13 @@ impl IndependentScript {
             state: IndState::Registering,
             latencies: Vec::new(),
         }
+    }
+
+    /// Label this client with a tenant id for quota/fair-dispatch
+    /// accounting on the server (empty means the default tenant).
+    pub fn with_tenant(mut self, tenant: String) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     fn fetch(&mut self) -> Request {
@@ -293,6 +302,7 @@ impl SwarmScript for IndependentScript {
     fn first(&mut self) -> Request {
         Request::Register {
             app: self.app.clone(),
+            tenant: self.tenant.clone(),
         }
     }
 
@@ -358,6 +368,7 @@ impl SwarmScript for IndependentScript {
 /// is bit-identical however many of these run concurrently.
 pub struct SharedWorkerScript {
     session: u64,
+    tenant: String,
     batch: usize,
     attached: bool,
     /// Evaluations this worker measured (for sanity assertions).
@@ -369,10 +380,17 @@ impl SharedWorkerScript {
     pub fn new(session: u64, batch: usize) -> Self {
         SharedWorkerScript {
             session,
+            tenant: String::new(),
             batch: batch.max(1),
             attached: false,
             measured: 0,
         }
+    }
+
+    /// Label this worker with a tenant id for fair-dispatch accounting.
+    pub fn with_tenant(mut self, tenant: String) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -380,6 +398,7 @@ impl SwarmScript for SharedWorkerScript {
     fn first(&mut self) -> Request {
         Request::Attach {
             session: self.session,
+            tenant: self.tenant.clone(),
         }
     }
 

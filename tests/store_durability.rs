@@ -102,6 +102,87 @@ fn abort_mid_campaign_then_reopen_serves_the_survivors() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Live `(cache_key, cost bits)` content of a store, for equality checks
+/// that ignore append order and torn tails.
+fn live_map(path: &Path) -> std::collections::BTreeMap<Vec<i64>, u64> {
+    let store = ah_core::store::PerfStore::open(path).expect("reopen store");
+    store
+        .live_records()
+        .into_iter()
+        .map(|r| (r.config.cache_key(), r.cost_bits))
+        .collect()
+}
+
+#[test]
+fn abort_mid_merge_then_clean_remerge_converges() {
+    let dir = tmp_dir("merge-crash");
+
+    // Source database: one uninterrupted demo campaign's records.
+    let src = dir.join("src.store");
+    let status = repro()
+        .args(["store", "demo", "--quick"])
+        .arg("--store")
+        .arg(&src)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "source demo failed: {status}");
+
+    // Reference: merge into a fresh store, never crashed.
+    let reference = dir.join("reference.store");
+    let status = repro()
+        .args(["store", "merge"])
+        .arg("--store")
+        .arg(&reference)
+        .arg("--from")
+        .arg(&src)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "reference merge failed: {status}");
+    let want = live_map(&reference);
+    assert!(!want.is_empty(), "demo campaign left an empty source store");
+
+    // Crash path: abort after 5 records, leaving a partial destination.
+    let crashed = dir.join("crashed.store");
+    let status = repro()
+        .args(["store", "merge", "--crash-after", "5"])
+        .arg("--store")
+        .arg(&crashed)
+        .arg("--from")
+        .arg(&src)
+        .status()
+        .expect("spawn repro");
+    assert!(
+        !status.success(),
+        "crash-after merge must die, got {status}"
+    );
+    let partial = live_map(&crashed);
+    assert!(
+        !partial.is_empty() && partial.len() < want.len(),
+        "crashed merge should leave a strict subset ({} of {})",
+        partial.len(),
+        want.len()
+    );
+
+    // Idempotent re-merge over the partial state converges to the
+    // never-crashed result.
+    let status = repro()
+        .args(["store", "merge"])
+        .arg("--store")
+        .arg(&crashed)
+        .arg("--from")
+        .arg(&src)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "recovery merge failed: {status}");
+    assert_eq!(
+        live_map(&crashed),
+        want,
+        "re-merge after crash diverged from the uninterrupted merge"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn sigkill_mid_campaign_then_reopen_serves_the_survivors() {
     let dir = tmp_dir("sigkill");

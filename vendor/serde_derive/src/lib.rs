@@ -15,13 +15,13 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Which::Serialize)
 }
 
 /// Derive `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Which::Deserialize)
 }
@@ -39,8 +39,15 @@ struct Item {
 
 enum Kind {
     /// Named fields of a struct.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+/// One named field and whether `#[serde(default)]` marks it optional on
+/// the wire (missing → `Default::default()` when deserializing).
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -53,7 +60,7 @@ enum Shape {
     /// Tuple variant with the given arity.
     Tuple(usize),
     /// Struct variant with named fields.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 fn expand(input: TokenStream, which: Which) -> TokenStream {
@@ -141,16 +148,39 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     Ok(Item { name, kind })
 }
 
-/// Parse `field: Type, ...` from a brace group, returning field names.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// True when an attribute's bracket group is `serde(default)` (possibly
+/// among other serde options).
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Parse `field: Type, ...` from a brace group, returning field names and
+/// their `#[serde(default)]` markers.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut tokens = body.into_iter().peekable();
+    let mut pending_default = false;
     loop {
-        // Skip attributes and `pub`.
+        // Skip attributes and `pub`, remembering a `#[serde(default)]`.
         let name = loop {
             match tokens.next() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
-                    Some(TokenTree::Group(_)) => {}
+                    Some(TokenTree::Group(g)) => {
+                        if is_serde_default(&g) {
+                            pending_default = true;
+                        }
+                    }
                     _ => return Err("malformed field attribute".into()),
                 },
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -191,7 +221,10 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
                 None => break,
             }
         }
-        fields.push(name);
+        fields.push(Field {
+            name,
+            default: std::mem::take(&mut pending_default),
+        });
     }
 }
 
@@ -273,7 +306,10 @@ fn gen_serialize(item: &Item) -> String {
         Kind::Struct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             format!("::serde::Value::Object(vec![{}])", entries.join(", "))
         }
@@ -303,8 +339,10 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         Shape::Struct(fields) => {
-                            let binders = fields.join(", ");
-                            let entries: Vec<String> = fields
+                            let names: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let binders = names.join(", ");
+                            let entries: Vec<String> = names
                                 .iter()
                                 .map(|f| {
                                     format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
@@ -328,18 +366,30 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
+/// Initializer for one named field: a missing `#[serde(default)]` field
+/// falls back to `Default::default()` instead of erroring, so new wire
+/// fields stay backward-compatible with frames from older peers.
+fn field_init(f: &Field, ty: &str) -> String {
+    let fname = &f.name;
+    if f.default {
+        format!(
+            "{fname}: match ::serde::de::field(obj, \"{ty}\", \"{fname}\") {{\n\
+                 Ok(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 Err(_) => ::std::default::Default::default(),\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{fname}: ::serde::Deserialize::from_value(::serde::de::field(obj, \"{ty}\", \"{fname}\")?)?"
+        )
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
         Kind::Struct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::de::field(obj, \"{name}\", \"{f}\")?)?"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, name)).collect();
             format!(
                 "let obj = ::serde::de::object(v, \"{name}\")?;\n\
                  Ok({name} {{ {} }})",
@@ -373,14 +423,9 @@ fn gen_deserialize(item: &Item) -> String {
                             )
                         }
                         Shape::Struct(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(::serde::de::field(obj, \"{name}::{vn}\", \"{f}\")?)?"
-                                    )
-                                })
-                                .collect();
+                            let ty = format!("{name}::{vn}");
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, &ty)).collect();
                             format!(
                                 "(\"{vn}\", Some(payload)) => {{\n\
                                      let obj = ::serde::de::object(payload, \"{name}::{vn}\")?;\n\
