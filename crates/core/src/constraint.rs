@@ -9,8 +9,73 @@
 //! decomposition, where partition boundaries must form a non-decreasing chain.
 
 use crate::error::Result;
+use crate::param::Param;
 use crate::space::{Configuration, SearchSpace};
 use std::fmt::Debug;
+
+/// Machine-readable description of a constraint, consumed by the
+/// search-space compiler ([`crate::space_compile`]).
+///
+/// A spec lets the compiler reason about the constraint *without evaluating
+/// it*: tighten per-dimension bounds, prune provably-dead subtrees during
+/// enumeration, and fold a canonical token into the space fingerprint. A
+/// constraint that cannot (or does not want to) describe itself returns
+/// [`ConstraintSpec::Opaque`]; the compiler then falls back to calling
+/// [`Constraint::is_satisfied`] on every fully-assigned lattice point, which
+/// is always correct, just slower.
+///
+/// Contract: the spec must accept *exactly* the configurations that
+/// [`Constraint::is_satisfied`] accepts (it is an alternative encoding of
+/// the same predicate, not an approximation). The equivalence is
+/// property-tested in `tests/space_compile_props.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintSpec {
+    /// No machine-readable form; check full points via `is_satisfied`.
+    Opaque,
+    /// The named dimensions (by index into the space's parameter list, in
+    /// constraint order) must form a non-decreasing chain.
+    Chain(Vec<usize>),
+    /// The values of the dimensions must sum into `[min, max]` (any
+    /// acceptance slack already folded into the bounds).
+    Sum {
+        /// Participating dimensions, by index, in constraint order.
+        dims: Vec<usize>,
+        /// Lower acceptance bound (slack included).
+        min: f64,
+        /// Upper acceptance bound (slack included).
+        max: f64,
+    },
+    /// The constraint can never be satisfied on this space (e.g. a sum over
+    /// a categorical dimension, which `is_satisfied` always rejects).
+    Unsatisfiable,
+}
+
+impl ConstraintSpec {
+    /// Canonical token folded (order-insensitively) into
+    /// [`space_fingerprint`](crate::store::space_fingerprint).
+    /// `None` for [`Opaque`](Self::Opaque): opaque constraints stay outside
+    /// the fingerprint, exactly as all constraints were before the space
+    /// compiler existed.
+    pub fn fingerprint_token(&self) -> Option<String> {
+        match self {
+            ConstraintSpec::Opaque => None,
+            ConstraintSpec::Chain(dims) => {
+                let idx: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+                Some(format!("chain:{}", idx.join(",")))
+            }
+            ConstraintSpec::Sum { dims, min, max } => {
+                let idx: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+                Some(format!(
+                    "sum:{}:{:016x}:{:016x}",
+                    idx.join(","),
+                    min.to_bits(),
+                    max.to_bits()
+                ))
+            }
+            ConstraintSpec::Unsatisfiable => Some("unsat".to_string()),
+        }
+    }
+}
 
 /// A repairable relation between parameters of a [`SearchSpace`].
 pub trait Constraint: Send + Sync + Debug {
@@ -24,6 +89,13 @@ pub trait Constraint: Send + Sync + Debug {
     /// Validate that the constraint's parameter references exist in the
     /// space. Called once at space construction.
     fn check_space(&self, space: &SearchSpace) -> Result<()>;
+
+    /// Machine-readable description for the search-space compiler; must
+    /// accept exactly the configurations `is_satisfied` accepts. The
+    /// default is [`ConstraintSpec::Opaque`] (always correct).
+    fn spec(&self, _space: &SearchSpace) -> ConstraintSpec {
+        ConstraintSpec::Opaque
+    }
 }
 
 fn indices(space: &SearchSpace, names: &[String]) -> Result<Vec<usize>> {
@@ -92,6 +164,22 @@ impl Constraint for MonotoneChain {
     fn check_space(&self, space: &SearchSpace) -> Result<()> {
         indices(space, &self.names).map(|_| ())
     }
+
+    fn spec(&self, space: &SearchSpace) -> ConstraintSpec {
+        let idx = match indices(space, &self.names) {
+            Ok(i) => i,
+            Err(_) => return ConstraintSpec::Opaque,
+        };
+        // `is_satisfied` reads members as int-or-real and rejects anything
+        // else, so a chain over a categorical dimension never holds.
+        if idx
+            .iter()
+            .any(|&i| matches!(space.params()[i], Param::Enum { .. }))
+        {
+            return ConstraintSpec::Unsatisfiable;
+        }
+        ConstraintSpec::Chain(idx)
+    }
 }
 
 /// Requires the sum of the named integer parameters to stay within
@@ -129,6 +217,34 @@ impl SumBound {
     {
         Self::new(names, total, total)
     }
+
+    /// Acceptance slack: how far lattice projection can move the sum of a
+    /// repaired (continuous, in-bounds) point.
+    ///
+    /// Each integer participant rounds to its nearest lattice point, i.e. by
+    /// up to `step/2` — or up to a full `step` when the dimension's `max` is
+    /// off-lattice and the snap-down kicks in. Real participants do not
+    /// round. The tiny constant absorbs `f64` accumulation error on
+    /// exact-sum constraints over real dimensions.
+    fn slack(&self, space: &SearchSpace) -> f64 {
+        let mut slack = 1e-9;
+        for n in &self.names {
+            let Some(i) = space.index_of(n) else { continue };
+            match &space.params()[i] {
+                Param::Int { min, max, step, .. } => {
+                    slack += if (max - min) % step == 0 {
+                        *step as f64 / 2.0
+                    } else {
+                        *step as f64
+                    };
+                }
+                Param::Real { .. } => {}
+                // Enums make the constraint unsatisfiable anyway.
+                Param::Enum { .. } => slack += 0.5,
+            }
+        }
+        slack
+    }
 }
 
 impl Constraint for SumBound {
@@ -159,7 +275,7 @@ impl Constraint for SumBound {
         }
     }
 
-    fn is_satisfied(&self, _space: &SearchSpace, cfg: &Configuration) -> bool {
+    fn is_satisfied(&self, space: &SearchSpace, cfg: &Configuration) -> bool {
         let mut sum = 0.0;
         for n in &self.names {
             match cfg.get(n).and_then(|v| v.as_int()) {
@@ -170,14 +286,36 @@ impl Constraint for SumBound {
                 },
             }
         }
-        // Lattice rounding after repair can perturb the sum by up to half a
-        // step per participant; accept that slack.
-        let slack = self.names.len() as f64;
+        // Lattice rounding after repair perturbs the sum by up to the
+        // step-aware slack (a step-10 participant moves by up to ±5, not
+        // ±1); accept exactly that much.
+        let slack = self.slack(space);
         sum >= self.min_sum - slack && sum <= self.max_sum + slack
     }
 
     fn check_space(&self, space: &SearchSpace) -> Result<()> {
         indices(space, &self.names).map(|_| ())
+    }
+
+    fn spec(&self, space: &SearchSpace) -> ConstraintSpec {
+        let idx = match indices(space, &self.names) {
+            Ok(i) => i,
+            Err(_) => return ConstraintSpec::Opaque,
+        };
+        // `is_satisfied` reads participants as int-or-real and rejects
+        // anything else: a sum over a categorical dimension never holds.
+        if idx
+            .iter()
+            .any(|&i| matches!(space.params()[i], Param::Enum { .. }))
+        {
+            return ConstraintSpec::Unsatisfiable;
+        }
+        let slack = self.slack(space);
+        ConstraintSpec::Sum {
+            dims: idx,
+            min: self.min_sum - slack,
+            max: self.max_sum + slack,
+        }
     }
 }
 
@@ -267,6 +405,98 @@ mod tests {
         let zero = s.project(&[0.0, 0.0]);
         let sum0 = zero.int("r1").unwrap() + zero.int("r2").unwrap();
         assert!((sum0 - 60).abs() <= 2, "sum0={sum0}");
+    }
+
+    #[test]
+    fn sum_bound_slack_accounts_for_step_sizes() {
+        // Step-10 participants round by up to ±5 each after projection; the
+        // old ±1-per-participant slack rejected such valid repaired points.
+        let s = SearchSpace::builder()
+            .int("r1", 0, 100, 10)
+            .int("r2", 0, 100, 10)
+            .constraint(SumBound::exact(["r1", "r2"], 95.0))
+            .build()
+            .unwrap();
+        // 50 + 40 = 90: five off the exact target, i.e. exactly the rounding
+        // a step-10 lattice introduces. Must be accepted.
+        let rounded = s
+            .configuration(vec![
+                crate::value::ParamValue::Int(50),
+                crate::value::ParamValue::Int(40),
+            ])
+            .unwrap();
+        assert!(
+            s.is_valid(&rounded),
+            "step-sized rounding must be tolerated"
+        );
+        // And every projected (repaired) point must of course be valid.
+        let projected = s.project(&[50.0, 45.0]);
+        assert!(s.is_valid(&projected), "{projected}");
+        // 50 + 20 = 70 is far beyond any rounding explanation: rejected.
+        let far = s
+            .configuration(vec![
+                crate::value::ParamValue::Int(50),
+                crate::value::ParamValue::Int(20),
+            ])
+            .unwrap();
+        assert!(!s.is_valid(&far));
+    }
+
+    #[test]
+    fn specs_describe_the_constraints() {
+        let s = chain_space();
+        assert_eq!(
+            s.constraints()[0].spec(&s),
+            ConstraintSpec::Chain(vec![0, 1, 2])
+        );
+        let s = SearchSpace::builder()
+            .int("r1", 0, 10, 1)
+            .int("r2", 0, 10, 1)
+            .constraint(SumBound::new(["r1", "r2"], 3.0, 12.0))
+            .build()
+            .unwrap();
+        match s.constraints()[0].spec(&s) {
+            ConstraintSpec::Sum { dims, min, max } => {
+                assert_eq!(dims, vec![0, 1]);
+                assert!(min < 3.0 && min > 1.9, "slack-widened lower bound");
+                assert!(max > 12.0 && max < 13.1, "slack-widened upper bound");
+            }
+            other => panic!("expected a sum spec, got {other:?}"),
+        }
+        // Constraints over categorical dimensions can never hold.
+        let s = SearchSpace::builder()
+            .enumeration("mode", ["a", "b"])
+            .int("n", 0, 5, 1)
+            .constraint(MonotoneChain::new(["mode", "n"]))
+            .build()
+            .unwrap();
+        assert_eq!(s.constraints()[0].spec(&s), ConstraintSpec::Unsatisfiable);
+    }
+
+    #[test]
+    fn fingerprint_tokens_are_canonical() {
+        assert_eq!(
+            ConstraintSpec::Chain(vec![0, 2])
+                .fingerprint_token()
+                .unwrap(),
+            "chain:0,2"
+        );
+        assert_eq!(ConstraintSpec::Opaque.fingerprint_token(), None);
+        let a = ConstraintSpec::Sum {
+            dims: vec![1, 3],
+            min: 2.0,
+            max: 8.0,
+        };
+        assert_eq!(a.fingerprint_token(), a.clone().fingerprint_token());
+        assert_ne!(
+            a.fingerprint_token(),
+            ConstraintSpec::Sum {
+                dims: vec![1, 3],
+                min: 2.0,
+                max: 9.0,
+            }
+            .fingerprint_token()
+        );
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub enum HarmonyError {
     /// A performance store could not be opened (torn trailing record is
     /// tolerated; wrong kind/version or mid-file damage is corruption).
     StoreCorrupt(String),
+    /// A configuration violates one of the space's constraints (e.g. a
+    /// namelist parse produced a point outside the feasible region).
+    ConstraintViolated(String),
     /// A protocol message arrived in a state where it is not legal
     /// (e.g. `Fetch` before the space was sealed).
     Protocol(String),
@@ -115,6 +118,9 @@ impl fmt::Display for HarmonyError {
             HarmonyError::Io(msg) => write!(f, "i/o error: {msg}"),
             HarmonyError::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
             HarmonyError::StoreCorrupt(msg) => write!(f, "performance store corrupt: {msg}"),
+            HarmonyError::ConstraintViolated(msg) => {
+                write!(f, "configuration violates a space constraint: {msg}")
+            }
             HarmonyError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             HarmonyError::SessionFinished => write!(f, "tuning session already finished"),
         }

@@ -61,6 +61,7 @@ pub mod seeded;
 pub mod server;
 pub mod session;
 pub mod space;
+pub mod space_compile;
 pub mod store;
 pub mod strategy;
 pub mod telemetry;
@@ -69,7 +70,7 @@ pub mod wal;
 
 /// Convenience re-exports of the types needed for typical tuning workflows.
 pub mod prelude {
-    pub use crate::constraint::{Constraint, MonotoneChain, SumBound};
+    pub use crate::constraint::{Constraint, ConstraintSpec, MonotoneChain, SumBound};
     pub use crate::error::HarmonyError;
     pub use crate::history::{Evaluation, History};
     pub use crate::objective::{Objective, PenalizedObjective, TradeoffObjective};
@@ -83,6 +84,9 @@ pub mod prelude {
     pub use crate::server::{HarmonyClient, HarmonyServer, ServerConfig};
     pub use crate::session::{SearchSnapshot, SessionOptions, TuningResult, TuningSession};
     pub use crate::space::{Configuration, SearchSpace};
+    pub use crate::space_compile::{
+        Band, CompileStats, CompiledSpace, FeasibleCount, PointCursor, SpaceCursor, ValidPoints,
+    };
     pub use crate::store::{
         space_fingerprint, PerfStore, SharedStore, StoreRecord, StoreStats, StoredCost,
     };

@@ -287,6 +287,10 @@ impl SearchSpace {
 
     /// Build a configuration from `(name, string)` pairs, e.g. parsed from a
     /// namelist-style file; missing parameters default to the space centre.
+    ///
+    /// The result is checked against the space's constraints: a point that
+    /// parses cleanly but lies outside the feasible region is an error, not
+    /// a silently-invalid configuration.
     pub fn configuration_from_strs<'a, I>(&self, pairs: I) -> Result<Configuration>
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
@@ -299,7 +303,19 @@ impl SearchSpace {
             let value = self.params[idx].value_from_str(raw)?;
             cfg.values[idx] = value;
         }
+        if !self.is_valid(&cfg) {
+            return Err(HarmonyError::ConstraintViolated(format!(
+                "configuration {cfg} fails the space's constraints"
+            )));
+        }
         Ok(cfg)
+    }
+
+    /// Compile this space for large-scale enumeration (constraint
+    /// propagation + lazy valid-point iteration). See
+    /// [`CompiledSpace`](crate::space_compile::CompiledSpace).
+    pub fn compile(&self) -> Result<crate::space_compile::CompiledSpace> {
+        crate::space_compile::CompiledSpace::compile(self)
     }
 }
 
@@ -462,6 +478,27 @@ mod tests {
         assert_eq!(cfg.int("x"), Some(9));
         assert_eq!(cfg.choice("mode"), Some("c"));
         assert!(s.configuration_from_strs([("bogus", "1")]).is_err());
+    }
+
+    #[test]
+    fn configuration_from_strs_rejects_constraint_violations() {
+        let s = SearchSpace::builder()
+            .int("b1", 0, 100, 1)
+            .int("b2", 0, 100, 1)
+            .constraint(MonotoneChain::new(["b1", "b2"]))
+            .build()
+            .unwrap();
+        let ok = s
+            .configuration_from_strs([("b1", "10"), ("b2", "20")])
+            .unwrap();
+        assert!(s.is_valid(&ok));
+        let err = s
+            .configuration_from_strs([("b1", "90"), ("b2", "20")])
+            .unwrap_err();
+        assert!(
+            matches!(err, HarmonyError::ConstraintViolated(_)),
+            "{err:?}"
+        );
     }
 
     #[test]

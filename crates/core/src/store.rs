@@ -245,16 +245,33 @@ pub struct CompactionStats {
     pub bytes_after: u64,
 }
 
-/// Stable 64-bit fingerprint of a search space's parameter declarations.
+/// Stable 64-bit fingerprint of a search space's parameter declarations
+/// and (describable) constraints.
 ///
 /// FNV-1a over the serde_json encoding of the parameter list — hand-rolled
-/// and version-stable, unlike `DefaultHasher`. Constraints are deliberately
-/// excluded: a cost is a function of the *configuration* alone, and the
-/// fingerprint only has to disambiguate cache-key collisions between
-/// different spaces sharing an application label.
+/// and version-stable, unlike `DefaultHasher`. Constraints that expose a
+/// canonical [`fingerprint_token`](crate::constraint::ConstraintSpec::fingerprint_token)
+/// are folded in *order-insensitively* (each token hashed independently,
+/// combined with a commutative wrapping sum), so two spaces that differ
+/// only in constraint ordering fingerprint identically. Spaces with no
+/// describable constraints — including every unconstrained space — hash
+/// exactly as before this scheme existed, so records written by older
+/// stores still hit.
 pub fn space_fingerprint(space: &SearchSpace) -> u64 {
     let blob = serde_json::to_string(&space.params()).expect("params serialize");
-    fnv1a(blob.as_bytes())
+    let mut h = fnv1a(blob.as_bytes());
+    let mut acc: u64 = 0;
+    let mut count: u64 = 0;
+    for c in space.constraints() {
+        if let Some(token) = c.spec(space).fingerprint_token() {
+            acc = acc.wrapping_add(fnv1a(token.as_bytes()));
+            count += 1;
+        }
+    }
+    if count > 0 {
+        h ^= fnv1a(&acc.to_le_bytes()) ^ fnv1a(&count.to_le_bytes());
+    }
+    h
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -1396,6 +1413,53 @@ mod tests {
         assert_eq!(
             space_fingerprint(&one),
             fnv1a(serde_json::to_string(&one.params()).unwrap().as_bytes())
+        );
+    }
+
+    #[test]
+    fn fingerprint_folds_constraints_order_insensitively() {
+        use crate::constraint::{MonotoneChain, SumBound};
+        let base = || {
+            SearchSpace::builder()
+                .int("a", 0, 9, 1)
+                .int("b", 0, 9, 1)
+                .int("c", 0, 9, 1)
+        };
+        let plain = base().build().unwrap();
+        // Unconstrained spaces hash exactly as the params-only scheme did:
+        // existing store records must still hit.
+        assert_eq!(
+            space_fingerprint(&plain),
+            fnv1a(serde_json::to_string(&plain.params()).unwrap().as_bytes())
+        );
+        let chain_then_sum = base()
+            .constraint(MonotoneChain::new(["a", "b"]))
+            .constraint(SumBound::new(["b", "c"], 2.0, 12.0))
+            .build()
+            .unwrap();
+        let sum_then_chain = base()
+            .constraint(SumBound::new(["b", "c"], 2.0, 12.0))
+            .constraint(MonotoneChain::new(["a", "b"]))
+            .build()
+            .unwrap();
+        assert_eq!(
+            space_fingerprint(&chain_then_sum),
+            space_fingerprint(&sum_then_chain),
+            "equivalent constraint orderings must fingerprint identically"
+        );
+        assert_ne!(
+            space_fingerprint(&plain),
+            space_fingerprint(&chain_then_sum),
+            "constraints must distinguish otherwise-identical spaces"
+        );
+        let different_bounds = base()
+            .constraint(MonotoneChain::new(["a", "b"]))
+            .constraint(SumBound::new(["b", "c"], 2.0, 13.0))
+            .build()
+            .unwrap();
+        assert_ne!(
+            space_fingerprint(&chain_then_sum),
+            space_fingerprint(&different_bounds)
         );
     }
 

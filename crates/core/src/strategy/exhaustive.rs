@@ -1,21 +1,29 @@
-//! Exhaustive enumeration of every lattice point.
+//! Exhaustive enumeration of every *valid* lattice point.
 //!
-//! Only feasible for tiny spaces (the paper notes exhaustive exploration "can
-//! take months of CPU time" for real applications) but invaluable as ground
-//! truth in tests and small experiments such as Figure 2(b).
+//! Only feasible for small spaces (the paper notes exhaustive exploration
+//! "can take months of CPU time" for real applications) but invaluable as
+//! ground truth in tests and small experiments such as Figure 2(b).
+//!
+//! The strategy enumerates the [`CompiledSpace`](crate::space_compile) —
+//! constraint-infeasible points are skipped during the walk, never proposed
+//! and repaired into duplicates of their neighbours. On a constrained space
+//! the safety valve therefore keys off the *feasible* count: a space with a
+//! huge raw product but few valid points is still enumerable.
 
 use super::SearchStrategy;
 use crate::space::SearchSpace;
+use crate::space_compile::{CompiledSpace, FeasibleCount, PointCursor};
 use rand::rngs::StdRng;
 
-/// Enumerates all lattice points of a fully discrete space, in mixed-radix
-/// order. Proposes nothing for spaces with continuous dimensions or more
-/// points than `limit`.
+/// Enumerates all valid lattice points of a fully discrete space, in
+/// mixed-radix (lexicographic) order, skipping constraint-infeasible
+/// points. Proposes nothing for spaces with continuous dimensions or more
+/// valid points than `limit`.
 #[derive(Debug)]
 pub struct Exhaustive {
     limit: u64,
-    counter: Vec<u64>,
-    radix: Vec<u64>,
+    compiled: Option<CompiledSpace>,
+    cursor: Option<PointCursor>,
     done: bool,
     started: bool,
 }
@@ -27,12 +35,12 @@ impl Default for Exhaustive {
 }
 
 impl Exhaustive {
-    /// Enumerate at most `limit` points (safety valve).
+    /// Enumerate at most `limit` valid points (safety valve).
     pub fn new(limit: u64) -> Self {
         Exhaustive {
             limit,
-            counter: Vec::new(),
-            radix: Vec::new(),
+            compiled: None,
+            cursor: None,
             done: false,
             started: false,
         }
@@ -40,31 +48,26 @@ impl Exhaustive {
 
     fn plan(&mut self, space: &SearchSpace) {
         self.started = true;
-        match space.cardinality() {
-            Some(n) if n <= self.limit => {
-                self.radix = space
-                    .params()
-                    .iter()
-                    .map(|p| p.cardinality().expect("checked discrete"))
-                    .collect();
-                self.counter = vec![0; space.dims()];
+        let Ok(cs) = CompiledSpace::compile(space) else {
+            // Continuous dimensions: nothing to enumerate.
+            self.done = true;
+            return;
+        };
+        // Refuse unless the feasible count is provably within the limit.
+        // The node budget bounds the counting walk itself, so a hostile
+        // space (huge raw product, opaque constraints) answers quickly
+        // with `AtLeast` instead of hanging here.
+        let budget = self.limit.saturating_mul(64).saturating_add(4096);
+        match cs.count_valid_bounded(self.limit, budget) {
+            FeasibleCount::Exact(n) if n <= self.limit => {
+                self.cursor = Some(cs.start());
+                self.compiled = Some(cs);
                 self.done = false;
             }
             _ => {
                 self.done = true;
             }
         }
-    }
-
-    fn advance(&mut self) {
-        for d in (0..self.counter.len()).rev() {
-            self.counter[d] += 1;
-            if self.counter[d] < self.radix[d] {
-                return;
-            }
-            self.counter[d] = 0;
-        }
-        self.done = true;
     }
 }
 
@@ -84,18 +87,13 @@ impl SearchStrategy for Exhaustive {
         if self.done {
             return None;
         }
-        let p: Vec<f64> = self
-            .counter
-            .iter()
-            .zip(space.params())
-            .map(|(&i, param)| match param {
-                crate::param::Param::Int { min, step, .. } => (min + i as i64 * step) as f64,
-                crate::param::Param::Enum { .. } => i as f64,
-                crate::param::Param::Real { .. } => unreachable!("plan rejects continuous dims"),
-            })
-            .collect();
-        self.advance();
-        Some(p)
+        let (cs, cur) = (self.compiled.as_ref()?, self.cursor.as_mut()?);
+        if cs.next_point(cur) {
+            Some(cs.coords(cur.indices()))
+        } else {
+            self.done = true;
+            None
+        }
     }
 
     fn feedback(&mut self, _coords: &[f64], _cost: f64, _space: &SearchSpace, _rng: &mut StdRng) {}
@@ -108,6 +106,7 @@ impl SearchStrategy for Exhaustive {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::constraint::MonotoneChain;
     use rand::SeedableRng;
     use std::collections::HashSet;
 
@@ -126,6 +125,50 @@ mod tests {
             assert!(seen.insert(s.project(&p).cache_key()));
         }
         assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn constrained_space_yields_no_duplicates_and_only_valid_points() {
+        let s = SearchSpace::builder()
+            .int("b1", 0, 9, 1)
+            .int("b2", 0, 9, 1)
+            .int("b3", 0, 9, 1)
+            .constraint(MonotoneChain::new(["b1", "b2", "b3"]))
+            .build()
+            .unwrap();
+        let mut e = Exhaustive::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        e.init(&s, &mut rng);
+        let mut seen = HashSet::new();
+        while let Some(p) = e.propose(&s, &mut rng) {
+            let cfg = s.project(&p);
+            assert!(s.is_valid(&cfg), "{cfg}");
+            assert!(seen.insert(cfg.cache_key()), "duplicate proposal {cfg}");
+        }
+        // C(10+2, 3) = 220 non-decreasing triples over 10 values.
+        assert_eq!(seen.len(), 220);
+    }
+
+    #[test]
+    fn limit_applies_to_the_feasible_count_not_the_raw_product() {
+        // Raw product 10^4, only 715 valid points: enumerable under a
+        // limit of 1000 now that infeasible points are skipped.
+        let s = SearchSpace::builder()
+            .int("b1", 0, 9, 1)
+            .int("b2", 0, 9, 1)
+            .int("b3", 0, 9, 1)
+            .int("b4", 0, 9, 1)
+            .constraint(MonotoneChain::new(["b1", "b2", "b3", "b4"]))
+            .build()
+            .unwrap();
+        let mut e = Exhaustive::new(1000);
+        let mut rng = StdRng::seed_from_u64(0);
+        e.init(&s, &mut rng);
+        let mut n = 0;
+        while e.propose(&s, &mut rng).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 715); // C(10+3, 4)
     }
 
     #[test]

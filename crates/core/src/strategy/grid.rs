@@ -10,14 +10,24 @@ use super::SearchStrategy;
 use crate::param::Param;
 use crate::space::SearchSpace;
 use rand::rngs::StdRng;
+use std::collections::HashSet;
 
 /// Evenly distributed systematic sampling with a sample budget.
+///
+/// On a constrained space, grid points that violate a constraint are
+/// *skipped* (and points whose per-dimension lattice snap collides with an
+/// already-proposed point are deduplicated) rather than repaired into
+/// duplicate configurations; the number of proposals may therefore fall
+/// short of [`planned_samples`](Self::planned_samples). Unconstrained
+/// spaces keep the exact historical stream.
 #[derive(Debug)]
 pub struct GridSearch {
     target: usize,
     levels: Vec<Vec<f64>>,
     /// Mixed-radix counter over the levels.
     counter: Vec<usize>,
+    /// Cache keys already proposed (constrained spaces only).
+    proposed: HashSet<Vec<i64>>,
     done: bool,
     started: bool,
 }
@@ -29,6 +39,7 @@ impl GridSearch {
             target: target.max(1),
             levels: Vec::new(),
             counter: Vec::new(),
+            proposed: HashSet::new(),
             done: false,
             started: false,
         }
@@ -98,6 +109,7 @@ impl GridSearch {
             }
         }
         self.counter = vec![0; k];
+        self.proposed.clear();
         self.done = false;
         self.started = true;
     }
@@ -127,18 +139,42 @@ impl SearchStrategy for GridSearch {
         if !self.started {
             self.plan(space);
         }
-        if self.done {
-            return None;
+        loop {
+            if self.done {
+                return None;
+            }
+            let mut p: Vec<f64> = self
+                .counter
+                .iter()
+                .zip(&self.levels)
+                .map(|(&i, lv)| lv[i])
+                .collect();
+            self.advance();
+            if space.constraints().is_empty() {
+                // Historical stream, bit-identical: repair is a no-op
+                // without constraints, and every grid point is proposed.
+                space.repair(&mut p);
+                return Some(p);
+            }
+            // Constrained: snap each coordinate to its lattice *without*
+            // constraint repair, then skip the point unless it is valid
+            // and new — repairing would collapse many grid points onto
+            // the same feasible configuration and inflate evaluation
+            // counts with duplicates.
+            let values: Vec<_> = space
+                .params()
+                .iter()
+                .zip(&p)
+                .map(|(param, &c)| param.project(c))
+                .collect();
+            let Ok(cfg) = space.configuration(values) else {
+                continue;
+            };
+            if !space.is_valid(&cfg) || !self.proposed.insert(cfg.cache_key()) {
+                continue;
+            }
+            return space.embed(&cfg).ok();
         }
-        let mut p: Vec<f64> = self
-            .counter
-            .iter()
-            .zip(&self.levels)
-            .map(|(&i, lv)| lv[i])
-            .collect();
-        space.repair(&mut p);
-        self.advance();
-        Some(p)
     }
 
     fn feedback(&mut self, _coords: &[f64], _cost: f64, _space: &SearchSpace, _rng: &mut StdRng) {}
@@ -210,6 +246,28 @@ mod tests {
         // 2 levels max on the enum; remaining budget goes to `n`.
         assert!(g.planned_samples() <= 1000);
         assert!(g.planned_samples() >= 2 * 100); // n fully expands to 100 levels
+    }
+
+    #[test]
+    fn constrained_grid_skips_instead_of_repairing_into_duplicates() {
+        let s = SearchSpace::builder()
+            .int("b1", 0, 9, 1)
+            .int("b2", 0, 9, 1)
+            .constraint(crate::constraint::MonotoneChain::new(["b1", "b2"]))
+            .build()
+            .unwrap();
+        let mut g = GridSearch::new(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        g.init(&s, &mut rng);
+        let mut seen = HashSet::new();
+        while let Some(p) = g.propose(&s, &mut rng) {
+            let cfg = s.project(&p);
+            assert!(s.is_valid(&cfg), "{cfg}");
+            assert!(seen.insert(cfg.cache_key()), "duplicate proposal {cfg}");
+        }
+        // The feasible half of the 10×10 grid (incl. the diagonal).
+        assert_eq!(seen.len(), 55);
+        assert!(g.converged());
     }
 
     #[test]

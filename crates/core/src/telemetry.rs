@@ -163,10 +163,16 @@ pub enum Counter {
     /// Merge collisions on `(app, fingerprint, key)` where the peer's cost
     /// differed; the local first write won.
     StoreMergeConflicts,
+    /// Lattice points excluded by space compilation: constraint
+    /// propagation plus enumeration-time subtree pruning.
+    SpacePointsPruned,
+    /// Chunks served by compiled-space enumeration
+    /// ([`CompiledSpace::next_chunk`](crate::space_compile::CompiledSpace::next_chunk)).
+    SpaceChunksEnumerated,
 }
 
 /// Number of [`Counter`] variants (size of the per-handle counter array).
-const COUNTER_COUNT: usize = 28;
+const COUNTER_COUNT: usize = 30;
 
 impl Counter {
     /// Every counter, in rendering order.
@@ -199,6 +205,8 @@ impl Counter {
         Counter::QuotaRefusals,
         Counter::StoreMergedRecords,
         Counter::StoreMergeConflicts,
+        Counter::SpacePointsPruned,
+        Counter::SpaceChunksEnumerated,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -233,6 +241,8 @@ impl Counter {
             Counter::QuotaRefusals => "quota_refusals",
             Counter::StoreMergedRecords => "store_merged_records",
             Counter::StoreMergeConflicts => "store_merge_conflicts",
+            Counter::SpacePointsPruned => "space_points_pruned",
+            Counter::SpaceChunksEnumerated => "space_chunks_enumerated",
         }
     }
 
@@ -268,10 +278,12 @@ pub enum Latency {
     /// itself is excluded). The tail of this histogram is the latency every
     /// multiplexed connection shares.
     EventLoopIteration,
+    /// Search-space compilation (constraint propagation + stats).
+    SpaceCompile,
 }
 
 /// Number of [`Latency`] variants (size of the per-handle histogram array).
-const LATENCY_COUNT: usize = 8;
+const LATENCY_COUNT: usize = 9;
 
 /// Log2 bucket count per histogram: upper bounds 1µs, 2µs, … 2^24µs
 /// (~16.8s), plus a +Inf overflow bucket.
@@ -288,6 +300,7 @@ impl Latency {
         Latency::StoreLookup,
         Latency::StoreAppendFsync,
         Latency::EventLoopIteration,
+        Latency::SpaceCompile,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -302,6 +315,7 @@ impl Latency {
             Latency::StoreLookup => "store_lookup",
             Latency::StoreAppendFsync => "store_append_fsync",
             Latency::EventLoopIteration => "event_loop_iteration",
+            Latency::SpaceCompile => "space_compile",
         }
     }
 

@@ -1,0 +1,252 @@
+//! Property tests for the search-space compiler.
+//!
+//! The compiler's contract is *exact* equivalence with the naive approach:
+//! enumerate the whole raw lattice product in mixed-radix order and filter
+//! by `SearchSpace::is_valid`. On randomly generated small constrained
+//! spaces (chains, sum bounds, opaque constraints, in any mix) the
+//! compiled stream must produce the same configurations in the same order,
+//! bit-identically — pruning may only ever skip *invalid* points. The
+//! store fingerprint has its own contract: insensitive to constraint
+//! ordering, byte-stable against the historical params-only scheme for
+//! spaces without describable constraints.
+
+use ah_core::constraint::{Constraint, MonotoneChain, SumBound};
+use ah_core::param::Param;
+use ah_core::prelude::*;
+use ah_core::space_compile::{CompiledSpace, FeasibleCount, SpaceCursor};
+use ah_core::store::space_fingerprint;
+use proptest::prelude::*;
+
+/// Sum of the integer parameters must be even — deliberately opaque (no
+/// `ConstraintSpec`), forcing the compiler onto its full-point fallback.
+#[derive(Debug)]
+struct EvenIntSum;
+
+impl Constraint for EvenIntSum {
+    fn repair(&self, _space: &SearchSpace, _coords: &mut [f64]) {}
+    fn is_satisfied(&self, _space: &SearchSpace, cfg: &Configuration) -> bool {
+        let sum: i64 = cfg.values().iter().filter_map(|v| v.as_int()).sum();
+        sum % 2 == 0
+    }
+    fn check_space(&self, _space: &SearchSpace) -> std::result::Result<(), HarmonyError> {
+        Ok(())
+    }
+}
+
+/// Tiny deterministic generator so a single proptest `u64` seeds a whole
+/// random space (the vendored proptest has no recursive strategies).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A random small space: 2–4 int dims (mixed mins/steps/cardinalities),
+/// sometimes an enum dim, and 0–2 constraints drawn from chain / sum /
+/// opaque. Raw products stay under ~1500 points so naive enumeration is
+/// cheap ground truth.
+fn random_space(seed: u64) -> SearchSpace {
+    let mut g = Lcg(seed.wrapping_add(0x9e37_79b9));
+    let dims = 2 + g.below(3) as usize; // 2..=4 int dims
+    let mut b = SearchSpace::builder();
+    let mut int_names = Vec::new();
+    for d in 0..dims {
+        let name = format!("p{d}");
+        let min = g.below(7) as i64 - 3;
+        let step = [1, 1, 2, 5][g.below(4) as usize];
+        let card = 2 + g.below(4) as i64; // 2..=5 lattice points
+        b = b.int(&name, min, min + step * (card - 1), step);
+        int_names.push(name);
+    }
+    let with_enum = g.below(3) == 0;
+    if with_enum {
+        b = b.enumeration("mode", ["fast", "slow", "safe"]);
+    }
+    for _ in 0..g.below(3) {
+        match g.below(3) {
+            0 => {
+                // Chain over a contiguous run of int dims.
+                let from = g.below(int_names.len() as u64 - 1) as usize;
+                let names: Vec<&str> = int_names[from..].iter().map(String::as_str).collect();
+                b = b.constraint(MonotoneChain::new(names));
+            }
+            1 => {
+                // Sum bound over all int dims, sometimes unsatisfiable.
+                let lo = g.below(20) as f64 - 10.0;
+                let hi = lo + g.below(15) as f64;
+                let names: Vec<&str> = int_names.iter().map(String::as_str).collect();
+                b = b.constraint(SumBound::new(names, lo, hi));
+            }
+            _ => {
+                b = b.constraint(EvenIntSum);
+            }
+        }
+    }
+    b.build().expect("generated spaces are well-formed")
+}
+
+/// Ground truth: walk the raw product in mixed-radix order (dim 0 most
+/// significant) and keep what `is_valid` accepts.
+fn naive_filter(space: &SearchSpace) -> Vec<Configuration> {
+    let radix: Vec<u64> = space
+        .params()
+        .iter()
+        .map(|p| p.cardinality().expect("discrete"))
+        .collect();
+    let mut counter = vec![0u64; radix.len()];
+    let mut out = Vec::new();
+    'outer: loop {
+        let values: Vec<ParamValue> = space
+            .params()
+            .iter()
+            .zip(&counter)
+            .map(|(p, &i)| match p {
+                Param::Int { min, step, .. } => ParamValue::Int(min + i as i64 * step),
+                Param::Enum { choices, .. } => ParamValue::Enum {
+                    index: i as usize,
+                    label: choices[i as usize].clone(),
+                },
+                Param::Real { .. } => unreachable!(),
+            })
+            .collect();
+        let cfg = space.configuration(values).expect("lattice point is typed");
+        if space.is_valid(&cfg) {
+            out.push(cfg);
+        }
+        for d in (0..counter.len()).rev() {
+            counter[d] += 1;
+            if counter[d] < radix[d] {
+                continue 'outer;
+            }
+            counter[d] = 0;
+        }
+        return out;
+    }
+}
+
+/// The historical params-only fingerprint scheme, reproduced independently
+/// so drift in `space_fingerprint` for unconstrained spaces is caught even
+/// if both sides of the comparison change together in store.rs.
+fn legacy_fingerprint(space: &SearchSpace) -> u64 {
+    let blob = serde_json::to_string(&space.params()).expect("params serialize");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in blob.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled enumeration == naive enumerate-and-filter: same points,
+    /// same order, bit-identical values, and the exact count agrees.
+    #[test]
+    fn compiled_stream_equals_naive_filter(seed in 0u64..1_000_000) {
+        let space = random_space(seed);
+        let expected = naive_filter(&space);
+        let cs = CompiledSpace::compile(&space).expect("discrete space compiles");
+        let compiled: Vec<Configuration> = cs.iter().collect();
+        prop_assert_eq!(compiled.len(), expected.len());
+        for (a, b) in compiled.iter().zip(&expected) {
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a.cache_key(), b.cache_key());
+        }
+        prop_assert_eq!(cs.count_valid(), FeasibleCount::Exact(expected.len() as u64));
+    }
+
+    /// Chunked enumeration through resumable cursors concatenates to the
+    /// exact full stream, for any chunk size.
+    #[test]
+    fn chunked_cursors_are_seamless(seed in 0u64..1_000_000, chunk in 1usize..40) {
+        let space = random_space(seed);
+        let cs = CompiledSpace::compile(&space).expect("discrete space compiles");
+        let whole: Vec<Configuration> = cs.iter().collect();
+        let mut chunked = Vec::new();
+        let mut cursor = Some(SpaceCursor::default());
+        while let Some(c) = cursor {
+            let (points, next) = cs.next_chunk(&c, chunk).expect("cursor stays valid");
+            if next.is_some() {
+                prop_assert_eq!(points.len(), chunk);
+            }
+            chunked.extend(points);
+            cursor = next;
+        }
+        prop_assert_eq!(whole, chunked);
+    }
+
+    /// Banded (parallel-style) enumeration partitions the stream exactly.
+    #[test]
+    fn bands_partition_the_stream(seed in 0u64..1_000_000, parts in 1usize..8) {
+        let space = random_space(seed);
+        let cs = CompiledSpace::compile(&space).expect("discrete space compiles");
+        let whole: Vec<Configuration> = cs.iter().collect();
+        let banded: Vec<Configuration> = cs
+            .bands(parts)
+            .into_iter()
+            .flat_map(|band| cs.iter_band(band).collect::<Vec<_>>())
+            .collect();
+        prop_assert_eq!(whole, banded);
+    }
+
+    /// The fingerprint ignores constraint ordering and never changes for
+    /// spaces without describable constraints.
+    #[test]
+    fn fingerprint_contract(seed in 0u64..1_000_000) {
+        let mut g = Lcg(seed);
+        let dims = 2 + g.below(3) as usize;
+        let base = |chain_first: bool| {
+            let mut b = SearchSpace::builder();
+            for d in 0..dims {
+                b = b.int(format!("p{d}"), 0, 9, 1);
+            }
+            let chain = MonotoneChain::new(["p0", "p1"]);
+            let sum = SumBound::new(["p0", "p1"], 2.0, 14.0);
+            if chain_first {
+                b.constraint(chain).constraint(sum)
+            } else {
+                b.constraint(sum).constraint(chain)
+            }
+            .build()
+            .unwrap()
+        };
+        prop_assert_eq!(
+            space_fingerprint(&base(true)),
+            space_fingerprint(&base(false))
+        );
+
+        // Unconstrained (and opaque-only) spaces keep the legacy hash, so
+        // records written by older stores still resolve.
+        let mut plain = SearchSpace::builder();
+        for d in 0..dims {
+            plain = plain.int(format!("p{d}"), 0, 9, 1);
+        }
+        let unconstrained = plain.build().unwrap();
+        prop_assert_eq!(
+            space_fingerprint(&unconstrained),
+            legacy_fingerprint(&unconstrained)
+        );
+        let mut opaque = SearchSpace::builder();
+        for d in 0..dims {
+            opaque = opaque.int(format!("p{d}"), 0, 9, 1);
+        }
+        let opaque = opaque.constraint(EvenIntSum).build().unwrap();
+        prop_assert_eq!(space_fingerprint(&opaque), legacy_fingerprint(&opaque));
+
+        // And a random generated space agrees with itself when rebuilt.
+        prop_assert_eq!(
+            space_fingerprint(&random_space(seed)),
+            space_fingerprint(&random_space(seed))
+        );
+    }
+}

@@ -12,6 +12,8 @@
 //! repro watch                # poll a live server's /status, line per tick
 //! repro store <sub>          # persistent performance DB:
 //!                            #   stats | inspect | compact | gc | merge | demo
+//! repro space <sub>          # search-space compiler:
+//!                            #   list | stats | fingerprint | bench
 //! repro serve                # long-running federated TCP tuning server
 //! options:
 //!   --quick            shrink workloads (smoke-test mode)
@@ -71,6 +73,12 @@
 //!                      until killed)
 //!   --tenants N        bench-server: add the fair-dispatch scenario with
 //!                      N competing tenants (default 0 = off)
+//!   --space NAME       space: which synthetic space (`repro space list`)
+//!   --points N         space bench: valid points to stream (default 1e6,
+//!                      1e5 with --quick)
+//!   --chunk N          space bench: chunk size (default 65536)
+//!   --max-seconds S    space bench: fail if compile+stream exceeds S
+//!                      (default 0 = no bound)
 //! ```
 
 use ah_repro::{all_experiments, Experiment, RunCtx};
@@ -245,6 +253,10 @@ fn main() {
         "--tenant-max-inflight",
         "--run-for-ms",
         "--tenants",
+        "--space",
+        "--points",
+        "--chunk",
+        "--max-seconds",
     ]
     .iter()
     .map(|f| flag_value(&args, f))
@@ -266,6 +278,10 @@ fn main() {
 
     if selectors.first().map(|s| s.as_str()) == Some("store") {
         std::process::exit(ah_repro::store_cli::run(&args, quick));
+    }
+
+    if selectors.first().map(|s| s.as_str()) == Some("space") {
+        std::process::exit(ah_repro::space_cli::run(&args, quick));
     }
 
     if selectors.first().map(|s| s.as_str()) == Some("serve") {

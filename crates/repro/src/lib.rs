@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod fault_wal;
 pub mod observe_cli;
 pub mod serve_cli;
+pub mod space_cli;
 pub mod store_cli;
 pub mod swarm;
 pub mod table;
