@@ -50,6 +50,7 @@
 pub mod constraint;
 pub mod error;
 pub mod history;
+pub mod meta;
 pub mod objective;
 pub mod offline;
 pub mod online;
@@ -73,6 +74,10 @@ pub mod prelude {
     pub use crate::constraint::{Constraint, ConstraintSpec, MonotoneChain, SumBound};
     pub use crate::error::HarmonyError;
     pub use crate::history::{Evaluation, History};
+    pub use crate::meta::{
+        MetaAnnealing, MetaGenetic, MetaNelderMead, MetaOptions, MetaOutcome, MetaSurrogate,
+        MetaTunable, MetaTuner, MetaTrial,
+    };
     pub use crate::objective::{Objective, PenalizedObjective, TradeoffObjective};
     pub use crate::offline::{OfflineTuner, RunMeasurement, ShortRunApp};
     pub use crate::online::OnlineTuner;
@@ -91,9 +96,11 @@ pub mod prelude {
         space_fingerprint, PerfStore, SharedStore, StoreRecord, StoreStats, StoredCost,
     };
     pub use crate::strategy::{
-        Exhaustive, GreedyFrom, GreedyOneParam, GreedyOptions, GridSearch, NelderMead,
+        Annealing, AnnealingOptions, AnnealingSnapshot, Exhaustive, Genetic, GeneticOptions,
+        GeneticSnapshot, GreedyFrom, GreedyOneParam, GreedyOptions, GridSearch, NelderMead,
         NelderMeadOptions, ParallelRankOrder, ProOptions, RandomSearch, SearchStrategy,
-        SimplexSnapshot, StartPoint, StrategySnapshot,
+        SimplexSnapshot, StartPoint, StrategySnapshot, Surrogate, SurrogateOptions,
+        SurrogateSnapshot,
     };
     pub use crate::telemetry::{
         Counter, Latency, SpanEvent, SpanKind, SpanToken, Telemetry, TrialEvent, TrialStage,

@@ -120,7 +120,7 @@ impl OfflineTuner {
     /// Tune the application with the given strategy. The default
     /// configuration is always measured first (iteration 0 in the paper's
     /// tables) so improvement is reported against a measured baseline.
-    pub fn tune<A: ShortRunApp>(
+    pub fn tune<A: ShortRunApp + ?Sized>(
         &self,
         app: &mut A,
         strategy: Box<dyn SearchStrategy>,

@@ -25,6 +25,15 @@ pub enum StrategyKind {
     /// Parallel Rank Ordering (batch simplex; candidates of one round are
     /// independent and may be measured concurrently).
     Pro,
+    /// Coupled simulated annealing (adaptive temperature, lattice-aware
+    /// neighbors, reheating on stagnation).
+    Annealing,
+    /// Genetic algorithm with synergy-pair seeding; generations are
+    /// batched like PRO rounds.
+    Genetic,
+    /// Surrogate-assisted search (quadratic model over the evaluation
+    /// history, Nelder–Mead fallback).
+    Surrogate,
 }
 
 impl StrategyKind {
@@ -32,12 +41,17 @@ impl StrategyKind {
     /// `Seal` handler and by write-ahead-log replay, so both construct the
     /// exact same strategy state for a given kind.
     pub fn build(&self) -> Box<dyn crate::strategy::SearchStrategy> {
-        use crate::strategy::{GridSearch, NelderMead, ParallelRankOrder, RandomSearch};
+        use crate::strategy::{
+            Annealing, Genetic, GridSearch, NelderMead, ParallelRankOrder, RandomSearch, Surrogate,
+        };
         match self {
             StrategyKind::NelderMead => Box::new(NelderMead::default()),
             StrategyKind::Random => Box::new(RandomSearch::new()),
             StrategyKind::Grid { target } => Box::new(GridSearch::new(*target)),
             StrategyKind::Pro => Box::new(ParallelRankOrder::default()),
+            StrategyKind::Annealing => Box::new(Annealing::default()),
+            StrategyKind::Genetic => Box::new(Genetic::default()),
+            StrategyKind::Surrogate => Box::new(Surrogate::default()),
         }
     }
 }

@@ -239,6 +239,7 @@ impl TuningSession {
     /// counters on it. Recording is a pure observer — it never influences
     /// the trajectory.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.strategy.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
 

@@ -685,6 +685,42 @@ impl CompiledSpace {
         Configuration::new(names, values)
     }
 
+    /// Nearest feasible lattice point to `coords` by squared distance in
+    /// the continuous embedding, scanning at most `cap` valid points in
+    /// enumeration order (deterministic: ties go to the earlier point).
+    /// `None` when the compiled space is empty or `cap` is zero.
+    ///
+    /// This is the feasibility-aware replacement for repair-then-snap:
+    /// repairing a constrained candidate and snapping it to the lattice
+    /// can land on an *invalid* point (snap moves it back off the
+    /// constraint surface) or collapse many distinct candidates onto the
+    /// same boundary configuration, which inflates evaluation counts with
+    /// duplicates.
+    pub fn snap_feasible(&self, coords: &[f64], cap: u64) -> Option<Vec<f64>> {
+        let mut cur = self.start();
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        let mut scanned = 0u64;
+        while scanned < cap && self.next_point(&mut cur) {
+            scanned += 1;
+            let cand = self.coords(cur.indices());
+            let dist: f64 = cand
+                .iter()
+                .zip(coords)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if best.as_ref().map_or(true, |(d, _)| dist < *d) {
+                best = Some((dist, cand));
+            }
+        }
+        if scanned == cap && self.next_point(&mut cur) {
+            // More valid points exist beyond the scan budget: the prefix
+            // nearest would be biased toward enumeration order, so report
+            // "too large" and let the caller fall back to repair.
+            return None;
+        }
+        best.map(|(_, c)| c)
+    }
+
     /// Lazy iterator over every valid configuration, in enumeration order.
     pub fn iter(&self) -> ValidPoints<'_> {
         ValidPoints {

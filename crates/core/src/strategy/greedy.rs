@@ -8,7 +8,7 @@
 //! coupled ones (like decomposition boundaries, where single-parameter
 //! moves cannot cross the minimax plateaus).
 
-use super::SearchStrategy;
+use super::{FeasibleSnapper, SearchStrategy};
 use crate::param::Param;
 use crate::space::SearchSpace;
 use rand::rngs::StdRng;
@@ -47,6 +47,7 @@ pub struct GreedyOneParam {
     stale_cycles: usize,
     done: bool,
     started: bool,
+    snapper: FeasibleSnapper,
 }
 
 impl Default for GreedyOneParam {
@@ -69,6 +70,7 @@ impl GreedyOneParam {
             stale_cycles: 0,
             done: false,
             started: false,
+            snapper: FeasibleSnapper::new(),
         }
     }
 
@@ -127,6 +129,7 @@ impl SearchStrategy for GreedyOneParam {
         self.stale_cycles = 0;
         self.done = false;
         self.started = true;
+        self.snapper.reset();
         self.start_dim(space);
     }
 
@@ -140,8 +143,7 @@ impl SearchStrategy for GreedyOneParam {
         }
         let mut p = self.current.clone();
         p[self.dim] = self.probes[self.probe_idx];
-        space.repair(&mut p);
-        Some(p)
+        Some(self.snapper.snap(space, p))
     }
 
     fn feedback(&mut self, coords: &[f64], cost: f64, space: &SearchSpace, _rng: &mut StdRng) {
@@ -270,6 +272,49 @@ mod tests {
             n_best <= g_best,
             "simplex {n_best} should beat greedy {g_best} on coupled valleys"
         );
+    }
+
+    #[test]
+    fn constrained_probes_snap_to_feasible_points_not_duplicates() {
+        // b1 <= b2: probing b2 below b1 used to be *repaired* (sorted)
+        // back onto the incumbent — a duplicate evaluation. The
+        // feasibility-aware snap consults the compiled space instead, so
+        // every proposal is a valid lattice point.
+        let space = SearchSpace::builder()
+            .int("b1", 0, 9, 1)
+            .int("b2", 0, 9, 1)
+            .constraint(crate::constraint::MonotoneChain::new(["b1", "b2"]))
+            .build()
+            .unwrap();
+        let compiled = crate::space_compile::CompiledSpace::compile(&space).unwrap();
+        assert_eq!(compiled.count_valid().lower_bound(), 55);
+        let mut g = GreedyOneParam::default();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        g.init(&space, &mut rng);
+        let mut unique = std::collections::HashSet::new();
+        let mut proposals = 0;
+        while let Some(p) = g.propose(&space, &mut rng) {
+            proposals += 1;
+            let values: Vec<_> = space
+                .params()
+                .iter()
+                .zip(&p)
+                .map(|(param, &c)| param.project(c))
+                .collect();
+            let cfg = space.configuration(values).expect("snapped proposal");
+            assert!(space.is_valid(&cfg), "infeasible greedy probe {p:?}");
+            unique.insert(cfg.cache_key());
+            let b1 = cfg.int("b1").unwrap() as f64;
+            let b2 = cfg.int("b2").unwrap() as f64;
+            g.feedback(&p, (b1 - 2.0).powi(2) + (b2 - 8.0).powi(2), &space, &mut rng);
+            if proposals > 200 {
+                break;
+            }
+        }
+        // The sweep visits genuinely distinct feasible points (the old
+        // repair path collapsed infeasible probes onto the incumbent).
+        assert!(unique.len() >= 8, "only {} unique probes", unique.len());
+        assert!(g.current_cost <= 1.0, "missed optimum: {}", g.current_cost);
     }
 
     #[test]

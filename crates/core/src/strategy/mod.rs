@@ -13,21 +13,28 @@
 //! the measured cost (of the projected point — the paper's "resulting values
 //! from the nearest integer point" approximation).
 
+mod annealing;
 mod exhaustive;
+mod genetic;
 mod greedy;
 mod grid;
 mod nelder_mead;
 pub mod pro;
 mod random;
+mod surrogate;
 
+pub use annealing::{Annealing, AnnealingOptions};
 pub use exhaustive::Exhaustive;
+pub use genetic::{Genetic, GeneticOptions};
 pub use greedy::{GreedyFrom, GreedyOneParam, GreedyOptions};
 pub use grid::GridSearch;
 pub use nelder_mead::{NelderMead, NelderMeadOptions, StartPoint};
 pub use pro::{ParallelRankOrder, ProOptions};
 pub use random::RandomSearch;
+pub use surrogate::{Surrogate, SurrogateOptions};
 
 use crate::space::SearchSpace;
+use crate::telemetry::Telemetry;
 use rand::rngs::StdRng;
 use serde::Serialize;
 
@@ -59,6 +66,47 @@ pub struct SimplexSnapshot {
     pub rounds: usize,
 }
 
+/// Live snapshot of a simulated-annealing strategy's schedule state.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct AnnealingSnapshot {
+    /// Current temperature of the cooling schedule.
+    pub temperature: f64,
+    /// Fraction of recent proposals that were accepted as the new
+    /// incumbent (Metropolis acceptances included).
+    pub acceptance_rate: f64,
+    /// Reheats triggered by stagnation.
+    pub reheats: usize,
+    /// Best cost observed so far (`+inf` before the first feedback).
+    pub best_cost: f64,
+}
+
+/// Live snapshot of a genetic strategy's population state.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct GeneticSnapshot {
+    /// Completed generations.
+    pub generation: usize,
+    /// Best fitness (lowest cost) observed so far (`+inf` before the first
+    /// feedback).
+    pub best_fitness: f64,
+    /// Population size (individuals per generation).
+    pub population: usize,
+    /// Synergy pairs currently mined from low-cost configurations.
+    pub synergy_pairs: usize,
+}
+
+/// Live snapshot of a surrogate-assisted strategy's model state.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SurrogateSnapshot {
+    /// Relative fit error of the last model fit (`inf` before any fit).
+    pub fit_error: f64,
+    /// Proposals that fell back to the inner strategy.
+    pub fallbacks: usize,
+    /// Proposals taken from the model's argmin.
+    pub model_proposals: usize,
+    /// Samples the model was last fitted on.
+    pub samples: usize,
+}
+
 /// What a strategy reports about its internal search state.
 ///
 /// The default ([`StrategySnapshot::default`]) is what non-simplex
@@ -70,6 +118,12 @@ pub struct StrategySnapshot {
     pub phase: &'static str,
     /// Simplex geometry and move counts, for simplex-family strategies.
     pub simplex: Option<SimplexSnapshot>,
+    /// Annealing schedule state, for [`Annealing`].
+    pub annealing: Option<AnnealingSnapshot>,
+    /// Population state, for [`Genetic`].
+    pub genetic: Option<GeneticSnapshot>,
+    /// Model state, for [`Surrogate`].
+    pub surrogate: Option<SurrogateSnapshot>,
 }
 
 /// Ask–tell interface implemented by every tuning algorithm.
@@ -119,8 +173,79 @@ pub trait SearchStrategy: Send {
     fn snapshot(&self) -> StrategySnapshot {
         StrategySnapshot {
             phase: "search",
-            simplex: None,
+            ..StrategySnapshot::default()
         }
+    }
+
+    /// Attach a telemetry handle (optional). Strategies that record their
+    /// own counters or latencies (e.g. [`Surrogate`]) override this;
+    /// recording is a pure observer and never influences the trajectory.
+    /// The session forwards its own handle here on
+    /// [`set_telemetry`](crate::session::TuningSession::set_telemetry).
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+}
+
+/// Feasibility-aware lattice snap for candidate proposals, shared by the
+/// strategies that move through continuous space ([`GreedyOneParam`],
+/// [`NelderMead`]).
+///
+/// Unconstrained spaces keep the historical repair path (bit-identical
+/// proposal streams). On constrained spaces, repair-then-snap can leave
+/// the constraint surface (the snap undoes the repair) or collapse many
+/// distinct candidates onto one boundary configuration; instead the
+/// candidate is snapped to its lattice point and, if that violates a
+/// constraint, the compiled space supplies the *nearest feasible* lattice
+/// point (compiled lazily, once, on first need).
+pub(crate) struct FeasibleSnapper {
+    compiled: Option<crate::space_compile::CompiledSpace>,
+}
+
+/// Valid points scanned per nearest-feasible lookup (ample for the
+/// constrained spaces the repro suite compiles; larger spaces fall back
+/// to plain repair beyond the cap).
+const SNAP_SCAN_CAP: u64 = 65_536;
+
+impl FeasibleSnapper {
+    pub(crate) fn new() -> Self {
+        FeasibleSnapper { compiled: None }
+    }
+
+    /// Reset the cached compiled space (call from `init`).
+    pub(crate) fn reset(&mut self) {
+        self.compiled = None;
+    }
+
+    /// Snap `p` to a feasible lattice point (see type docs).
+    pub(crate) fn snap(&mut self, space: &SearchSpace, mut p: Vec<f64>) -> Vec<f64> {
+        if space.constraints().is_empty() {
+            space.repair(&mut p);
+            return p;
+        }
+        let values: Vec<_> = space
+            .params()
+            .iter()
+            .zip(&p)
+            .map(|(param, &c)| param.project(c))
+            .collect();
+        if let Ok(cfg) = space.configuration(values) {
+            if space.is_valid(&cfg) {
+                if let Ok(embedded) = space.embed(&cfg) {
+                    return embedded;
+                }
+            }
+        }
+        if self.compiled.is_none() {
+            self.compiled = crate::space_compile::CompiledSpace::compile(space).ok();
+        }
+        if let Some(snapped) = self
+            .compiled
+            .as_ref()
+            .and_then(|cs| cs.snap_feasible(&p, SNAP_SCAN_CAP))
+        {
+            return snapped;
+        }
+        space.repair(&mut p);
+        p
     }
 }
 

@@ -15,7 +15,7 @@
 //!   is re-seeded with fresh random vertices around the best point, since a
 //!   discrete space offers no infinitesimal steps.
 
-use super::{cost_spread, SearchStrategy, SimplexSnapshot, StrategySnapshot};
+use super::{cost_spread, FeasibleSnapper, SearchStrategy, SimplexSnapshot, StrategySnapshot};
 use crate::space::SearchSpace;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -107,6 +107,7 @@ pub struct NelderMead {
     expansions: usize,
     contractions: usize,
     shrinks: usize,
+    snapper: FeasibleSnapper,
 }
 
 impl Default for NelderMead {
@@ -129,6 +130,7 @@ impl NelderMead {
             expansions: 0,
             contractions: 0,
             shrinks: 0,
+            snapper: FeasibleSnapper::new(),
         }
     }
 
@@ -300,39 +302,40 @@ impl SearchStrategy for NelderMead {
     }
 
     fn init(&mut self, space: &SearchSpace, rng: &mut StdRng) {
+        self.snapper.reset();
         self.seed_simplex(space, rng);
     }
 
     fn propose(&mut self, space: &SearchSpace, _rng: &mut StdRng) -> Option<Vec<f64>> {
+        // The simplex moves (reflect/expand/contract) go through the
+        // feasibility-aware snap: on constrained spaces a repaired point
+        // re-snapped to the lattice can be invalid, or many distinct
+        // reflections collapse onto one boundary configuration.
         let point = match &self.phase {
             Phase::InitEval(i) | Phase::Shrink(i) => self.vertices[*i].coords.clone(),
             Phase::Reflect => {
                 let c = self.centroid_excluding_worst();
                 let w = &self.vertices.last().expect("nonempty simplex").coords;
-                let mut p = Self::combine(&c, w, self.opts.alpha);
-                space.repair(&mut p);
-                p
+                let p = Self::combine(&c, w, self.opts.alpha);
+                self.snapper.snap(space, p)
             }
             Phase::Expand => {
                 let c = self.centroid_excluding_worst();
                 let w = &self.vertices.last().expect("nonempty simplex").coords;
-                let mut p = Self::combine(&c, w, self.opts.gamma);
-                space.repair(&mut p);
-                p
+                let p = Self::combine(&c, w, self.opts.gamma);
+                self.snapper.snap(space, p)
             }
             Phase::ContractOutside => {
                 let c = self.centroid_excluding_worst();
                 let w = &self.vertices.last().expect("nonempty simplex").coords;
-                let mut p = Self::combine(&c, w, self.opts.beta);
-                space.repair(&mut p);
-                p
+                let p = Self::combine(&c, w, self.opts.beta);
+                self.snapper.snap(space, p)
             }
             Phase::ContractInside => {
                 let c = self.centroid_excluding_worst();
                 let w = &self.vertices.last().expect("nonempty simplex").coords;
-                let mut p = Self::combine(&c, w, -self.opts.beta);
-                space.repair(&mut p);
-                p
+                let p = Self::combine(&c, w, -self.opts.beta);
+                self.snapper.snap(space, p)
             }
         };
         self.pending = Some(point.clone());
@@ -480,6 +483,7 @@ impl SearchStrategy for NelderMead {
                 restarts: self.restarts,
                 rounds: 0,
             }),
+            ..StrategySnapshot::default()
         }
     }
 }
@@ -652,5 +656,49 @@ mod tests {
                 "simplex lost track of the best point"
             );
         }
+    }
+
+    #[test]
+    fn constrained_simplex_moves_snap_to_feasible_points() {
+        // b1 <= b2 <= b3: reflections through the centroid routinely cross
+        // the constraint surface. Repair-then-lattice-snap used to hand the
+        // session points whose *snapped* configuration violated the chain
+        // (the snap undoes the repair); the feasibility-aware snap consults
+        // the compiled space instead.
+        let space = SearchSpace::builder()
+            .int("b1", 0, 11, 1)
+            .int("b2", 0, 11, 1)
+            .int("b3", 0, 11, 1)
+            .constraint(crate::constraint::MonotoneChain::new(["b1", "b2", "b3"]))
+            .build()
+            .unwrap();
+        let mut nm = NelderMead::default();
+        let mut rng = rand::SeedableRng::seed_from_u64(11);
+        nm.init(&space, &mut rng);
+        let mut checked_moves = 0;
+        for _ in 0..120 {
+            let moving = !matches!(nm.phase, Phase::InitEval(_) | Phase::Shrink(_));
+            let coords = nm.propose(&space, &mut rng).unwrap();
+            if moving {
+                // Simplex moves must land exactly on feasible lattice
+                // points (init/shrink vertices stay continuous by design).
+                let values: Vec<_> = space
+                    .params()
+                    .iter()
+                    .zip(&coords)
+                    .map(|(param, &c)| param.project(c))
+                    .collect();
+                let cfg = space.configuration(values).expect("snapped move");
+                assert!(space.is_valid(&cfg), "infeasible simplex move {coords:?}");
+                checked_moves += 1;
+            }
+            let cfg = space.project(&coords);
+            let b1 = cfg.int("b1").unwrap() as f64;
+            let b2 = cfg.int("b2").unwrap() as f64;
+            let b3 = cfg.int("b3").unwrap() as f64;
+            let cost = (b1 - 2.0).powi(2) + (b2 - 5.0).powi(2) + (b3 - 9.0).powi(2);
+            nm.feedback(&coords, cost, &space, &mut rng);
+        }
+        assert!(checked_moves > 20, "only {checked_moves} moves exercised");
     }
 }

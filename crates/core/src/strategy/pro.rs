@@ -431,6 +431,7 @@ impl SearchStrategy for ParallelRankOrder {
                 restarts: self.respreads,
                 rounds: self.rounds,
             }),
+            ..StrategySnapshot::default()
         }
     }
 }

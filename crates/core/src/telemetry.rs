@@ -169,10 +169,16 @@ pub enum Counter {
     /// Chunks served by compiled-space enumeration
     /// ([`CompiledSpace::next_chunk`](crate::space_compile::CompiledSpace::next_chunk)).
     SpaceChunksEnumerated,
+    /// Inner tuning campaigns launched by the meta-tuning harness (fresh
+    /// runs only — store-memoized campaigns don't count).
+    MetaInnerCampaigns,
+    /// Surrogate-strategy proposals that fell back to the inner strategy
+    /// (model unfit or its argmin already evaluated).
+    SurrogateFallbacks,
 }
 
 /// Number of [`Counter`] variants (size of the per-handle counter array).
-const COUNTER_COUNT: usize = 30;
+const COUNTER_COUNT: usize = 32;
 
 impl Counter {
     /// Every counter, in rendering order.
@@ -207,6 +213,8 @@ impl Counter {
         Counter::StoreMergeConflicts,
         Counter::SpacePointsPruned,
         Counter::SpaceChunksEnumerated,
+        Counter::MetaInnerCampaigns,
+        Counter::SurrogateFallbacks,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -243,6 +251,8 @@ impl Counter {
             Counter::StoreMergeConflicts => "store_merge_conflicts",
             Counter::SpacePointsPruned => "space_points_pruned",
             Counter::SpaceChunksEnumerated => "space_chunks_enumerated",
+            Counter::MetaInnerCampaigns => "meta_inner_campaigns",
+            Counter::SurrogateFallbacks => "surrogate_fallbacks",
         }
     }
 
@@ -280,10 +290,14 @@ pub enum Latency {
     EventLoopIteration,
     /// Search-space compilation (constraint propagation + stats).
     SpaceCompile,
+    /// Surrogate model fit (normal-equation solve over the sample set).
+    SurrogateFit,
+    /// Surrogate model argmin scan over compiled-space candidates.
+    SurrogatePredict,
 }
 
 /// Number of [`Latency`] variants (size of the per-handle histogram array).
-const LATENCY_COUNT: usize = 9;
+const LATENCY_COUNT: usize = 11;
 
 /// Log2 bucket count per histogram: upper bounds 1µs, 2µs, … 2^24µs
 /// (~16.8s), plus a +Inf overflow bucket.
@@ -301,6 +315,8 @@ impl Latency {
         Latency::StoreAppendFsync,
         Latency::EventLoopIteration,
         Latency::SpaceCompile,
+        Latency::SurrogateFit,
+        Latency::SurrogatePredict,
     ];
 
     /// Stable snake_case name (the Prometheus metric is
@@ -316,6 +332,8 @@ impl Latency {
             Latency::StoreAppendFsync => "store_append_fsync",
             Latency::EventLoopIteration => "event_loop_iteration",
             Latency::SpaceCompile => "space_compile",
+            Latency::SurrogateFit => "surrogate_fit",
+            Latency::SurrogatePredict => "surrogate_predict",
         }
     }
 

@@ -150,6 +150,23 @@ proptest! {
     fn nelder_mead_is_transport_invariant(seed in 0u64..1_000_000, fs in 0u64..1_000_000) {
         check(StrategyKind::NelderMead, seed, fs);
     }
+
+    #[test]
+    fn annealing_is_transport_invariant(seed in 0u64..1_000_000, fs in 0u64..1_000_000) {
+        check(StrategyKind::Annealing, seed, fs);
+    }
+
+    #[test]
+    fn genetic_is_transport_invariant(seed in 0u64..1_000_000, fs in 0u64..1_000_000) {
+        check(StrategyKind::Genetic, seed, fs);
+    }
+
+    #[test]
+    fn surrogate_is_transport_invariant(seed in 0u64..1_000_000, fs in 0u64..1_000_000) {
+        // Surrogate interleaves model-argmin proposals with its fallback
+        // inner strategy; both sides must replay identically over sockets.
+        check(StrategyKind::Surrogate, seed, fs);
+    }
 }
 
 #[test]

@@ -140,8 +140,12 @@ impl SlesProblem {
         for (i, (&nnz, &nrows)) in loads.iter().zip(&rows).enumerate() {
             compute[i] = nnz as f64 * GFLOP_PER_NNZ + nrows as f64 * GFLOP_PER_ROW;
         }
-        let messages: Vec<Message> = self
-            .halo_volumes(part)
+        // Hash order is per-process-random; fix (src, dst) order so the
+        // simulated time is bit-identical run to run (float sums are
+        // order-sensitive at the ulp).
+        let mut halos: Vec<((usize, usize), usize)> = self.halo_volumes(part).into_iter().collect();
+        halos.sort_unstable_by_key(|&(k, _)| k);
+        let messages: Vec<Message> = halos
             .into_iter()
             .map(|((src, dst), vals)| Message {
                 src,

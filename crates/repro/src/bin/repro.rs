@@ -15,6 +15,8 @@
 //! repro space <sub>          # search-space compiler:
 //!                            #   list | stats | fingerprint | bench
 //! repro serve                # long-running federated TCP tuning server
+//! repro leaderboard          # race all strategies by evaluations-to-target
+//! repro meta                 # meta-tuning: tune a strategy's hyper-params
 //! options:
 //!   --quick            shrink workloads (smoke-test mode)
 //!   --json PATH        also dump machine-readable results
@@ -73,6 +75,10 @@
 //!                      until killed)
 //!   --tenants N        bench-server: add the fair-dispatch scenario with
 //!                      N competing tenants (default 0 = off)
+//!   --seeds N          leaderboard: seeded campaigns averaged per pairing
+//!                      (default 3, 2 with --quick)
+//!   --expect-memoized  meta: fail unless every campaign replays from the
+//!                      store (CI warm-start check; needs --store)
 //!   --space NAME       space: which synthetic space (`repro space list`)
 //!   --points N         space bench: valid points to stream (default 1e6,
 //!                      1e5 with --quick)
@@ -253,6 +259,7 @@ fn main() {
         "--tenant-max-inflight",
         "--run-for-ms",
         "--tenants",
+        "--seeds",
         "--space",
         "--points",
         "--chunk",
@@ -274,6 +281,14 @@ fn main() {
 
     if selectors.iter().any(|s| s.as_str() == "fault-wal") {
         std::process::exit(fault_wal(&args, quick));
+    }
+
+    if selectors.first().map(|s| s.as_str()) == Some("leaderboard") {
+        std::process::exit(ah_repro::leaderboard::run(&args, quick));
+    }
+
+    if selectors.first().map(|s| s.as_str()) == Some("meta") {
+        std::process::exit(ah_repro::meta_cli::run(&args, quick));
     }
 
     if selectors.first().map(|s| s.as_str()) == Some("store") {

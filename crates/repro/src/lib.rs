@@ -16,6 +16,8 @@ pub mod chart;
 pub mod experiment;
 pub mod experiments;
 pub mod fault_wal;
+pub mod leaderboard;
+pub mod meta_cli;
 pub mod observe_cli;
 pub mod serve_cli;
 pub mod space_cli;

@@ -1,0 +1,145 @@
+//! `repro meta` — the "tuning the tuner" demonstration.
+//!
+//! Runs the [`ah_core::meta`] loop on a paper workload: an outer Harmony
+//! session tunes a strategy's hyper-parameters (annealing schedule,
+//! simplex scale), scoring each hyper-configuration by evaluations-to-
+//! target over seeded inner campaigns. With `--store`, campaign scores
+//! are memoized: a second invocation against the same store replays every
+//! campaign and spends zero fresh inner evaluations (`--expect-memoized`
+//! turns that property into an exit-code check for CI).
+
+use ah_clustersim::machines::sp3_seaborg;
+use ah_core::meta::{MetaAnnealing, MetaNelderMead, MetaOptions, MetaOutcome, MetaTunable, MetaTuner};
+use ah_core::offline::{OfflineTuner, ShortRunApp};
+use ah_core::session::SessionOptions;
+use ah_core::store::SharedStore;
+use ah_core::strategy::{NelderMead, NelderMeadOptions, StartPoint};
+use ah_pop::{OceanGrid, PopBlockApp};
+use std::io::Write;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn make_app() -> PopBlockApp {
+    PopBlockApp::new(OceanGrid::synthetic(360, 240), sp3_seaborg(12, 4), 3)
+}
+
+/// Derive the inner campaigns' target cost from the POP workload: the
+/// default block's time minus 80% of the improvement a pilot simplex
+/// campaign demonstrates is achievable.
+fn target_cost(quick: bool) -> f64 {
+    let mut app = make_app();
+    let space = app.space();
+    let default_cfg = app.default_config();
+    let default_coords = space.embed(&default_cfg).expect("default embeds");
+    let default_cost = app.run_short(&default_cfg).exec_time;
+    let pilot = OfflineTuner::new(SessionOptions {
+        max_evaluations: if quick { 120 } else { 300 },
+        seed: 9090,
+        ..SessionOptions::default()
+    })
+    .tune(
+        &mut make_app(),
+        Box::new(NelderMead::new(NelderMeadOptions {
+            start: StartPoint::Coords(default_coords),
+            ..NelderMeadOptions::default()
+        })),
+    );
+    default_cost - 0.8 * (default_cost - pilot.result.best_cost).max(0.0)
+}
+
+fn report(o: &MetaOutcome) {
+    println!(
+        "meta[{}/{}]: default score {:.1}, tuned score {:.1} ({}), \
+         campaigns {} fresh / {} memoized, {} fresh inner evaluations",
+        o.tunable,
+        o.problem,
+        o.default_score,
+        o.best_score,
+        if o.improved() {
+            "improved"
+        } else {
+            "no improvement"
+        },
+        o.fresh_campaigns,
+        o.memoized_campaigns,
+        o.inner_evaluations,
+    );
+    println!("  best hyper-configuration: {:?}", o.best_hyper.cache_key());
+}
+
+/// Run the meta-tuning demo; returns a process exit code.
+pub fn run(args: &[String], quick: bool) -> i32 {
+    let store = match flag_value(args, "--store") {
+        Some(path) => match SharedStore::open(&path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot open store {path}: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let expect_memoized = args.iter().any(|a| a == "--expect-memoized");
+
+    let opts = MetaOptions {
+        outer_evaluations: if quick { 10 } else { 20 },
+        inner_budget: if quick { 60 } else { 120 },
+        target_cost: target_cost(quick),
+        campaigns_per_score: if quick { 2 } else { 3 },
+        seed: 7,
+    };
+
+    let tunables: [&dyn MetaTunable; 2] = [&MetaAnnealing, &MetaNelderMead];
+    let mut outcomes = Vec::new();
+    for tunable in tunables {
+        let mut tuner = MetaTuner::new(opts.clone());
+        if let Some(s) = &store {
+            tuner = tuner.with_store(s.clone());
+        }
+        let outcome = tuner.tune(&mut make_app(), "pop-blocks", tunable);
+        report(&outcome);
+        outcomes.push(outcome);
+    }
+
+    if let Some(path) = flag_value(args, "--json") {
+        let blob = serde_json::to_string_pretty(&serde_json::json!({
+            "bench": "meta",
+            "mode": if quick { "quick" } else { "full" },
+            "target_cost": opts.target_cost,
+            "outcomes": outcomes,
+        }))
+        .expect("outcomes serialize");
+        match std::fs::File::create(&path).and_then(|mut f| {
+            f.write_all(blob.as_bytes())?;
+            f.write_all(b"\n")
+        }) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 2;
+            }
+        }
+    }
+
+    if expect_memoized {
+        let fresh: usize = outcomes.iter().map(|o| o.fresh_campaigns).sum();
+        if fresh > 0 {
+            eprintln!(
+                "meta FAILED: expected a fully memoized run, but {fresh} \
+                 hyper-configurations needed fresh campaigns"
+            );
+            return 1;
+        }
+        println!("meta: fully memoized run (zero fresh inner evaluations)");
+    }
+    if !outcomes.iter().any(|o| o.improved()) {
+        eprintln!("meta FAILED: no tunable improved on its default hyper-parameters");
+        return 1;
+    }
+    0
+}
