@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::history::{Evaluation, History};
     pub use crate::meta::{
         MetaAnnealing, MetaGenetic, MetaNelderMead, MetaOptions, MetaOutcome, MetaSurrogate,
-        MetaTunable, MetaTuner, MetaTrial,
+        MetaTrial, MetaTunable, MetaTuner,
     };
     pub use crate::objective::{Objective, PenalizedObjective, TradeoffObjective};
     pub use crate::offline::{OfflineTuner, RunMeasurement, ShortRunApp};

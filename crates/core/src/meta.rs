@@ -223,7 +223,10 @@ impl MetaTunable for MetaSurrogate {
             space,
             &[
                 ("refit_every", d.refit_every as i64),
-                ("fit_threshold_pct", (d.fit_threshold * 100.0).round() as i64),
+                (
+                    "fit_threshold_pct",
+                    (d.fit_threshold * 100.0).round() as i64,
+                ),
             ],
         )
     }
@@ -378,11 +381,11 @@ impl MetaTuner {
         let mut inner_evaluations = 0usize;
 
         let score_hyper = |hyper: &Configuration,
-                               trace: &mut Vec<MetaTrial>,
-                               fresh: &mut usize,
-                               memoized: &mut usize,
-                               inner_evals: &mut usize,
-                               app: &mut dyn ShortRunApp| {
+                           trace: &mut Vec<MetaTrial>,
+                           fresh: &mut usize,
+                           memoized: &mut usize,
+                           inner_evals: &mut usize,
+                           app: &mut dyn ShortRunApp| {
             let key = hyper.cache_key();
             if let Some(hit) = self
                 .store
@@ -596,15 +599,18 @@ mod tests {
         let path = temp_store("replay");
         let _ = std::fs::remove_file(&path);
         let store = SharedStore::open(&path).unwrap();
-        let first = MetaTuner::new(opts())
-            .with_store(store.clone())
-            .tune(&mut Bowl, "bowl", &MetaAnnealing);
+        let first = MetaTuner::new(opts()).with_store(store.clone()).tune(
+            &mut Bowl,
+            "bowl",
+            &MetaAnnealing,
+        );
         assert!(first.fresh_campaigns > 0);
         assert!(first.inner_evaluations > 0);
 
-        let second = MetaTuner::new(opts())
-            .with_store(store)
-            .tune(&mut Bowl, "bowl", &MetaAnnealing);
+        let second =
+            MetaTuner::new(opts())
+                .with_store(store)
+                .tune(&mut Bowl, "bowl", &MetaAnnealing);
         // Identical trajectory, all memoized: strictly fewer fresh evals.
         assert_eq!(second.fresh_campaigns, 0);
         assert_eq!(second.inner_evaluations, 0);

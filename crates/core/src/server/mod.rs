@@ -68,7 +68,9 @@ use crate::error::{HarmonyError, Result};
 use crate::session::{Trial, TuningSession};
 use crate::space::SearchSpaceBuilder;
 use crate::store::{space_fingerprint, SharedStore, StoreRecord};
-use crate::telemetry::{Counter, Latency, SpanKind, Telemetry, TrialStage};
+use crate::telemetry::slo::SloRule;
+use crate::telemetry::timeseries::TimeSeries;
+use crate::telemetry::{Counter, Latency, SpanKind, Telemetry, TenantMetric, TrialStage};
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
 use protocol::{sanitize_measurement, Envelope, FetchedTrial, Reply, ReplySink, Request};
@@ -192,9 +194,24 @@ pub struct ServerConfig {
     /// Observer-plane addresses (`host:port`) of peer servers whose store
     /// logs this server should pull and merge on an anti-entropy interval.
     /// Requires [`store`](Self::store); empty (default) disables syncing.
+    /// `GET /fleet` on the observe plane also aggregates these peers'
+    /// `/status` + `/metrics` into one fleet view.
     pub sync_peers: Vec<String>,
     /// Anti-entropy pull period; `Duration::ZERO` (default) means 500 ms.
     pub sync_interval: Duration,
+    /// Retained time-series over [`telemetry`](Self::telemetry). When set,
+    /// [`HarmonyServer::start_with_config`] registers a
+    /// `shard_queue_depth` gauge on it, and the observe plane serves
+    /// `GET /metrics/history` and the `GET /healthz` SLO engine from it.
+    /// The caller owns sampling (see
+    /// [`TimeSeries::start_sampler`]). `None` (default) disables both
+    /// endpoints.
+    pub timeseries: Option<TimeSeries>,
+    /// SLO rules `GET /healthz` evaluates against
+    /// [`timeseries`](Self::timeseries) (grammar:
+    /// [`crate::telemetry::slo`]). Empty (default) means `/healthz` always
+    /// answers 200 with zero rules.
+    pub slo_rules: Vec<SloRule>,
 }
 
 /// Upper bound on store-served trials resolved inside one fetch request.
@@ -507,11 +524,24 @@ impl HarmonyServer {
                 sync_handles.push(handle);
             }
         }
+        let bus = ServerBus {
+            shards: Arc::new(pool),
+            next_seq: Arc::new(AtomicU64::new(0)),
+        };
+        if let Some(series) = &config.timeseries {
+            // Stock server gauges: total queued envelopes across shards
+            // (the SLO engine's `shard_queue_depth`) and the store's
+            // unflushed record count (`store_unsynced`, flush lag).
+            let gauge_bus = bus.clone();
+            series.register_gauge("shard_queue_depth", move || {
+                gauge_bus.queue_depths().iter().sum::<u64>() as f64
+            });
+            if let Some(store) = config.store.clone() {
+                series.register_gauge("store_unsynced", move || store.unsynced() as f64);
+            }
+        }
         HarmonyServer {
-            bus: ServerBus {
-                shards: Arc::new(pool),
-                next_seq: Arc::new(AtomicU64::new(0)),
-            },
+            bus,
             handles,
             sync_stop,
             sync_handles,
@@ -610,8 +640,13 @@ impl HarmonyServer {
                         depth.fetch_sub(1, Ordering::Relaxed);
                         stats.queued.fetch_sub(1, Ordering::Relaxed);
                         stats.served.fetch_add(1, Ordering::Relaxed);
-                        cfg.telemetry
-                            .observe(Latency::ShardQueueWait, env.queued_at.elapsed());
+                        let wait = env.queued_at.elapsed();
+                        cfg.telemetry.observe(Latency::ShardQueueWait, wait);
+                        cfg.telemetry.tenant_add(
+                            &tenant,
+                            TenantMetric::QueueWaitUs,
+                            u64::try_from(wait.as_micros()).unwrap_or(u64::MAX),
+                        );
                         let Envelope {
                             client, req, reply, ..
                         } = env;
@@ -828,6 +863,8 @@ impl HarmonyServer {
                     if prior >= max as u64 {
                         stats.sessions.fetch_sub(1, Ordering::Relaxed);
                         cfg.telemetry.inc(Counter::QuotaRefusals);
+                        cfg.telemetry
+                            .tenant_add(&tenant, TenantMetric::QuotaRefusals, 1);
                         return Reply::QuotaExceeded { tenant };
                     }
                 }
@@ -1016,6 +1053,7 @@ impl HarmonyServer {
                 // above never grow holdings and stay exempt.)
                 if Self::tenant_inflight_full(cfg, tenant_stats) {
                     telemetry.inc(Counter::QuotaRefusals);
+                    telemetry.tenant_add(tenant, TenantMetric::QuotaRefusals, 1);
                     return Reply::QuotaExceeded {
                         tenant: tenant.clone(),
                     };
@@ -1087,8 +1125,10 @@ impl HarmonyServer {
                 }
                 let config = cfg.store.as_ref().map(|_| t.trial.config.clone());
                 let iteration = t.trial.iteration;
+                telemetry.tenant_add(tenant, TenantMetric::Reports, 1);
                 match session.report_timed(t.trial, cost, wall_time) {
                     Ok(()) => {
+                        telemetry.tenant_add(tenant, TenantMetric::Evaluations, 1);
                         // Advisory write: a full disk must not fail the
                         // report the session already accepted.
                         if let (Some(store), Some(config)) = (&cfg.store, config) {
@@ -1222,6 +1262,7 @@ impl HarmonyServer {
                 }
                 if trials.is_empty() && !finished && fresh_budget == 0 {
                     telemetry.inc(Counter::QuotaRefusals);
+                    telemetry.tenant_add(tenant, TenantMetric::QuotaRefusals, 1);
                     return Reply::QuotaExceeded {
                         tenant: tenant.clone(),
                     };
@@ -1261,9 +1302,11 @@ impl HarmonyServer {
                             }
                             let config = cfg.store.as_ref().map(|_| t.trial.config.clone());
                             let iteration = t.trial.iteration;
+                            telemetry.tenant_add(tenant, TenantMetric::Reports, 1);
                             if let Err(e) = session.report_timed(t.trial, cost, wall_time) {
                                 return Reply::err(e.to_string());
                             }
+                            telemetry.tenant_add(tenant, TenantMetric::Evaluations, 1);
                             if let Some(config) = config {
                                 recorded.push(
                                     StoreRecord::new(
@@ -1284,6 +1327,7 @@ impl HarmonyServer {
                         // configuration, so dropping the echo is lossless.
                         None if r.iteration <= *issued_high => {
                             telemetry.inc(Counter::StaleReportsDropped);
+                            telemetry.tenant_add(tenant, TenantMetric::Reports, 1);
                             continue;
                         }
                         None => {

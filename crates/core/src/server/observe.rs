@@ -37,15 +37,17 @@
 //! [`SearchSnapshot`]: crate::session::SearchSnapshot
 
 use super::{ServerBus, ServerConfig, SessionPhase, SessionState};
-use crate::telemetry::Counter;
+use crate::telemetry::{slo, Counter};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a single request may dribble in before the responder gives up
 /// on the connection. One slow client must not wedge the plane.
@@ -104,6 +106,23 @@ impl Drop for ObserveHandle {
     }
 }
 
+/// Everything a connection thread needs to answer any route: the bus for
+/// shard snapshots, the config for telemetry/store/peers, the last-good
+/// peer snapshot cache behind `/fleet`, this responder's own bound
+/// address (its identity in the fleet view), and the shared stop flag.
+struct ObserveCtx {
+    bus: ServerBus,
+    cfg: ServerConfig,
+    fleet: FleetCache,
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+/// Last good `/fleet` snapshot per peer: `(fetched_at, row)`. A peer that
+/// stops answering keeps contributing its cached row, marked stale with
+/// its age — a fleet view must degrade, not blank, when one server blips.
+type FleetCache = Arc<Mutex<HashMap<String, (Instant, Value)>>>;
+
 /// Bind `addr` and start the responder thread.
 pub(crate) fn start(
     addr: &str,
@@ -113,6 +132,13 @@ pub(crate) fn start(
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let ctx = Arc::new(ObserveCtx {
+        bus,
+        cfg,
+        fleet: Arc::new(Mutex::new(HashMap::new())),
+        local,
+        stop: Arc::clone(&stop),
+    });
     let stop_accept = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
         .name("harmony-observe".into())
@@ -121,11 +147,17 @@ pub(crate) fn start(
                 if stop_accept.load(Ordering::SeqCst) {
                     break;
                 }
-                // Requests are served inline, one at a time: every route is
-                // a snapshot-and-format, so there is nothing to parallelise
-                // and nothing for a second connection to wait long for.
+                // One short-lived thread per connection: connections are
+                // keep-alive (a `repro watch` holds one open per tick
+                // interval, Prometheus scrapers pipeline), so serving
+                // inline would let one slow scraper wedge the plane.
                 if let Ok(stream) = conn {
-                    let _ = serve_connection(stream, &bus, &cfg);
+                    let ctx = Arc::clone(&ctx);
+                    let _ = std::thread::Builder::new()
+                        .name("harmony-observe-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &ctx);
+                        });
                 }
             }
         })?;
@@ -136,86 +168,158 @@ pub(crate) fn start(
     })
 }
 
-/// Read one request, write one response, close.
-fn serve_connection(stream: TcpStream, bus: &ServerBus, cfg: &ServerConfig) -> std::io::Result<()> {
+/// Serve one connection: requests in a keep-alive loop until the peer
+/// closes, asks to close, errors, or the responder is stopping. Responses
+/// are written through the `BufReader`'s underlying stream so pipelined
+/// request bytes already buffered are never lost.
+fn serve_connection(stream: TcpStream, ctx: &ObserveCtx) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain the headers; GET requests carry no body we care about.
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
+        if ctx.stop.load(Ordering::SeqCst) {
+            return Ok(());
         }
-    }
-    let mut stream = reader.into_inner();
-
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("");
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    match path {
-        "/" => respond(&mut stream, 200, "application/json", &render(index_json())),
-        "/metrics" => {
-            let mut body = cfg.telemetry.prometheus();
-            body.push_str(&queue_depth_exposition(bus));
-            respond(
-                &mut stream,
-                200,
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            )
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line)? == 0 {
+            return Ok(()); // clean EOF between requests
         }
-        "/status" => respond(
-            &mut stream,
-            200,
-            "application/json",
-            &render(status_json(bus, cfg)),
-        ),
-        "/trials" => {
-            let events = tail(cfg.telemetry.events(), parse_n(query));
-            let body = serde_json::to_string(&events).unwrap_or_else(|_| "[]".into());
-            respond(&mut stream, 200, "application/json", &format!("{body}\n"))
+        if request_line.trim().is_empty() {
+            continue; // stray CRLF between pipelined requests
         }
-        "/spans" => {
-            let spans = tail(cfg.telemetry.spans(), parse_n(query));
-            let body = serde_json::to_string(&spans).unwrap_or_else(|_| "[]".into());
-            respond(&mut stream, 200, "application/json", &format!("{body}\n"))
-        }
-        "/trace" => respond(
-            &mut stream,
-            200,
-            "application/json",
-            &render(cfg.telemetry.chrome_trace()),
-        ),
-        "/store/log" => match &cfg.store {
-            Some(store) => {
-                let from = parse_query(query, "from").unwrap_or(0);
-                let (start, blob) = store.encode_log_from(from);
-                let total = start + blob.lines().count();
-                let header = serde_json::to_string(&StoreLogHeader {
-                    kind: STORE_LOG_KIND.to_string(),
-                    start,
-                    total,
-                })
-                .expect("header serialises");
-                respond(
-                    &mut stream,
-                    200,
-                    "application/x-ndjson",
-                    &format!("{header}\n{blob}"),
-                )
+        // Drain the headers; the only one that changes behavior is an
+        // explicit `Connection: close`.
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                close = true;
+                break;
             }
-            None => respond(&mut stream, 404, "text/plain", "no store attached\n"),
-        },
-        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("connection:") && lower.contains("close") {
+                close = true;
+            }
+        }
+
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let target = parts.next().unwrap_or("");
+        if method != "GET" {
+            // A non-GET may carry a body this loop does not parse; answer
+            // with a correctly-framed 405 and close rather than misread
+            // the body bytes as a next request.
+            respond(
+                reader.get_mut(),
+                405,
+                "text/plain",
+                "method not allowed\n",
+                true,
+            )?;
+            return Ok(());
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let stream = reader.get_mut();
+        let (bus, cfg) = (&ctx.bus, &ctx.cfg);
+        match path {
+            "/" => respond(
+                stream,
+                200,
+                "application/json",
+                &render(index_json()),
+                close,
+            )?,
+            "/metrics" => {
+                let mut body = cfg.telemetry.prometheus();
+                body.push_str(&queue_depth_exposition(bus));
+                respond(
+                    stream,
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                    close,
+                )?
+            }
+            "/metrics/history" => match &cfg.timeseries {
+                Some(series) => {
+                    let window =
+                        Duration::from_secs(parse_query(query, "window").unwrap_or(60) as u64);
+                    respond(
+                        stream,
+                        200,
+                        "application/json",
+                        &render(series.history_json(window)),
+                        close,
+                    )?
+                }
+                None => respond(stream, 404, "text/plain", "no timeseries attached\n", close)?,
+            },
+            "/healthz" => {
+                let (code, doc) = healthz_json(cfg);
+                respond(stream, code, "application/json", &render(doc), close)?
+            }
+            "/fleet" => respond(
+                stream,
+                200,
+                "application/json",
+                &render(fleet_json(ctx)),
+                close,
+            )?,
+            "/status" => respond(
+                stream,
+                200,
+                "application/json",
+                &render(status_json(bus, cfg)),
+                close,
+            )?,
+            "/trials" => {
+                let events = tail(cfg.telemetry.events(), parse_n(query));
+                let body = serde_json::to_string(&events).unwrap_or_else(|_| "[]".into());
+                respond(stream, 200, "application/json", &format!("{body}\n"), close)?
+            }
+            "/spans" => {
+                let spans = tail(cfg.telemetry.spans(), parse_n(query));
+                let body = serde_json::to_string(&spans).unwrap_or_else(|_| "[]".into());
+                respond(stream, 200, "application/json", &format!("{body}\n"), close)?
+            }
+            "/trace" => respond(
+                stream,
+                200,
+                "application/json",
+                &render(cfg.telemetry.chrome_trace()),
+                close,
+            )?,
+            "/store/log" => match &cfg.store {
+                Some(store) => {
+                    let from = parse_query(query, "from").unwrap_or(0);
+                    let (start, blob) = store.encode_log_from(from);
+                    let total = start + blob.lines().count();
+                    let header = serde_json::to_string(&StoreLogHeader {
+                        kind: STORE_LOG_KIND.to_string(),
+                        start,
+                        total,
+                    })
+                    .expect("header serialises");
+                    respond(
+                        stream,
+                        200,
+                        "application/x-ndjson",
+                        &format!("{header}\n{blob}"),
+                        close,
+                    )?
+                }
+                None => respond(stream, 404, "text/plain", "no store attached\n", close)?,
+            },
+            _ => respond(stream, 404, "text/plain", "not found\n", close)?,
+        }
+        if close {
+            return Ok(());
+        }
     }
 }
 
@@ -231,17 +335,20 @@ fn respond(
     code: u16,
     content_type: &str,
     body: &str,
+    close: bool,
 ) -> std::io::Result<()> {
     let reason = match code {
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
+    let connection = if close { "close" } else { "keep-alive" };
     write!(
         stream,
         "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     )?;
     stream.write_all(body.as_bytes())?;
@@ -274,12 +381,213 @@ fn index_json() -> Value {
     json!({
         "endpoints": [
             "/metrics",
+            "/metrics/history?window=S",
+            "/healthz",
+            "/fleet",
             "/status",
             "/trials?n=K",
             "/spans?n=K",
             "/trace",
             "/store/log?from=SEQ",
         ],
+    })
+}
+
+/// The `/healthz` route: evaluate the configured SLO rules against the
+/// attached time-series. `(status code, verdict document)` — 503 on any
+/// breach, 200 otherwise (including when no series or rules are
+/// configured: an unconfigured health check must not fail the probe).
+fn healthz_json(cfg: &ServerConfig) -> (u16, Value) {
+    match &cfg.timeseries {
+        Some(series) => {
+            let report = slo::evaluate(&cfg.slo_rules, series);
+            let code = if report.healthy { 200 } else { 503 };
+            let mut doc = report.json();
+            if let Value::Object(fields) = &mut doc {
+                fields.push(("samples".to_string(), Value::UInt(series.len() as u64)));
+            }
+            (code, doc)
+        }
+        None => (
+            200,
+            json!({
+                "healthy": true,
+                "status": "ok",
+                "rules": [],
+                "note": "no timeseries attached",
+            }),
+        ),
+    }
+}
+
+/// The unlabeled value of counter `ah_<name>_total` in a Prometheus text
+/// exposition — how `/fleet` reads a peer's `/metrics` without a parser
+/// dependency.
+fn exposition_counter(text: &str, name: &str) -> Option<u64> {
+    let prefix = format!("ah_{name}_total ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&prefix).and_then(|v| v.trim().parse().ok()))
+}
+
+/// One fleet row built from a peer's `/status` + `/metrics` bodies.
+fn fleet_row(
+    addr: &str,
+    is_self: bool,
+    fresh: bool,
+    age_s: f64,
+    status: &Value,
+    metrics: &str,
+) -> Value {
+    let sessions = status
+        .get("sessions")
+        .and_then(Value::as_array)
+        .map(|s| s.len())
+        .unwrap_or(0);
+    let queue_depth: u64 = status
+        .get("server")
+        .and_then(|s| s.get("queue_depths"))
+        .and_then(Value::as_array)
+        .map(|d| d.iter().filter_map(Value::as_u64).sum())
+        .unwrap_or(0);
+    let store_records = status
+        .get("store")
+        .and_then(|s| s.get("records"))
+        .and_then(Value::as_u64);
+    let tenants = status.get("tenant_metrics").cloned().unwrap_or(Value::Null);
+    json!({
+        "addr": addr,
+        "self": is_self,
+        "fresh": fresh,
+        "age_s": age_s,
+        "sessions": sessions,
+        "queue_depth": queue_depth,
+        "store_records": store_records,
+        "evaluations": exposition_counter(metrics, "trials_reported"),
+        "reports": exposition_counter(metrics, "trials_measured"),
+        "quota_refusals": exposition_counter(metrics, "quota_refusals"),
+        "tenants": tenants,
+    })
+}
+
+/// The `/fleet` document: this server plus every `sync_peers` member,
+/// each summarized from its `/status` + `/metrics`, with per-peer
+/// freshness and fleet-wide totals. Unreachable peers degrade to their
+/// cached row (marked stale) rather than vanishing.
+fn fleet_json(ctx: &ObserveCtx) -> Value {
+    let mut rows = Vec::new();
+    // Self: build the same row from local state, no HTTP round trip.
+    let self_addr = ctx.local.to_string();
+    let status = status_json(&ctx.bus, &ctx.cfg);
+    let mut metrics = ctx.cfg.telemetry.prometheus();
+    metrics.push_str(&queue_depth_exposition(&ctx.bus));
+    rows.push(fleet_row(&self_addr, true, true, 0.0, &status, &metrics));
+
+    for peer in &ctx.cfg.sync_peers {
+        let fetched = http_get(peer, "/status")
+            .ok()
+            .filter(|(code, _)| *code == 200)
+            .and_then(|(_, body)| serde_json::parse(&body).ok())
+            .and_then(|status: Value| {
+                http_get(peer, "/metrics")
+                    .ok()
+                    .filter(|(code, _)| *code == 200)
+                    .map(|(_, metrics)| (status, metrics))
+            });
+        let row = match fetched {
+            Some((status, metrics)) => {
+                let row = fleet_row(peer, false, true, 0.0, &status, &metrics);
+                ctx.fleet
+                    .lock()
+                    .insert(peer.clone(), (Instant::now(), row.clone()));
+                row
+            }
+            None => match ctx.fleet.lock().get(peer) {
+                Some((at, cached)) => {
+                    let mut row = cached.clone();
+                    if let Value::Object(fields) = &mut row {
+                        for (k, v) in fields.iter_mut() {
+                            match k.as_str() {
+                                "fresh" => *v = Value::Bool(false),
+                                "age_s" => *v = Value::Float(at.elapsed().as_secs_f64()),
+                                _ => {}
+                            }
+                        }
+                    }
+                    row
+                }
+                None => json!({
+                    "addr": peer.clone(),
+                    "self": false,
+                    "fresh": false,
+                    "age_s": null,
+                    "error": "unreachable",
+                }),
+            },
+        };
+        rows.push(row);
+    }
+
+    let fresh = rows
+        .iter()
+        .filter(|r| r.get("fresh").and_then(Value::as_bool) == Some(true))
+        .count();
+    let sum = |key: &str| -> u64 {
+        rows.iter()
+            .filter_map(|r| r.get(key).and_then(Value::as_u64))
+            .sum()
+    };
+    // Merge every peer's per-tenant series: tenant → metric → summed value.
+    let mut tenant_totals: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+    for row in &rows {
+        let Some(tenants) = row.get("tenants").and_then(Value::as_object) else {
+            continue;
+        };
+        for (tenant, metrics) in tenants {
+            let slot = match tenant_totals.iter_mut().find(|(t, _)| t == tenant) {
+                Some((_, slot)) => slot,
+                None => {
+                    tenant_totals.push((tenant.clone(), Vec::new()));
+                    &mut tenant_totals.last_mut().expect("just pushed").1
+                }
+            };
+            if let Some(fields) = metrics.as_object() {
+                for (metric, value) in fields {
+                    let v = value.as_u64().unwrap_or(0);
+                    match slot.iter_mut().find(|(m, _)| m == metric) {
+                        Some((_, total)) => *total += v,
+                        None => slot.push((metric.clone(), v)),
+                    }
+                }
+            }
+        }
+    }
+    let tenants = Value::Object(
+        tenant_totals
+            .into_iter()
+            .map(|(tenant, metrics)| {
+                (
+                    tenant,
+                    Value::Object(
+                        metrics
+                            .into_iter()
+                            .map(|(m, v)| (m, Value::UInt(v)))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    json!({
+        "peers": rows.len(),
+        "fresh": fresh,
+        "totals": {
+            "evaluations": sum("evaluations"),
+            "reports": sum("reports"),
+            "sessions": sum("sessions"),
+            "quota_refusals": sum("quota_refusals"),
+        },
+        "tenants": tenants,
+        "rows": Value::Array(rows),
     })
 }
 
@@ -365,6 +673,13 @@ fn status_json(bus: &ServerBus, cfg: &ServerConfig) -> Value {
             "events_dropped": t.dropped_events(),
             "spans_open": t.open_spans(),
             "spans_dropped": t.dropped_spans(),
+        },
+        "counters": t.counters_json(),
+        "tenant_metrics": t.tenant_counters_json(),
+        "slo": {
+            "timeseries": cfg.timeseries.is_some(),
+            "retained_samples": cfg.timeseries.as_ref().map(|s| s.len()),
+            "rules": cfg.slo_rules.iter().map(|r| r.spec()).collect::<Vec<_>>(),
         },
     })
 }

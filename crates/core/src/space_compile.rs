@@ -708,7 +708,7 @@ impl CompiledSpace {
                 .zip(coords)
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum();
-            if best.as_ref().map_or(true, |(d, _)| dist < *d) {
+            if best.as_ref().is_none_or(|(d, _)| dist < *d) {
                 best = Some((dist, cand));
             }
         }

@@ -1135,6 +1135,12 @@ impl SharedStore {
         self.0.store.lock().flush()
     }
 
+    /// Locked [`PerfStore::unsynced`]: appended records not yet fsynced —
+    /// the flush-lag gauge the SLO engine watches.
+    pub fn unsynced(&self) -> usize {
+        self.0.store.lock().unsynced()
+    }
+
     /// Locked [`PerfStore::stats`].
     pub fn stats(&self) -> StoreStats {
         self.0.store.lock().stats()

@@ -242,14 +242,14 @@ impl SearchStrategy for Annealing {
 
     fn feedback(&mut self, coords: &[f64], cost: f64, _space: &SearchSpace, rng: &mut StdRng) {
         self.evals += 1;
-        let improved_best = self.best.as_ref().map_or(true, |(_, b)| cost < *b);
+        let improved_best = self.best.as_ref().is_none_or(|(_, b)| cost < *b);
         if improved_best {
             self.best = Some((coords.to_vec(), cost));
         }
         if self.t0.is_none() {
             // Warm-up: greedy incumbent, collect the cost scale.
             self.warmup_costs.push(cost);
-            let better = self.current.as_ref().map_or(true, |(_, c)| cost < *c);
+            let better = self.current.as_ref().is_none_or(|(_, c)| cost < *c);
             if better {
                 self.current = Some((coords.to_vec(), cost));
             }
@@ -291,7 +291,11 @@ impl SearchStrategy for Annealing {
 
     fn snapshot(&self) -> StrategySnapshot {
         StrategySnapshot {
-            phase: if self.t0.is_none() { "warmup" } else { "anneal" },
+            phase: if self.t0.is_none() {
+                "warmup"
+            } else {
+                "anneal"
+            },
             annealing: Some(AnnealingSnapshot {
                 temperature: self.temperature,
                 acceptance_rate: self.acceptance_rate(),

@@ -218,7 +218,8 @@ impl Genetic {
         // Count co-occurrences of (dim bin, dim bin) pairs in the tail;
         // `low` is ascending by cost, so the first occurrence recorded for
         // a pair is its best representative.
-        let mut counts: Vec<((usize, i64, usize, i64), usize, f64, f64)> = Vec::new();
+        type PairId = (usize, i64, usize, i64);
+        let mut counts: Vec<(PairId, usize, f64, f64)> = Vec::new();
         for (_, coords, _) in low {
             for a in 0..dims {
                 for b in (a + 1)..dims {
@@ -379,7 +380,11 @@ impl SearchStrategy for Genetic {
 
     fn snapshot(&self) -> StrategySnapshot {
         StrategySnapshot {
-            phase: if self.generation == 0 { "init" } else { "evolve" },
+            phase: if self.generation == 0 {
+                "init"
+            } else {
+                "evolve"
+            },
             genetic: Some(GeneticSnapshot {
                 generation: self.generation,
                 best_fitness: self.best,

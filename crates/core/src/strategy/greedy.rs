@@ -306,7 +306,12 @@ mod tests {
             unique.insert(cfg.cache_key());
             let b1 = cfg.int("b1").unwrap() as f64;
             let b2 = cfg.int("b2").unwrap() as f64;
-            g.feedback(&p, (b1 - 2.0).powi(2) + (b2 - 8.0).powi(2), &space, &mut rng);
+            g.feedback(
+                &p,
+                (b1 - 2.0).powi(2) + (b2 - 8.0).powi(2),
+                &space,
+                &mut rng,
+            );
             if proposals > 200 {
                 break;
             }

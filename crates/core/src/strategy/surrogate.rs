@@ -232,7 +232,8 @@ impl Surrogate {
         }
         let start = Instant::now();
         self.model = self.fit(space);
-        self.telemetry.observe(Latency::SurrogateFit, start.elapsed());
+        self.telemetry
+            .observe(Latency::SurrogateFit, start.elapsed());
         self.fitted_at = self.samples.len();
     }
 
@@ -252,7 +253,7 @@ impl Surrogate {
                 return;
             }
             let pred = Self::predict(model, &Self::normalize(space, &coords));
-            if best.as_ref().map_or(true, |(b, ..)| pred < *b) {
+            if best.as_ref().is_none_or(|(b, ..)| pred < *b) {
                 best = Some((pred, key, coords));
             }
         };
@@ -320,7 +321,7 @@ impl SearchStrategy for Surrogate {
         let trusted = self
             .model
             .as_ref()
-            .map_or(false, |m| m.rel_error <= self.opts.fit_threshold);
+            .is_some_and(|m| m.rel_error <= self.opts.fit_threshold);
         if trusted {
             if let Some(coords) = self.argmin(space, rng) {
                 self.last_source = Source::Model;
@@ -383,8 +384,9 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         b.swap(col, pivot);
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            for (t, p) in lower[0][col..].iter_mut().zip(&upper[col][col..]) {
+                *t -= factor * p;
             }
             b[row] -= factor * b[col];
         }

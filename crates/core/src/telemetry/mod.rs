@@ -47,6 +47,9 @@
 //! `tests/telemetry_determinism.rs`). Timestamps exist for humans reading a
 //! trace, and are excluded from `lifecycle()`.
 
+pub mod slo;
+pub mod timeseries;
+
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
@@ -57,6 +60,16 @@ use std::time::{Duration, Instant};
 /// Default capacity of the bounded event ring (events beyond it evict the
 /// oldest and bump [`Telemetry::dropped_events`]).
 pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Most distinct tenant labels the per-tenant counter table will hold.
+/// Labels past the cap are folded into [`TENANT_OVERFLOW_LABEL`], so a
+/// tenant-id flood (a client minting a fresh label per request) cannot
+/// grow the exposition or the sampler's memory without bound.
+pub const MAX_TENANT_LABELS: usize = 64;
+
+/// The aggregate label tenants are folded into once [`MAX_TENANT_LABELS`]
+/// distinct labels exist.
+pub const TENANT_OVERFLOW_LABEL: &str = "__overflow__";
 
 /// Lifecycle stage of a trial (or member) event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -301,7 +314,56 @@ const LATENCY_COUNT: usize = 11;
 
 /// Log2 bucket count per histogram: upper bounds 1µs, 2µs, … 2^24µs
 /// (~16.8s), plus a +Inf overflow bucket.
-const HISTO_BUCKETS: usize = 26;
+pub const HISTO_BUCKETS: usize = 26;
+
+/// The hot counters that are additionally sliced per tenant. Each renders
+/// as one labeled Prometheus family `ah_<name>_total{tenant="..."}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantMetric {
+    /// Trials evaluated (reports applied to a session history) on behalf
+    /// of the tenant.
+    Evaluations,
+    /// Report messages (single or batch elements) received from the
+    /// tenant's clients, stale duplicates included.
+    Reports,
+    /// Microseconds the tenant's envelopes spent queued before a shard
+    /// worker picked them up (a sum — divide by `reports` for a mean).
+    QueueWaitUs,
+    /// Requests refused because the tenant hit its session or in-flight
+    /// quota.
+    QuotaRefusals,
+}
+
+/// Number of [`TenantMetric`] variants (columns of the per-tenant table).
+pub const TENANT_METRIC_COUNT: usize = 4;
+
+impl TenantMetric {
+    /// Every per-tenant metric, in rendering order.
+    pub const ALL: [TenantMetric; TENANT_METRIC_COUNT] = [
+        TenantMetric::Evaluations,
+        TenantMetric::Reports,
+        TenantMetric::QueueWaitUs,
+        TenantMetric::QuotaRefusals,
+    ];
+
+    /// Stable snake_case name (the Prometheus family is
+    /// `ah_tenant_<name>_total`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TenantMetric::Evaluations => "evaluations",
+            TenantMetric::Reports => "reports",
+            TenantMetric::QueueWaitUs => "queue_wait_us",
+            TenantMetric::QuotaRefusals => "quota_refusals",
+        }
+    }
+
+    fn idx(&self) -> usize {
+        TenantMetric::ALL
+            .iter()
+            .position(|m| m == self)
+            .expect("every tenant metric is in ALL")
+    }
+}
 
 impl Latency {
     /// Every histogram, in rendering order.
@@ -488,6 +550,90 @@ impl Histo {
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
+
+    fn snapshot(&self) -> HistoSnapshot {
+        HistoSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one latency histogram's raw state. Retaining
+/// the raw buckets (rather than precomputed quantiles) is what lets the
+/// time-series ring answer *windowed* percentiles: subtract two snapshots
+/// and take the percentile of the difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Observation count per log2 bucket (upper bound `2^i` µs; the last
+    /// bucket is +Inf overflow).
+    pub buckets: [u64; HISTO_BUCKETS],
+    /// Sum of all observed durations, in microseconds.
+    pub sum_us: u64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+impl HistoSnapshot {
+    /// The all-zero snapshot (what a disabled handle reports).
+    pub fn zero() -> Self {
+        HistoSnapshot {
+            buckets: [0; HISTO_BUCKETS],
+            sum_us: 0,
+            count: 0,
+        }
+    }
+
+    /// The observations recorded between `earlier` and `self` (saturating,
+    /// so a restarted handle degrades to `self` rather than panicking).
+    pub fn delta(&self, earlier: &HistoSnapshot) -> HistoSnapshot {
+        HistoSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds, read as the upper
+    /// bound of the bucket holding the target rank. Returns `None` when the
+    /// snapshot is empty and `+Inf` when the rank falls in the overflow
+    /// bucket — both make SLO comparisons behave sensibly (no data is not
+    /// a breach; an overflow tail always is).
+    pub fn percentile_us(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(if i == HISTO_BUCKETS - 1 {
+                    f64::INFINITY
+                } else {
+                    (1u64 << i) as f64
+                });
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Mean observation, in microseconds (`None` when empty).
+    pub fn mean_us(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_us as f64 / self.count as f64)
+    }
+
+    /// Compact JSON summary (`p50`/`p99`/`mean` in microseconds + `count`)
+    /// for history endpoints — raw buckets stay internal to the ring.
+    pub fn summary_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "count": self.count,
+            "p50_us": self.percentile_us(0.50),
+            "p99_us": self.percentile_us(0.99),
+            "mean_us": self.mean_us(),
+        })
+    }
 }
 
 struct Inner {
@@ -503,6 +649,10 @@ struct Inner {
     span_dropped: AtomicU64,
     open_spans: Mutex<HashMap<u64, OpenSpan>>,
     spans: Mutex<VecDeque<SpanEvent>>,
+    // Per-tenant hot-counter table, insertion-ordered so expositions and
+    // snapshots are stable. Bounded at MAX_TENANT_LABELS distinct labels;
+    // later tenants fold into the TENANT_OVERFLOW_LABEL row.
+    tenants: Mutex<Vec<(String, [u64; TENANT_METRIC_COUNT])>>,
 }
 
 /// A cheap, cloneable recording handle. See the [module docs](self) for
@@ -551,6 +701,7 @@ impl Telemetry {
             span_dropped: AtomicU64::new(0),
             open_spans: Mutex::new(HashMap::new()),
             spans: Mutex::new(VecDeque::new()),
+            tenants: Mutex::new(Vec::new()),
         })))
     }
 
@@ -602,6 +753,79 @@ impl Telemetry {
     pub fn observe(&self, latency: Latency, d: Duration) {
         if let Some(inner) = &self.0 {
             inner.latencies[latency.idx()].observe(d);
+        }
+    }
+
+    /// Add `n` to one tenant-sliced counter (no-op when disabled). Distinct
+    /// labels are bounded by [`MAX_TENANT_LABELS`]; once the table is full,
+    /// new labels aggregate into [`TENANT_OVERFLOW_LABEL`] so unbounded
+    /// tenant-id churn cannot grow the exposition.
+    pub fn tenant_add(&self, tenant: &str, metric: TenantMetric, n: u64) {
+        let Some(inner) = &self.0 else { return };
+        let mut table = inner.tenants.lock();
+        let label = if table.iter().any(|(t, _)| t == tenant) || table.len() < MAX_TENANT_LABELS {
+            tenant
+        } else {
+            TENANT_OVERFLOW_LABEL
+        };
+        match table.iter_mut().find(|(t, _)| t == label) {
+            Some((_, row)) => row[metric.idx()] += n,
+            None => {
+                let mut row = [0u64; TENANT_METRIC_COUNT];
+                row[metric.idx()] = n;
+                table.push((label.to_string(), row));
+            }
+        }
+    }
+
+    /// Current value of one tenant-sliced counter (0 when disabled or the
+    /// tenant was never recorded).
+    pub fn tenant_counter(&self, tenant: &str, metric: TenantMetric) -> u64 {
+        match &self.0 {
+            Some(inner) => inner
+                .tenants
+                .lock()
+                .iter()
+                .find(|(t, _)| t == tenant)
+                .map(|(_, row)| row[metric.idx()])
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of the per-tenant table, in first-seen order: one
+    /// `(tenant, [value per TenantMetric::ALL])` row per label.
+    pub fn tenant_counters(&self) -> Vec<(String, [u64; TENANT_METRIC_COUNT])> {
+        match &self.0 {
+            Some(inner) => inner.tenants.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The per-tenant table as JSON: `{tenant: {metric: value, ...}, ...}`
+    /// in first-seen order (shared by `/status` and `repro fleet`).
+    pub fn tenant_counters_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(
+            self.tenant_counters()
+                .into_iter()
+                .map(|(tenant, row)| {
+                    let fields = TenantMetric::ALL
+                        .iter()
+                        .map(|m| (m.name().to_string(), serde_json::Value::UInt(row[m.idx()])))
+                        .collect();
+                    (tenant, serde_json::Value::Object(fields))
+                })
+                .collect(),
+        )
+    }
+
+    /// Point-in-time copy of one latency histogram's raw buckets (the
+    /// all-zero snapshot when disabled). The time-series sampler diffs
+    /// successive snapshots to answer windowed percentiles.
+    pub fn histogram(&self, latency: Latency) -> HistoSnapshot {
+        match &self.0 {
+            Some(inner) => inner.latencies[latency.idx()].snapshot(),
+            None => HistoSnapshot::zero(),
         }
     }
 
@@ -771,6 +995,28 @@ impl Telemetry {
                 self.counter(*c)
             ));
         }
+        // Labeled per-tenant families. Emitted only when at least one
+        // tenant was recorded: a `# TYPE` with zero samples is an orphan
+        // header, which the conformance validator rejects.
+        let tenants = self.tenant_counters();
+        if !tenants.is_empty() {
+            for m in TenantMetric::ALL.iter() {
+                let name = m.name();
+                out.push_str(&format!(
+                    "# HELP ah_tenant_{name}_total Per-tenant {} (label cardinality \
+                     bounded at {MAX_TENANT_LABELS}).\n\
+                     # TYPE ah_tenant_{name}_total counter\n",
+                    name.replace('_', " ")
+                ));
+                for (tenant, row) in &tenants {
+                    out.push_str(&format!(
+                        "ah_tenant_{name}_total{{tenant=\"{}\"}} {}\n",
+                        tenant.replace('\\', "\\\\").replace('"', "\\\""),
+                        row[m.idx()]
+                    ));
+                }
+            }
+        }
         out.push_str(&format!(
             "# HELP ah_events_dropped_total Events evicted from the bounded ring.\n\
              # TYPE ah_events_dropped_total counter\n\
@@ -892,6 +1138,84 @@ pub fn chrome_trace(spans: &[SpanEvent]) -> serde_json::Value {
         "traceEvents": Value::Array(events),
         "displayTimeUnit": "ms",
     })
+}
+
+/// Structurally validate a Prometheus text exposition (version 0.0.4).
+///
+/// Enforced invariants — the conformance contract every scrape surface in
+/// this codebase (and the tests) share:
+///
+/// * every `# HELP` and `# TYPE` names each family **exactly once**, and
+///   every family has both;
+/// * every declared family emits at least one sample (no orphan headers);
+/// * every sample belongs to a declared family (no orphan samples) —
+///   histogram `_bucket`/`_sum`/`_count` suffixes resolve to their family;
+/// * every sample value parses as `f64`.
+///
+/// Returns the declared `(family, kind)` list in declaration order.
+pub fn validate_exposition(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut helped: Vec<String> = Vec::new();
+    let mut declared: Vec<(String, String)> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default().to_string();
+            if helped.contains(&name) {
+                return Err(format!("duplicate HELP for {name}"));
+            }
+            helped.push(name);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("TYPE line lacks a kind: {line}"))?;
+            if declared.iter().any(|(n, _)| n == name) {
+                return Err(format!("duplicate TYPE for {name}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown kind {kind} for {name}"));
+            }
+            declared.push((name.to_string(), kind.to_string()));
+        } else if let Some(comment) = line.strip_prefix('#') {
+            return Err(format!("comment is neither HELP nor TYPE: #{comment}"));
+        } else {
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("sample line lacks a value: {line}"))?;
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("unparseable value in: {line}"))?;
+            let base = key.split('{').next().unwrap_or_default();
+            let family = base
+                .strip_suffix("_bucket")
+                .or_else(|| base.strip_suffix("_sum"))
+                .or_else(|| base.strip_suffix("_count"))
+                .filter(|f| declared.iter().any(|(n, k)| n == f && k == "histogram"))
+                .unwrap_or(base);
+            if !declared.iter().any(|(n, _)| n == family) {
+                return Err(format!("orphan sample (no TYPE header): {line}"));
+            }
+            if !sampled.contains(&family.to_string()) {
+                sampled.push(family.to_string());
+            }
+        }
+    }
+    for (name, _) in &declared {
+        if !helped.contains(name) {
+            return Err(format!("TYPE without HELP for {name}"));
+        }
+        if !sampled.contains(name) {
+            return Err(format!("orphan header (TYPE with no samples): {name}"));
+        }
+    }
+    for name in &helped {
+        if !declared.iter().any(|(n, _)| n == name) {
+            return Err(format!("HELP without TYPE for {name}"));
+        }
+    }
+    Ok(declared)
 }
 
 #[cfg(test)]
@@ -1105,8 +1429,9 @@ mod tests {
     }
 
     /// Exposition conformance: every `# TYPE` line is matched by samples of
-    /// the declared kind, histogram `+Inf` buckets equal `_count`, and no
-    /// metric is declared twice.
+    /// the declared kind, histogram `+Inf` buckets equal `_count`, no
+    /// metric is declared twice, and the labeled per-tenant families carry
+    /// their headers exactly once.
     #[test]
     fn prometheus_exposition_is_conformant() {
         let t = Telemetry::enabled();
@@ -1120,21 +1445,17 @@ mod tests {
         t.observe(Latency::StoreLookup, Duration::from_micros(12));
         t.observe(Latency::WalAppendFsync, Duration::from_secs(120));
         t.observe(Latency::EventLoopIteration, Duration::from_micros(180));
+        t.tenant_add("acme", TenantMetric::Evaluations, 7);
+        t.tenant_add("acme", TenantMetric::QueueWaitUs, 1234);
+        t.tenant_add("globex", TenantMetric::QuotaRefusals, 2);
         let tok = t.span_begin(SpanKind::Fetch, 1, "client", 1);
         t.span_end(tok);
         let text = t.prometheus();
 
-        let mut declared: Vec<(String, String)> = Vec::new();
+        let declared = validate_exposition(&text).expect("exposition validates");
         let mut samples: HashMap<String, Vec<(String, f64)>> = HashMap::new();
         for line in text.lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
-                let (name, kind) = rest.split_once(' ').expect("TYPE has a kind");
-                assert!(
-                    !declared.iter().any(|(n, _)| n == name),
-                    "duplicate TYPE for {name}"
-                );
-                declared.push((name.to_string(), kind.to_string()));
-            } else if !line.starts_with('#') && !line.is_empty() {
+            if !line.starts_with('#') && !line.is_empty() {
                 let (key, value) = line.rsplit_once(' ').expect("sample line");
                 let value: f64 = value.parse().expect("sample value parses");
                 let base = key.split('{').next().unwrap();
@@ -1150,11 +1471,11 @@ mod tests {
                     .push((key.to_string(), value));
             }
         }
-        // dropped-events/spans/open metrics plus one family per counter and
-        // histogram.
+        // dropped-events/spans/open metrics plus one family per counter,
+        // histogram, and (label-carrying) per-tenant metric.
         assert_eq!(
             declared.len(),
-            Counter::ALL.len() + Latency::ALL.len() + 3,
+            Counter::ALL.len() + Latency::ALL.len() + TenantMetric::ALL.len() + 3,
             "{declared:?}"
         );
         for (name, kind) in &declared {
@@ -1162,6 +1483,11 @@ mod tests {
                 panic!("TYPE {name} declared but no samples emitted");
             });
             match kind.as_str() {
+                "counter" | "gauge" if name.starts_with("ah_tenant_") => {
+                    // Labeled family: one sample per tenant, each labeled.
+                    assert_eq!(got.len(), 2, "{name} should have one sample per tenant");
+                    assert!(got.iter().all(|(k, _)| k.contains("tenant=\"")), "{got:?}");
+                }
                 "counter" | "gauge" => {
                     assert_eq!(got.len(), 1, "{name} should have one sample");
                     assert_eq!(&got[0].0, name);
@@ -1184,8 +1510,8 @@ mod tests {
                 other => panic!("unexpected metric kind {other} for {name}"),
             }
         }
-        // Store hit/miss/torn-tail, ring-drop, and connection-churn
-        // counters plus the readiness-loop histogram are present.
+        // Store hit/miss/torn-tail, ring-drop, connection-churn, and
+        // per-tenant counters plus the readiness-loop histogram are present.
         for needle in [
             "ah_store_hits_total 1",
             "ah_store_misses_total 1",
@@ -1196,8 +1522,101 @@ mod tests {
             "ah_connections_evicted_idle_total 1",
             "ah_connections_closed_by_peer_total 1",
             "ah_event_loop_iteration_seconds_count 1",
+            "ah_tenant_evaluations_total{tenant=\"acme\"} 7",
+            "ah_tenant_evaluations_total{tenant=\"globex\"} 0",
+            "ah_tenant_queue_wait_us_total{tenant=\"acme\"} 1234",
+            "ah_tenant_quota_refusals_total{tenant=\"globex\"} 2",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn exposition_without_tenants_has_no_orphan_tenant_headers() {
+        let t = Telemetry::enabled();
+        t.inc(Counter::TrialsReported);
+        let text = t.prometheus();
+        assert!(!text.contains("ah_tenant_"), "{text}");
+        validate_exposition(&text).expect("tenant-free exposition validates");
+    }
+
+    #[test]
+    fn validator_rejects_orphan_and_duplicated_headers() {
+        // Orphan header: TYPE with no samples.
+        let orphan = "# HELP ah_x_total x.\n# TYPE ah_x_total counter\n";
+        assert!(validate_exposition(orphan)
+            .unwrap_err()
+            .contains("orphan header"));
+        // Orphan sample: no TYPE at all.
+        let stray = "ah_y_total 3\n";
+        assert!(validate_exposition(stray)
+            .unwrap_err()
+            .contains("orphan sample"));
+        // Duplicated TYPE header.
+        let dup = "# HELP ah_x_total x.\n# TYPE ah_x_total counter\nah_x_total 1\n\
+                   # TYPE ah_x_total counter\nah_x_total 2\n";
+        assert!(validate_exposition(dup).unwrap_err().contains("duplicate"));
+        // TYPE without HELP.
+        let nohelp = "# TYPE ah_x_total counter\nah_x_total 1\n";
+        assert!(validate_exposition(nohelp)
+            .unwrap_err()
+            .contains("TYPE without HELP"));
+    }
+
+    #[test]
+    fn tenant_labels_are_bounded_with_overflow_aggregation() {
+        let t = Telemetry::enabled();
+        for i in 0..(MAX_TENANT_LABELS + 10) {
+            t.tenant_add(&format!("tenant-{i}"), TenantMetric::Evaluations, 1);
+        }
+        // A label seen before the cap keeps counting under its own name.
+        t.tenant_add("tenant-0", TenantMetric::Evaluations, 4);
+        let table = t.tenant_counters();
+        // MAX distinct labels plus the single overflow row.
+        assert_eq!(table.len(), MAX_TENANT_LABELS + 1);
+        assert_eq!(t.tenant_counter("tenant-0", TenantMetric::Evaluations), 5);
+        assert_eq!(
+            t.tenant_counter(TENANT_OVERFLOW_LABEL, TenantMetric::Evaluations),
+            10
+        );
+        // The total is conserved across the fold.
+        let total: u64 = table
+            .iter()
+            .map(|(_, row)| row[TenantMetric::Evaluations.idx()])
+            .sum();
+        assert_eq!(total, (MAX_TENANT_LABELS + 10 + 4) as u64);
+    }
+
+    #[test]
+    fn histogram_snapshot_percentiles_and_deltas() {
+        let t = Telemetry::enabled();
+        for _ in 0..99 {
+            t.observe(Latency::ReportBatchRtt, Duration::from_micros(10));
+        }
+        let before = t.histogram(Latency::ReportBatchRtt);
+        assert_eq!(before.count, 99);
+        // 10µs lands in the 16µs bucket (2^4).
+        assert_eq!(before.percentile_us(0.5), Some(16.0));
+        t.observe(Latency::ReportBatchRtt, Duration::from_millis(200));
+        let after = t.histogram(Latency::ReportBatchRtt);
+        // Full-history p99: rank 99 of 100 still in the 16µs bucket.
+        assert_eq!(after.percentile_us(0.99), Some(16.0));
+        // Windowed delta holds exactly the one slow observation.
+        let window = after.delta(&before);
+        assert_eq!(window.count, 1);
+        let p99 = window.percentile_us(0.99).unwrap();
+        assert!(p99 >= 200_000.0, "windowed p99 {p99} should be ~200ms");
+        // Empty snapshot has no percentile.
+        assert_eq!(HistoSnapshot::zero().percentile_us(0.99), None);
+        assert_eq!(HistoSnapshot::zero().mean_us(), None);
+    }
+
+    #[test]
+    fn disabled_handle_tenant_table_is_empty() {
+        let t = Telemetry::disabled();
+        t.tenant_add("acme", TenantMetric::Reports, 3);
+        assert!(t.tenant_counters().is_empty());
+        assert_eq!(t.tenant_counter("acme", TenantMetric::Reports), 0);
+        assert_eq!(t.histogram(Latency::FetchBatchRtt), HistoSnapshot::zero());
     }
 }

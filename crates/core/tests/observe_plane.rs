@@ -1,0 +1,199 @@
+//! HTTP conformance of the observe plane: correct framing on error
+//! responses, pipelined requests on one keep-alive connection, and
+//! concurrent scrapes while a campaign is actively mutating the metrics
+//! they read.
+
+use ah_core::param::Param;
+use ah_core::server::protocol::{StrategyKind, TrialReport};
+use ah_core::server::{HarmonyServer, ServerConfig};
+use ah_core::session::SessionOptions;
+use ah_core::telemetry::timeseries::TimeSeries;
+use ah_core::telemetry::{validate_exposition, Telemetry};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Read exactly one HTTP/1.1 response off the stream, framed by its
+/// `Content-Length`. Returns (status code, headers, body).
+fn read_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response header byte");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("header is UTF-8");
+    let code: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Content-Length header present");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("body bytes");
+    (code, head, body)
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect observe plane");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+fn start_server() -> (HarmonyServer, ah_core::server::ObserveHandle) {
+    let telemetry = Telemetry::enabled();
+    let series = TimeSeries::new(telemetry.clone());
+    series.sample_now();
+    let server = HarmonyServer::start_with_config(ServerConfig {
+        telemetry,
+        timeseries: Some(series),
+        slo_rules: ah_core::telemetry::slo::default_rules(),
+        ..Default::default()
+    });
+    let observe = server.observe("127.0.0.1:0").unwrap();
+    (server, observe)
+}
+
+/// Unknown paths 404 and unsupported methods 405, each with a
+/// `Content-Length` that matches the body byte-for-byte so keep-alive
+/// clients never lose framing.
+#[test]
+fn errors_are_framed_with_exact_content_length() {
+    let (server, observe) = start_server();
+    let addr = observe.addr().to_string();
+
+    let mut stream = connect(&addr);
+    write!(stream, "GET /no-such-endpoint HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let (code, head, body) = read_response(&mut stream);
+    assert_eq!(code, 404);
+    assert!(!body.is_empty(), "404 carries an explanatory body");
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    // The connection survives the 404: framing held, so a follow-up
+    // request on the same socket still works.
+    write!(stream, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let (code, _, body) = read_response(&mut stream);
+    assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+
+    let mut stream = connect(&addr);
+    write!(
+        stream,
+        "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello"
+    )
+    .unwrap();
+    let (code, head, body) = read_response(&mut stream);
+    assert_eq!(code, 405);
+    assert!(!body.is_empty());
+    // Non-GET requests may carry bodies the server never parses, so the
+    // server must close rather than misread the body as the next request.
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection closed after 405");
+
+    observe.stop();
+    server.shutdown();
+}
+
+/// Several requests written back-to-back in a single write are answered
+/// in order on the same connection, each response individually framed.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (server, observe) = start_server();
+    let addr = observe.addr().to_string();
+
+    let mut stream = connect(&addr);
+    let pipeline = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
+                    GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n\
+                    GET /status HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    stream.write_all(pipeline.as_bytes()).unwrap();
+
+    let (code, _, body) = read_response(&mut stream);
+    assert_eq!(code, 200);
+    let health = String::from_utf8(body).unwrap();
+    assert!(health.contains("\"healthy\""), "{health}");
+
+    let (code, _, body) = read_response(&mut stream);
+    assert_eq!(code, 200);
+    let metrics = String::from_utf8(body).unwrap();
+    validate_exposition(&metrics).expect("pipelined /metrics is conformant");
+
+    let (code, head, body) = read_response(&mut stream);
+    assert_eq!(code, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let status = String::from_utf8(body).unwrap();
+    assert!(status.contains("\"sessions\""), "{status}");
+
+    observe.stop();
+    server.shutdown();
+}
+
+/// Concurrent scrapes during an active campaign: every response arrives
+/// whole and conformant while workers mutate the counters being read.
+#[test]
+fn concurrent_scrapes_survive_an_active_campaign() {
+    let (server, observe) = start_server();
+    let addr = observe.addr().to_string();
+
+    let client = server.connect("scrape-under-load").unwrap();
+    client.add_param(Param::int("x", 0, 1_000_000, 1)).unwrap();
+    client
+        .seal(
+            SessionOptions {
+                max_evaluations: 400,
+                max_cached_replays: 400,
+                seed: 11,
+                ..Default::default()
+            },
+            StrategyKind::Random,
+        )
+        .unwrap();
+
+    std::thread::scope(|s| {
+        // The campaign: fetch/report until the session finishes.
+        s.spawn(|| loop {
+            let (trials, finished) = client.fetch_batch(8).unwrap();
+            if finished {
+                break;
+            }
+            let reports: Vec<TrialReport> = trials
+                .iter()
+                .map(|t| TrialReport {
+                    iteration: t.iteration,
+                    cost: t.config.int("x").unwrap() as f64,
+                    wall_time: 0.0,
+                })
+                .collect();
+            client.report_batch(reports).unwrap();
+        });
+        // Scrapers: four threads, several endpoints each, all mid-flight.
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..10 {
+                    let mut stream = connect(&addr);
+                    write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                    let (code, _, body) = read_response(&mut stream);
+                    assert_eq!(code, 200);
+                    let text = String::from_utf8(body).unwrap();
+                    validate_exposition(&text).expect("mid-campaign scrape is conformant");
+
+                    write!(stream, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                    let (code, _, _) = read_response(&mut stream);
+                    assert_eq!(code, 200);
+
+                    write!(stream, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                    let (code, _, _) = read_response(&mut stream);
+                    assert!(code == 200 || code == 503, "healthz answered {code}");
+                }
+            });
+        }
+    });
+
+    observe.stop();
+    server.shutdown();
+}

@@ -1,0 +1,153 @@
+//! `/healthz` SLO engine end-to-end: the endpoint must flip
+//! 200 → 503 → 200 as injected faults breach a rule and then clear, with
+//! per-rule verdicts explaining each state.
+
+use ah_core::server::observe::http_get;
+use ah_core::server::{HarmonyServer, ServerConfig};
+use ah_core::telemetry::slo::parse_rules;
+use ah_core::telemetry::timeseries::TimeSeries;
+use ah_core::telemetry::{Latency, SpanKind, Telemetry};
+use serde_json::Value;
+use std::time::Duration;
+
+fn health(addr: &str) -> (u16, Value) {
+    let (code, body) = http_get(addr, "/healthz").expect("healthz reachable");
+    (code, serde_json::parse(&body).expect("healthz is JSON"))
+}
+
+fn verdict<'a>(doc: &'a Value, metric: &str) -> &'a Value {
+    doc.get("rules")
+        .and_then(Value::as_array)
+        .and_then(|rules| {
+            rules.iter().find(|r| {
+                r.get("rule")
+                    .and_then(Value::as_str)
+                    .is_some_and(|s| s.starts_with(metric))
+            })
+        })
+        .unwrap_or_else(|| panic!("no verdict for {metric}: {doc:?}"))
+}
+
+/// An open-span leak breaches its gauge rule and recovers the moment the
+/// spans close — no window to wait out, so the full 200 → 503 → 200 cycle
+/// is observable deterministically.
+#[test]
+fn healthz_flips_on_open_span_leak_and_recovers() {
+    let telemetry = Telemetry::enabled();
+    let series = TimeSeries::new(telemetry.clone());
+    let server = HarmonyServer::start_with_config(ServerConfig {
+        telemetry: telemetry.clone(),
+        timeseries: Some(series.clone()),
+        slo_rules: parse_rules(&["open_spans<3@10".to_string()]).unwrap(),
+        ..Default::default()
+    });
+    let observe = server.observe("127.0.0.1:0").unwrap();
+    let addr = observe.addr().to_string();
+
+    // Healthy baseline: no spans open.
+    series.sample_now();
+    let (code, doc) = health(&addr);
+    assert_eq!(code, 200, "{doc:?}");
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(
+        verdict(&doc, "open_spans")
+            .get("reason")
+            .and_then(Value::as_str),
+        Some("ok")
+    );
+
+    // Injected fault: leak five measurement spans, breaching `< 3`.
+    let spans: Vec<_> = (0..5)
+        .map(|i| telemetry.span_begin(SpanKind::Measure, i, "leak", i as u64))
+        .collect();
+    series.sample_now();
+    let (code, doc) = health(&addr);
+    assert_eq!(code, 503, "{doc:?}");
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("breached"));
+    let v = verdict(&doc, "open_spans");
+    assert_eq!(v.get("reason").and_then(Value::as_str), Some("breach"));
+    assert_eq!(v.get("value").and_then(Value::as_f64), Some(5.0));
+
+    // Clear the fault: close every span; the next sample recovers.
+    for s in spans {
+        telemetry.span_end(s);
+    }
+    series.sample_now();
+    let (code, doc) = health(&addr);
+    assert_eq!(code, 200, "{doc:?}");
+
+    observe.stop();
+    server.shutdown();
+}
+
+/// A latency-percentile rule breaches on slow injected RTT observations
+/// and recovers once the rule's window slides past them.
+#[test]
+fn healthz_latency_rule_breaches_then_drains() {
+    let telemetry = Telemetry::enabled();
+    let series = TimeSeries::new(telemetry.clone());
+    let server = HarmonyServer::start_with_config(ServerConfig {
+        telemetry: telemetry.clone(),
+        timeseries: Some(series.clone()),
+        slo_rules: parse_rules(&["report_batch_rtt_p99<0.05@1".to_string()]).unwrap(),
+        ..Default::default()
+    });
+    let observe = server.observe("127.0.0.1:0").unwrap();
+    let addr = observe.addr().to_string();
+
+    // Fresh series: one sample, no observations — insufficient data is
+    // healthy (a booting server must not 503).
+    series.sample_now();
+    let (code, doc) = health(&addr);
+    assert_eq!(code, 200, "{doc:?}");
+    assert_eq!(
+        verdict(&doc, "report_batch_rtt_p99")
+            .get("reason")
+            .and_then(Value::as_str),
+        Some("insufficient_data")
+    );
+
+    // Inject slow reports: 2s RTTs blow through the 50ms objective.
+    for _ in 0..10 {
+        telemetry.observe(Latency::ReportBatchRtt, Duration::from_secs(2));
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    series.sample_now();
+    let (code, doc) = health(&addr);
+    assert_eq!(code, 503, "{doc:?}");
+    let v = verdict(&doc, "report_batch_rtt_p99");
+    assert_eq!(v.get("reason").and_then(Value::as_str), Some("breach"));
+    assert!(
+        v.get("value").and_then(Value::as_f64).unwrap() > 0.05,
+        "{v:?}"
+    );
+
+    // Recovery: after the 1s window slides past the burst, the windowed
+    // delta holds no observations and the rule stops failing.
+    std::thread::sleep(Duration::from_millis(1200));
+    series.sample_now();
+    std::thread::sleep(Duration::from_millis(20));
+    series.sample_now();
+    let (code, doc) = health(&addr);
+    assert_eq!(code, 200, "{doc:?}");
+
+    observe.stop();
+    server.shutdown();
+}
+
+/// Without a time-series attached, `/healthz` reports healthy with a note
+/// instead of failing — health checking is opt-in per server.
+#[test]
+fn healthz_without_timeseries_stays_up() {
+    let server = HarmonyServer::start_with_config(ServerConfig {
+        telemetry: Telemetry::enabled(),
+        ..Default::default()
+    });
+    let observe = server.observe("127.0.0.1:0").unwrap();
+    let (code, doc) = health(&observe.addr().to_string());
+    assert_eq!(code, 200);
+    assert_eq!(doc.get("healthy").and_then(Value::as_bool), Some(true));
+    assert!(doc.get("note").is_some(), "{doc:?}");
+    observe.stop();
+    server.shutdown();
+}

@@ -139,16 +139,38 @@ impl BenchConfig {
     }
 }
 
+/// The per-scenario observability attachment: the HTTP endpoint plus a
+/// fast time-series sampler over the server's telemetry. Benching with
+/// the sampler thread running is what proves its overhead stays inside
+/// the regression gate's tolerance.
+struct BenchObserver {
+    handle: ObserveHandle,
+    // Stopped (thread joined) when the observer is dropped by `stop`.
+    _sampler: ah_core::telemetry::timeseries::Sampler,
+}
+
+impl BenchObserver {
+    fn stop(self) {
+        self.handle.stop();
+    }
+}
+
 /// Attach the observability endpoint to a scenario's server when the run
 /// asks for one.
 fn observer_for(
     cfg: &BenchConfig,
+    telemetry: &Telemetry,
     observe: impl FnOnce(&str) -> std::io::Result<ObserveHandle>,
-) -> Option<ObserveHandle> {
+) -> Option<BenchObserver> {
     cfg.observe.as_deref().map(|addr| {
         let handle = observe(addr).expect("bind bench observer");
+        let series = ah_core::telemetry::timeseries::TimeSeries::new(telemetry.clone());
+        let sampler = series.start_sampler(Duration::from_millis(100));
         eprintln!("bench-server: observing on http://{}", handle.addr());
-        handle
+        BenchObserver {
+            handle,
+            _sampler: sampler,
+        }
     })
 }
 
@@ -249,13 +271,14 @@ fn run_inproc(
     store: Option<&SharedStore>,
 ) -> Scenario {
     let nonce = run_nonce();
+    let telemetry = cfg.server_telemetry();
     let server = HarmonyServer::start_with_config(ServerConfig {
         shards,
-        telemetry: cfg.server_telemetry(),
+        telemetry: telemetry.clone(),
         store: store.cloned(),
         ..Default::default()
     });
-    let observer = observer_for(cfg, |addr| server.observe(addr));
+    let observer = observer_for(cfg, &telemetry, |addr| server.observe(addr));
     let barrier = Barrier::new(cfg.clients + 1);
     let mut wall_secs = 0.0;
     let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
@@ -305,18 +328,19 @@ fn run_inproc(
 
 fn run_tcp(cfg: &BenchConfig, batched: bool, store: Option<&SharedStore>) -> Scenario {
     let nonce = run_nonce();
+    let telemetry = cfg.server_telemetry();
     let server = TcpHarmonyServer::bind_with_transport(
         "127.0.0.1:0",
         DEFAULT_MAX_CONNECTIONS,
         ServerConfig {
-            telemetry: cfg.server_telemetry(),
+            telemetry: telemetry.clone(),
             store: store.cloned(),
             ..Default::default()
         },
         cfg.event_loop_transport(),
     )
     .expect("bind");
-    let observer = observer_for(cfg, |a| server.observe(a));
+    let observer = observer_for(cfg, &telemetry, |a| server.observe(a));
     let addr = server.local_addr();
     let client_opts = TcpClientOptions {
         telemetry: cfg.server_telemetry(),
@@ -406,18 +430,19 @@ fn run_tcp(cfg: &BenchConfig, batched: bool, store: Option<&SharedStore>) -> Sce
 /// relative regression gate.
 fn run_swarm(cfg: &BenchConfig, store: Option<&SharedStore>) -> Scenario {
     let nonce = run_nonce();
+    let telemetry = cfg.server_telemetry();
     let server = TcpHarmonyServer::bind_with_transport(
         "127.0.0.1:0",
         DEFAULT_MAX_CONNECTIONS.max(cfg.swarm_clients + 16),
         ServerConfig {
-            telemetry: cfg.server_telemetry(),
+            telemetry: telemetry.clone(),
             store: store.cloned(),
             ..Default::default()
         },
         cfg.event_loop_transport(),
     )
     .expect("bind");
-    let observer = observer_for(cfg, |a| server.observe(a));
+    let observer = observer_for(cfg, &telemetry, |a| server.observe(a));
     let scripts: Vec<IndependentScript> = (0..cfg.swarm_clients)
         .map(|i| {
             IndependentScript::new(
@@ -473,18 +498,19 @@ fn run_swarm(cfg: &BenchConfig, store: Option<&SharedStore>) -> Scenario {
 /// swarm: the shape depends on the tenant count the run simulated.
 fn run_tenants(cfg: &BenchConfig, store: Option<&SharedStore>) -> (Scenario, serde_json::Value) {
     let nonce = run_nonce();
+    let telemetry = cfg.server_telemetry();
     let server = TcpHarmonyServer::bind_with_transport(
         "127.0.0.1:0",
         DEFAULT_MAX_CONNECTIONS.max(cfg.tenants + 16),
         ServerConfig {
-            telemetry: cfg.server_telemetry(),
+            telemetry: telemetry.clone(),
             store: store.cloned(),
             ..Default::default()
         },
         cfg.event_loop_transport(),
     )
     .expect("bind");
-    let observer = observer_for(cfg, |a| server.observe(a));
+    let observer = observer_for(cfg, &telemetry, |a| server.observe(a));
     let addr = server.local_addr();
     let barrier = Barrier::new(cfg.tenants + 1);
     let mut wall_secs = 0.0;

@@ -10,6 +10,7 @@
 //! repro trace                # per-trial JSON event timeline of the same run
 //! repro observe              # same faulted run with a live HTTP endpoint
 //! repro watch                # poll a live server's /status, line per tick
+//! repro fleet                # per-peer table from a server's /fleet view
 //! repro store <sub>          # persistent performance DB:
 //!                            #   stats | inspect | compact | gc | merge | demo
 //! repro space <sub>          # search-space compiler:
@@ -52,7 +53,8 @@
 //!   --format F         trace: `events` (default) or `chrome` (Perfetto-
 //!                      loadable trace-event JSON of the run's spans)
 //!   --from ADDR        metrics/trace: pull from a live server's endpoint
-//!                      instead of running a campaign; watch: the server
+//!                      instead of running a campaign; fleet: any member
+//!                      of the fleet; watch: the server
 //!                      to poll (required)
 //!   --delay-ms N       observe: sleep per campaign tick (default 25)
 //!   --linger-ms N      observe: keep the endpoint up after the campaign
@@ -71,6 +73,10 @@
 //!   --shards N         serve: shard workers (default 2)
 //!   --tenant-max-sessions N  serve: per-tenant concurrent session cap
 //!   --tenant-max-inflight N  serve: per-tenant in-flight trial cap
+//!   --slo RULE         serve: /healthz SLO rule `metric op thresh[@win_s]`,
+//!                      repeatable (default: built-in rule set)
+//!   --sample-interval-ms N  serve: time-series sampler period
+//!                      (default 1000)
 //!   --run-for-ms N     serve: exit cleanly after N ms (default 0 = run
 //!                      until killed)
 //!   --tenants N        bench-server: add the fair-dispatch scenario with
@@ -95,6 +101,14 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Every value of a repeatable flag, in order (`--slo A --slo B`).
+fn repeated_flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 fn parse_usize(args: &[String], flag: &str, default: usize) -> usize {
@@ -264,14 +278,19 @@ fn main() {
         "--points",
         "--chunk",
         "--max-seconds",
+        "--sample-interval-ms",
     ]
     .iter()
     .map(|f| flag_value(&args, f))
     .collect();
+    // `--slo` repeats, so every occurrence's value must be excluded from
+    // the selector scan, not just the first.
+    let slo_values = repeated_flag_values(&args, "--slo");
     let selectors: Vec<&String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str())))
+        .filter(|a| !slo_values.iter().any(|v| v == a.as_str()))
         .collect();
 
     if selectors.iter().any(|s| s.as_str() == "bench-server") {
@@ -334,6 +353,12 @@ fn main() {
             tenant_max_sessions: cap("--tenant-max-sessions"),
             tenant_max_inflight: cap("--tenant-max-inflight"),
             run_for: std::time::Duration::from_millis(parse_usize(&args, "--run-for-ms", 0) as u64),
+            slo_rules: slo_values.clone(),
+            sample_interval: std::time::Duration::from_millis(parse_usize(
+                &args,
+                "--sample-interval-ms",
+                0,
+            ) as u64),
         };
         std::process::exit(ah_repro::serve_cli::run(&cfg));
     }
@@ -373,6 +398,14 @@ fn main() {
         let interval = parse_usize(&args, "--interval-ms", 1000) as u64;
         let ticks = parse_usize(&args, "--ticks", 0);
         std::process::exit(ah_repro::observe_cli::watch(&addr, interval, ticks));
+    }
+
+    if selectors.iter().any(|s| s.as_str() == "fleet") {
+        let Some(addr) = from else {
+            eprintln!("fleet requires --from ADDR (any fleet member's observe address)");
+            std::process::exit(2);
+        };
+        std::process::exit(ah_repro::observe_cli::fleet(&addr));
     }
 
     if selectors.iter().any(|s| s.as_str() == "list") {

@@ -67,6 +67,9 @@ pub(crate) struct FaultyOutcome {
     /// The run's telemetry handle — counters and the full event trace of
     /// exactly this faulted campaign.
     pub(crate) telemetry: Telemetry,
+    /// The sampled time-series ring, when the run was observed or sampling
+    /// was requested explicitly.
+    pub(crate) timeseries: Option<ah_core::telemetry::timeseries::TimeSeries>,
 }
 
 /// Live-observation knobs for [`faulty_history_with`]: where to serve the
@@ -78,6 +81,9 @@ pub(crate) struct ObserveOpts {
     pub(crate) addr: Option<String>,
     pub(crate) tick_delay: Option<std::time::Duration>,
     pub(crate) linger: Option<std::time::Duration>,
+    /// Force time-series sampling at this cadence even without an HTTP
+    /// address (tests compare window deltas against the driver's tally).
+    pub(crate) sample_interval: Option<std::time::Duration>,
 }
 
 pub(crate) fn faulty_history(
@@ -106,10 +112,27 @@ pub(crate) fn faulty_history_with(
     observe: &ObserveOpts,
 ) -> FaultyOutcome {
     let telemetry = Telemetry::enabled();
+    // A live observer gets the full fleet-observability plane: a sampled
+    // time-series ring (fast cadence — observed campaigns are short) and
+    // the default SLO rule set behind `/healthz`.
+    let series = (observe.addr.is_some() || observe.sample_interval.is_some())
+        .then(|| ah_core::telemetry::timeseries::TimeSeries::new(telemetry.clone()));
     let server = HarmonyServer::start_with_config(ServerConfig {
         shards: 2,
         telemetry: telemetry.clone(),
+        timeseries: series.clone(),
+        slo_rules: ah_core::telemetry::slo::default_rules(),
         ..Default::default()
+    });
+    let sampler = series.as_ref().map(|s| {
+        // One synchronous pre-campaign sample pins the window's left edge
+        // at zero fault counters before any churn starts.
+        s.sample_now();
+        s.start_sampler(
+            observe
+                .sample_interval
+                .unwrap_or(std::time::Duration::from_millis(50)),
+        )
     });
     let observer = observe.addr.as_deref().map(|addr| {
         let handle = server.observe(addr).unwrap_or_else(|e| {
@@ -234,6 +257,14 @@ pub(crate) fn faulty_history_with(
         }
         handle.stop();
     }
+    if let Some(mut sampler) = sampler {
+        sampler.stop();
+    }
+    if let Some(series) = &series {
+        // Final synchronous sample: the window's right edge sees the whole
+        // campaign regardless of where the sampler thread stopped.
+        series.sample_now();
+    }
     server.shutdown();
     FaultyOutcome {
         history,
@@ -242,6 +273,7 @@ pub(crate) fn faulty_history_with(
         stragglers,
         rejoins,
         telemetry,
+        timeseries: series,
     }
 }
 
@@ -475,6 +507,67 @@ mod tests {
                 }
             }
             prop_assert_eq!(slices, spans.len());
+        }
+
+        /// The sampled time-series agrees with the driver's own books
+        /// under churn: fault-counter deltas over a window spanning the
+        /// whole campaign equal the crash/lost/straggler tallies the
+        /// driver counted by hand, and any narrower window is bounded by
+        /// them. The sampler runs concurrently with the campaign, so this
+        /// also shakes out races between sampling and counter updates.
+        #[test]
+        fn sampler_window_deltas_match_fault_tally(
+            seed in 1u64..10_000,
+            crash in 0.0..0.25f64,
+            lost in 0.0..0.2f64,
+            straggler in 0.0..0.3f64,
+            narrow_us in 1u64..50_000,
+        ) {
+            use ah_core::telemetry::Counter;
+            let plan = FaultPlan::new(seed, crash, lost, straggler);
+            let opts = ObserveOpts {
+                sample_interval: Some(std::time::Duration::from_millis(5)),
+                ..Default::default()
+            };
+            let got =
+                faulty_history_with(StrategyKind::NelderMead, 25, seed, &plan, 3, &opts);
+            let series = got.timeseries.as_ref().unwrap();
+            // The ring must not have wrapped, or the pre-campaign sample
+            // (the window's zero baseline) is gone.
+            prop_assert!(
+                series.len() < ah_core::telemetry::timeseries::DEFAULT_RING_CAPACITY,
+                "ring wrapped: {} samples",
+                series.len()
+            );
+            let delta_of = |w: &ah_core::telemetry::timeseries::WindowStats, c: Counter| {
+                w.counter_deltas
+                    .iter()
+                    .find(|(n, _)| *n == c.name())
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            let tally = [
+                (Counter::FaultsCrash, got.crashes as u64),
+                (Counter::FaultsLostReport, got.lost as u64),
+                (Counter::FaultsStraggler, got.stragglers as u64),
+            ];
+            let full = series
+                .window(std::time::Duration::from_secs(1_000_000))
+                .unwrap();
+            for (c, want) in tally {
+                let d = delta_of(&full, c);
+                prop_assert!(d == want, "counter {}: delta {d} != tally {want}", c.name());
+            }
+            if let Some(narrow) = series.window(std::time::Duration::from_micros(narrow_us)) {
+                for (c, want) in tally {
+                    let d = delta_of(&narrow, c);
+                    prop_assert!(
+                        d <= want,
+                        "narrow window {} delta {d} exceeds tally {want}",
+                        c.name()
+                    );
+                }
+            }
         }
     }
 }

@@ -104,7 +104,11 @@ fn problems(quick: bool) -> Vec<Problem> {
 /// Build a roster strategy for a problem whose default configuration embeds
 /// at `default_coords`. Seeded strategies (greedy, the simplex family)
 /// start from the default, as the paper's campaigns do.
-pub fn build_strategy(name: &str, default_coords: &[f64], budget: usize) -> Box<dyn SearchStrategy> {
+pub fn build_strategy(
+    name: &str,
+    default_coords: &[f64],
+    budget: usize,
+) -> Box<dyn SearchStrategy> {
     match name {
         "random" => Box::new(RandomSearch::new()),
         "grid" => Box::new(GridSearch::new(budget)),

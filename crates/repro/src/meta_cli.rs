@@ -9,7 +9,9 @@
 //! turns that property into an exit-code check for CI).
 
 use ah_clustersim::machines::sp3_seaborg;
-use ah_core::meta::{MetaAnnealing, MetaNelderMead, MetaOptions, MetaOutcome, MetaTunable, MetaTuner};
+use ah_core::meta::{
+    MetaAnnealing, MetaNelderMead, MetaOptions, MetaOutcome, MetaTunable, MetaTuner,
+};
 use ah_core::offline::{OfflineTuner, ShortRunApp};
 use ah_core::session::SessionOptions;
 use ah_core::store::SharedStore;

@@ -5,6 +5,7 @@
 //!             [--sync-peer ADDR[,ADDR...]] [--sync-interval-ms N]
 //!             [--shards N] [--tenant-max-sessions N]
 //!             [--tenant-max-inflight N] [--run-for-ms N]
+//!             [--slo RULE]... [--sample-interval-ms N]
 //! ```
 //!
 //! Boots a TCP Harmony server backed by `--store` with the observer HTTP
@@ -16,9 +17,18 @@
 //! is how a second server warm-starts campaigns it never measured. The
 //! store is flushed on a short idle cadence so a `kill` loses at most the
 //! last tick.
+//!
+//! A background sampler snapshots every telemetry counter, gauge, and
+//! histogram into a bounded time-series ring once per
+//! `--sample-interval-ms`. The ring feeds `/metrics/history` (windowed
+//! deltas and rates) and `/healthz`, whose SLO rules come from repeated
+//! `--slo "metric op threshold[@window_s]"` flags (a built-in default
+//! rule set is used when none are given).
 
 use ah_core::server::{ServerConfig, TcpHarmonyServer};
 use ah_core::store::SharedStore;
+use ah_core::telemetry::slo::{self, SloRule};
+use ah_core::telemetry::timeseries::TimeSeries;
 use ah_core::telemetry::Telemetry;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -44,10 +54,29 @@ pub struct ServeConfig {
     /// Exit cleanly after this long (zero = run until killed); gives
     /// scripted harnesses a bounded lifetime without signal plumbing.
     pub run_for: Duration,
+    /// SLO rule specs for `/healthz` (empty = built-in default rules).
+    pub slo_rules: Vec<String>,
+    /// Time-series sampler period (zero = default one second).
+    pub sample_interval: Duration,
+}
+
+/// Parse `--slo` rule specs, exiting with a message on a bad spec.
+fn parse_slo_rules(specs: &[String]) -> Result<Vec<SloRule>, String> {
+    if specs.is_empty() {
+        return Ok(slo::default_rules());
+    }
+    slo::parse_rules(specs)
 }
 
 /// Run the server; returns the process exit code.
 pub fn run(cfg: &ServeConfig) -> i32 {
+    let slo_rules = match parse_slo_rules(&cfg.slo_rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bad --slo rule: {e}");
+            return 2;
+        }
+    };
     let telemetry = Telemetry::enabled();
     let store = match SharedStore::open_with(&cfg.store, telemetry.clone()) {
         Ok(s) => s,
@@ -56,6 +85,7 @@ pub fn run(cfg: &ServeConfig) -> i32 {
             return 2;
         }
     };
+    let series = TimeSeries::new(telemetry.clone());
     let server = match TcpHarmonyServer::bind_with(
         &cfg.listen,
         ah_core::server::tcp::DEFAULT_MAX_CONNECTIONS,
@@ -67,6 +97,8 @@ pub fn run(cfg: &ServeConfig) -> i32 {
             sync_interval: cfg.sync_interval,
             tenant_max_sessions: cfg.tenant_max_sessions,
             tenant_max_inflight: cfg.tenant_max_inflight,
+            timeseries: Some(series.clone()),
+            slo_rules,
             ..Default::default()
         },
     ) {
@@ -83,6 +115,12 @@ pub fn run(cfg: &ServeConfig) -> i32 {
             return 2;
         }
     };
+    let interval = if cfg.sample_interval.is_zero() {
+        ah_core::telemetry::timeseries::DEFAULT_SAMPLE_INTERVAL
+    } else {
+        cfg.sample_interval
+    };
+    let mut sampler = series.start_sampler(interval);
     // Machine-scrapable address lines: harness scripts read these to learn
     // the OS-assigned ports.
     println!("listen {}", server.local_addr());
@@ -106,6 +144,7 @@ pub fn run(cfg: &ServeConfig) -> i32 {
             break;
         }
     }
+    sampler.stop();
     observe.stop();
     server.shutdown();
     let _ = store.flush();
@@ -151,5 +190,14 @@ mod tests {
         observe.stop();
         server.shutdown();
         let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn slo_specs_default_and_reject_garbage() {
+        assert_eq!(parse_slo_rules(&[]).unwrap(), slo::default_rules());
+        let custom = parse_slo_rules(&["open_spans<5@10".to_string()]).unwrap();
+        assert_eq!(custom.len(), 1);
+        assert_eq!(custom[0].metric, "open_spans");
+        assert!(parse_slo_rules(&["no operator here".to_string()]).is_err());
     }
 }
